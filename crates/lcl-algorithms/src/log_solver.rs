@@ -1,0 +1,284 @@
+//! The O(log n) CONGEST algorithm of Theorem 5.1: rake-and-compress layers driven
+//! by a certificate for O(log n) solvability.
+//!
+//! The algorithm computes the partition `RCP(k)` of Definition 5.8 with
+//! `k = max flexibility + |Σ(Π_pf)|` and then processes the layers from the last
+//! (containing the root) down to the first, labeling each removed node and its
+//! children:
+//!
+//! * *rake* nodes (removed as leaves) extend their — possibly already fixed — label
+//!   downwards with any continuation inside Σ(Π_pf);
+//! * *compress* runs (long vertical paths) are filled by a walk of the exact run
+//!   length in the automaton M(Π_pf) between the already-fixed labels at their two
+//!   ends, which exists because runs have length ≥ k and every state of Π_pf is
+//!   flexible and reaches every other state (Lemma 5.5).
+//!
+//! Round accounting: the number of layers `L` is measured on the actual input tree
+//! (this is the Θ(log n) term, Lemma 5.9); computing the layers distributively costs
+//! `O(k)` rounds per layer (Lemma 5.10) and the per-layer completion another
+//! constant, both charged from the paper's analysis; the distance-k colouring used
+//! by the ruling-set step is the same Cole–Vishkin routine as in the O(log* n)
+//! solver and is measured.
+
+use lcl_core::automaton::Automaton;
+use lcl_core::{Label, Labeling, LclProblem, LogCertificate};
+use lcl_sim::IdAssignment;
+use lcl_trees::rcp::{rcp_partition, RemovalKind};
+use lcl_trees::{NodeId, RootedTree};
+
+use crate::primitives::chain_coloring;
+use crate::solve::{RoundReport, SolverOutcome};
+
+/// Assigns `node`'s children according to a configuration of `parent_label` that
+/// places `required` (if any) on the child `required_child`.
+fn assign_children(
+    problem_pf: &LclProblem,
+    labeling: &mut Labeling,
+    tree: &RootedTree,
+    node: NodeId,
+    required: Option<(NodeId, Label)>,
+) -> Result<(), String> {
+    if tree.is_leaf(node) {
+        return Ok(());
+    }
+    let parent_label = labeling.get(node).expect("node labeled before its children");
+    if tree.num_children(node) != problem_pf.delta() {
+        // Unconstrained node (only possible on irregular trees): give every child
+        // an arbitrary certificate label.
+        let fallback = *problem_pf.labels().iter().next().expect("non-empty");
+        for &c in tree.children(node) {
+            if !labeling.is_set(c) {
+                labeling.set(c, fallback);
+            }
+        }
+        return Ok(());
+    }
+    let config = match required {
+        Some((_, label)) => problem_pf
+            .configurations_with_parent(parent_label)
+            .find(|c| c.children().contains(&label)),
+        None => problem_pf.configurations_with_parent(parent_label).next(),
+    }
+    .ok_or_else(|| {
+        format!(
+            "no configuration for {} with required child",
+            problem_pf.label_name(parent_label)
+        )
+    })?;
+    // Hand the required child its label first, then distribute the rest in order.
+    let mut remaining: Vec<Label> = config.children().to_vec();
+    if let Some((child, label)) = required {
+        let pos = remaining
+            .iter()
+            .position(|&l| l == label)
+            .expect("configuration was chosen to contain the required label");
+        remaining.remove(pos);
+        labeling.set(child, label);
+    }
+    let mut rest = remaining.into_iter();
+    for &c in tree.children(node) {
+        if required.map(|(r, _)| r) == Some(c) {
+            continue;
+        }
+        let label = rest.next().expect("configuration has δ children");
+        labeling.set(c, label);
+    }
+    Ok(())
+}
+
+/// Solves `problem` on `tree` with the rake-and-compress algorithm of Theorem 5.1,
+/// using the certificate produced by Algorithm 2.
+pub fn solve_log(
+    problem: &LclProblem,
+    cert: &LogCertificate,
+    tree: &RootedTree,
+) -> Result<SolverOutcome, String> {
+    let problem_pf = &cert.problem_pf;
+    let automaton = Automaton::of(problem_pf);
+    let k = cert.rcp_parameter();
+    let partition = rcp_partition(tree, k);
+    let num_layers = partition.num_layers();
+
+    // Group compress runs by layer.
+    let runs = partition.compress_runs(tree);
+    let mut runs_by_layer: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); num_layers + 1];
+    for run in runs {
+        let layer = partition.layer_of(run[0]);
+        runs_by_layer[layer].push(run);
+    }
+
+    let first_label = *problem_pf.labels().iter().next().expect("certificate non-empty");
+    let mut labeling = Labeling::for_tree(tree);
+
+    for layer in (1..=num_layers).rev() {
+        // Rake nodes of this layer.
+        for &v in &partition.layers[layer - 1] {
+            if partition.kind[v.index()] != RemovalKind::Rake {
+                continue;
+            }
+            if !labeling.is_set(v) {
+                labeling.set(v, first_label);
+            }
+            let fixed_child = tree
+                .children(v)
+                .iter()
+                .copied()
+                .find(|&c| labeling.is_set(c))
+                .map(|c| (c, labeling.get(c).expect("just checked")));
+            assign_children(problem_pf, &mut labeling, tree, v, fixed_child)?;
+        }
+        // Compress runs of this layer.
+        for run in &runs_by_layer[layer] {
+            let top = run[0];
+            if !labeling.is_set(top) {
+                labeling.set(top, first_label);
+            }
+            let start = labeling.get(top).expect("just set");
+            let bottom = *run.last().expect("runs are non-empty");
+            // The single remaining child of the bottom node that is already labeled
+            // (processed in an earlier, higher layer), if any.
+            let fixed_bottom_child = tree
+                .children(bottom)
+                .iter()
+                .copied()
+                .find(|&c| labeling.is_set(c));
+            // Find a walk of the exact run length from the top label to the fixed
+            // bottom label (or to any label when the bottom is free).
+            let walk = match fixed_bottom_child {
+                Some(c) => {
+                    let target = labeling.get(c).expect("checked");
+                    automaton.find_walk(start, target, run.len())
+                }
+                None => problem_pf
+                    .labels()
+                    .iter()
+                    .find_map(|&t| automaton.find_walk(start, t, run.len())),
+            }
+            .ok_or_else(|| {
+                format!(
+                    "no walk of length {} from {} in the certificate automaton (run shorter than k = {k}?)",
+                    run.len(),
+                    problem_pf.label_name(start)
+                )
+            })?;
+            // walk[j] is the label of run[j]; walk[run.len()] is the label below.
+            for (j, &node) in run.iter().enumerate() {
+                labeling.set(node, walk[j]);
+                let next_label = walk[j + 1];
+                let required = if j + 1 < run.len() {
+                    Some((run[j + 1], next_label))
+                } else {
+                    fixed_bottom_child.map(|c| (c, labeling.get(c).expect("checked")))
+                };
+                // For the bottom node without a fixed child, still force the walk's
+                // final label onto one child so the walk stays consistent.
+                let required = match required {
+                    Some(r) => Some(r),
+                    None => tree.children(node).first().map(|&c| (c, next_label)),
+                };
+                assign_children(problem_pf, &mut labeling, tree, node, required)?;
+            }
+        }
+    }
+
+    if !labeling.is_complete() {
+        return Err("rake-and-compress completion left unlabeled nodes".into());
+    }
+
+    let mut rounds = RoundReport::new();
+    let (_, cv_metrics) = chain_coloring(tree, IdAssignment::sequential(tree));
+    rounds.measured(
+        "distance-k colouring for ruling sets (Cole–Vishkin)",
+        cv_metrics.rounds,
+    );
+    rounds.charged("RCP(k) layer computation (Lemma 5.10)", 2 * k * num_layers);
+    rounds.charged("per-layer completion", (2 * k + 2) * num_layers);
+    let _ = problem;
+    Ok(SolverOutcome {
+        labeling,
+        rounds,
+        algorithm: "rake-and-compress (Theorem 5.1)",
+    })
+}
+
+/// The number of RCP layers for the given problem/tree pair — the quantity whose
+/// Θ(log n) growth experiment E9 plots.
+pub fn rcp_layers(cert: &LogCertificate, tree: &RootedTree) -> usize {
+    rcp_partition(tree, cert.rcp_parameter()).num_layers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::classify;
+    use lcl_problems::coloring;
+    use lcl_trees::generators;
+
+    fn certificate_for(problem: &LclProblem) -> LogCertificate {
+        classify(problem)
+            .log_certificate()
+            .expect("problem must be O(log n)")
+            .clone()
+    }
+
+    #[test]
+    fn branch_two_coloring_on_random_trees() {
+        let problem = coloring::branch_two_coloring();
+        let cert = certificate_for(&problem);
+        for seed in 0..4 {
+            let tree = generators::random_full(2, 501, seed);
+            let outcome = solve_log(&problem, &cert, &tree).unwrap();
+            outcome.labeling.verify(&tree, &problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn figure_2_combination_on_various_shapes() {
+        let problem = coloring::figure_2_combination();
+        let cert = certificate_for(&problem);
+        for tree in [
+            generators::balanced(2, 10),
+            generators::random_skewed(2, 2001, 0.9, 5),
+            generators::hairy_path(2, 400),
+            generators::path(512),
+        ] {
+            let outcome = solve_log(&problem, &cert, &tree).unwrap();
+            outcome.labeling.verify(&tree, &problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn three_coloring_also_solvable_by_log_solver() {
+        // Every O(log* n) problem is also O(log n); the rake-and-compress solver
+        // must handle it through its own machinery.
+        let problem = coloring::three_coloring_binary();
+        let cert = certificate_for(&problem);
+        let tree = generators::random_full(2, 801, 13);
+        let outcome = solve_log(&problem, &cert, &tree).unwrap();
+        outcome.labeling.verify(&tree, &problem).unwrap();
+    }
+
+    #[test]
+    fn layer_count_grows_logarithmically() {
+        let problem = coloring::branch_two_coloring();
+        let cert = certificate_for(&problem);
+        let small = generators::random_full(2, 201, 3);
+        let large = generators::random_full(2, 20_001, 3);
+        let l_small = rcp_layers(&cert, &small);
+        let l_large = rcp_layers(&cert, &large);
+        assert!(l_large > l_small);
+        // 100× more nodes but nowhere near 100× more layers.
+        assert!(l_large < 8 * l_small, "small {l_small}, large {l_large}");
+    }
+
+    #[test]
+    fn delta_three_log_problem() {
+        // branch 2-coloring analogue with δ = 3.
+        let problem: LclProblem = "1 : 1 2 2\n2 : 1 1 1\n".parse().unwrap();
+        let report = classify(&problem);
+        let cert = report.log_certificate().expect("Θ(log n) problem").clone();
+        let tree = generators::random_full(3, 601, 21);
+        let outcome = solve_log(&problem, &cert, &tree).unwrap();
+        outcome.labeling.verify(&tree, &problem).unwrap();
+    }
+}

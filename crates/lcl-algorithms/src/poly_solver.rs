@@ -1,0 +1,237 @@
+//! The polynomial region (Section 8): the O(n^{1/k}) CONGEST algorithm for Π_k
+//! (Lemma 8.1) and the Θ(n) depth-parity baseline for 2-coloring.
+
+use lcl_core::{Labeling, LclProblem};
+use lcl_trees::{NodeId, RootedTree};
+
+use crate::solve::{RoundReport, SolverOutcome};
+
+/// The partition computed by the algorithm of Lemma 8.1:
+/// `V = B₁ ∪ X₁ ∪ B₂ ∪ X₂ ∪ … ∪ X_{k−1} ∪ B_k`.
+#[derive(Debug, Clone)]
+pub struct PiKPartition {
+    /// For every node, the part it belongs to: `Part::B(i)` or `Part::X(i)`
+    /// (1-based `i`).
+    pub part: Vec<Part>,
+    /// The measured per-iteration exploration depths (the O(n^{1/k}) terms whose sum
+    /// is the algorithm's round complexity).
+    pub iteration_depths: Vec<usize>,
+}
+
+/// Membership in the Lemma 8.1 partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Part {
+    /// `B_i`: components that are properly 2-coloured with `{a_i, b_i}`.
+    B(usize),
+    /// `X_i`: separator nodes labeled `x_i`.
+    X(usize),
+}
+
+/// Computes the partition of Lemma 8.1 for the given `k` and threshold
+/// `t = n^{1/k}`: iteration `i` keeps the nodes whose remaining subtree has more
+/// than `t` nodes, puts small-subtree nodes into `B_i`, and into `X_i` the large
+/// nodes that have a small (or already removed) child.
+pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
+    assert!(k >= 1);
+    let n = tree.len();
+    let threshold = (n as f64).powf(1.0 / k as f64).ceil() as usize;
+    let mut part: Vec<Option<Part>> = vec![None; n];
+    let mut iteration_depths = Vec::new();
+    let subtree_heights = tree.subtree_heights();
+
+    for i in 1..=k {
+        // U_i: the nodes still unassigned at the start of the iteration.
+        let in_u: Vec<bool> = part.iter().map(|p| p.is_none()).collect();
+        let u_i: Vec<NodeId> = tree.nodes().filter(|v| in_u[v.index()]).collect();
+        if u_i.is_empty() {
+            break;
+        }
+        // N_v: subtree sizes within the forest induced by U_i.
+        let mut size = vec![0usize; n];
+        for &v in tree.post_order().iter().filter(|v| in_u[v.index()]) {
+            size[v.index()] = 1
+                + tree
+                    .children(v)
+                    .iter()
+                    .filter(|c| in_u[c.index()])
+                    .map(|c| size[c.index()])
+                    .sum::<usize>();
+        }
+        // The number of levels a node explores to decide whether N_v exceeds the
+        // threshold — the measured O(n^{1/k}) quantity of this iteration.
+        iteration_depths.push(
+            threshold.min(
+                u_i.iter()
+                    .map(|v| subtree_heights[v.index()] + 1)
+                    .max()
+                    .unwrap_or(0),
+            ),
+        );
+
+        if i == k {
+            for &v in &u_i {
+                part[v.index()] = Some(Part::B(i));
+            }
+            break;
+        }
+        // B_i: small subtrees.
+        for &v in &u_i {
+            if size[v.index()] <= threshold {
+                part[v.index()] = Some(Part::B(i));
+            }
+        }
+        // X_i: large nodes with a small child, or with a child already removed in
+        // an earlier iteration (the paper's "exactly one child in T_i" condition
+        // for binary trees, stated degree-independently here).
+        for &v in &u_i {
+            if size[v.index()] <= threshold {
+                continue;
+            }
+            let has_small_child = tree
+                .children(v)
+                .iter()
+                .any(|c| in_u[c.index()] && size[c.index()] <= threshold);
+            let has_earlier_child = tree.children(v).iter().any(|c| !in_u[c.index()]);
+            if has_small_child || has_earlier_child {
+                part[v.index()] = Some(Part::X(i));
+            }
+        }
+    }
+
+    // Any node still unassigned (possible only when the loop exits early) joins B_k.
+    let part = part
+        .into_iter()
+        .map(|p| p.unwrap_or(Part::B(k)))
+        .collect();
+    PiKPartition {
+        part,
+        iteration_depths,
+    }
+}
+
+/// Solves Π_k (the problem built by `lcl_problems::pi_k::pi_k(k)`) on `tree` using
+/// the partition algorithm of Lemma 8.1: nodes in `X_i` output `x_i`, and every
+/// connected component of `B_i` is properly 2-coloured with `{a_i, b_i}` by the
+/// parity of its depth within the component.
+pub fn solve_pi_k(problem: &LclProblem, k: usize, tree: &RootedTree) -> SolverOutcome {
+    let partition = pi_k_partition(tree, k);
+    let label = |name: &str| {
+        problem
+            .label_by_name(name)
+            .unwrap_or_else(|| panic!("Π_k problem is missing label {name}"))
+    };
+    let mut labeling = Labeling::for_tree(tree);
+    // Depth of each node within its B_i component (0 at component roots).
+    let mut comp_depth = vec![0usize; tree.len()];
+    for v in tree.bfs_order() {
+        let my_part = partition.part[v.index()];
+        if let Some(p) = tree.parent(v) {
+            if partition.part[p.index()] == my_part {
+                comp_depth[v.index()] = comp_depth[p.index()] + 1;
+            }
+        }
+        match my_part {
+            Part::X(i) => labeling.set(v, label(&format!("x{i}"))),
+            Part::B(i) => {
+                let name = if comp_depth[v.index()] % 2 == 0 {
+                    format!("a{i}")
+                } else {
+                    format!("b{i}")
+                };
+                labeling.set(v, label(&name));
+            }
+        }
+    }
+    let mut rounds = RoundReport::new();
+    for (i, depth) in partition.iteration_depths.iter().enumerate() {
+        rounds.measured(&format!("iteration {} subtree-size exploration", i + 1), *depth);
+    }
+    rounds.charged("component 2-colouring (within-component depth)", {
+        // Components have at most n^{1/k} nodes, hence at most that depth.
+        (tree.len() as f64).powf(1.0 / k as f64).ceil() as usize
+    });
+    SolverOutcome {
+        labeling,
+        rounds,
+        algorithm: "Π_k partition (Lemma 8.1)",
+    }
+}
+
+/// The Θ(n)-round baseline for the global 2-coloring problem (2): every node learns
+/// its depth (a full top-down sweep) and outputs the colour of its depth parity.
+pub fn solve_by_depth_parity(problem: &LclProblem, tree: &RootedTree) -> SolverOutcome {
+    let one = problem
+        .label_by_name("1")
+        .expect("2-coloring problem uses labels 1 and 2");
+    let two = problem.label_by_name("2").expect("label 2");
+    let depths = tree.depths();
+    let mut labeling = Labeling::for_tree(tree);
+    for v in tree.nodes() {
+        labeling.set(v, if depths[v.index()] % 2 == 0 { one } else { two });
+    }
+    let mut rounds = RoundReport::new();
+    rounds.measured("top-down depth propagation", tree.height() + 1);
+    SolverOutcome {
+        labeling,
+        rounds,
+        algorithm: "depth parity (Θ(n) baseline)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problems::{coloring, pi_k};
+    use lcl_trees::generators;
+
+    #[test]
+    fn pi_1_is_solved_by_parity() {
+        let problem = pi_k::pi_k(1);
+        let tree = generators::balanced(2, 8);
+        let outcome = solve_pi_k(&problem, 1, &tree);
+        outcome.labeling.verify(&tree, &problem).unwrap();
+    }
+
+    #[test]
+    fn pi_2_on_balanced_and_random_trees() {
+        let problem = pi_k::pi_k(2);
+        for tree in [
+            generators::balanced(2, 9),
+            generators::random_full(2, 2001, 3),
+            generators::random_skewed(2, 1501, 0.8, 4),
+        ] {
+            let outcome = solve_pi_k(&problem, 2, &tree);
+            outcome.labeling.verify(&tree, &problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn pi_3_on_random_trees() {
+        let problem = pi_k::pi_k(3);
+        for seed in 0..3 {
+            let tree = generators::random_full(2, 3001, seed);
+            let outcome = solve_pi_k(&problem, 3, &tree);
+            outcome.labeling.verify(&tree, &problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn measured_rounds_scale_sublinearly() {
+        let problem = pi_k::pi_k(2);
+        let small = generators::balanced(2, 8); // 511 nodes
+        let large = generators::balanced(2, 14); // 32767 nodes
+        let r_small = solve_pi_k(&problem, 2, &small).rounds.total();
+        let r_large = solve_pi_k(&problem, 2, &large).rounds.total();
+        // 64× more nodes: an O(√n) algorithm grows by ≈ 8×, far below 64×.
+        assert!(r_large < 16 * r_small, "small {r_small}, large {r_large}");
+    }
+
+    #[test]
+    fn depth_parity_solves_two_coloring() {
+        let problem = coloring::two_coloring_binary();
+        let tree = generators::random_full(2, 801, 7);
+        let outcome = solve_by_depth_parity(&problem, &tree);
+        outcome.labeling.verify(&tree, &problem).unwrap();
+        assert_eq!(outcome.rounds.total(), tree.height() + 1);
+    }
+}

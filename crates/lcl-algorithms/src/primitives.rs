@@ -1,0 +1,94 @@
+//! Shared building blocks: chain colouring (via the simulator) and the block
+//! splitting used by the certificate-driven solvers.
+
+use lcl_sim::{programs::ChainColorReduction, IdAssignment, Metrics, Simulator};
+use lcl_trees::{NodeId, RootedTree};
+
+/// Runs the Cole–Vishkin chain colour reduction on the tree and returns the colours
+/// (proper along every parent edge, values `< 6`) together with the measured
+/// simulator metrics. This is the Θ(log* n) part of the O(log* n) algorithm of
+/// Theorem 6.3.
+pub fn chain_coloring(tree: &RootedTree, ids: IdAssignment) -> (Vec<u8>, Metrics) {
+    let sim = Simulator::new(tree, ids);
+    sim.run(&ChainColorReduction)
+}
+
+/// A splitting of the tree into perfect blocks of height `d` (Section 6.3): block
+/// roots sit at depths 0, d, 2d, …, every block is the complete subtree between two
+/// consecutive block-root levels, and each block's leaves are the roots of the next
+/// blocks.
+#[derive(Debug, Clone)]
+pub struct BlockSplitting {
+    /// The block height `d`.
+    pub block_height: usize,
+    /// Depth of every node.
+    pub depths: Vec<usize>,
+    /// The block roots, in BFS order.
+    pub block_roots: Vec<NodeId>,
+}
+
+impl BlockSplitting {
+    /// `true` if `v` is a block root.
+    pub fn is_block_root(&self, v: NodeId) -> bool {
+        self.depths[v.index()] % self.block_height == 0
+    }
+}
+
+/// Computes the [`BlockSplitting`] with blocks of height `d`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn split_into_blocks(tree: &RootedTree, d: usize) -> BlockSplitting {
+    assert!(d >= 1, "block height must be at least 1");
+    let depths = tree.depths();
+    let block_roots = tree
+        .bfs_order()
+        .into_iter()
+        .filter(|v| depths[v.index()] % d == 0)
+        .collect();
+    BlockSplitting {
+        block_height: d,
+        depths,
+        block_roots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_trees::generators;
+
+    #[test]
+    fn chain_coloring_is_proper_and_fast() {
+        let tree = generators::random_full(2, 1001, 3);
+        let (colors, metrics) = chain_coloring(&tree, IdAssignment::random_permutation(&tree, 1));
+        for v in tree.nodes() {
+            if let Some(p) = tree.parent(v) {
+                assert_ne!(colors[v.index()], colors[p.index()]);
+            }
+        }
+        assert!(metrics.rounds < 12);
+    }
+
+    #[test]
+    fn block_roots_every_d_levels() {
+        let tree = generators::balanced(2, 6);
+        let splitting = split_into_blocks(&tree, 2);
+        assert!(splitting.is_block_root(tree.root()));
+        for &r in &splitting.block_roots {
+            assert_eq!(splitting.depths[r.index()] % 2, 0);
+        }
+        // Levels 0, 2, 4, 6 are block roots: 1 + 4 + 16 + 64 nodes.
+        assert_eq!(splitting.block_roots.len(), 85);
+    }
+
+    #[test]
+    fn block_roots_are_in_bfs_order() {
+        let tree = generators::random_full(2, 201, 9);
+        let splitting = split_into_blocks(&tree, 3);
+        for w in splitting.block_roots.windows(2) {
+            assert!(splitting.depths[w[0].index()] <= splitting.depths[w[1].index()]);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The unified solver entry point and round accounting.
+
+use lcl_core::{ClassificationReport, ClassifierConfig, Complexity, Labeling, LclProblem};
+use lcl_sim::IdAssignment;
+use lcl_trees::RootedTree;
+
+/// Itemized round accounting of one solver run. The `measured` flag of each phase
+/// records whether the count was obtained by actually running / measuring that phase
+/// (simulator rounds, rake-and-compress layer counts, recursion depths) or charged
+/// as the constant derived in the paper's analysis.
+#[derive(Debug, Clone, Default)]
+pub struct RoundReport {
+    phases: Vec<(String, usize, bool)>,
+}
+
+impl RoundReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a measured phase.
+    pub fn measured(&mut self, name: &str, rounds: usize) -> &mut Self {
+        self.phases.push((name.to_string(), rounds, true));
+        self
+    }
+
+    /// Adds a phase charged with the constant round cost from the paper's analysis.
+    pub fn charged(&mut self, name: &str, rounds: usize) -> &mut Self {
+        self.phases.push((name.to_string(), rounds, false));
+        self
+    }
+
+    /// Total number of rounds over all phases.
+    pub fn total(&self) -> usize {
+        self.phases.iter().map(|(_, r, _)| r).sum()
+    }
+
+    /// The individual phases: `(name, rounds, measured)`.
+    pub fn phases(&self) -> &[(String, usize, bool)] {
+        &self.phases
+    }
+
+    /// A one-line summary such as `17 rounds (CV coloring: 5*, splitting: 12)`;
+    /// measured phases are marked with `*`.
+    pub fn summary(&self) -> String {
+        let items: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(name, rounds, measured)| {
+                format!("{name}: {rounds}{}", if *measured { "*" } else { "" })
+            })
+            .collect();
+        format!("{} rounds ({})", self.total(), items.join(", "))
+    }
+}
+
+/// The result of solving a problem on a tree: a complete labeling plus the round
+/// accounting of the algorithm used.
+#[derive(Debug, Clone)]
+pub struct SolverOutcome {
+    /// The complete labeling (verified by the caller or the test-suite).
+    pub labeling: Labeling,
+    /// The round accounting.
+    pub rounds: RoundReport,
+    /// Which solver produced the outcome.
+    pub algorithm: &'static str,
+}
+
+/// Errors returned by [`solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The problem is unsolvable on deep trees.
+    Unsolvable,
+    /// A certificate needed by the selected solver could not be materialized within
+    /// the configured size budget.
+    CertificateTooLarge(String),
+    /// The solver could not complete the labeling (indicates an internal bug; never
+    /// expected on correctly classified problems).
+    Internal(String),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Unsolvable => write!(f, "the problem is unsolvable"),
+            SolveError::CertificateTooLarge(e) => write!(f, "certificate too large: {e}"),
+            SolveError::Internal(e) => write!(f, "internal solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves `problem` on `tree` using the asymptotically optimal algorithm for its
+/// complexity class, as determined by the classification `report`.
+///
+/// * O(1) and Θ(log* n) problems use the certificate-driven splitting solvers
+///   (Theorems 7.2 and 6.3);
+/// * Θ(log n) problems use the rake-and-compress solver (Theorem 5.1);
+/// * n^{Θ(1)} problems fall back to the global greedy baseline (O(n) rounds, which
+///   is optimal up to the n^{1/k} fine structure; the dedicated Π_k algorithm of
+///   Lemma 8.1 lives in [`crate::poly_solver`]).
+pub fn solve(
+    problem: &LclProblem,
+    report: &ClassificationReport,
+    tree: &RootedTree,
+    ids: IdAssignment,
+) -> Result<SolverOutcome, SolveError> {
+    let config = ClassifierConfig::default();
+    match report.complexity {
+        Complexity::Unsolvable => Err(SolveError::Unsolvable),
+        Complexity::Constant => {
+            let cert = report
+                .constant_certificate(&config)
+                .expect("constant class implies a certificate")
+                .map_err(|e| SolveError::CertificateTooLarge(e.to_string()))?;
+            Ok(crate::constant_solver::solve_constant(problem, &cert, tree))
+        }
+        Complexity::LogStar => {
+            let cert = report
+                .log_star_certificate(&config)
+                .expect("log* class implies a certificate")
+                .map_err(|e| SolveError::CertificateTooLarge(e.to_string()))?;
+            Ok(crate::log_star_solver::solve_log_star(
+                problem, &cert, tree, ids,
+            ))
+        }
+        Complexity::Log => {
+            let cert = report
+                .log_certificate()
+                .expect("log class implies a certificate");
+            crate::log_solver::solve_log(problem, cert, tree)
+                .map_err(SolveError::Internal)
+        }
+        Complexity::Polynomial { .. } => {
+            let labeling = lcl_core::greedy::solve(problem, tree).ok_or(SolveError::Unsolvable)?;
+            let mut rounds = RoundReport::new();
+            rounds.measured("global top-down sweep (tree height)", tree.height() + 1);
+            Ok(SolverOutcome {
+                labeling,
+                rounds,
+                algorithm: "global greedy (O(n) baseline)",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::classify;
+    use lcl_trees::generators;
+
+    #[test]
+    fn round_report_accounting() {
+        let mut report = RoundReport::new();
+        report.measured("coloring", 5).charged("completion", 7);
+        assert_eq!(report.total(), 12);
+        assert_eq!(report.phases().len(), 2);
+        let summary = report.summary();
+        assert!(summary.contains("12 rounds"));
+        assert!(summary.contains("coloring: 5*"));
+        assert!(summary.contains("completion: 7"));
+    }
+
+    #[test]
+    fn solve_dispatches_for_every_class() {
+        let problems = [
+            ("1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n", "O(1)"),
+            (
+                "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n",
+                "log*",
+            ),
+            ("1 : 1 2\n2 : 1 1\n", "log"),
+            ("1:22\n2:11\n", "poly"),
+        ];
+        let tree = generators::random_full(2, 301, 11);
+        for (text, class) in problems {
+            let problem: LclProblem = text.parse().unwrap();
+            let report = classify(&problem);
+            assert_eq!(report.complexity.short_name(), class);
+            let outcome = solve(
+                &problem,
+                &report,
+                &tree,
+                IdAssignment::random_permutation(&tree, 5),
+            )
+            .unwrap();
+            outcome
+                .labeling
+                .verify(&tree, &problem)
+                .unwrap_or_else(|e| panic!("{class}: invalid solution: {e}"));
+            assert!(outcome.rounds.total() > 0);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_unsolvable_problems() {
+        let problem: LclProblem = "a : b b\nb : c c\n".parse().unwrap();
+        let report = classify(&problem);
+        let tree = generators::balanced(2, 4);
+        let err = solve(
+            &problem,
+            &report,
+            &tree,
+            IdAssignment::sequential(&tree),
+        )
+        .unwrap_err();
+        assert_eq!(err, SolveError::Unsolvable);
+    }
+}

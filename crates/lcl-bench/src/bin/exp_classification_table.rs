@@ -1,0 +1,22 @@
+//! Experiment E1 + E2: classify every catalog problem, print the expected vs
+//! obtained class and the wall-clock time per problem (the paper's "matter of
+//! milliseconds" claim).
+
+fn main() {
+    let rows = lcl_bench::classification_table();
+    let mismatches = lcl_bench::print_classification_table(&rows);
+    let slowest = rows
+        .iter()
+        .max_by_key(|r| r.elapsed)
+        .expect("catalog is non-empty");
+    println!(
+        "slowest classification: {} in {:.2?}",
+        slowest.entry.name, slowest.elapsed
+    );
+    if mismatches == 0 {
+        println!("RESULT: all {} classifications match the paper", rows.len());
+    } else {
+        println!("RESULT: {mismatches} mismatches");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared helpers for the benchmark harness and the experiment binaries that
+//! regenerate the paper's tables and figures (see DESIGN.md §5 and EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use lcl_core::{classify, ClassificationReport};
+use lcl_problems::CatalogEntry;
+
+/// One row of the E1/E2 classification table.
+pub struct ClassificationRow {
+    /// Catalog entry that was classified.
+    pub entry: CatalogEntry,
+    /// The classifier's report.
+    pub report: ClassificationReport,
+    /// Wall-clock classification time.
+    pub elapsed: Duration,
+}
+
+/// Classifies every catalog problem, timing each classification.
+pub fn classification_table() -> Vec<ClassificationRow> {
+    lcl_problems::catalog()
+        .into_iter()
+        .map(|entry| {
+            let start = Instant::now();
+            let report = classify(&entry.problem);
+            let elapsed = start.elapsed();
+            ClassificationRow {
+                entry,
+                report,
+                elapsed,
+            }
+        })
+        .collect()
+}
+
+/// Prints a classification table to stdout and returns the number of mismatches
+/// against the paper's expected classes.
+pub fn print_classification_table(rows: &[ClassificationRow]) -> usize {
+    println!(
+        "{:<22} {:>4} {:>4} {:<14} {:<28} {:>12}",
+        "problem", "|Σ|", "|C|", "expected", "classified", "time"
+    );
+    println!("{}", "-".repeat(92));
+    let mut mismatches = 0;
+    for row in rows {
+        let ok = row.entry.expected.matches(row.report.complexity);
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{:<22} {:>4} {:>4} {:<14} {:<28} {:>10.2?}{}",
+            row.entry.name,
+            row.entry.problem.num_labels(),
+            row.entry.problem.num_configurations(),
+            row.entry.expected.describe(),
+            row.report.complexity.to_string(),
+            row.elapsed,
+            if ok { "" } else { "  <-- MISMATCH" }
+        );
+    }
+    println!("{}", "-".repeat(92));
+    mismatches
+}
+
+/// The tree sizes used by the round-scaling experiments.
+pub fn scaling_sizes() -> Vec<usize> {
+    vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_table_has_no_mismatches() {
+        let rows = classification_table();
+        assert!(rows.len() >= 15);
+        assert_eq!(
+            rows.iter()
+                .filter(|r| !r.entry.expected.matches(r.report.complexity))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn classification_is_fast() {
+        // The paper's "matter of milliseconds" claim: every catalog problem
+        // classifies in well under a second even in debug builds.
+        for row in classification_table() {
+            assert!(
+                row.elapsed < Duration::from_secs(5),
+                "{} took {:?}",
+                row.entry.name,
+                row.elapsed
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! `rtlcl` — command-line interface to the rooted-tree LCL classifier and solvers.
+//!
+//! ```text
+//! rtlcl catalog                       # list the built-in problems and their classes
+//! rtlcl classify <file|name> [--json] # classify a problem (file in the paper's notation,
+//!                                     # or a catalog name such as `mis`)
+//! rtlcl explain  <file|name>          # classification plus certificates
+//! rtlcl solve    <file|name> <n>      # classify, solve on a random n-node tree, verify
+//! ```
+
+use std::process::ExitCode;
+
+use lcl_algorithms::solve;
+use lcl_core::{classify, ClassifierConfig, LclProblem};
+use lcl_problems::catalog;
+use lcl_sim::IdAssignment;
+use lcl_trees::generators;
+
+fn load_problem(spec: &str) -> Result<LclProblem, String> {
+    if let Some(entry) = catalog::by_name(spec) {
+        return Ok(entry.problem);
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("`{spec}` is neither a catalog problem nor a readable file: {e}"))?;
+    text.parse::<LclProblem>().map_err(|e| e.to_string())
+}
+
+fn cmd_catalog() -> ExitCode {
+    println!("{:<22} {:<14} reference", "name", "expected class");
+    for entry in catalog::catalog() {
+        println!(
+            "{:<22} {:<14} {}",
+            entry.name,
+            entry.expected.describe(),
+            entry.reference
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_classify(spec: &str, json: bool) -> ExitCode {
+    let problem = match load_problem(spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = classify(&problem);
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!("{}", report.complexity);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_explain(spec: &str) -> ExitCode {
+    let problem = match load_problem(spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = classify(&problem);
+    print!("{}", report.describe());
+    let config = ClassifierConfig::default();
+    if let Some(Ok(cert)) = report.log_star_certificate(&config) {
+        println!(
+            "uniform certificate: depth {}, labels {}",
+            cert.depth,
+            problem.alphabet().format_set(cert.labels.iter())
+        );
+        let leaf_names: Vec<&str> = cert
+            .leaf_pattern()
+            .iter()
+            .map(|&l| problem.label_name(l))
+            .collect();
+        println!("shared leaf pattern: {}", leaf_names.join(" "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_solve(spec: &str, n: usize) -> ExitCode {
+    let problem = match load_problem(spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = classify(&problem);
+    println!("complexity: {}", report.complexity);
+    if !report.complexity.is_solvable() {
+        println!("problem is unsolvable; nothing to solve");
+        return ExitCode::SUCCESS;
+    }
+    let tree = generators::random_full(problem.delta(), n.max(1), 1);
+    match solve(
+        &problem,
+        &report,
+        &tree,
+        IdAssignment::random_permutation(&tree, 1),
+    ) {
+        Ok(outcome) => {
+            if let Err(e) = outcome.labeling.verify(&tree, &problem) {
+                eprintln!("internal error: produced an invalid solution: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "solved and verified on a {}-node random full {}-ary tree",
+                tree.len(),
+                problem.delta()
+            );
+            println!("algorithm: {}", outcome.algorithm);
+            println!("rounds: {}", outcome.rounds.summary());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("solver error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size>"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("catalog") => cmd_catalog(),
+        Some("classify") => match args.get(1) {
+            Some(spec) => cmd_classify(spec, args.iter().any(|a| a == "--json")),
+            None => usage(),
+        },
+        Some("explain") => match args.get(1) {
+            Some(spec) => cmd_explain(spec),
+            None => usage(),
+        },
+        Some("solve") => match (args.get(1), args.get(2).and_then(|s| s.parse().ok())) {
+            (Some(spec), Some(n)) => cmd_solve(spec, n),
+            _ => usage(),
+        },
+        _ => usage(),
+    }
+}

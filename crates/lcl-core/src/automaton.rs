@@ -1,0 +1,528 @@
+//! The automaton associated with the path-form of an LCL problem (Definition 4.7)
+//! and the flexibility analysis of Definitions 4.8–4.9 and 4.12.
+//!
+//! The automaton `M(Π)` is a directed graph whose states are the labels of Π and
+//! which has an edge `a → b` whenever `(a : b)` appears in the path-form of Π.
+//! A state is *flexible* when it admits closed walks of every sufficiently large
+//! length; equivalently, its strongly connected component contains a cycle and has
+//! period (gcd of its cycle lengths) 1. The pruning procedure of Algorithm 1 removes
+//! all inflexible states, and Algorithm 2's certificate is a restriction to a
+//! *minimal absorbing subgraph* — a strongly connected component without outgoing
+//! edges (Definition 4.12).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::label::Label;
+use crate::problem::LclProblem;
+
+/// The path-form automaton `M(Π)` of a problem (Definition 4.7).
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    states: Vec<Label>,
+    /// Successors of each state, indexed parallel to `states`.
+    successors: Vec<BTreeSet<Label>>,
+    /// Map from label to index in `states`.
+    index: BTreeMap<Label, usize>,
+}
+
+/// A strongly connected component of the automaton, with its period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// States of the component.
+    pub states: BTreeSet<Label>,
+    /// `true` if the component contains at least one edge (i.e. a cycle); single
+    /// states without a self-loop are *trivial* components.
+    pub has_cycle: bool,
+    /// The gcd of the lengths of all cycles inside the component; 0 for trivial
+    /// components.
+    pub period: usize,
+    /// `true` if no edge leaves the component (Definition 4.12's absorbing
+    /// condition).
+    pub is_sink: bool,
+}
+
+impl Automaton {
+    /// Builds the automaton associated with the path-form of `problem`.
+    pub fn of(problem: &LclProblem) -> Self {
+        let states: Vec<Label> = problem.labels().iter().copied().collect();
+        let index: BTreeMap<Label, usize> =
+            states.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let mut successors = vec![BTreeSet::new(); states.len()];
+        for c in problem.configurations() {
+            let from = index[&c.parent()];
+            for &child in c.children() {
+                successors[from].insert(child);
+            }
+        }
+        Automaton {
+            states,
+            successors,
+            index,
+        }
+    }
+
+    /// The states (labels) of the automaton.
+    pub fn states(&self) -> &[Label] {
+        &self.states
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The successors of a state (empty if the state has no outgoing transitions or
+    /// is not part of the automaton).
+    pub fn successors(&self, state: Label) -> BTreeSet<Label> {
+        match self.index.get(&state) {
+            Some(&i) => self.successors[i].clone(),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// Returns `true` if there is a transition `from → to`.
+    pub fn has_edge(&self, from: Label, to: Label) -> bool {
+        self.index
+            .get(&from)
+            .map(|&i| self.successors[i].contains(&to))
+            .unwrap_or(false)
+    }
+
+    /// Total number of transitions.
+    pub fn num_edges(&self) -> usize {
+        self.successors.iter().map(|s| s.len()).sum()
+    }
+
+    /// Decomposes the automaton into strongly connected components (Kosaraju's
+    /// two-pass algorithm), returning one [`Component`] per SCC.
+    pub fn components(&self) -> Vec<Component> {
+        let n = self.states.len();
+        // Forward adjacency as indices.
+        let forward: Vec<Vec<usize>> = (0..n)
+            .map(|i| self.successors[i].iter().map(|l| self.index[l]).collect())
+            .collect();
+        let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, succs) in forward.iter().enumerate() {
+            for &v in succs {
+                reverse[v].push(u);
+            }
+        }
+        // Pass 1: finishing order on the forward graph (iterative DFS).
+        let mut visited = vec![false; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            visited[start] = true;
+            while let Some((v, child_pos)) = stack.pop() {
+                if child_pos < forward[v].len() {
+                    stack.push((v, child_pos + 1));
+                    let w = forward[v][child_pos];
+                    if !visited[w] {
+                        visited[w] = true;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    order.push(v);
+                }
+            }
+        }
+        // Pass 2: DFS on the reverse graph in reverse finishing order.
+        let mut comp_id = vec![usize::MAX; n];
+        let mut num_components = 0usize;
+        for &start in order.iter().rev() {
+            if comp_id[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            comp_id[start] = num_components;
+            while let Some(v) = stack.pop() {
+                for &w in &reverse[v] {
+                    if comp_id[w] == usize::MAX {
+                        comp_id[w] = num_components;
+                        stack.push(w);
+                    }
+                }
+            }
+            num_components += 1;
+        }
+
+        let mut members: Vec<BTreeSet<Label>> = vec![BTreeSet::new(); num_components];
+        for (i, &label) in self.states.iter().enumerate() {
+            members[comp_id[i]].insert(label);
+        }
+        (0..num_components)
+            .map(|cid| {
+                let states = members[cid].clone();
+                let has_cycle = self.component_has_cycle(&states);
+                let period = if has_cycle {
+                    self.component_period(&states)
+                } else {
+                    0
+                };
+                let is_sink = states.iter().all(|&s| {
+                    self.successors(s)
+                        .iter()
+                        .all(|succ| states.contains(succ))
+                });
+                Component {
+                    states,
+                    has_cycle,
+                    period,
+                    is_sink,
+                }
+            })
+            .collect()
+    }
+
+    fn component_has_cycle(&self, states: &BTreeSet<Label>) -> bool {
+        if states.len() > 1 {
+            return true;
+        }
+        let &only = states.iter().next().expect("non-empty component");
+        self.has_edge(only, only)
+    }
+
+    /// Computes the period (gcd of cycle lengths) of a strongly connected component
+    /// that contains at least one cycle, via BFS layering: the period is the gcd of
+    /// `level(u) + 1 − level(v)` over all internal edges `u → v`.
+    fn component_period(&self, states: &BTreeSet<Label>) -> usize {
+        let start = *states.iter().next().expect("non-empty component");
+        let mut level: BTreeMap<Label, i64> = BTreeMap::new();
+        level.insert(start, 0);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        let mut gcd: i64 = 0;
+        while let Some(u) = queue.pop_front() {
+            let lu = level[&u];
+            for v in self.successors(u) {
+                if !states.contains(&v) {
+                    continue;
+                }
+                match level.get(&v) {
+                    None => {
+                        level.insert(v, lu + 1);
+                        queue.push_back(v);
+                    }
+                    Some(&lv) => {
+                        gcd = gcd_i64(gcd, (lu + 1 - lv).abs());
+                    }
+                }
+            }
+        }
+        gcd.max(0) as usize
+    }
+
+    /// Definition 4.8/4.9: the set of flexible (path-flexible) states — states whose
+    /// SCC contains a cycle of period 1.
+    pub fn flexible_states(&self) -> BTreeSet<Label> {
+        let mut out = BTreeSet::new();
+        for comp in self.components() {
+            if comp.has_cycle && comp.period == 1 {
+                out.extend(comp.states.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Definition 4.8: the flexibility of a state — the smallest `K` such that for
+    /// every `k ≥ K` there is a closed walk of length exactly `k` from the state to
+    /// itself. Returns `None` for inflexible states.
+    ///
+    /// Closed walks through a state stay inside its SCC, so the Wielandt bound
+    /// `(s − 1)² + 1` on the primitivity index of its SCC (of size `s`) bounds the
+    /// flexibility; a DP over walk lengths up to that bound finds the exact value.
+    pub fn flexibility(&self, state: Label) -> Option<usize> {
+        let comp = self
+            .components()
+            .into_iter()
+            .find(|c| c.states.contains(&state))?;
+        if !comp.has_cycle || comp.period != 1 {
+            return None;
+        }
+        let s = comp.states.len();
+        let wielandt = (s.saturating_sub(1)).pow(2) + 1;
+        let achievable = self.closed_walk_lengths(state, &comp.states, wielandt);
+        // All lengths >= wielandt are achievable (primitive component); find the
+        // smallest K such that everything in [K, wielandt] is achievable, i.e. keep
+        // lowering K while the length just below it is still achievable.
+        let mut k = wielandt;
+        while k >= 2 && achievable[k - 2] {
+            k -= 1;
+        }
+        Some(k)
+    }
+
+    /// For each length `1..=max_len`, whether a closed walk of that length from
+    /// `state` back to itself exists using only states of `within`.
+    fn closed_walk_lengths(
+        &self,
+        state: Label,
+        within: &BTreeSet<Label>,
+        max_len: usize,
+    ) -> Vec<bool> {
+        // reachable[l] = set of states reachable from `state` by a walk of length l.
+        let mut reachable: BTreeSet<Label> = BTreeSet::new();
+        reachable.insert(state);
+        let mut result = vec![false; max_len];
+        for entry in result.iter_mut() {
+            let mut next = BTreeSet::new();
+            for &u in &reachable {
+                for v in self.successors(u) {
+                    if within.contains(&v) {
+                        next.insert(v);
+                    }
+                }
+            }
+            *entry = next.contains(&state);
+            reachable = next;
+        }
+        result
+    }
+
+    /// Returns `true` if a walk of length exactly `len` from `from` to `to` exists.
+    pub fn walk_exists(&self, from: Label, to: Label, len: usize) -> bool {
+        self.find_walk(from, to, len).is_some()
+    }
+
+    /// Finds a walk of length exactly `len` from `from` to `to`, returned as the
+    /// sequence of `len + 1` visited states, or `None` if no such walk exists.
+    pub fn find_walk(&self, from: Label, to: Label, len: usize) -> Option<Vec<Label>> {
+        // can_reach[l] = states from which `to` is reachable in exactly l steps.
+        let mut can_reach: Vec<BTreeSet<Label>> = Vec::with_capacity(len + 1);
+        let mut current = BTreeSet::new();
+        current.insert(to);
+        can_reach.push(current.clone());
+        for _ in 0..len {
+            let mut prev = BTreeSet::new();
+            for &s in &self.states {
+                if self.successors(s).iter().any(|succ| current.contains(succ)) {
+                    prev.insert(s);
+                }
+            }
+            can_reach.push(prev.clone());
+            current = prev;
+        }
+        if !can_reach[len].contains(&from) {
+            return None;
+        }
+        let mut walk = Vec::with_capacity(len + 1);
+        let mut state = from;
+        walk.push(state);
+        for step in 0..len {
+            let remaining = len - step - 1;
+            let next = self
+                .successors(state)
+                .into_iter()
+                .find(|s| can_reach[remaining].contains(s))
+                .expect("walk reconstruction follows reachability sets");
+            walk.push(next);
+            state = next;
+        }
+        Some(walk)
+    }
+
+    /// Returns `true` if the automaton restricted to its states is strongly
+    /// connected (and non-empty).
+    pub fn is_strongly_connected(&self) -> bool {
+        let comps = self.components();
+        comps.len() == 1 && !self.states.is_empty()
+    }
+
+    /// Definition 4.12: the states of a *minimal absorbing subgraph* — a strongly
+    /// connected component without outgoing edges. Among sink components, ones that
+    /// contain a cycle are preferred (Lemma 5.5 needs at least one edge); ties are
+    /// broken towards the component containing the smallest label, making the choice
+    /// deterministic.
+    pub fn minimal_absorbing_component(&self) -> Option<BTreeSet<Label>> {
+        let comps = self.components();
+        let mut sinks: Vec<&Component> = comps.iter().filter(|c| c.is_sink).collect();
+        sinks.sort_by_key(|c| (!c.has_cycle, *c.states.iter().next().expect("non-empty")));
+        sinks.first().map(|c| c.states.clone())
+    }
+}
+
+fn gcd_i64(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd_i64(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LclProblem;
+
+    fn problem(text: &str) -> LclProblem {
+        text.parse().unwrap()
+    }
+
+    /// Figure 2a: Π₀ = branch 2-coloring {1,2} combined with proper 2-coloring {a,b}.
+    fn pi0() -> LclProblem {
+        problem("a : b b\nb : a a\n1 : 1 2\n2 : 1 1\n")
+    }
+
+    #[test]
+    fn automaton_of_pi0_matches_figure_2c() {
+        let p = pi0();
+        let m = Automaton::of(&p);
+        let l = |n: &str| p.label_by_name(n).unwrap();
+        assert_eq!(m.num_states(), 4);
+        // Edges: a→b, b→a, 1→1, 1→2, 2→1.
+        assert!(m.has_edge(l("a"), l("b")));
+        assert!(m.has_edge(l("b"), l("a")));
+        assert!(m.has_edge(l("1"), l("1")));
+        assert!(m.has_edge(l("1"), l("2")));
+        assert!(m.has_edge(l("2"), l("1")));
+        assert!(!m.has_edge(l("a"), l("1")));
+        assert_eq!(m.num_edges(), 5);
+    }
+
+    #[test]
+    fn components_and_periods_of_pi0() {
+        let p = pi0();
+        let m = Automaton::of(&p);
+        let l = |n: &str| p.label_by_name(n).unwrap();
+        let comps = m.components();
+        assert_eq!(comps.len(), 2);
+        let ab = comps
+            .iter()
+            .find(|c| c.states.contains(&l("a")))
+            .unwrap();
+        let digits = comps
+            .iter()
+            .find(|c| c.states.contains(&l("1")))
+            .unwrap();
+        // {a, b} is 2-periodic (only even closed walks), {1, 2} is 1-periodic.
+        assert_eq!(ab.period, 2);
+        assert!(ab.has_cycle);
+        assert_eq!(digits.period, 1);
+        assert!(digits.has_cycle);
+    }
+
+    #[test]
+    fn flexible_states_of_pi0_are_the_digits() {
+        // Figure 2c: states a and b are inflexible (grayed out), 1 and 2 flexible.
+        let p = pi0();
+        let m = Automaton::of(&p);
+        let l = |n: &str| p.label_by_name(n).unwrap();
+        let flexible = m.flexible_states();
+        assert!(flexible.contains(&l("1")));
+        assert!(flexible.contains(&l("2")));
+        assert!(!flexible.contains(&l("a")));
+        assert!(!flexible.contains(&l("b")));
+    }
+
+    #[test]
+    fn flexibility_values() {
+        let p = pi0();
+        let m = Automaton::of(&p);
+        let l = |n: &str| p.label_by_name(n).unwrap();
+        // 1 has a self-loop: closed walks of every length >= 1.
+        assert_eq!(m.flexibility(l("1")), Some(1));
+        // 2 has closed walks of lengths 2, 3, 4, ... (via 2→1→2, 2→1→1→2, …).
+        assert_eq!(m.flexibility(l("2")), Some(2));
+        assert_eq!(m.flexibility(l("a")), None);
+        assert_eq!(m.flexibility(l("b")), None);
+    }
+
+    #[test]
+    fn three_coloring_everything_flexible() {
+        let p = problem("1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n");
+        let m = Automaton::of(&p);
+        assert_eq!(m.flexible_states().len(), 3);
+        assert!(m.is_strongly_connected());
+        for &s in m.states() {
+            // Closed walks of length 2 (via another color) and 3 exist, so
+            // flexibility 2; length 1 is impossible (proper coloring).
+            assert_eq!(m.flexibility(s), Some(2));
+        }
+    }
+
+    #[test]
+    fn two_coloring_is_inflexible() {
+        let p = problem("1:22\n2:11\n");
+        let m = Automaton::of(&p);
+        assert!(m.flexible_states().is_empty());
+        let comps = m.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].period, 2);
+    }
+
+    #[test]
+    fn isolated_label_is_its_own_trivial_component() {
+        let p = problem("1 : 1 1\nlabels: z\n");
+        let m = Automaton::of(&p);
+        let z = p.label_by_name("z").unwrap();
+        let comps = m.components();
+        assert_eq!(comps.len(), 2);
+        let z_comp = comps.iter().find(|c| c.states.contains(&z)).unwrap();
+        assert!(!z_comp.has_cycle);
+        assert_eq!(z_comp.period, 0);
+        assert_eq!(m.flexibility(z), None);
+    }
+
+    #[test]
+    fn minimal_absorbing_component_prefers_sinks_with_cycles() {
+        // a → b (one way), b has a self-loop: the sink SCC is {b}.
+        let p = problem("a : b b\nb : b b\n");
+        let m = Automaton::of(&p);
+        let b = p.label_by_name("b").unwrap();
+        let mac = m.minimal_absorbing_component().unwrap();
+        assert_eq!(mac.len(), 1);
+        assert!(mac.contains(&b));
+    }
+
+    #[test]
+    fn minimal_absorbing_component_of_strongly_connected_automaton_is_everything() {
+        let p = problem("1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n");
+        let m = Automaton::of(&p);
+        let mac = m.minimal_absorbing_component().unwrap();
+        assert_eq!(mac.len(), 3);
+    }
+
+    #[test]
+    fn find_walk_exact_lengths() {
+        let p = pi0();
+        let m = Automaton::of(&p);
+        let l = |n: &str| p.label_by_name(n).unwrap();
+        // 2 → 1 → 1 → 2 is a walk of length 3.
+        let walk = m.find_walk(l("2"), l("2"), 3).unwrap();
+        assert_eq!(walk.len(), 4);
+        assert_eq!(walk[0], l("2"));
+        assert_eq!(walk[3], l("2"));
+        for pair in walk.windows(2) {
+            assert!(m.has_edge(pair[0], pair[1]));
+        }
+        // No closed walk of length 1 from 2.
+        assert!(m.find_walk(l("2"), l("2"), 1).is_none());
+        // In the {a, b} component only even-length walks from a to a exist.
+        assert!(m.walk_exists(l("a"), l("a"), 4));
+        assert!(!m.walk_exists(l("a"), l("a"), 5));
+    }
+
+    #[test]
+    fn walk_of_length_zero() {
+        let p = pi0();
+        let m = Automaton::of(&p);
+        let one = p.label_by_name("1").unwrap();
+        let two = p.label_by_name("2").unwrap();
+        assert_eq!(m.find_walk(one, one, 0), Some(vec![one]));
+        assert!(m.find_walk(one, two, 0).is_none());
+    }
+
+    #[test]
+    fn flexibility_of_longer_cycles() {
+        // A 2-cycle plus a 3-cycle sharing state x: period 1, flexibility follows
+        // the Chicken McNugget bound (2 and 3 ⇒ every length ≥ 2 achievable).
+        let p = problem("x : y\ny : x\nx : u\nu : v\nv : x\n");
+        assert_eq!(p.delta(), 1);
+        let m = Automaton::of(&p);
+        let x = p.label_by_name("x").unwrap();
+        assert_eq!(m.flexibility(x), Some(2));
+    }
+}

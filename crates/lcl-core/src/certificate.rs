@@ -1,0 +1,486 @@
+//! Certificates for O(log* n) and O(1) solvability (Definitions 6.1 and 7.1).
+//!
+//! A *uniform certificate* is a collection of completely labeled, complete δ-ary
+//! trees of the same depth — one per certificate label, with that label at the root
+//! — whose leaf labelings are all identical. Its existence is equivalent to
+//! O(log* n) solvability (Theorem 6.3 + Lemma 6.7). A certificate for O(1)
+//! solvability additionally contains a *special configuration* `(a : …, a, …)` whose
+//! labels all belong to the certificate and whose repeated label `a` appears on a
+//! certificate leaf (Definition 7.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::configuration::Configuration;
+use crate::label::Label;
+use crate::problem::LclProblem;
+
+/// A completely labeled, complete δ-ary tree of a fixed depth, stored in level
+/// (heap) order: the root is index 0 and the children of index `i` are
+/// `δ·i + 1, …, δ·i + δ`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CertificateTree {
+    delta: usize,
+    depth: usize,
+    labels: Vec<Label>,
+}
+
+impl CertificateTree {
+    /// Creates a certificate tree from its level-order labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of labels does not match a complete δ-ary tree of the
+    /// given depth.
+    pub fn new(delta: usize, depth: usize, labels: Vec<Label>) -> Self {
+        assert!(delta >= 1);
+        assert_eq!(
+            labels.len(),
+            Self::node_count(delta, depth),
+            "label vector does not match a complete {delta}-ary tree of depth {depth}"
+        );
+        CertificateTree {
+            delta,
+            depth,
+            labels,
+        }
+    }
+
+    /// Number of nodes of a complete δ-ary tree of the given depth.
+    pub fn node_count(delta: usize, depth: usize) -> usize {
+        if delta == 1 {
+            return depth + 1;
+        }
+        let mut total = 0usize;
+        let mut level = 1usize;
+        for _ in 0..=depth {
+            total += level;
+            level *= delta;
+        }
+        total
+    }
+
+    /// Index of the first node of the given level.
+    pub fn level_start(delta: usize, level: usize) -> usize {
+        if level == 0 {
+            0
+        } else {
+            Self::node_count(delta, level - 1)
+        }
+    }
+
+    /// The δ of the tree.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The depth of the tree.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// All labels in level order.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The label of the root.
+    pub fn root_label(&self) -> Label {
+        self.labels[0]
+    }
+
+    /// The label at a level-order index.
+    pub fn label_at(&self, index: usize) -> Label {
+        self.labels[index]
+    }
+
+    /// The level-order indices of the children of node `index` (empty for leaves).
+    pub fn children_of(&self, index: usize) -> Vec<usize> {
+        let first = self.delta * index + 1;
+        if first >= self.labels.len() {
+            Vec::new()
+        } else {
+            (first..first + self.delta).collect()
+        }
+    }
+
+    /// The labels of the deepest level (the leaves).
+    pub fn leaf_labels(&self) -> &[Label] {
+        &self.labels[Self::level_start(self.delta, self.depth)..]
+    }
+
+    /// The set of distinct labels used anywhere in the tree.
+    pub fn used_labels(&self) -> BTreeSet<Label> {
+        self.labels.iter().copied().collect()
+    }
+
+    /// Checks that every internal node of the tree forms an allowed configuration of
+    /// `problem` with its children.
+    pub fn verify_configurations(&self, problem: &LclProblem) -> Result<(), String> {
+        if self.delta != problem.delta() {
+            return Err(format!(
+                "certificate tree has delta {}, problem has {}",
+                self.delta,
+                problem.delta()
+            ));
+        }
+        for index in 0..self.labels.len() {
+            let children = self.children_of(index);
+            if children.is_empty() {
+                continue;
+            }
+            let child_labels: Vec<Label> = children.iter().map(|&c| self.labels[c]).collect();
+            let config = Configuration::new(self.labels[index], child_labels);
+            if !problem.allows(&config) {
+                return Err(format!(
+                    "node {index} uses forbidden configuration {}",
+                    config.display(problem.alphabet())
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a certificate tree by calling `label_of(index, level)` for every node
+    /// in level order.
+    pub fn build_with(
+        delta: usize,
+        depth: usize,
+        mut label_of: impl FnMut(usize, usize) -> Label,
+    ) -> Self {
+        let count = Self::node_count(delta, depth);
+        let mut labels = Vec::with_capacity(count);
+        let mut level = 0usize;
+        let mut next_level_start = 1usize;
+        for index in 0..count {
+            if index == next_level_start {
+                level += 1;
+                next_level_start = Self::level_start(delta, level + 1);
+            }
+            labels.push(label_of(index, level));
+        }
+        CertificateTree {
+            delta,
+            depth,
+            labels,
+        }
+    }
+}
+
+/// A uniform certificate for O(log* n) solvability (Definition 6.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogStarCertificate {
+    /// The certificate labels Σ_T.
+    pub labels: BTreeSet<Label>,
+    /// The common depth `d ≥ 1` of the certificate trees.
+    pub depth: usize,
+    /// One completely labeled tree per certificate label, rooted at that label.
+    pub trees: BTreeMap<Label, CertificateTree>,
+}
+
+impl LogStarCertificate {
+    /// The common leaf labeling shared by all certificate trees.
+    pub fn leaf_pattern(&self) -> &[Label] {
+        self.trees
+            .values()
+            .next()
+            .expect("certificate has at least one tree")
+            .leaf_labels()
+    }
+
+    /// The certificate tree whose root carries `label`.
+    pub fn tree_for(&self, label: Label) -> Option<&CertificateTree> {
+        self.trees.get(&label)
+    }
+
+    /// Verifies Definition 6.1 against `problem`:
+    /// 1. the depth is at least one and every tree is a complete δ-ary tree of that
+    ///    depth;
+    /// 2. every tree uses only certificate labels and only allowed configurations;
+    /// 3. all trees share the same leaf labeling;
+    /// 4. for every certificate label there is a tree rooted at it.
+    pub fn verify(&self, problem: &LclProblem) -> Result<(), String> {
+        if self.depth == 0 {
+            return Err("certificate depth must be at least 1".into());
+        }
+        if self.labels.is_empty() {
+            return Err("certificate has no labels".into());
+        }
+        if !self.labels.is_subset(problem.labels()) {
+            return Err("certificate labels are not a subset of Σ(Π)".into());
+        }
+        for &label in &self.labels {
+            let tree = self
+                .trees
+                .get(&label)
+                .ok_or_else(|| format!("no tree for label {}", problem.label_name(label)))?;
+            if tree.depth() != self.depth || tree.delta() != problem.delta() {
+                return Err(format!(
+                    "tree for {} has wrong shape",
+                    problem.label_name(label)
+                ));
+            }
+            if tree.root_label() != label {
+                return Err(format!(
+                    "tree for {} is rooted at {}",
+                    problem.label_name(label),
+                    problem.label_name(tree.root_label())
+                ));
+            }
+            if !tree.used_labels().is_subset(&self.labels) {
+                return Err(format!(
+                    "tree for {} uses labels outside Σ_T",
+                    problem.label_name(label)
+                ));
+            }
+            tree.verify_configurations(problem)?;
+        }
+        if self.trees.len() != self.labels.len() {
+            return Err("certificate has trees for labels outside Σ_T".into());
+        }
+        let pattern = self.leaf_pattern().to_vec();
+        for (label, tree) in &self.trees {
+            if tree.leaf_labels() != pattern.as_slice() {
+                return Err(format!(
+                    "tree for {} has a different leaf labeling",
+                    problem.label_name(*label)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if some leaf of the (shared) leaf labeling carries `label`.
+    pub fn has_leaf_labeled(&self, label: Label) -> bool {
+        self.leaf_pattern().contains(&label)
+    }
+}
+
+/// A certificate for O(1) solvability (Definition 7.1): a uniform certificate plus a
+/// special configuration `(a : b₁, …, a, …, b_δ)` over certificate labels whose
+/// repeated label `a` occurs on a certificate leaf.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstantCertificate {
+    /// The underlying uniform certificate.
+    pub base: LogStarCertificate,
+    /// The special configuration.
+    pub special: Configuration,
+}
+
+impl ConstantCertificate {
+    /// The repeated label `a` of the special configuration.
+    pub fn special_label(&self) -> Label {
+        self.special.parent()
+    }
+
+    /// Verifies Definition 7.1 against `problem`.
+    pub fn verify(&self, problem: &LclProblem) -> Result<(), String> {
+        self.base.verify(problem)?;
+        if !problem.allows(&self.special) {
+            return Err("special configuration is not allowed by the problem".into());
+        }
+        if !self.special.parent_repeats_in_children() {
+            return Err("special configuration does not repeat its parent label".into());
+        }
+        if !self
+            .special
+            .labels()
+            .all(|l| self.base.labels.contains(&l))
+        {
+            return Err("special configuration uses labels outside Σ_T".into());
+        }
+        if !self.base.has_leaf_labeled(self.special.parent()) {
+            return Err("no certificate leaf carries the special label".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(i: u16) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn node_count_and_levels() {
+        assert_eq!(CertificateTree::node_count(2, 0), 1);
+        assert_eq!(CertificateTree::node_count(2, 2), 7);
+        assert_eq!(CertificateTree::node_count(3, 2), 13);
+        assert_eq!(CertificateTree::node_count(1, 4), 5);
+        assert_eq!(CertificateTree::level_start(2, 0), 0);
+        assert_eq!(CertificateTree::level_start(2, 1), 1);
+        assert_eq!(CertificateTree::level_start(2, 2), 3);
+    }
+
+    #[test]
+    fn children_indices() {
+        let t = CertificateTree::new(2, 2, vec![label(0); 7]);
+        assert_eq!(t.children_of(0), vec![1, 2]);
+        assert_eq!(t.children_of(2), vec![5, 6]);
+        assert!(t.children_of(3).is_empty());
+        assert_eq!(t.leaf_labels().len(), 4);
+    }
+
+    /// The 3-coloring certificate of Figure 7c: depth 2, identical bottom levels
+    /// 3 3 3 3, roots 1, 2, 3.
+    fn figure_7_certificate(problem: &LclProblem) -> LogStarCertificate {
+        let l = |n: &str| problem.label_by_name(n).unwrap();
+        let tree = |root: &str, mid: [&str; 2]| {
+            CertificateTree::new(
+                2,
+                2,
+                vec![
+                    l(root),
+                    l(mid[0]),
+                    l(mid[1]),
+                    l("3"),
+                    l("3"),
+                    l("3"),
+                    l("3"),
+                ],
+            )
+        };
+        let mut trees = BTreeMap::new();
+        trees.insert(l("1"), tree("1", ["2", "2"]));
+        trees.insert(l("2"), tree("2", ["1", "1"]));
+        trees.insert(l("3"), tree("3", ["1", "2"]));
+        LogStarCertificate {
+            labels: [l("1"), l("2"), l("3")].into_iter().collect(),
+            depth: 2,
+            trees,
+        }
+    }
+
+    fn three_coloring() -> LclProblem {
+        "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_7_certificate_verifies() {
+        let p = three_coloring();
+        let cert = figure_7_certificate(&p);
+        cert.verify(&p).unwrap();
+        assert_eq!(cert.leaf_pattern().len(), 4);
+        assert!(cert.has_leaf_labeled(p.label_by_name("3").unwrap()));
+        assert!(!cert.has_leaf_labeled(p.label_by_name("1").unwrap()));
+    }
+
+    #[test]
+    fn tampered_leaf_pattern_is_rejected() {
+        let p = three_coloring();
+        let mut cert = figure_7_certificate(&p);
+        let l1 = p.label_by_name("1").unwrap();
+        let l2 = p.label_by_name("2").unwrap();
+        let l3 = p.label_by_name("3").unwrap();
+        // Change one leaf of the tree rooted at 1 (keeping configurations valid:
+        // 2 : 1 3 is allowed) so the leaf patterns no longer agree.
+        cert.trees.insert(
+            l1,
+            CertificateTree::new(2, 2, vec![l1, l2, l2, l1, l3, l3, l3]),
+        );
+        let err = cert.verify(&p).unwrap_err();
+        assert!(err.contains("different leaf labeling"), "{err}");
+    }
+
+    #[test]
+    fn forbidden_configuration_in_tree_is_rejected() {
+        let p = three_coloring();
+        let mut cert = figure_7_certificate(&p);
+        let l1 = p.label_by_name("1").unwrap();
+        let l3 = p.label_by_name("3").unwrap();
+        // Root 1 with children 1,1 is forbidden.
+        cert.trees.insert(
+            l1,
+            CertificateTree::new(2, 2, vec![l1, l1, l1, l3, l3, l3, l3]),
+        );
+        assert!(cert.verify(&p).is_err());
+    }
+
+    #[test]
+    fn depth_zero_is_rejected() {
+        let p = three_coloring();
+        let l1 = p.label_by_name("1").unwrap();
+        let cert = LogStarCertificate {
+            labels: [l1].into_iter().collect(),
+            depth: 0,
+            trees: BTreeMap::from([(l1, CertificateTree::new(2, 0, vec![l1]))]),
+        };
+        assert!(cert.verify(&p).is_err());
+    }
+
+    #[test]
+    fn missing_tree_is_rejected() {
+        let p = three_coloring();
+        let mut cert = figure_7_certificate(&p);
+        cert.trees.remove(&p.label_by_name("2").unwrap());
+        assert!(cert.verify(&p).is_err());
+    }
+
+    #[test]
+    fn constant_certificate_for_mis_verifies() {
+        // Figure 8c: an O(1) certificate for MIS with special configuration b : b 1.
+        // Hand-built depth-3 trees sharing the leaf layer b b 1 1 b b 1 1.
+        let p: LclProblem = "1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n"
+            .parse()
+            .unwrap();
+        let l = |n: &str| p.label_by_name(n).unwrap();
+        let leaves = ["b", "b", "1", "1", "b", "b", "1", "1"];
+        let make = |root: &str, level1: [&str; 2], level2: [&str; 4]| {
+            let mut labels = vec![l(root)];
+            labels.extend(level1.iter().map(|n| l(n)));
+            labels.extend(level2.iter().map(|n| l(n)));
+            labels.extend(leaves.iter().map(|n| l(n)));
+            CertificateTree::new(2, 3, labels)
+        };
+        let t1 = make("1", ["b", "b"], ["1", "b", "1", "b"]);
+        let ta = make("a", ["b", "b"], ["1", "b", "1", "b"]);
+        let tb = make("b", ["b", "1"], ["1", "b", "a", "b"]);
+        let mut trees = BTreeMap::new();
+        trees.insert(l("1"), t1);
+        trees.insert(l("a"), ta);
+        trees.insert(l("b"), tb);
+        let base = LogStarCertificate {
+            labels: [l("1"), l("a"), l("b")].into_iter().collect(),
+            depth: 3,
+            trees,
+        };
+        base.verify(&p).unwrap();
+        assert!(base.has_leaf_labeled(l("b")));
+        let cert = ConstantCertificate {
+            base,
+            special: Configuration::new(l("b"), vec![l("b"), l("1")]),
+        };
+        cert.verify(&p).unwrap();
+        assert_eq!(cert.special_label(), l("b"));
+    }
+
+    #[test]
+    fn constant_certificate_without_leaf_occurrence_is_rejected() {
+        let p = three_coloring();
+        // 3-coloring has no special configuration at all, so any claimed constant
+        // certificate must fail verification.
+        let base = figure_7_certificate(&p);
+        let l1 = p.label_by_name("1").unwrap();
+        let l2 = p.label_by_name("2").unwrap();
+        let cert = ConstantCertificate {
+            base,
+            special: Configuration::new(l1, vec![l1, l2]),
+        };
+        assert!(cert.verify(&p).is_err());
+    }
+
+    #[test]
+    fn build_with_level_indices() {
+        let t = CertificateTree::build_with(2, 2, |_, level| label(level as u16));
+        assert_eq!(t.root_label(), label(0));
+        assert_eq!(t.label_at(1), label(1));
+        assert_eq!(t.label_at(2), label(1));
+        assert!(t.leaf_labels().iter().all(|&l| l == label(2)));
+    }
+}

@@ -1,0 +1,393 @@
+//! The top-level classifier: given a problem Π, decide whether its distributed
+//! round complexity is O(1), Θ(log* n), Θ(log n), or n^{Θ(1)} (Sections 5–7).
+//!
+//! The decision combines the three certificate searches, exploiting the nesting of
+//! the classes so that the cheap polynomial-time test (Algorithm 2) runs first and
+//! the exponential ones (Algorithms 4 and 5) only run on problems already known to
+//! be O(log n):
+//!
+//! 1. solvability (greatest fixed point of continuations) — otherwise `Unsolvable`;
+//! 2. Algorithm 2 — no certificate ⇒ `Polynomial` (n^{Ω(1)}, and the number of
+//!    pruning iterations `k` gives the Ω(n^{1/k}) lower bound of Theorem 5.2);
+//! 3. Algorithm 4 — no certificate ⇒ `Log` (Θ(log n), Theorem 5.1 + Lemma 6.7);
+//! 4. Algorithm 5 — no certificate ⇒ `LogStar` (Θ(log* n), Theorem 6.3 +
+//!    Theorem 7.7), otherwise `Constant` (Theorem 7.2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::CertificateBuildError;
+use crate::certificate::{ConstantCertificate, LogStarCertificate};
+use crate::constant::{find_constant_certificate, ConstantSearchResult};
+use crate::label::Label;
+use crate::log_certificate::{find_log_certificate, LogCertificate, LogCertificateAnalysis};
+use crate::log_star::{find_log_star_certificate, LogStarSearchResult};
+use crate::problem::LclProblem;
+use crate::solvability::solvable_labels;
+
+/// The four complexity classes of the paper, plus `Unsolvable` for problems that
+/// admit no solution on deep trees at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Complexity {
+    /// No labeling satisfies the constraints on sufficiently deep full δ-ary trees.
+    Unsolvable,
+    /// O(1) rounds (deterministic and randomized, LOCAL and CONGEST).
+    Constant,
+    /// Θ(log* n) rounds.
+    LogStar,
+    /// Θ(log n) rounds.
+    Log,
+    /// n^{Θ(1)} rounds: Ω(n^{1/k}) for the recorded `lower_bound_exponent` k, and
+    /// O(n) always. The classifier does not determine the exact exponent
+    /// (see Section 3 of the paper).
+    Polynomial {
+        /// The number of pruning iterations of Algorithm 2, i.e. the `k` of the
+        /// Ω(n^{1/k}) lower bound of Theorem 5.2.
+        lower_bound_exponent: usize,
+    },
+}
+
+impl Complexity {
+    /// `true` for every class that admits some algorithm (everything except
+    /// [`Complexity::Unsolvable`]).
+    pub fn is_solvable(self) -> bool {
+        self != Complexity::Unsolvable
+    }
+
+    /// A short machine-friendly name for tables (`O(1)`, `log*`, `log`, `poly`,
+    /// `unsolvable`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Complexity::Unsolvable => "unsolvable",
+            Complexity::Constant => "O(1)",
+            Complexity::LogStar => "log*",
+            Complexity::Log => "log",
+            Complexity::Polynomial { .. } => "poly",
+        }
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Complexity::Unsolvable => write!(f, "unsolvable"),
+            Complexity::Constant => write!(f, "O(1)"),
+            Complexity::LogStar => write!(f, "Θ(log* n)"),
+            Complexity::Log => write!(f, "Θ(log n)"),
+            Complexity::Polynomial {
+                lower_bound_exponent,
+            } => write!(f, "n^Θ(1) (Ω(n^(1/{lower_bound_exponent})), O(n))"),
+        }
+    }
+}
+
+/// Tunable limits of the classifier. Only affects how large the *explicit*
+/// certificate trees may grow when materialized; decisions are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Maximum number of nodes per materialized certificate tree.
+    pub max_certificate_nodes: usize,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            max_certificate_nodes: 4_000_000,
+        }
+    }
+}
+
+/// The full outcome of classifying a problem: the complexity class plus every
+/// certificate and trace the decision rests on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// The problem that was classified.
+    pub problem: LclProblem,
+    /// The resulting complexity class.
+    pub complexity: Complexity,
+    /// The greatest self-sustaining label set (empty iff unsolvable).
+    pub solvable_labels: BTreeSet<Label>,
+    /// Algorithm 2's analysis: pruning trace, fixed point, and (possibly) the
+    /// certificate for O(log n) solvability.
+    pub log_analysis: LogCertificateAnalysis,
+    /// Algorithm 4's result, when a uniform certificate exists.
+    pub log_star: Option<LogStarSearchResult>,
+    /// Algorithm 5's result, when a certificate for O(1) solvability exists.
+    pub constant: Option<ConstantSearchResult>,
+}
+
+impl ClassificationReport {
+    /// The certificate for O(log n) solvability, if any.
+    pub fn log_certificate(&self) -> Option<&LogCertificate> {
+        self.log_analysis.certificate.as_ref()
+    }
+
+    /// Materializes the uniform certificate for O(log* n) solvability, if any.
+    pub fn log_star_certificate(
+        &self,
+        config: &ClassifierConfig,
+    ) -> Option<Result<LogStarCertificate, CertificateBuildError>> {
+        self.log_star
+            .as_ref()
+            .map(|r| r.materialize(config.max_certificate_nodes))
+    }
+
+    /// Materializes the certificate for O(1) solvability, if any.
+    pub fn constant_certificate(
+        &self,
+        config: &ClassifierConfig,
+    ) -> Option<Result<ConstantCertificate, CertificateBuildError>> {
+        self.constant
+            .as_ref()
+            .map(|r| r.materialize(config.max_certificate_nodes))
+    }
+
+    /// A multi-line human-readable summary of the decision and its witnesses.
+    pub fn describe(&self) -> String {
+        let alphabet = self.problem.alphabet();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "problem: δ = {}, |Σ| = {}, |C| = {}\n",
+            self.problem.delta(),
+            self.problem.num_labels(),
+            self.problem.num_configurations()
+        ));
+        out.push_str(&format!("complexity: {}\n", self.complexity));
+        out.push_str(&format!(
+            "solvable labels: {}\n",
+            alphabet.format_set(self.solvable_labels.iter())
+        ));
+        for (i, removed) in self.log_analysis.pruned_sets.iter().enumerate() {
+            out.push_str(&format!(
+                "pruning iteration {}: removed path-inflexible labels {}\n",
+                i + 1,
+                alphabet.format_set(removed.iter())
+            ));
+        }
+        match self.log_certificate() {
+            Some(cert) => out.push_str(&format!(
+                "certificate for O(log n): Π_pf with labels {} ({} configurations), max flexibility {}\n",
+                alphabet.format_set(cert.problem_pf.labels().iter()),
+                cert.problem_pf.num_configurations(),
+                cert.max_flexibility
+            )),
+            None => out.push_str(&format!(
+                "no certificate for O(log n): lower bound Ω(n^(1/{}))\n",
+                self.log_analysis.iterations().max(1)
+            )),
+        }
+        match &self.log_star {
+            Some(r) => out.push_str(&format!(
+                "certificate for O(log* n): labels {}\n",
+                alphabet.format_set(r.certificate_labels.iter())
+            )),
+            None if self.complexity == Complexity::Log => {
+                out.push_str("no certificate for O(log* n): lower bound Ω(log n)\n")
+            }
+            None => {}
+        }
+        match &self.constant {
+            Some(r) => out.push_str(&format!(
+                "certificate for O(1): special configuration {}\n",
+                r.special.display(alphabet)
+            )),
+            None if self.complexity == Complexity::LogStar => {
+                out.push_str("no certificate for O(1): lower bound Ω(log* n)\n")
+            }
+            None => {}
+        }
+        out
+    }
+}
+
+/// Classifies a problem with the default configuration. See the module
+/// documentation for the decision procedure.
+pub fn classify(problem: &LclProblem) -> ClassificationReport {
+    classify_with_config(problem, &ClassifierConfig::default())
+}
+
+/// Classifies a problem. The configuration only bounds certificate materialization;
+/// it cannot change the resulting class.
+pub fn classify_with_config(
+    problem: &LclProblem,
+    _config: &ClassifierConfig,
+) -> ClassificationReport {
+    let solvable = solvable_labels(problem);
+    let log_analysis = find_log_certificate(problem);
+
+    if solvable.is_empty() {
+        return ClassificationReport {
+            problem: problem.clone(),
+            complexity: Complexity::Unsolvable,
+            solvable_labels: solvable,
+            log_analysis,
+            log_star: None,
+            constant: None,
+        };
+    }
+
+    if !log_analysis.has_certificate() {
+        let k = log_analysis.iterations().max(1);
+        return ClassificationReport {
+            problem: problem.clone(),
+            complexity: Complexity::Polynomial {
+                lower_bound_exponent: k,
+            },
+            solvable_labels: solvable,
+            log_analysis,
+            log_star: None,
+            constant: None,
+        };
+    }
+
+    let log_star = find_log_star_certificate(problem);
+    if log_star.is_none() {
+        return ClassificationReport {
+            problem: problem.clone(),
+            complexity: Complexity::Log,
+            solvable_labels: solvable,
+            log_analysis,
+            log_star: None,
+            constant: None,
+        };
+    }
+
+    let constant = find_constant_certificate(problem);
+    let complexity = if constant.is_some() {
+        Complexity::Constant
+    } else {
+        Complexity::LogStar
+    };
+    ClassificationReport {
+        problem: problem.clone(),
+        complexity,
+        solvable_labels: solvable,
+        log_analysis,
+        log_star,
+        constant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify_text(text: &str) -> ClassificationReport {
+        let p: LclProblem = text.parse().unwrap();
+        classify(&p)
+    }
+
+    #[test]
+    fn paper_example_three_coloring_is_log_star() {
+        // Section 1.2, configurations (1).
+        let report = classify_text("1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n");
+        assert_eq!(report.complexity, Complexity::LogStar);
+        assert!(report.log_star.is_some());
+        assert!(report.constant.is_none());
+    }
+
+    #[test]
+    fn paper_example_two_coloring_is_global() {
+        // Section 1.2, configurations (2): Θ(n) = n^{Θ(1)} with k = 1.
+        let report = classify_text("1:22\n2:11\n");
+        assert_eq!(
+            report.complexity,
+            Complexity::Polynomial {
+                lower_bound_exponent: 1
+            }
+        );
+    }
+
+    #[test]
+    fn paper_example_mis_is_constant() {
+        // Section 1.3, configurations (3).
+        let report = classify_text("1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n");
+        assert_eq!(report.complexity, Complexity::Constant);
+        let special = &report.constant.as_ref().unwrap().special;
+        assert_eq!(
+            special.display(report.problem.alphabet()),
+            "b : 1 b"
+        );
+    }
+
+    #[test]
+    fn paper_example_branch_two_coloring_is_log() {
+        // Section 1.4, configurations (5).
+        let report = classify_text("1 : 1 2\n2 : 1 1\n");
+        assert_eq!(report.complexity, Complexity::Log);
+        assert!(report.log_certificate().is_some());
+        assert!(report.log_star.is_none());
+    }
+
+    #[test]
+    fn figure_2_combination_is_log() {
+        let report = classify_text("a : b b\nb : a a\n1 : 1 2\n2 : 1 1\n");
+        assert_eq!(report.complexity, Complexity::Log);
+        assert_eq!(report.log_analysis.iterations(), 1);
+    }
+
+    #[test]
+    fn unsolvable_problem() {
+        let report = classify_text("a : b b\nb : c c\n");
+        assert_eq!(report.complexity, Complexity::Unsolvable);
+        assert!(!report.complexity.is_solvable());
+    }
+
+    #[test]
+    fn trivial_problem_is_constant() {
+        let report = classify_text("x : x x\n");
+        assert_eq!(report.complexity, Complexity::Constant);
+    }
+
+    #[test]
+    fn describe_mentions_class_and_certificates() {
+        let report = classify_text("1 : 1 2\n2 : 1 1\n");
+        let text = report.describe();
+        assert!(text.contains("Θ(log n)"));
+        assert!(text.contains("certificate for O(log n)"));
+        assert!(text.contains("no certificate for O(log* n)"));
+    }
+
+    #[test]
+    fn certificates_materialize_from_report() {
+        let report = classify_text("1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n");
+        let config = ClassifierConfig::default();
+        let log_star = report.log_star_certificate(&config).unwrap().unwrap();
+        log_star.verify(&report.problem).unwrap();
+        let constant = report.constant_certificate(&config).unwrap().unwrap();
+        constant.verify(&report.problem).unwrap();
+    }
+
+    #[test]
+    fn display_of_complexities() {
+        assert_eq!(Complexity::Constant.to_string(), "O(1)");
+        assert_eq!(Complexity::LogStar.to_string(), "Θ(log* n)");
+        assert_eq!(Complexity::Log.to_string(), "Θ(log n)");
+        assert_eq!(
+            Complexity::Polynomial {
+                lower_bound_exponent: 2
+            }
+            .to_string(),
+            "n^Θ(1) (Ω(n^(1/2)), O(n))"
+        );
+        assert_eq!(Complexity::Unsolvable.to_string(), "unsolvable");
+        assert_eq!(Complexity::Constant.short_name(), "O(1)");
+        assert_eq!(Complexity::Log.short_name(), "log");
+    }
+
+    #[test]
+    fn delta_one_path_problems() {
+        // On directed paths (δ = 1): 3-coloring is Θ(log* n), 2-coloring is global.
+        let three = classify_text("1:2\n1:3\n2:1\n2:3\n3:1\n3:2\n");
+        assert_eq!(three.complexity, Complexity::LogStar);
+        let two = classify_text("1:2\n2:1\n");
+        assert_eq!(
+            two.complexity,
+            Complexity::Polynomial {
+                lower_bound_exponent: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Allowed configurations (Definition 4.1).
+//!
+//! A configuration `x : y₁ y₂ … y_δ` states that an internal node labeled `x` may
+//! have children labeled `y₁, …, y_δ` *in some order*. Configurations are therefore
+//! stored in a canonical form with the child labels sorted, so two configurations
+//! that differ only in child order compare equal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::label::{Alphabet, Label};
+
+/// A single allowed configuration: the parent label together with the multiset of
+/// child labels (stored sorted).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Configuration {
+    parent: Label,
+    children: Vec<Label>,
+}
+
+impl Configuration {
+    /// Creates a configuration, sorting the children into canonical order.
+    pub fn new(parent: Label, mut children: Vec<Label>) -> Self {
+        children.sort_unstable();
+        Configuration { parent, children }
+    }
+
+    /// The parent label (`x` in `x : y₁ … y_δ`).
+    #[inline]
+    pub fn parent(&self) -> Label {
+        self.parent
+    }
+
+    /// The child labels in canonical (sorted) order.
+    #[inline]
+    pub fn children(&self) -> &[Label] {
+        &self.children
+    }
+
+    /// The number of children, i.e. the δ this configuration is meant for.
+    #[inline]
+    pub fn delta(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Iterates over all labels used by the configuration (parent first).
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        std::iter::once(self.parent).chain(self.children.iter().copied())
+    }
+
+    /// Returns `true` if every label of the configuration is contained in `set`.
+    pub fn uses_only<F>(&self, mut set: F) -> bool
+    where
+        F: FnMut(Label) -> bool,
+    {
+        self.labels().all(|l| set(l))
+    }
+
+    /// Returns `true` if the parent label also occurs among the children — the
+    /// shape `(a : b₁, …, a, …, b_δ)` required of the *special configuration* in a
+    /// certificate for O(1) solvability (Definition 7.1).
+    pub fn parent_repeats_in_children(&self) -> bool {
+        self.children.contains(&self.parent)
+    }
+
+    /// Returns `true` if this configuration matches the unordered multiset
+    /// `{observed_children}`. Both sides are compared as multisets.
+    pub fn matches_children(&self, observed: &[Label]) -> bool {
+        if observed.len() != self.children.len() {
+            return false;
+        }
+        let mut sorted = observed.to_vec();
+        sorted.sort_unstable();
+        sorted == self.children
+    }
+
+    /// Formats the configuration with label names, e.g. `a : b b 1`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let children: Vec<&str> = self.children.iter().map(|&c| alphabet.name(c)).collect();
+        format!("{} : {}", alphabet.name(self.parent), children.join(" "))
+    }
+}
+
+/// Checks whether the multiset of `children` of a configuration can be assigned to
+/// the `slots` (one child per slot) such that every child label is a member of the
+/// set placed in its slot. This is the matching step of Algorithm 3: a configuration
+/// `(σ : c₁, …, c_δ)` is compatible with a δ-tuple of root-label sets
+/// `(r₁, …, r_δ)` iff such an assignment exists.
+pub fn children_match_slots(children: &[Label], slots: &[&std::collections::BTreeSet<Label>]) -> bool {
+    debug_assert_eq!(children.len(), slots.len());
+    let n = children.len();
+    let mut used = vec![false; n];
+    fn backtrack(
+        children: &[Label],
+        slots: &[&std::collections::BTreeSet<Label>],
+        used: &mut [bool],
+        child_idx: usize,
+    ) -> bool {
+        if child_idx == children.len() {
+            return true;
+        }
+        for slot in 0..slots.len() {
+            if used[slot] || !slots[slot].contains(&children[child_idx]) {
+                continue;
+            }
+            used[slot] = true;
+            if backtrack(children, slots, used, child_idx + 1) {
+                used[slot] = false;
+                return true;
+            }
+            used[slot] = false;
+        }
+        false
+    }
+    backtrack(children, slots, &mut used, 0)
+}
+
+/// Finds one concrete assignment of `children` to `slots` (see
+/// [`children_match_slots`]); returns for each slot the child label assigned to it.
+pub fn assign_children_to_slots(
+    children: &[Label],
+    slots: &[&std::collections::BTreeSet<Label>],
+) -> Option<Vec<Label>> {
+    debug_assert_eq!(children.len(), slots.len());
+    let n = children.len();
+    let mut assignment: Vec<Option<Label>> = vec![None; n];
+    fn backtrack(
+        children: &[Label],
+        slots: &[&std::collections::BTreeSet<Label>],
+        assignment: &mut [Option<Label>],
+        child_idx: usize,
+    ) -> bool {
+        if child_idx == children.len() {
+            return true;
+        }
+        for slot in 0..slots.len() {
+            if assignment[slot].is_some() || !slots[slot].contains(&children[child_idx]) {
+                continue;
+            }
+            assignment[slot] = Some(children[child_idx]);
+            if backtrack(children, slots, assignment, child_idx + 1) {
+                return true;
+            }
+            assignment[slot] = None;
+        }
+        false
+    }
+    if backtrack(children, slots, &mut assignment, 0) {
+        Some(assignment.into_iter().map(|a| a.unwrap()).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn set(labels: &[u16]) -> BTreeSet<Label> {
+        labels.iter().map(|&l| Label(l)).collect()
+    }
+
+    #[test]
+    fn children_are_canonicalized() {
+        let a = Configuration::new(Label(0), vec![Label(2), Label(1)]);
+        let b = Configuration::new(Label(0), vec![Label(1), Label(2)]);
+        assert_eq!(a, b);
+        assert_eq!(a.children(), &[Label(1), Label(2)]);
+        assert_eq!(a.delta(), 2);
+    }
+
+    #[test]
+    fn parent_repeats_detection() {
+        let with = Configuration::new(Label(1), vec![Label(1), Label(2)]);
+        let without = Configuration::new(Label(1), vec![Label(0), Label(2)]);
+        assert!(with.parent_repeats_in_children());
+        assert!(!without.parent_repeats_in_children());
+    }
+
+    #[test]
+    fn matches_children_is_order_insensitive() {
+        let c = Configuration::new(Label(0), vec![Label(1), Label(2)]);
+        assert!(c.matches_children(&[Label(2), Label(1)]));
+        assert!(c.matches_children(&[Label(1), Label(2)]));
+        assert!(!c.matches_children(&[Label(1), Label(1)]));
+        assert!(!c.matches_children(&[Label(1)]));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let alpha = Alphabet::new(["1", "a", "b"]);
+        let c = Configuration::new(Label(1), vec![Label(2), Label(0)]);
+        assert_eq!(c.display(&alpha), "a : 1 b");
+    }
+
+    #[test]
+    fn matching_simple_cases() {
+        let r1 = set(&[1, 2]);
+        let r2 = set(&[3]);
+        let slots = vec![&r1, &r2];
+        assert!(children_match_slots(&[Label(1), Label(3)], &slots));
+        assert!(children_match_slots(&[Label(3), Label(2)], &slots));
+        assert!(!children_match_slots(&[Label(1), Label(2)], &slots));
+        assert!(!children_match_slots(&[Label(3), Label(3)], &slots));
+    }
+
+    #[test]
+    fn matching_with_duplicates() {
+        let r1 = set(&[5]);
+        let r2 = set(&[5, 6]);
+        let slots = vec![&r1, &r2];
+        assert!(children_match_slots(&[Label(5), Label(5)], &slots));
+        assert!(children_match_slots(&[Label(5), Label(6)], &slots));
+        assert!(!children_match_slots(&[Label(6), Label(6)], &slots));
+    }
+
+    #[test]
+    fn assignment_returns_per_slot_labels() {
+        let r1 = set(&[1]);
+        let r2 = set(&[2]);
+        let slots = vec![&r1, &r2];
+        let assignment = assign_children_to_slots(&[Label(2), Label(1)], &slots).unwrap();
+        assert_eq!(assignment, vec![Label(1), Label(2)]);
+        assert!(assign_children_to_slots(&[Label(1), Label(1)], &slots).is_none());
+    }
+
+    #[test]
+    fn matching_three_slots() {
+        let r1 = set(&[1, 2]);
+        let r2 = set(&[2]);
+        let r3 = set(&[1, 3]);
+        let slots = vec![&r1, &r2, &r3];
+        assert!(children_match_slots(&[Label(1), Label(2), Label(3)], &slots));
+        assert!(children_match_slots(&[Label(2), Label(2), Label(1)], &slots));
+        assert!(!children_match_slots(&[Label(1), Label(1), Label(3)], &slots));
+    }
+}

@@ -1,0 +1,195 @@
+//! Output labels and alphabets.
+//!
+//! A [`Label`] is a small index into an [`Alphabet`], which maps indices back to the
+//! human-readable names used in problem descriptions (`1`, `a`, `x2`, …). Problems,
+//! certificates, and reports all share the same `Arc<Alphabet>`, so restricting a
+//! problem to a label subset (Definition 4.3) never re-indexes labels and every
+//! intermediate object can be printed with the original names.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// An output label of an LCL problem: an index into an [`Alphabet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// Returns the label as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The set of label names of a problem. Immutable once built; shared via `Arc`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alphabet {
+    names: Vec<String>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet from a list of distinct names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if names repeat or if there are more than `u16::MAX` of them.
+    pub fn new<I, S>(names: I) -> Arc<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(
+            names.len() <= u16::MAX as usize,
+            "too many labels for a u16 index"
+        );
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate label name {n:?} in alphabet"
+            );
+        }
+        Arc::new(Alphabet { names })
+    }
+
+    /// Number of names in the alphabet.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if the alphabet has no names.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Returns the name of a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not belong to this alphabet.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Looks a label up by name.
+    pub fn label(&self, name: &str) -> Option<Label> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Label(i as u16))
+    }
+
+    /// Iterates over all labels of the alphabet in index order.
+    pub fn labels(&self) -> impl ExactSizeIterator<Item = Label> + '_ {
+        (0..self.names.len() as u16).map(Label)
+    }
+
+    /// Iterates over all `(label, name)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u16), n.as_str()))
+    }
+
+    /// Formats a set of labels as `{name, name, …}` using this alphabet.
+    pub fn format_set<'a, I>(&self, labels: I) -> String
+    where
+        I: IntoIterator<Item = &'a Label>,
+    {
+        let names: Vec<&str> = labels.into_iter().map(|&l| self.name(l)).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+}
+
+/// A growable alphabet used while parsing or programmatically building problems.
+#[derive(Debug, Default, Clone)]
+pub struct AlphabetBuilder {
+    names: Vec<String>,
+}
+
+impl AlphabetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the label for `name`, interning it if it has not been seen yet.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            Label(i as u16)
+        } else {
+            assert!(
+                self.names.len() < u16::MAX as usize,
+                "too many labels for a u16 index"
+            );
+            self.names.push(name.to_string());
+            Label((self.names.len() - 1) as u16)
+        }
+    }
+
+    /// Number of interned names so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Finishes the builder into a shared [`Alphabet`].
+    pub fn finish(self) -> Arc<Alphabet> {
+        Arc::new(Alphabet { names: self.names })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_lookup_roundtrip() {
+        let alpha = Alphabet::new(["1", "a", "b"]);
+        assert_eq!(alpha.len(), 3);
+        assert_eq!(alpha.name(Label(0)), "1");
+        assert_eq!(alpha.label("b"), Some(Label(2)));
+        assert_eq!(alpha.label("missing"), None);
+        let labels: Vec<Label> = alpha.labels().collect();
+        assert_eq!(labels, vec![Label(0), Label(1), Label(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label name")]
+    fn alphabet_rejects_duplicates() {
+        let _ = Alphabet::new(["x", "x"]);
+    }
+
+    #[test]
+    fn builder_interns_once() {
+        let mut b = AlphabetBuilder::new();
+        let a = b.intern("a");
+        let a2 = b.intern("a");
+        let c = b.intern("c");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        let alpha = b.finish();
+        assert_eq!(alpha.len(), 2);
+        assert_eq!(alpha.name(c), "c");
+    }
+
+    #[test]
+    fn format_set_uses_names() {
+        let alpha = Alphabet::new(["1", "2"]);
+        let set = vec![Label(0), Label(1)];
+        assert_eq!(alpha.format_set(set.iter()), "{1, 2}");
+    }
+}

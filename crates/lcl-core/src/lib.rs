@@ -1,0 +1,69 @@
+//! LCL problems on rooted regular trees and the PODC 2021 complexity classifier.
+//!
+//! This crate implements the primary contribution of *Locally Checkable Problems in
+//! Rooted Trees* (Balliu, Brandt, Chang, Olivetti, Studený, Suomela, Tereshchenko;
+//! PODC 2021):
+//!
+//! * the problem formalism Π = (δ, Σ, C) of Definition 4.1 ([`problem`], [`label`],
+//!   [`configuration`], [`parser`]),
+//! * the path-form and its automaton with flexibility analysis (Definitions 4.6–4.9,
+//!   [`automaton`]),
+//! * solution labelings and their verification (Definition 4.2, [`labeling`]),
+//! * the certificate machinery and decision procedures:
+//!   - Algorithms 1–2 and the certificate for O(log n) solvability (Section 5,
+//!     [`log_certificate`]),
+//!   - Algorithm 3, certificate builders, and uniform certificates for O(log* n)
+//!     solvability (Section 6, [`builder`], [`certificate`], [`log_star`]),
+//!   - Algorithm 5 and certificates for O(1) solvability (Section 7, [`constant`]),
+//! * the top-level classifier returning one of the four complexity classes
+//!   ([`classifier`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use lcl_core::{classify, Complexity, LclProblem};
+//!
+//! // 3-coloring of rooted binary trees, Section 1.2 of the paper.
+//! let problem: LclProblem = "\
+//!     1 : 2 2\n1 : 2 3\n1 : 3 3\n\
+//!     2 : 1 1\n2 : 1 3\n2 : 3 3\n\
+//!     3 : 1 1\n3 : 1 2\n3 : 2 2\n"
+//!     .parse()
+//!     .unwrap();
+//! let report = classify(&problem);
+//! assert_eq!(report.complexity, Complexity::LogStar);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod builder;
+pub mod certificate;
+pub mod classifier;
+pub mod configuration;
+pub mod constant;
+pub mod greedy;
+pub mod label;
+pub mod labeling;
+pub mod log_certificate;
+pub mod log_star;
+pub mod parser;
+pub mod problem;
+pub mod solvability;
+
+pub use automaton::Automaton;
+pub use builder::{find_unrestricted_certificate, CertificateBuilder};
+pub use certificate::{CertificateTree, ConstantCertificate, LogStarCertificate};
+pub use classifier::{
+    classify, classify_with_config, ClassificationReport, ClassifierConfig, Complexity,
+};
+pub use configuration::Configuration;
+pub use constant::find_constant_certificate;
+pub use label::{Alphabet, Label};
+pub use labeling::{Labeling, SolutionError};
+pub use log_certificate::{find_log_certificate, LogCertificate, LogCertificateAnalysis};
+pub use log_star::find_log_star_certificate;
+pub use parser::ParseError;
+pub use problem::LclProblem;
+pub use solvability::solvable_labels;

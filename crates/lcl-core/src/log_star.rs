@@ -1,0 +1,197 @@
+//! Algorithm 4 (`findCertificate`): deciding O(log* n) vs Ω(log n).
+//!
+//! The algorithm searches over subsets Σ' ⊆ Σ(Π): for each candidate it restricts
+//! the problem to Σ' and runs Algorithm 3. Theorem 6.8 shows a builder is found for
+//! some subset iff a uniform certificate (Definition 6.1) exists, which by
+//! Theorem 6.3 / Lemma 6.7 happens iff the problem is solvable in O(log* n) rounds.
+//! The search prunes subsets in which some label has no continuation below
+//! (such a label could never be the root of a certificate tree), which keeps the
+//! exponential search fast on all problems of practical interest.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::{
+    build_log_star_certificate, find_unrestricted_certificate, CertificateBuildError,
+    CertificateBuilder,
+};
+use crate::certificate::LogStarCertificate;
+use crate::label::Label;
+use crate::problem::LclProblem;
+use crate::solvability::solvable_labels;
+
+/// The outcome of a successful Algorithm 4 search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogStarSearchResult {
+    /// The certificate labels Σ_T (the subset Σ' that succeeded).
+    pub certificate_labels: BTreeSet<Label>,
+    /// The restriction of the problem to Σ_T.
+    pub restricted: LclProblem,
+    /// The certificate builder found by Algorithm 3.
+    pub builder: CertificateBuilder,
+}
+
+impl LogStarSearchResult {
+    /// Materializes the explicit uniform certificate (Lemma 6.9), bounding each
+    /// certificate tree by `max_nodes` nodes.
+    pub fn materialize(
+        &self,
+        max_nodes: usize,
+    ) -> Result<LogStarCertificate, CertificateBuildError> {
+        build_log_star_certificate(&self.restricted, &self.builder, max_nodes)
+    }
+}
+
+/// Enumerates the subsets of `labels` (as sorted vectors), smallest first, skipping
+/// the empty set.
+pub(crate) fn subsets_by_size(labels: &BTreeSet<Label>) -> Vec<BTreeSet<Label>> {
+    let items: Vec<Label> = labels.iter().copied().collect();
+    let n = items.len();
+    let mut subsets: Vec<BTreeSet<Label>> = Vec::new();
+    for mask in 1u64..(1u64 << n) {
+        let subset: BTreeSet<Label> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &l)| l)
+            .collect();
+        subsets.push(subset);
+    }
+    subsets.sort_by_key(|s| s.len());
+    subsets
+}
+
+/// Returns `true` if every label of `subset` has a continuation below within
+/// `subset` in `problem` — a necessary condition for `subset` to be the label set of
+/// a uniform certificate (every label is the root of a certificate tree of depth
+/// ≥ 1).
+pub(crate) fn is_self_sustaining(problem: &LclProblem, subset: &BTreeSet<Label>) -> bool {
+    subset
+        .iter()
+        .all(|&l| problem.has_continuation_within(l, subset))
+}
+
+/// Algorithm 4: searches for a uniform certificate of O(log* n) solvability.
+/// Returns `None` if none exists (the problem then requires Ω(log n) rounds by
+/// Lemma 6.7).
+pub fn find_log_star_certificate(problem: &LclProblem) -> Option<LogStarSearchResult> {
+    // Certificate labels all need continuations inside the certificate, so they lie
+    // inside the greatest self-sustaining set; only search subsets of it.
+    let sustaining = solvable_labels(problem);
+    if sustaining.is_empty() {
+        return None;
+    }
+    if problem.num_labels() > 63 {
+        // The subset enumeration uses a 64-bit mask; problems anywhere near this
+        // size are far outside the practical range of the exponential search.
+        panic!("Algorithm 4 supports at most 63 labels, got {}", problem.num_labels());
+    }
+    for subset in subsets_by_size(&sustaining) {
+        if !is_self_sustaining(problem, &subset) {
+            continue;
+        }
+        let restricted = problem.restrict_to(&subset);
+        if let Some(builder) = find_unrestricted_certificate(&restricted, None) {
+            return Some(LogStarSearchResult {
+                certificate_labels: subset,
+                restricted,
+                builder,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_coloring() -> LclProblem {
+        "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn three_coloring_has_log_star_certificate() {
+        let p = three_coloring();
+        let result = find_log_star_certificate(&p).expect("3-coloring is Θ(log* n)");
+        let cert = result.materialize(1_000_000).unwrap();
+        cert.verify(&p).unwrap();
+        // The certificate uses all three colors (no proper subset of ≥... size 1 or 2
+        // self-sustains into a certificate for a proper coloring).
+        assert_eq!(result.certificate_labels.len(), 3);
+    }
+
+    #[test]
+    fn mis_has_log_star_certificate() {
+        let p: LclProblem = "1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n"
+            .parse()
+            .unwrap();
+        let result = find_log_star_certificate(&p).expect("MIS is O(1) ⊆ O(log* n)");
+        let cert = result.materialize(1_000_000).unwrap();
+        cert.verify(&p).unwrap();
+    }
+
+    #[test]
+    fn branch_two_coloring_has_none() {
+        let p: LclProblem = "1 : 1 2\n2 : 1 1\n".parse().unwrap();
+        assert!(find_log_star_certificate(&p).is_none());
+    }
+
+    #[test]
+    fn two_coloring_has_none() {
+        let p: LclProblem = "1:22\n2:11\n".parse().unwrap();
+        assert!(find_log_star_certificate(&p).is_none());
+    }
+
+    #[test]
+    fn unsolvable_problem_has_none() {
+        let p: LclProblem = "a : b b\nb : c c\n".parse().unwrap();
+        assert!(find_log_star_certificate(&p).is_none());
+    }
+
+    #[test]
+    fn trivial_problem_uses_single_label() {
+        // With a universally allowed single label the smallest certificate uses just
+        // that label.
+        let p: LclProblem = "x : x x\nx : x y\ny : x x\n".parse().unwrap();
+        let result = find_log_star_certificate(&p).unwrap();
+        assert_eq!(result.certificate_labels.len(), 1);
+        let cert = result.materialize(1_000).unwrap();
+        cert.verify(&p).unwrap();
+        assert_eq!(cert.depth, 1);
+    }
+
+    #[test]
+    fn certificate_found_inside_larger_problem() {
+        // The union of 2-coloring on {1, 2} and an unconstrained label z: a
+        // certificate exists using only {z}, even though {1, 2} alone admits none.
+        let p: LclProblem = "1:22\n2:11\nz:zz\nz:12\n".parse().unwrap();
+        let result = find_log_star_certificate(&p).unwrap();
+        let z = p.label_by_name("z").unwrap();
+        assert_eq!(result.certificate_labels, [z].into_iter().collect());
+    }
+
+    #[test]
+    fn subsets_are_enumerated_smallest_first() {
+        let labels: BTreeSet<Label> = [Label(0), Label(1), Label(2)].into_iter().collect();
+        let subsets = subsets_by_size(&labels);
+        assert_eq!(subsets.len(), 7);
+        assert_eq!(subsets[0].len(), 1);
+        assert_eq!(subsets[6].len(), 3);
+    }
+
+    #[test]
+    fn self_sustaining_check() {
+        let p: LclProblem = "1 : 1 2\n2 : 1 1\n".parse().unwrap();
+        let one = p.label_by_name("1").unwrap();
+        let two = p.label_by_name("2").unwrap();
+        let both: BTreeSet<Label> = [one, two].into_iter().collect();
+        let just_one: BTreeSet<Label> = [one].into_iter().collect();
+        assert!(is_self_sustaining(&p, &both));
+        // 1 alone has no continuation using only 1 (its configurations need 2).
+        assert!(!is_self_sustaining(&p, &just_one));
+    }
+}

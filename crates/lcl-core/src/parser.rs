@@ -1,0 +1,264 @@
+//! Text format for LCL problems.
+//!
+//! The format mirrors the notation of the paper: one configuration per line, the
+//! parent label, a colon, then the δ child labels. Child labels may be separated by
+//! whitespace (`1 : 2 3`, multi-character label names allowed) or written compactly
+//! when all labels are single characters (`1:23`). Blank lines and `#` comments are
+//! ignored. A final `labels: x y z` line may declare labels that appear in no
+//! configuration (so Σ round-trips exactly).
+//!
+//! ```
+//! use lcl_core::LclProblem;
+//!
+//! // The maximal independent set problem of Section 1.3:
+//! let mis: LclProblem = "
+//!     1 : a a
+//!     1 : a b
+//!     1 : b b
+//!     a : b b
+//!     b : b 1
+//!     b : 1 1
+//! ".parse().unwrap();
+//! assert_eq!(mis.delta(), 2);
+//! assert_eq!(mis.num_configurations(), 6);
+//! ```
+
+use std::fmt;
+
+use crate::configuration::Configuration;
+use crate::label::AlphabetBuilder;
+use crate::problem::LclProblem;
+
+/// Errors produced while parsing a problem description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The description contains no configurations and no `labels:` line.
+    Empty,
+    /// A line has no `:` separator.
+    MissingColon {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A line has an empty parent or child part.
+    MissingLabels {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Two configuration lines declare a different number of children.
+    InconsistentDelta {
+        /// 1-based line number of the offending configuration.
+        line: usize,
+        /// Number of children expected from earlier lines.
+        expected: usize,
+        /// Number of children found on this line.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "problem description contains no configurations"),
+            ParseError::MissingColon { line } => {
+                write!(f, "line {line}: expected `parent : children`, found no `:`")
+            }
+            ParseError::MissingLabels { line } => {
+                write!(f, "line {line}: missing parent or child labels")
+            }
+            ParseError::InconsistentDelta {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: configuration has {found} children but earlier lines have {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a problem from its textual description. See the module documentation for
+/// the accepted format.
+pub fn parse_problem(input: &str) -> Result<LclProblem, ParseError> {
+    let mut alphabet = AlphabetBuilder::new();
+    let mut labels = std::collections::BTreeSet::new();
+    let mut configurations = std::collections::BTreeSet::new();
+    let mut delta: Option<usize> = None;
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("labels:") {
+            for name in rest.split_whitespace() {
+                labels.insert(alphabet.intern(name));
+            }
+            continue;
+        }
+        let (parent_part, children_part) = match line.split_once(':') {
+            Some(parts) => parts,
+            None => return Err(ParseError::MissingColon { line: line_no }),
+        };
+        let parent_name = parent_part.trim();
+        let children_part = children_part.trim();
+        if parent_name.is_empty() || children_part.is_empty() {
+            return Err(ParseError::MissingLabels { line: line_no });
+        }
+        let child_names: Vec<String> = if children_part.contains(char::is_whitespace) {
+            children_part
+                .split_whitespace()
+                .map(|s| s.to_string())
+                .collect()
+        } else if children_part.chars().count() > 1 {
+            // Compact single-character form, e.g. `1:23`.
+            children_part.chars().map(|c| c.to_string()).collect()
+        } else {
+            vec![children_part.to_string()]
+        };
+        match delta {
+            None => delta = Some(child_names.len()),
+            Some(d) if d != child_names.len() => {
+                return Err(ParseError::InconsistentDelta {
+                    line: line_no,
+                    expected: d,
+                    found: child_names.len(),
+                })
+            }
+            _ => {}
+        }
+        let parent = alphabet.intern(parent_name);
+        labels.insert(parent);
+        let children: Vec<_> = child_names
+            .iter()
+            .map(|n| {
+                let l = alphabet.intern(n);
+                labels.insert(l);
+                l
+            })
+            .collect();
+        configurations.insert(Configuration::new(parent, children));
+    }
+
+    let delta = match delta {
+        Some(d) => d,
+        None if !labels.is_empty() => 1,
+        None => return Err(ParseError::Empty),
+    };
+    Ok(LclProblem::new(
+        delta,
+        alphabet.finish(),
+        labels,
+        configurations,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_spaced_form() {
+        let p = parse_problem("1 : 2 2\n2 : 1 1\n").unwrap();
+        assert_eq!(p.delta(), 2);
+        assert_eq!(p.num_labels(), 2);
+        assert_eq!(p.num_configurations(), 2);
+    }
+
+    #[test]
+    fn parses_compact_form() {
+        // The 2-coloring problem (2) written as in the paper.
+        let p = parse_problem("1:22\n2:11").unwrap();
+        assert_eq!(p.delta(), 2);
+        assert_eq!(p.num_configurations(), 2);
+        let one = p.label_by_name("1").unwrap();
+        let two = p.label_by_name("2").unwrap();
+        assert!(p.allows_parts(one, &[two, two]));
+        assert!(p.allows_parts(two, &[one, one]));
+    }
+
+    #[test]
+    fn parses_multichar_labels() {
+        let p = parse_problem("a1 : b2 b2\nb2 : a1 a1").unwrap();
+        assert_eq!(p.num_labels(), 2);
+        assert!(p.label_by_name("a1").is_some());
+        assert!(p.label_by_name("b2").is_some());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let p = parse_problem("# a comment\n\n1 : 1 1  # trailing comment\n").unwrap();
+        assert_eq!(p.num_configurations(), 1);
+        assert_eq!(p.num_labels(), 1);
+    }
+
+    #[test]
+    fn delta_one_configurations() {
+        let p = parse_problem("a : b\nb : a\n").unwrap();
+        assert_eq!(p.delta(), 1);
+        assert_eq!(p.num_configurations(), 2);
+    }
+
+    #[test]
+    fn duplicate_configurations_collapse() {
+        let p = parse_problem("1 : 2 3\n1 : 3 2\n").unwrap();
+        assert_eq!(p.num_configurations(), 1);
+    }
+
+    #[test]
+    fn labels_line_declares_unused_labels() {
+        let p = parse_problem("1 : 1 1\nlabels: x y\n").unwrap();
+        assert_eq!(p.num_labels(), 3);
+        assert!(p.label_by_name("x").is_some());
+    }
+
+    #[test]
+    fn error_missing_colon() {
+        let err = parse_problem("1 2 3").unwrap_err();
+        assert_eq!(err, ParseError::MissingColon { line: 1 });
+    }
+
+    #[test]
+    fn error_inconsistent_delta() {
+        let err = parse_problem("1 : 2 2\n1 : 2\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::InconsistentDelta {
+                line: 2,
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn error_empty_input() {
+        assert_eq!(parse_problem("  \n# nothing\n").unwrap_err(), ParseError::Empty);
+        assert!(parse_problem("").is_err());
+    }
+
+    #[test]
+    fn error_missing_labels() {
+        assert_eq!(
+            parse_problem(" : 1 1").unwrap_err(),
+            ParseError::MissingLabels { line: 1 }
+        );
+        assert_eq!(
+            parse_problem("1 :   ").unwrap_err(),
+            ParseError::MissingLabels { line: 1 }
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse_problem("oops").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

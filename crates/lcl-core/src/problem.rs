@@ -1,0 +1,468 @@
+//! LCL problems Π = (δ, Σ, C) on rooted regular trees (Definition 4.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::configuration::Configuration;
+use crate::label::{Alphabet, AlphabetBuilder, Label};
+
+/// An LCL problem in the rooted-regular-tree formalism of the paper: the number of
+/// children `δ`, a finite set of labels `Σ`, and a set of allowed configurations `C`.
+///
+/// Problems are immutable after construction. The *active* label set `Σ` may be a
+/// subset of the shared [`Alphabet`]: restrictions (Definition 4.3) keep the same
+/// alphabet so label identities and names are stable across the whole analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LclProblem {
+    delta: usize,
+    alphabet: Arc<Alphabet>,
+    labels: BTreeSet<Label>,
+    configurations: BTreeSet<Configuration>,
+}
+
+impl LclProblem {
+    /// Creates a problem from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configuration uses a label outside `labels`, has the wrong number
+    /// of children, or if a label index is outside the alphabet.
+    pub fn new(
+        delta: usize,
+        alphabet: Arc<Alphabet>,
+        labels: BTreeSet<Label>,
+        configurations: BTreeSet<Configuration>,
+    ) -> Self {
+        assert!(delta >= 1, "delta must be at least 1");
+        for l in &labels {
+            assert!(
+                l.index() < alphabet.len(),
+                "label {l} outside the alphabet"
+            );
+        }
+        for c in &configurations {
+            assert_eq!(
+                c.delta(),
+                delta,
+                "configuration {} has {} children, expected {delta}",
+                c.display(&alphabet),
+                c.delta()
+            );
+            for l in c.labels() {
+                assert!(
+                    labels.contains(&l),
+                    "configuration {} uses label {} not in the active label set",
+                    c.display(&alphabet),
+                    alphabet.name(l)
+                );
+            }
+        }
+        LclProblem {
+            delta,
+            alphabet,
+            labels,
+            configurations,
+        }
+    }
+
+    /// Starts a [`ProblemBuilder`] for a problem with the given δ.
+    pub fn builder(delta: usize) -> ProblemBuilder {
+        ProblemBuilder::new(delta)
+    }
+
+    /// The number of children of internal nodes.
+    #[inline]
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The shared alphabet mapping labels to names.
+    #[inline]
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// The active label set Σ(Π).
+    #[inline]
+    pub fn labels(&self) -> &BTreeSet<Label> {
+        &self.labels
+    }
+
+    /// The allowed configurations C(Π).
+    #[inline]
+    pub fn configurations(&self) -> &BTreeSet<Configuration> {
+        &self.configurations
+    }
+
+    /// Number of active labels.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of allowed configurations.
+    pub fn num_configurations(&self) -> usize {
+        self.configurations.len()
+    }
+
+    /// A problem is *empty* when it has no allowed configurations or no labels;
+    /// the pruning loop of Algorithm 2 bottoms out on empty problems.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty() || self.configurations.is_empty()
+    }
+
+    /// Returns the name of a label, panicking if it is not in the alphabet.
+    pub fn label_name(&self, label: Label) -> &str {
+        self.alphabet.name(label)
+    }
+
+    /// Looks up an active label by name.
+    pub fn label_by_name(&self, name: &str) -> Option<Label> {
+        self.alphabet
+            .label(name)
+            .filter(|l| self.labels.contains(l))
+    }
+
+    /// The configurations whose parent is `label`.
+    pub fn configurations_with_parent(
+        &self,
+        label: Label,
+    ) -> impl Iterator<Item = &Configuration> + '_ {
+        self.configurations
+            .iter()
+            .filter(move |c| c.parent() == label)
+    }
+
+    /// Definition 4.4: `label` has a *continuation below* if some configuration has
+    /// it as the parent.
+    pub fn has_continuation_below(&self, label: Label) -> bool {
+        self.configurations_with_parent(label).next().is_some()
+    }
+
+    /// Definition 4.5: `label` has a continuation below *with labels in `allowed`*
+    /// if some configuration `(label : σ₁ … σ_δ)` uses only labels from `allowed`
+    /// (including `label` itself).
+    pub fn has_continuation_within(&self, label: Label, allowed: &BTreeSet<Label>) -> bool {
+        self.continuation_within(label, allowed).is_some()
+    }
+
+    /// Returns a configuration witnessing [`Self::has_continuation_within`], if any.
+    pub fn continuation_within(
+        &self,
+        label: Label,
+        allowed: &BTreeSet<Label>,
+    ) -> Option<&Configuration> {
+        if !allowed.contains(&label) {
+            return None;
+        }
+        self.configurations_with_parent(label)
+            .find(|c| c.uses_only(|l| allowed.contains(&l)))
+    }
+
+    /// Definition 4.3: the restriction of the problem to the labels in `subset`.
+    /// Only configurations entirely within `subset` survive.
+    pub fn restrict_to(&self, subset: &BTreeSet<Label>) -> LclProblem {
+        let labels: BTreeSet<Label> = self.labels.intersection(subset).copied().collect();
+        let configurations = self
+            .configurations
+            .iter()
+            .filter(|c| c.uses_only(|l| labels.contains(&l)))
+            .cloned()
+            .collect();
+        LclProblem {
+            delta: self.delta,
+            alphabet: Arc::clone(&self.alphabet),
+            labels,
+            configurations,
+        }
+    }
+
+    /// Definition 4.6: the path-form of the problem, i.e. the δ = 1 problem whose
+    /// configurations are all pairs `(a : b)` such that some configuration of the
+    /// original problem has parent `a` and `b` among its children.
+    pub fn path_form(&self) -> LclProblem {
+        let mut pairs = BTreeSet::new();
+        for c in &self.configurations {
+            for &child in c.children() {
+                pairs.insert(Configuration::new(c.parent(), vec![child]));
+            }
+        }
+        LclProblem {
+            delta: 1,
+            alphabet: Arc::clone(&self.alphabet),
+            labels: self.labels.clone(),
+            configurations: pairs,
+        }
+    }
+
+    /// Returns `true` if the configuration is allowed by the problem.
+    pub fn allows(&self, configuration: &Configuration) -> bool {
+        self.configurations.contains(configuration)
+    }
+
+    /// Returns `true` if a node labeled `parent` may have children carrying exactly
+    /// the multiset `children` (order irrelevant).
+    pub fn allows_parts(&self, parent: Label, children: &[Label]) -> bool {
+        self.allows(&Configuration::new(parent, children.to_vec()))
+    }
+
+    /// Checks that another problem is a *restriction* of this one: same δ, same
+    /// alphabet, labels and configurations are subsets.
+    pub fn is_restriction_of(&self, other: &LclProblem) -> bool {
+        self.delta == other.delta
+            && Arc::ptr_eq(&self.alphabet, &other.alphabet)
+            && self.labels.is_subset(&other.labels)
+            && self.configurations.is_subset(&other.configurations)
+    }
+
+    /// Canonical multi-line text form (one configuration per line), parseable back
+    /// by [`crate::parser`]. Labels that appear in no configuration are listed on a
+    /// trailing `labels:` line so the round trip preserves Σ exactly.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.configurations {
+            out.push_str(&c.display(&self.alphabet));
+            out.push('\n');
+        }
+        let unused: Vec<&str> = self
+            .labels
+            .iter()
+            .filter(|l| self.configurations.iter().all(|c| c.labels().all(|x| x != **l)))
+            .map(|&l| self.alphabet.name(l))
+            .collect();
+        if !unused.is_empty() {
+            out.push_str(&format!("labels: {}\n", unused.join(" ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for LclProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Π(δ={}, |Σ|={}, |C|={})",
+            self.delta,
+            self.labels.len(),
+            self.configurations.len()
+        )
+    }
+}
+
+impl std::str::FromStr for LclProblem {
+    type Err = crate::parser::ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parser::parse_problem(s)
+    }
+}
+
+/// Incremental construction of an [`LclProblem`] with automatic label interning.
+#[derive(Debug, Clone)]
+pub struct ProblemBuilder {
+    delta: usize,
+    alphabet: AlphabetBuilder,
+    labels: BTreeSet<Label>,
+    configurations: Vec<(Label, Vec<Label>)>,
+}
+
+impl ProblemBuilder {
+    /// Creates a builder for problems with the given δ.
+    pub fn new(delta: usize) -> Self {
+        assert!(delta >= 1, "delta must be at least 1");
+        ProblemBuilder {
+            delta,
+            alphabet: AlphabetBuilder::new(),
+            labels: BTreeSet::new(),
+            configurations: Vec::new(),
+        }
+    }
+
+    /// Declares a label (with no configuration); returns its index.
+    pub fn label(&mut self, name: &str) -> Label {
+        let l = self.alphabet.intern(name);
+        self.labels.insert(l);
+        l
+    }
+
+    /// Adds an allowed configuration given by label names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of children differs from δ.
+    pub fn configuration(&mut self, parent: &str, children: &[&str]) -> &mut Self {
+        assert_eq!(
+            children.len(),
+            self.delta,
+            "configuration {parent} : {children:?} must have exactly {} children",
+            self.delta
+        );
+        let p = self.label(parent);
+        let cs: Vec<Label> = children.iter().map(|c| self.label(c)).collect();
+        self.configurations.push((p, cs));
+        self
+    }
+
+    /// Adds several configurations at once; each entry is `(parent, children)`.
+    pub fn configurations(&mut self, entries: &[(&str, &[&str])]) -> &mut Self {
+        for (p, cs) in entries {
+            self.configuration(p, cs);
+        }
+        self
+    }
+
+    /// Finishes the builder into an immutable problem.
+    pub fn build(self) -> LclProblem {
+        let alphabet = self.alphabet.finish();
+        let configurations = self
+            .configurations
+            .into_iter()
+            .map(|(p, cs)| Configuration::new(p, cs))
+            .collect();
+        LclProblem::new(self.delta, alphabet, self.labels, configurations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 3-coloring problem of Section 1.2.
+    pub(crate) fn three_coloring() -> LclProblem {
+        let mut b = LclProblem::builder(2);
+        b.configurations(&[
+            ("1", &["2", "2"]),
+            ("1", &["2", "3"]),
+            ("1", &["3", "3"]),
+            ("2", &["1", "1"]),
+            ("2", &["1", "3"]),
+            ("2", &["3", "3"]),
+            ("3", &["1", "1"]),
+            ("3", &["1", "2"]),
+            ("3", &["2", "2"]),
+        ]);
+        b.build()
+    }
+
+    /// The MIS problem of Section 1.3.
+    pub(crate) fn mis() -> LclProblem {
+        let mut b = LclProblem::builder(2);
+        b.configurations(&[
+            ("1", &["a", "a"]),
+            ("1", &["a", "b"]),
+            ("1", &["b", "b"]),
+            ("a", &["b", "b"]),
+            ("b", &["b", "1"]),
+            ("b", &["1", "1"]),
+        ]);
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_expected_counts() {
+        let p = three_coloring();
+        assert_eq!(p.delta(), 2);
+        assert_eq!(p.num_labels(), 3);
+        assert_eq!(p.num_configurations(), 9);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn continuation_below() {
+        let p = mis();
+        let one = p.label_by_name("1").unwrap();
+        let a = p.label_by_name("a").unwrap();
+        let b = p.label_by_name("b").unwrap();
+        assert!(p.has_continuation_below(one));
+        assert!(p.has_continuation_below(a));
+        assert!(p.has_continuation_below(b));
+        // Within {1, b} the label a has no continuation; 1 and b do.
+        let sub: BTreeSet<Label> = [one, b].into_iter().collect();
+        assert!(p.has_continuation_within(one, &sub));
+        assert!(p.has_continuation_within(b, &sub));
+        assert!(!p.has_continuation_within(a, &sub));
+    }
+
+    #[test]
+    fn restriction_drops_configurations() {
+        let p = three_coloring();
+        let one = p.label_by_name("1").unwrap();
+        let two = p.label_by_name("2").unwrap();
+        let sub: BTreeSet<Label> = [one, two].into_iter().collect();
+        let r = p.restrict_to(&sub);
+        assert_eq!(r.num_labels(), 2);
+        // Only 1:22 and 2:11 survive.
+        assert_eq!(r.num_configurations(), 2);
+        assert!(r.is_restriction_of(&p));
+        assert!(!p.is_restriction_of(&r));
+    }
+
+    #[test]
+    fn path_form_of_three_coloring() {
+        let p = three_coloring();
+        let pf = p.path_form();
+        assert_eq!(pf.delta(), 1);
+        // All ordered pairs of distinct colors: 6 of them.
+        assert_eq!(pf.num_configurations(), 6);
+    }
+
+    #[test]
+    fn path_form_of_mis_matches_paper() {
+        // Path form of (3): 1:a, 1:b, a:b, b:b, b:1.
+        let p = mis();
+        let pf = p.path_form();
+        assert_eq!(pf.num_configurations(), 5);
+        let one = p.label_by_name("1").unwrap();
+        let a = p.label_by_name("a").unwrap();
+        let b = p.label_by_name("b").unwrap();
+        assert!(pf.allows_parts(one, &[a]));
+        assert!(pf.allows_parts(one, &[b]));
+        assert!(pf.allows_parts(a, &[b]));
+        assert!(pf.allows_parts(b, &[b]));
+        assert!(pf.allows_parts(b, &[one]));
+        assert!(!pf.allows_parts(a, &[one]));
+    }
+
+    #[test]
+    fn allows_is_order_insensitive() {
+        let p = mis();
+        let one = p.label_by_name("1").unwrap();
+        let a = p.label_by_name("a").unwrap();
+        let b = p.label_by_name("b").unwrap();
+        assert!(p.allows_parts(one, &[b, a]));
+        assert!(p.allows_parts(one, &[a, b]));
+        assert!(!p.allows_parts(a, &[b, one]));
+    }
+
+    #[test]
+    fn to_text_roundtrip() {
+        let p = mis();
+        let text = p.to_text();
+        let reparsed: LclProblem = text.parse().unwrap();
+        assert_eq!(reparsed.delta(), p.delta());
+        assert_eq!(reparsed.num_labels(), p.num_labels());
+        assert_eq!(reparsed.num_configurations(), p.num_configurations());
+    }
+
+    #[test]
+    fn declared_but_unused_labels_are_kept() {
+        let mut b = LclProblem::builder(2);
+        b.configuration("x", &["x", "x"]);
+        b.label("orphan");
+        let p = b.build();
+        assert_eq!(p.num_labels(), 2);
+        let text = p.to_text();
+        assert!(text.contains("labels: orphan"));
+        let reparsed: LclProblem = text.parse().unwrap();
+        assert_eq!(reparsed.num_labels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have exactly 2 children")]
+    fn builder_rejects_wrong_arity() {
+        let mut b = LclProblem::builder(2);
+        b.configuration("x", &["x"]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Vertex-coloring problems (Sections 1.2 and 1.4 of the paper).
+
+use lcl_core::LclProblem;
+
+/// Proper `colors`-coloring of rooted trees with δ children per internal node: the
+/// label of every internal node must differ from the labels of all of its children.
+///
+/// For `colors = 3`, `delta = 2` this is exactly the problem (1) of Section 1.2
+/// (complexity Θ(log* n)); for `colors = 2` it is the global problem (2)
+/// (complexity Θ(n)).
+///
+/// # Panics
+///
+/// Panics if `colors == 0`.
+pub fn coloring(delta: usize, colors: usize) -> LclProblem {
+    assert!(colors >= 1, "at least one color is required");
+    let names: Vec<String> = (1..=colors).map(|c| c.to_string()).collect();
+    let mut builder = LclProblem::builder(delta);
+    // Ensure all colors exist as labels even when no configuration uses them
+    // (e.g. 1-coloring has no allowed configuration at all).
+    for name in &names {
+        builder.label(name);
+    }
+    let mut children = vec![0usize; delta];
+    for parent in 0..colors {
+        // Enumerate all non-decreasing child color tuples avoiding the parent color.
+        loop {
+            if children.iter().all(|&c| c != parent)
+                && children.windows(2).all(|w| w[0] <= w[1])
+            {
+                let child_names: Vec<&str> = children.iter().map(|&c| names[c].as_str()).collect();
+                builder.configuration(&names[parent], &child_names);
+            }
+            // Odometer over child tuples.
+            let mut pos = 0;
+            loop {
+                if pos == delta {
+                    children = vec![0; delta];
+                    break;
+                }
+                children[pos] += 1;
+                if children[pos] < colors {
+                    break;
+                }
+                children[pos] = 0;
+                pos += 1;
+            }
+            if pos == delta {
+                break;
+            }
+        }
+    }
+    builder.build()
+}
+
+/// The 3-coloring problem of Section 1.2 (configurations (1)): Θ(log* n).
+pub fn three_coloring_binary() -> LclProblem {
+    coloring(2, 3)
+}
+
+/// The 2-coloring problem of Section 1.2 (configurations (2)): Θ(n).
+pub fn two_coloring_binary() -> LclProblem {
+    coloring(2, 2)
+}
+
+/// The *branch 2-coloring* problem of Section 1.4 (configurations (5)): below a node
+/// labeled 1 there is always both an all-1 path and a properly 2-colored path.
+/// Complexity Θ(log n).
+pub fn branch_two_coloring() -> LclProblem {
+    let mut b = LclProblem::builder(2);
+    b.configuration("1", &["1", "2"]);
+    b.configuration("2", &["1", "1"]);
+    b.build()
+}
+
+/// The problem Π₀ of Figure 2: the disjoint union of branch 2-coloring (labels 1, 2)
+/// and proper 2-coloring (labels a, b). Complexity Θ(log n); the first pruning
+/// iteration of Algorithm 2 removes {a, b}.
+pub fn figure_2_combination() -> LclProblem {
+    let mut b = LclProblem::builder(2);
+    b.configuration("a", &["b", "b"]);
+    b.configuration("b", &["a", "a"]);
+    b.configuration("1", &["1", "2"]);
+    b.configuration("2", &["1", "1"]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::{classify, Complexity};
+
+    #[test]
+    fn three_coloring_matches_paper_configuration_count() {
+        let p = three_coloring_binary();
+        assert_eq!(p.delta(), 2);
+        assert_eq!(p.num_labels(), 3);
+        assert_eq!(p.num_configurations(), 9);
+    }
+
+    #[test]
+    fn two_coloring_matches_paper() {
+        let p = two_coloring_binary();
+        assert_eq!(p.num_configurations(), 2);
+    }
+
+    #[test]
+    fn coloring_counts_for_other_parameters() {
+        // colors = 4, delta = 2: per parent, multisets of size 2 over 3 colors = 6.
+        assert_eq!(coloring(2, 4).num_configurations(), 24);
+        // delta = 3, colors = 2: per parent the single all-other-color triple.
+        assert_eq!(coloring(3, 2).num_configurations(), 2);
+        // delta = 1 (directed paths), colors = 3: 6 ordered pairs.
+        assert_eq!(coloring(1, 3).num_configurations(), 6);
+    }
+
+    #[test]
+    fn one_coloring_is_unsolvable() {
+        let p = coloring(2, 1);
+        assert_eq!(p.num_labels(), 1);
+        assert_eq!(p.num_configurations(), 0);
+        assert_eq!(classify(&p).complexity, Complexity::Unsolvable);
+    }
+
+    #[test]
+    fn classifications_match_the_paper() {
+        assert_eq!(classify(&three_coloring_binary()).complexity, Complexity::LogStar);
+        assert_eq!(
+            classify(&two_coloring_binary()).complexity,
+            Complexity::Polynomial {
+                lower_bound_exponent: 1
+            }
+        );
+        assert_eq!(classify(&branch_two_coloring()).complexity, Complexity::Log);
+        assert_eq!(classify(&figure_2_combination()).complexity, Complexity::Log);
+    }
+
+    #[test]
+    fn coloring_with_more_colors_than_needed_is_log_star() {
+        assert_eq!(classify(&coloring(2, 4)).complexity, Complexity::LogStar);
+        assert_eq!(classify(&coloring(3, 4)).complexity, Complexity::LogStar);
+    }
+
+    #[test]
+    fn two_coloring_on_higher_degree_is_still_global() {
+        assert_eq!(
+            classify(&coloring(3, 2)).complexity,
+            Complexity::Polynomial {
+                lower_bound_exponent: 1
+            }
+        );
+    }
+}

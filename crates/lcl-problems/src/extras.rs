@@ -1,0 +1,130 @@
+//! Additional problems used by the test-suite, the examples, and the benchmark
+//! harness: trivial and unsolvable baselines, and a few encodings exercising the
+//! corners of the classifier.
+
+use lcl_core::LclProblem;
+
+/// The trivial problem: one label, always allowed. Solvable in zero rounds.
+pub fn trivial(delta: usize) -> LclProblem {
+    let mut b = LclProblem::builder(delta);
+    let children: Vec<&str> = std::iter::repeat("x").take(delta).collect();
+    b.configuration("x", &children);
+    b.build()
+}
+
+/// A problem with labels but no allowed configurations: unsolvable on any tree with
+/// an internal node.
+pub fn unsolvable(delta: usize) -> LclProblem {
+    let mut b = LclProblem::builder(delta);
+    b.label("a");
+    b.label("b");
+    b.build()
+}
+
+/// "Copy your child": every internal node must carry the same label as all of its
+/// children, with two available labels. Each connected tree is monochromatic, so
+/// any fixed label works: solvable in zero rounds.
+pub fn copy_child(delta: usize) -> LclProblem {
+    let mut b = LclProblem::builder(delta);
+    for name in ["p", "q"] {
+        let children: Vec<&str> = std::iter::repeat(name).take(delta).collect();
+        b.configuration(name, &children);
+    }
+    b.build()
+}
+
+/// A *heterochromatic child* problem: an internal node must have children of both
+/// colors among {1, 2} (δ ≥ 2), and may itself take either color. On binary trees
+/// this forces every internal node's children to be {1, 2}.
+pub fn both_colors_below(delta: usize) -> LclProblem {
+    assert!(delta >= 2);
+    let mut b = LclProblem::builder(delta);
+    for parent in ["1", "2"] {
+        // children: at least one 1 and at least one 2.
+        for ones in 1..delta {
+            let mut children: Vec<&str> = Vec::new();
+            children.extend(std::iter::repeat("1").take(ones));
+            children.extend(std::iter::repeat("2").take(delta - ones));
+            b.configuration(parent, &children);
+        }
+    }
+    b.build()
+}
+
+/// The sinkless-orientation-flavoured problem "some child continues the chain":
+/// label `c` ("chain") requires at least one child labeled `c`; label `f` ("free")
+/// is always allowed. Constant-time solvable (everybody picks `f`), but the chain
+/// label is what makes restrictions of it interesting.
+pub fn chain_or_free(delta: usize) -> LclProblem {
+    let mut b = LclProblem::builder(delta);
+    let all_f: Vec<&str> = std::iter::repeat("f").take(delta).collect();
+    b.configuration("f", &all_f);
+    let mut chain_children: Vec<&str> = vec!["c"];
+    chain_children.extend(std::iter::repeat("f").take(delta - 1));
+    b.configuration("c", &chain_children);
+    b.configuration("f", &chain_children);
+    b.build()
+}
+
+/// A problem whose complexity is Θ(log n) for a reason different from branch
+/// 2-coloring: "eventually constant": label `t` (top) may sit above `t` or `s`;
+/// below an `s` everything must be `s`; and `t` must have at least one `s` child or
+/// be all-`t`... encoded so that the path-flexible core is {s} while {t} forms a
+/// flexible but non-absorbing component. Classified Θ(log n)? — in fact O(1): kept
+/// as a regression test that the classifier handles nested absorbing components.
+pub fn nested_absorbing(delta: usize) -> LclProblem {
+    let mut b = LclProblem::builder(delta);
+    let all_s: Vec<&str> = std::iter::repeat("s").take(delta).collect();
+    let all_t: Vec<&str> = std::iter::repeat("t").take(delta).collect();
+    let mut t_then_s: Vec<&str> = vec!["t"];
+    t_then_s.extend(std::iter::repeat("s").take(delta - 1));
+    b.configuration("s", &all_s);
+    b.configuration("t", &all_t);
+    b.configuration("t", &t_then_s);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::{classify, Complexity};
+
+    #[test]
+    fn trivial_is_constant() {
+        assert_eq!(classify(&trivial(2)).complexity, Complexity::Constant);
+        assert_eq!(classify(&trivial(3)).complexity, Complexity::Constant);
+    }
+
+    #[test]
+    fn unsolvable_is_detected() {
+        assert_eq!(classify(&unsolvable(2)).complexity, Complexity::Unsolvable);
+    }
+
+    #[test]
+    fn copy_child_is_constant() {
+        assert_eq!(classify(&copy_child(2)).complexity, Complexity::Constant);
+    }
+
+    #[test]
+    fn both_colors_below_is_constant() {
+        // The certificate uses both labels: each tree alternates freely, and the
+        // special configuration (1 : 1 2) makes it constant-time.
+        assert_eq!(classify(&both_colors_below(2)).complexity, Complexity::Constant);
+        assert_eq!(classify(&both_colors_below(3)).complexity, Complexity::Constant);
+    }
+
+    #[test]
+    fn chain_or_free_is_constant() {
+        assert_eq!(classify(&chain_or_free(2)).complexity, Complexity::Constant);
+    }
+
+    #[test]
+    fn nested_absorbing_is_constant() {
+        let p = nested_absorbing(2);
+        let report = classify(&p);
+        assert_eq!(report.complexity, Complexity::Constant);
+        // The O(log n) certificate restricts to the absorbing component {s}.
+        let cert = report.log_certificate().unwrap();
+        assert_eq!(cert.problem_pf.num_labels(), 1);
+    }
+}

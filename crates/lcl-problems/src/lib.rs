@@ -1,0 +1,25 @@
+//! Catalog of named LCL problems on rooted regular trees.
+//!
+//! These are the worked examples of the paper (3-coloring, 2-coloring, maximal
+//! independent set, branch 2-coloring, the Figure 2 combination Π₀, the Θ(n^{1/k})
+//! family Π_k of Section 8) plus a few extra problems used by the test-suite and the
+//! benchmark harness, and a seeded random-problem generator.
+//!
+//! ```
+//! use lcl_core::{classify, Complexity};
+//!
+//! let mis = lcl_problems::mis::mis_binary();
+//! assert_eq!(classify(&mis).complexity, Complexity::Constant);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod coloring;
+pub mod extras;
+pub mod mis;
+pub mod pi_k;
+pub mod random;
+
+pub use catalog::{catalog, CatalogEntry, ExpectedComplexity};

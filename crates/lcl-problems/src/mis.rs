@@ -1,0 +1,96 @@
+//! Maximal-independent-set style problems (Section 1.3 of the paper).
+
+use lcl_core::LclProblem;
+
+/// The maximal independent set problem on rooted binary trees, encoded with three
+/// labels as in Section 1.3 (configurations (3)): label 1 marks set members, `a`
+/// marks nodes whose parent is in the set, `b` marks nodes with a child in the set.
+/// Complexity O(1) — the paper's flagship example of a non-trivial constant-time
+/// problem.
+pub fn mis_binary() -> LclProblem {
+    let mut b = LclProblem::builder(2);
+    b.configurations(&[
+        ("1", &["a", "a"]),
+        ("1", &["a", "b"]),
+        ("1", &["b", "b"]),
+        ("a", &["b", "b"]),
+        ("b", &["b", "1"]),
+        ("b", &["1", "1"]),
+    ]);
+    b.build()
+}
+
+/// The analogue of [`mis_binary`] for trees with δ children per internal node:
+/// a node labeled 1 (in the set) has all children labeled `a` or `b`; a node labeled
+/// `a` (dominated from above) has all children labeled `b`; a node labeled `b`
+/// (dominated from below) has at least one child labeled 1 and the rest labeled 1 or
+/// `b`.
+pub fn mis(delta: usize) -> LclProblem {
+    let mut builder = LclProblem::builder(delta);
+    // 1 : any multiset over {a, b}.
+    for split in 0..=delta {
+        let mut children: Vec<&str> = Vec::with_capacity(delta);
+        children.extend(std::iter::repeat("a").take(split));
+        children.extend(std::iter::repeat("b").take(delta - split));
+        builder.configuration("1", &children);
+    }
+    // a : all children b.
+    let all_b: Vec<&str> = std::iter::repeat("b").take(delta).collect();
+    builder.configuration("a", &all_b);
+    // b : at least one child 1, the rest 1 or b.
+    for ones in 1..=delta {
+        let mut children: Vec<&str> = Vec::with_capacity(delta);
+        children.extend(std::iter::repeat("1").take(ones));
+        children.extend(std::iter::repeat("b").take(delta - ones));
+        builder.configuration("b", &children);
+    }
+    builder.build()
+}
+
+/// The *independent set with no maximality requirement*: label 1 nodes must not be
+/// adjacent, and nothing else is required (labels 0 are free). This is a trivially
+/// zero-round problem (everybody outputs 0), useful as a baseline in the O(1) class.
+pub fn independent_set_binary() -> LclProblem {
+    let mut b = LclProblem::builder(2);
+    b.configurations(&[
+        ("1", &["0", "0"]),
+        ("0", &["0", "0"]),
+        ("0", &["0", "1"]),
+        ("0", &["1", "1"]),
+    ]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::{classify, Complexity};
+
+    #[test]
+    fn binary_mis_matches_paper() {
+        let p = mis_binary();
+        assert_eq!(p.num_labels(), 3);
+        assert_eq!(p.num_configurations(), 6);
+        assert_eq!(classify(&p).complexity, Complexity::Constant);
+    }
+
+    #[test]
+    fn general_delta_mis_reduces_to_binary() {
+        let p2 = mis(2);
+        let reference = mis_binary();
+        assert_eq!(p2.num_configurations(), reference.num_configurations());
+        assert_eq!(classify(&p2).complexity, Complexity::Constant);
+    }
+
+    #[test]
+    fn ternary_mis_is_constant() {
+        let p = mis(3);
+        assert_eq!(classify(&p).complexity, Complexity::Constant);
+    }
+
+    #[test]
+    fn plain_independent_set_is_constant() {
+        let p = independent_set_binary();
+        assert_eq!(classify(&p).complexity, Complexity::Constant);
+    }
+}

@@ -1,0 +1,143 @@
+//! Seeded random problem generators, used by property-based tests and by the
+//! classifier benchmarks (classification time as a function of |Σ| and |C|).
+
+use lcl_core::LclProblem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random problem distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomProblemSpec {
+    /// Number of children of internal nodes.
+    pub delta: usize,
+    /// Number of labels.
+    pub num_labels: usize,
+    /// Probability that any given configuration (parent, child multiset) is allowed.
+    pub density: f64,
+}
+
+impl Default for RandomProblemSpec {
+    fn default() -> Self {
+        RandomProblemSpec {
+            delta: 2,
+            num_labels: 3,
+            density: 0.3,
+        }
+    }
+}
+
+/// Generates a random problem: every possible configuration is included
+/// independently with probability `spec.density`.
+pub fn random_problem(spec: &RandomProblemSpec, seed: u64) -> LclProblem {
+    assert!(spec.num_labels >= 1);
+    assert!((0.0..=1.0).contains(&spec.density));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..spec.num_labels).map(|i| format!("l{i}")).collect();
+    let mut builder = LclProblem::builder(spec.delta);
+    for name in &names {
+        builder.label(name);
+    }
+    // Enumerate every (parent, non-decreasing child tuple) and keep it with
+    // probability `density`.
+    let mut children = vec![0usize; spec.delta];
+    loop {
+        if children.windows(2).all(|w| w[0] <= w[1]) {
+            for parent in 0..spec.num_labels {
+                if rng.gen_bool(spec.density) {
+                    let child_names: Vec<&str> =
+                        children.iter().map(|&c| names[c].as_str()).collect();
+                    builder.configuration(&names[parent], &child_names);
+                }
+            }
+        }
+        let mut pos = 0;
+        loop {
+            if pos == spec.delta {
+                break;
+            }
+            children[pos] += 1;
+            if children[pos] < spec.num_labels {
+                break;
+            }
+            children[pos] = 0;
+            pos += 1;
+        }
+        if pos == spec.delta {
+            break;
+        }
+    }
+    builder.build()
+}
+
+/// Generates `count` random problems with consecutive seeds.
+pub fn random_problems(spec: &RandomProblemSpec, base_seed: u64, count: usize) -> Vec<LclProblem> {
+    (0..count)
+        .map(|i| random_problem(spec, base_seed + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::classify;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = RandomProblemSpec::default();
+        let a = random_problem(&spec, 42);
+        let b = random_problem(&spec, 42);
+        assert_eq!(a, b);
+        let c = random_problem(&spec, 43);
+        assert!(a != c || a.num_configurations() == c.num_configurations());
+    }
+
+    #[test]
+    fn density_extremes() {
+        let empty = random_problem(
+            &RandomProblemSpec {
+                density: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
+        assert_eq!(empty.num_configurations(), 0);
+        let full = random_problem(
+            &RandomProblemSpec {
+                density: 1.0,
+                ..Default::default()
+            },
+            1,
+        );
+        // 3 labels, delta 2: 6 child multisets × 3 parents.
+        assert_eq!(full.num_configurations(), 18);
+    }
+
+    #[test]
+    fn random_problems_classify_without_panicking() {
+        let spec = RandomProblemSpec {
+            delta: 2,
+            num_labels: 3,
+            density: 0.35,
+        };
+        for (i, p) in random_problems(&spec, 7, 20).iter().enumerate() {
+            let report = classify(p);
+            assert!(
+                report.complexity.is_solvable() || report.solvable_labels.is_empty(),
+                "problem {i}: inconsistent solvability"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_always_present_even_with_no_configurations() {
+        let p = random_problem(
+            &RandomProblemSpec {
+                num_labels: 4,
+                density: 0.0,
+                ..Default::default()
+            },
+            9,
+        );
+        assert_eq!(p.num_labels(), 4);
+    }
+}

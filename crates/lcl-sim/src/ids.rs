@@ -1,0 +1,123 @@
+//! Identifier assignments (Section 4.2: identifiers from `{1, …, poly(n)}`).
+
+use lcl_trees::RootedTree;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An assignment of unique identifiers to the nodes of a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdAssignment {
+    ids: Vec<u64>,
+}
+
+impl IdAssignment {
+    /// Sequential identifiers `1, 2, …, n` in node-id order — the "adversarially
+    /// boring" assignment.
+    pub fn sequential(tree: &RootedTree) -> Self {
+        IdAssignment {
+            ids: (1..=tree.len() as u64).collect(),
+        }
+    }
+
+    /// A uniformly random permutation of `1, …, n` (seeded).
+    pub fn random_permutation(tree: &RootedTree, seed: u64) -> Self {
+        let mut ids: Vec<u64> = (1..=tree.len() as u64).collect();
+        ids.shuffle(&mut StdRng::seed_from_u64(seed));
+        IdAssignment { ids }
+    }
+
+    /// Random distinct identifiers from `{1, …, n³}` (seeded), matching the
+    /// identifier-space assumption used in the randomized lower bound of Lemma 6.7.
+    pub fn random_sparse(tree: &RootedTree, seed: u64) -> Self {
+        let n = tree.len() as u64;
+        let space = n.saturating_mul(n).saturating_mul(n).max(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < tree.len() {
+            chosen.insert(rng.gen_range(1..=space));
+        }
+        IdAssignment {
+            ids: chosen.into_iter().collect(),
+        }
+    }
+
+    /// Builds an assignment from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifiers are not pairwise distinct.
+    pub fn from_vec(ids: Vec<u64>) -> Self {
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "identifiers must be distinct");
+        IdAssignment { ids }
+    }
+
+    /// The identifier of a node.
+    pub fn id_of(&self, node: lcl_trees::NodeId) -> u64 {
+        self.ids[node.index()]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the assignment covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The number of bits needed to write any identifier of this assignment.
+    pub fn id_bits(&self) -> usize {
+        let max = self.ids.iter().copied().max().unwrap_or(1);
+        64 - max.leading_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_trees::generators;
+
+    #[test]
+    fn sequential_ids() {
+        let tree = generators::balanced(2, 2);
+        let ids = IdAssignment::sequential(&tree);
+        assert_eq!(ids.id_of(tree.root()), 1);
+        assert_eq!(ids.len(), 7);
+        assert_eq!(ids.id_bits(), 3);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let tree = generators::balanced(2, 3);
+        let ids = IdAssignment::random_permutation(&tree, 7);
+        let mut values: Vec<u64> = tree.nodes().map(|v| ids.id_of(v)).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=15).collect::<Vec<u64>>());
+        // Different seeds give different permutations (with overwhelming probability).
+        let other = IdAssignment::random_permutation(&tree, 8);
+        assert_ne!(ids, other);
+    }
+
+    #[test]
+    fn random_sparse_ids_are_distinct_and_bounded() {
+        let tree = generators::balanced(2, 3);
+        let ids = IdAssignment::random_sparse(&tree, 3);
+        let mut values: Vec<u64> = tree.nodes().map(|v| ids.id_of(v)).collect();
+        let n = tree.len() as u64;
+        assert!(values.iter().all(|&v| v >= 1 && v <= n * n * n));
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), tree.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn from_vec_rejects_duplicates() {
+        let _ = IdAssignment::from_vec(vec![1, 2, 2]);
+    }
+}

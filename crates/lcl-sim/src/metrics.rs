@@ -1,0 +1,74 @@
+//! Round, message, and bandwidth accounting.
+
+/// Measurements collected by one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of synchronous rounds until every node produced its output.
+    pub rounds: usize,
+    /// Total number of messages sent.
+    pub messages: usize,
+    /// The largest single message, in bits (0 if no message was sent).
+    pub max_message_bits: usize,
+    /// Total number of bits sent.
+    pub total_message_bits: usize,
+}
+
+impl Metrics {
+    /// Records one sent message of the given size.
+    pub fn record_message(&mut self, bits: usize) {
+        self.messages += 1;
+        self.max_message_bits = self.max_message_bits.max(bits);
+        self.total_message_bits += bits;
+    }
+
+    /// `true` if every message fits the CONGEST budget of `c · log₂(n)` bits.
+    pub fn is_congest_compliant(&self, n: usize, c: usize) -> bool {
+        let budget = c * (usize::BITS as usize - n.max(2).leading_zeros() as usize);
+        self.max_message_bits <= budget
+    }
+
+    /// Merges the metrics of a later phase into this one (rounds add up, message
+    /// statistics combine).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.total_message_bits += other.total_message_bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_absorb() {
+        let mut m = Metrics::default();
+        m.record_message(10);
+        m.record_message(30);
+        m.rounds = 4;
+        assert_eq!(m.messages, 2);
+        assert_eq!(m.max_message_bits, 30);
+        assert_eq!(m.total_message_bits, 40);
+
+        let mut other = Metrics::default();
+        other.rounds = 3;
+        other.record_message(50);
+        m.absorb(&other);
+        assert_eq!(m.rounds, 7);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.max_message_bits, 50);
+        assert_eq!(m.total_message_bits, 90);
+    }
+
+    #[test]
+    fn congest_compliance() {
+        let mut m = Metrics::default();
+        m.record_message(32);
+        // n = 1024: log2 = 10 bits; budget with c = 4 is 40 bits.
+        assert!(m.is_congest_compliant(1024, 4));
+        m.record_message(64);
+        assert!(!m.is_congest_compliant(1024, 4));
+        assert!(m.is_congest_compliant(1024, 8));
+    }
+}

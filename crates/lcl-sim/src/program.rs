@@ -1,0 +1,114 @@
+//! The [`NodeProgram`] trait: the per-node code executed by the simulator.
+
+use crate::node::NodeInfo;
+
+/// What a node does at the end of one round: the messages it sends and, possibly,
+/// its final output.
+#[derive(Debug, Clone)]
+pub struct RoundAction<M, O> {
+    /// Message to the parent (ignored at the root).
+    pub to_parent: Option<M>,
+    /// Messages to the children, indexed by port; missing trailing entries mean no
+    /// message.
+    pub to_children: Vec<Option<M>>,
+    /// The node's final output, once it has decided. Outputs are sticky: after the
+    /// first `Some` the node keeps its output and later values are ignored.
+    pub output: Option<O>,
+}
+
+impl<M, O> RoundAction<M, O> {
+    /// An action that sends nothing and outputs nothing.
+    pub fn idle() -> Self {
+        RoundAction {
+            to_parent: None,
+            to_children: Vec::new(),
+            output: None,
+        }
+    }
+
+    /// An action that only records an output.
+    pub fn output(output: O) -> Self {
+        RoundAction {
+            to_parent: None,
+            to_children: Vec::new(),
+            output: Some(output),
+        }
+    }
+
+    /// Sets the message to the parent.
+    pub fn with_parent_message(mut self, message: M) -> Self {
+        self.to_parent = Some(message);
+        self
+    }
+
+    /// Sets the messages to all children (same message broadcast to each port).
+    pub fn broadcast_to_children(mut self, message: M, num_children: usize) -> Self
+    where
+        M: Clone,
+    {
+        self.to_children = (0..num_children).map(|_| Some(message.clone())).collect();
+        self
+    }
+
+    /// Sets the per-port messages to the children.
+    pub fn with_children_messages(mut self, messages: Vec<Option<M>>) -> Self {
+        self.to_children = messages;
+        self
+    }
+}
+
+/// The code run by every node. One instance of the program is shared by all nodes
+/// (it must not carry per-node mutable state — that belongs in `State`).
+pub trait NodeProgram {
+    /// Per-node mutable state.
+    type State: Clone;
+    /// The message type exchanged over edges.
+    type Message: Clone;
+    /// The final output of a node.
+    type Output: Clone;
+
+    /// Initializes the state of a node from its initial knowledge.
+    fn init(&self, info: &NodeInfo) -> Self::State;
+
+    /// Executes one round at one node. `from_parent` / `from_children` carry the
+    /// messages sent towards this node in the previous round (`None` if the
+    /// neighbour sent nothing, and `from_parent` is always `None` at the root).
+    fn round(
+        &self,
+        round: usize,
+        info: &NodeInfo,
+        state: &mut Self::State,
+        from_parent: Option<&Self::Message>,
+        from_children: &[Option<Self::Message>],
+    ) -> RoundAction<Self::Message, Self::Output>;
+
+    /// The size of a message in bits, used for CONGEST accounting. The default
+    /// charges the in-memory size, which over-approximates a compact encoding.
+    fn message_bits(&self, message: &Self::Message) -> usize {
+        std::mem::size_of_val(message) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_action_builders() {
+        let action: RoundAction<u32, u32> = RoundAction::idle();
+        assert!(action.to_parent.is_none());
+        assert!(action.output.is_none());
+
+        let action: RoundAction<u32, u32> = RoundAction::output(7).with_parent_message(3);
+        assert_eq!(action.output, Some(7));
+        assert_eq!(action.to_parent, Some(3));
+
+        let action: RoundAction<u32, u32> = RoundAction::idle().broadcast_to_children(9, 3);
+        assert_eq!(action.to_children.len(), 3);
+        assert!(action.to_children.iter().all(|m| *m == Some(9)));
+
+        let action: RoundAction<u32, u32> =
+            RoundAction::idle().with_children_messages(vec![Some(1), None]);
+        assert_eq!(action.to_children, vec![Some(1), None]);
+    }
+}

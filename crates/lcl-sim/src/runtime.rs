@@ -1,0 +1,260 @@
+//! The synchronous scheduler.
+
+use lcl_trees::{NodeId, RootedTree};
+
+use crate::ids::IdAssignment;
+use crate::metrics::Metrics;
+use crate::node::NodeInfo;
+use crate::program::NodeProgram;
+
+/// A simulator bound to one tree and one identifier assignment.
+pub struct Simulator<'a> {
+    tree: &'a RootedTree,
+    ids: IdAssignment,
+    max_rounds: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `tree` with the given identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier assignment does not cover exactly the tree's nodes.
+    pub fn new(tree: &'a RootedTree, ids: IdAssignment) -> Self {
+        assert_eq!(ids.len(), tree.len(), "one identifier per node is required");
+        Simulator {
+            tree,
+            ids,
+            max_rounds: 4 * tree.len() + 16,
+        }
+    }
+
+    /// Overrides the safety limit on the number of rounds (default `4n + 16`).
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The identifier assignment in use.
+    pub fn ids(&self) -> &IdAssignment {
+        &self.ids
+    }
+
+    /// The initial knowledge of a node.
+    pub fn node_info(&self, v: NodeId) -> NodeInfo {
+        let delta = self
+            .tree
+            .nodes()
+            .map(|u| self.tree.num_children(u))
+            .max()
+            .unwrap_or(0);
+        NodeInfo {
+            id: self.ids.id_of(v),
+            n: self.tree.len(),
+            num_children: self.tree.num_children(v),
+            has_parent: self.tree.parent(v).is_some(),
+            delta,
+        }
+    }
+
+    /// Runs `program` on every node until all nodes have produced an output.
+    /// Returns the outputs indexed by node id and the collected metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has not terminated after the safety limit on rounds —
+    /// this always indicates a bug in the program, never legitimate behaviour of the
+    /// algorithms in this repository.
+    pub fn run<P: NodeProgram>(&self, program: &P) -> (Vec<P::Output>, Metrics) {
+        let n = self.tree.len();
+        let delta = self
+            .tree
+            .nodes()
+            .map(|u| self.tree.num_children(u))
+            .max()
+            .unwrap_or(0);
+        let infos: Vec<NodeInfo> = self
+            .tree
+            .nodes()
+            .map(|v| NodeInfo {
+                id: self.ids.id_of(v),
+                n,
+                num_children: self.tree.num_children(v),
+                has_parent: self.tree.parent(v).is_some(),
+                delta,
+            })
+            .collect();
+        let mut states: Vec<P::State> = infos.iter().map(|i| program.init(i)).collect();
+        let mut outputs: Vec<Option<P::Output>> = vec![None; n];
+        let mut metrics = Metrics::default();
+
+        // Messages in flight: indexed by receiver.
+        let mut from_parent: Vec<Option<P::Message>> = vec![None; n];
+        let mut from_children: Vec<Vec<Option<P::Message>>> = self
+            .tree
+            .nodes()
+            .map(|v| vec![None; self.tree.num_children(v)])
+            .collect();
+
+        let mut round = 0usize;
+        while outputs.iter().any(|o| o.is_none()) {
+            round += 1;
+            assert!(
+                round <= self.max_rounds,
+                "node program did not terminate within {} rounds",
+                self.max_rounds
+            );
+            let mut next_from_parent: Vec<Option<P::Message>> = vec![None; n];
+            let mut next_from_children: Vec<Vec<Option<P::Message>>> = self
+                .tree
+                .nodes()
+                .map(|v| vec![None; self.tree.num_children(v)])
+                .collect();
+            for v in self.tree.nodes() {
+                let idx = v.index();
+                let action = program.round(
+                    round,
+                    &infos[idx],
+                    &mut states[idx],
+                    from_parent[idx].as_ref(),
+                    &from_children[idx],
+                );
+                if outputs[idx].is_none() {
+                    if let Some(out) = action.output {
+                        outputs[idx] = Some(out);
+                    }
+                }
+                if let (Some(msg), Some(parent)) = (action.to_parent, self.tree.parent(v)) {
+                    metrics.record_message(program.message_bits(&msg));
+                    let port = self
+                        .tree
+                        .port_at_parent(v)
+                        .expect("non-root nodes have a port at their parent");
+                    next_from_children[parent.index()][port] = Some(msg);
+                }
+                for (port, msg) in action.to_children.into_iter().enumerate() {
+                    if let Some(msg) = msg {
+                        if port < self.tree.num_children(v) {
+                            metrics.record_message(program.message_bits(&msg));
+                            let child = self.tree.children(v)[port];
+                            next_from_parent[child.index()] = Some(msg);
+                        }
+                    }
+                }
+            }
+            from_parent = next_from_parent;
+            from_children = next_from_children;
+        }
+        metrics.rounds = round;
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("loop exits only when all outputs are set"))
+            .collect();
+        (outputs, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RoundAction;
+    use lcl_trees::generators;
+
+    /// Every node outputs its own identifier immediately; zero communication.
+    struct OutputOwnId;
+    impl NodeProgram for OutputOwnId {
+        type State = ();
+        type Message = ();
+        type Output = u64;
+        fn init(&self, _info: &NodeInfo) -> Self::State {}
+        fn round(
+            &self,
+            _round: usize,
+            info: &NodeInfo,
+            _state: &mut Self::State,
+            _from_parent: Option<&Self::Message>,
+            _from_children: &[Option<Self::Message>],
+        ) -> RoundAction<Self::Message, Self::Output> {
+            RoundAction::output(info.id)
+        }
+    }
+
+    /// Every node learns the identifier of its parent (the root reports its own):
+    /// a single down-cast.
+    struct LearnParentId;
+    impl NodeProgram for LearnParentId {
+        type State = ();
+        type Message = u64;
+        type Output = u64;
+        fn init(&self, _info: &NodeInfo) -> Self::State {}
+        fn round(
+            &self,
+            _round: usize,
+            info: &NodeInfo,
+            _state: &mut Self::State,
+            from_parent: Option<&Self::Message>,
+            _from_children: &[Option<Self::Message>],
+        ) -> RoundAction<Self::Message, Self::Output> {
+            let mut action = RoundAction::idle().broadcast_to_children(info.id, info.num_children);
+            if info.is_root() {
+                action.output = Some(info.id);
+            } else if let Some(&pid) = from_parent {
+                action.output = Some(pid);
+            }
+            action
+        }
+    }
+
+    #[test]
+    fn zero_round_program_takes_one_round() {
+        let tree = generators::balanced(2, 3);
+        let sim = Simulator::new(&tree, IdAssignment::sequential(&tree));
+        let (outputs, metrics) = sim.run(&OutputOwnId);
+        assert_eq!(metrics.rounds, 1);
+        assert_eq!(metrics.messages, 0);
+        assert_eq!(outputs[tree.root().index()], 1);
+    }
+
+    #[test]
+    fn parent_id_propagates_in_two_rounds() {
+        let tree = generators::balanced(2, 3);
+        let ids = IdAssignment::sequential(&tree);
+        let sim = Simulator::new(&tree, ids.clone());
+        let (outputs, metrics) = sim.run(&LearnParentId);
+        assert_eq!(metrics.rounds, 2);
+        for v in tree.nodes() {
+            let expected = match tree.parent(v) {
+                Some(p) => ids.id_of(p),
+                None => ids.id_of(v),
+            };
+            assert_eq!(outputs[v.index()], expected);
+        }
+        assert!(metrics.messages > 0);
+        assert!(metrics.is_congest_compliant(tree.len(), 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not terminate")]
+    fn non_terminating_program_is_caught() {
+        struct Never;
+        impl NodeProgram for Never {
+            type State = ();
+            type Message = ();
+            type Output = ();
+            fn init(&self, _info: &NodeInfo) -> Self::State {}
+            fn round(
+                &self,
+                _round: usize,
+                _info: &NodeInfo,
+                _state: &mut Self::State,
+                _fp: Option<&Self::Message>,
+                _fc: &[Option<Self::Message>],
+            ) -> RoundAction<Self::Message, Self::Output> {
+                RoundAction::idle()
+            }
+        }
+        let tree = generators::balanced(2, 1);
+        let sim = Simulator::new(&tree, IdAssignment::sequential(&tree)).with_max_rounds(10);
+        let _ = sim.run(&Never);
+    }
+}

@@ -1,0 +1,279 @@
+//! Lower-bound constructions of Section 5.4: bipolar trees, the `⊕_x` operation,
+//! the hierarchy `T^x_0, T^x_1, …, T^x_k`, and the concatenations `T^x_{i←j}`.
+//!
+//! These trees witness the Ω(n^{1/k}) lower bounds (Lemma 5.13/5.14): `T^x_k` has
+//! Θ(x^k) nodes, its layer-ℓ nodes form paths of exactly `x` nodes, and solving a
+//! problem whose pruning sequence has length `k` requires coordination along a full
+//! layer path.
+
+use crate::tree::{NodeId, RootedTree};
+
+/// A *bipolar tree* (Section 5.4): a rooted tree with two distinguished nodes `s`
+/// (the root) and `t`; the unique path from `s` to `t` is the *core path*.
+///
+/// Each node also carries the *layer number* assigned by the hierarchical
+/// construction (layer 0 for the innermost copies, layer `k` for the outermost core
+/// path of `T^x_k`).
+#[derive(Debug, Clone)]
+pub struct BipolarTree {
+    /// The underlying rooted tree (rooted at `s`).
+    pub tree: RootedTree,
+    /// The source pole, equal to the root of `tree`.
+    pub s: NodeId,
+    /// The sink pole.
+    pub t: NodeId,
+    /// Layer number of each node, indexed by node id.
+    pub layer: Vec<usize>,
+    /// The middle edge `(t₁, s₂)` for concatenations `T^x_{i←j}`, if any.
+    pub middle_edge: Option<(NodeId, NodeId)>,
+}
+
+impl BipolarTree {
+    /// The trivial bipolar tree `T^x_0`: a single node in layer 0 with `s = t`.
+    pub fn trivial() -> Self {
+        let tree = RootedTree::singleton();
+        let root = tree.root();
+        BipolarTree {
+            tree,
+            s: root,
+            t: root,
+            layer: vec![0],
+            middle_edge: None,
+        }
+    }
+
+    /// Returns the core path from `s` to `t` (inclusive).
+    pub fn core_path(&self) -> Vec<NodeId> {
+        crate::traversal::vertical_path(&self.tree, self.s, self.t)
+            .expect("t must be a descendant of s")
+    }
+
+    /// Returns all nodes in the given layer.
+    pub fn layer_nodes(&self, layer: usize) -> Vec<NodeId> {
+        self.tree
+            .nodes()
+            .filter(|v| self.layer[v.index()] == layer)
+            .collect()
+    }
+
+    /// Returns the maximum layer number.
+    pub fn max_layer(&self) -> usize {
+        self.layer.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Copies the whole of `sub` as a new subtree of `tree`, making `sub`'s root a child
+/// of `under`. Returns the mapping from `sub` node ids to new ids in `tree`.
+pub fn graft(tree: &mut RootedTree, under: NodeId, sub: &RootedTree) -> Vec<NodeId> {
+    let mut map = vec![NodeId(u32::MAX); sub.len()];
+    for v in sub.bfs_order() {
+        let new_parent = match sub.parent(v) {
+            None => under,
+            Some(p) => map[p.index()],
+        };
+        map[v.index()] = tree.add_child(new_parent);
+    }
+    map
+}
+
+/// The `⊕_x` operation (Section 5.4): start with an `x`-node path `v₁ ← v₂ ← … ← v_x`
+/// (oriented towards `v₁`, which becomes the new root `s`), and attach `δ − 1`
+/// copies of `inner` below each path node. The new `t` is `v_x`. All path nodes are
+/// assigned layer `new_layer`; grafted copies keep their own layers.
+pub fn extend(inner: &BipolarTree, delta: usize, x: usize, new_layer: usize) -> BipolarTree {
+    assert!(delta >= 1, "delta must be at least 1");
+    assert!(x >= 1, "the core path must contain at least one node");
+    let mut tree = RootedTree::singleton();
+    let mut layer = vec![new_layer];
+    let mut path_nodes = vec![tree.root()];
+    for _ in 1..x {
+        let prev = *path_nodes.last().unwrap();
+        let next = tree.add_child(prev);
+        layer.push(new_layer);
+        path_nodes.push(next);
+    }
+    for &v in &path_nodes {
+        for _ in 0..delta.saturating_sub(1) {
+            let map = graft(&mut tree, v, &inner.tree);
+            layer.resize(tree.len(), usize::MAX);
+            for old in inner.tree.nodes() {
+                layer[map[old.index()].index()] = inner.layer[old.index()];
+            }
+        }
+    }
+    let s = path_nodes[0];
+    let t = *path_nodes.last().unwrap();
+    BipolarTree {
+        tree,
+        s,
+        t,
+        layer,
+        middle_edge: None,
+    }
+}
+
+/// Builds the bipolar tree `T^x_k` of Section 5.4 for trees with `delta` children
+/// per internal node: `T^x_0` is a single node and `T^x_i = ⊕_x T^x_{i−1}`.
+pub fn t_x_k(delta: usize, x: usize, k: usize) -> BipolarTree {
+    let mut current = BipolarTree::trivial();
+    for i in 1..=k {
+        current = extend(&current, delta, x, i);
+    }
+    current
+}
+
+/// Builds the concatenation `T^x_{i←j}` (Section 5.4): `T^x_i` and `T^x_j` joined by
+/// the *middle edge* `{t₁, s₂}`, i.e. the root of the second tree becomes a child of
+/// the sink pole of the first. The result is a bipolar tree with `s = s₁`, `t = t₂`.
+pub fn t_x_i_j(delta: usize, x: usize, i: usize, j: usize) -> BipolarTree {
+    let left = t_x_k(delta, x, i);
+    let right = t_x_k(delta, x, j);
+    concatenate(&left, &right)
+}
+
+/// Concatenates two bipolar trees by adding the middle edge `{left.t, right.s}`.
+pub fn concatenate(left: &BipolarTree, right: &BipolarTree) -> BipolarTree {
+    let mut tree = left.tree.clone();
+    let mut layer = left.layer.clone();
+    let map = graft(&mut tree, left.t, &right.tree);
+    layer.resize(tree.len(), usize::MAX);
+    for old in right.tree.nodes() {
+        layer[map[old.index()].index()] = right.layer[old.index()];
+    }
+    let new_right_root = map[right.s.index()];
+    let new_t = map[right.t.index()];
+    BipolarTree {
+        tree,
+        s: left.s,
+        t: new_t,
+        layer,
+        middle_edge: Some((left.t, new_right_root)),
+    }
+}
+
+/// The number of nodes of `T^x_k` for the given parameters, computed from the
+/// recurrence `|T^x_0| = 1`, `|T^x_i| = x · (1 + (δ − 1) · |T^x_{i−1}|)`.
+pub fn t_x_k_size(delta: usize, x: usize, k: usize) -> usize {
+    let mut size = 1usize;
+    for _ in 0..k {
+        size = x * (1 + (delta - 1) * size);
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_bipolar_tree() {
+        let t = BipolarTree::trivial();
+        assert_eq!(t.tree.len(), 1);
+        assert_eq!(t.s, t.t);
+        assert_eq!(t.core_path().len(), 1);
+        assert_eq!(t.max_layer(), 0);
+    }
+
+    #[test]
+    fn extend_once_matches_structure() {
+        // T^x_1 with delta = 3, x = 5 (the setting of Figure 4 before the second level).
+        let t1 = t_x_k(3, 5, 1);
+        assert_eq!(t1.tree.len(), t_x_k_size(3, 5, 1));
+        assert_eq!(t1.tree.len(), 5 * (1 + 2 * 1));
+        assert_eq!(t1.core_path().len(), 5);
+        // Every core-path node except t has delta children; t has delta - 1.
+        let core = t1.core_path();
+        for (idx, &v) in core.iter().enumerate() {
+            let expected = if idx + 1 == core.len() { 2 } else { 3 };
+            assert_eq!(t1.tree.num_children(v), expected, "node {idx} of core path");
+        }
+        t1.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn figure_4_node_count() {
+        // Figure 4: delta = 3, x = 5, k = 2.
+        let t = t_x_k(3, 5, 2);
+        assert_eq!(t.tree.len(), t_x_k_size(3, 5, 2));
+        assert_eq!(t.tree.len(), 5 * (1 + 2 * 15));
+        assert_eq!(t.max_layer(), 2);
+        // Layer-2 nodes form the core path of exactly x nodes.
+        assert_eq!(t.layer_nodes(2).len(), 5);
+        // Layer-1 nodes form paths of exactly x nodes each: 2 copies per core node.
+        assert_eq!(t.layer_nodes(1).len(), 5 * 2 * 5);
+        t.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn size_grows_as_x_to_the_k() {
+        for k in 1..=3 {
+            for x in [2usize, 4, 8] {
+                let predicted = t_x_k_size(2, x, k);
+                let built = t_x_k(2, x, k);
+                assert_eq!(built.tree.len(), predicted);
+            }
+        }
+        // Θ(x^k): doubling x multiplies the size by roughly 2^k.
+        let small = t_x_k_size(2, 8, 3) as f64;
+        let large = t_x_k_size(2, 16, 3) as f64;
+        let ratio = large / small;
+        assert!(ratio > 6.0 && ratio < 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn degrees_in_t_x_k() {
+        // Section 5.4: for x ≥ 2 and 1 ≤ j ≤ k there are three possible degrees:
+        // 1 (layer-0 nodes), δ (the root and the last node of layer paths), δ + 1
+        // (everything else). Degree counts the parent too, except for the root.
+        let delta = 3;
+        let t = t_x_k(delta, 4, 2);
+        for v in t.tree.nodes() {
+            let degree = t.tree.num_children(v) + usize::from(t.tree.parent(v).is_some());
+            if t.layer[v.index()] == 0 {
+                assert_eq!(degree, 1, "layer-0 node {v}");
+            } else {
+                assert!(
+                    degree == delta || degree == delta + 1,
+                    "unexpected degree {degree} at {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concatenation_has_middle_edge() {
+        let t = t_x_i_j(3, 4, 2, 1);
+        let (a, b) = t.middle_edge.unwrap();
+        assert_eq!(t.tree.parent(b), Some(a));
+        assert_eq!(t.tree.len(), t_x_k_size(3, 4, 2) + t_x_k_size(3, 4, 1));
+        // s and t are the poles of the two halves.
+        assert_eq!(t.s, NodeId(0));
+        assert!(t.layer[t.s.index()] == 2);
+        assert!(t.layer[t.t.index()] == 1);
+        t.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn t_x_i_i_is_extend_2x() {
+        // Observation from the paper: T^x_{i←i} is simply ⊕_{2x} T^x_{i−1}.
+        let delta = 2;
+        let x = 3;
+        let a = t_x_i_j(delta, x, 2, 2);
+        let inner = t_x_k(delta, x, 1);
+        let b = extend(&inner, delta, 2 * x, 2);
+        assert_eq!(a.tree.len(), b.tree.len());
+        assert_eq!(a.core_path().len(), b.core_path().len());
+    }
+
+    #[test]
+    fn graft_preserves_shape() {
+        let mut base = RootedTree::singleton();
+        let sub = crate::generators::balanced(2, 2);
+        let root = base.root();
+        let map = graft(&mut base, root, &sub);
+        assert_eq!(base.len(), 1 + sub.len());
+        assert_eq!(base.num_children(root), 1);
+        assert_eq!(base.num_children(map[sub.root().index()]), 2);
+        base.validate().unwrap();
+    }
+}

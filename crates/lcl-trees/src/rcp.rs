@@ -1,0 +1,356 @@
+//! The rake-and-compress partition `RCP(p)` of Definition 5.8.
+//!
+//! `RCP(p)` iteratively partitions the node set into layers `V₁, V₂, …, V_L`:
+//! at each step the removed nodes are the current leaves (indegree 0, "rake") plus
+//! the nodes of indegree 1 that lie in connected components of indegree-1 nodes of
+//! size at least `p` ("compress", Definition 5.7). Lemma 5.9 guarantees that a
+//! constant fraction of the remaining nodes is removed in every step, hence
+//! `L = O(log n)`; Lemma 5.10 shows the layers can be computed in `O(log n)`
+//! CONGEST rounds. The distributed version lives in `lcl-algorithms`; this module
+//! provides the sequential reference implementation used by tests, the classifier's
+//! solvers, and the experiment harness.
+
+use crate::tree::{NodeId, RootedTree};
+
+/// How a node was removed by `RCP(p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovalKind {
+    /// Removed as a leaf of the remaining graph (`leaves(G_i)`, Definition 5.6).
+    Rake,
+    /// Removed as part of a long path of indegree-1 nodes
+    /// (`long-path-nodes(G_i, p)`, Definition 5.7).
+    Compress,
+}
+
+/// The result of running `RCP(p)` on a rooted tree.
+#[derive(Debug, Clone)]
+pub struct RcpPartition {
+    /// The parameter `p` the partition was computed with.
+    pub p: usize,
+    /// Layer of each node (1-based, indexed by node id).
+    pub layer: Vec<usize>,
+    /// How each node was removed.
+    pub kind: Vec<RemovalKind>,
+    /// Nodes of each layer; `layers[i]` is `V_{i+1}` of Definition 5.8.
+    pub layers: Vec<Vec<NodeId>>,
+}
+
+impl RcpPartition {
+    /// Number of layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer of a node (1-based).
+    pub fn layer_of(&self, v: NodeId) -> usize {
+        self.layer[v.index()]
+    }
+
+    /// The maximal vertical runs of compress nodes inside one layer.
+    ///
+    /// Each run is returned top-down (closest to the root first). During the
+    /// `O(log n)` algorithm of Theorem 5.1 these are the "long paths" whose inner
+    /// labels are completed with the help of a ruling set.
+    pub fn compress_runs(&self, tree: &RootedTree) -> Vec<Vec<NodeId>> {
+        let mut runs = Vec::new();
+        for (layer_idx, nodes) in self.layers.iter().enumerate() {
+            let layer_no = layer_idx + 1;
+            for &v in nodes {
+                if self.kind[v.index()] != RemovalKind::Compress {
+                    continue;
+                }
+                // v starts a run iff its parent is not a compress node of the same layer.
+                let parent_in_same_run = tree.parent(v).is_some_and(|p| {
+                    self.layer[p.index()] == layer_no
+                        && self.kind[p.index()] == RemovalKind::Compress
+                });
+                if parent_in_same_run {
+                    continue;
+                }
+                let mut run = vec![v];
+                let mut cur = v;
+                loop {
+                    let next = tree.children(cur).iter().copied().find(|&c| {
+                        self.layer[c.index()] == layer_no
+                            && self.kind[c.index()] == RemovalKind::Compress
+                    });
+                    match next {
+                        Some(c) => {
+                            run.push(c);
+                            cur = c;
+                        }
+                        None => break,
+                    }
+                }
+                runs.push(run);
+            }
+        }
+        runs
+    }
+}
+
+/// Runs `RCP(p)` (Definition 5.8) on `tree` and returns the layer partition.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn rcp_partition(tree: &RootedTree, p: usize) -> RcpPartition {
+    assert!(p >= 1, "RCP parameter p must be at least 1");
+    let n = tree.len();
+    let mut removed = vec![false; n];
+    let mut layer = vec![0usize; n];
+    let mut kind = vec![RemovalKind::Rake; n];
+    let mut layers = Vec::new();
+    // Remaining indegree = number of children not yet removed.
+    let mut indegree: Vec<usize> = tree.nodes().map(|v| tree.num_children(v)).collect();
+    let mut remaining = n;
+    let mut current_layer = 0usize;
+
+    while remaining > 0 {
+        current_layer += 1;
+        let mut this_layer = Vec::new();
+
+        // Rake: current leaves.
+        for v in tree.nodes() {
+            if !removed[v.index()] && indegree[v.index()] == 0 {
+                this_layer.push(v);
+                kind[v.index()] = RemovalKind::Rake;
+            }
+        }
+
+        // Compress: indegree-1 nodes in components of size >= p.
+        let degree_one: Vec<NodeId> = tree
+            .nodes()
+            .filter(|&v| !removed[v.index()] && indegree[v.index()] == 1)
+            .collect();
+        let in_x = {
+            let mut flags = vec![false; n];
+            for &v in &degree_one {
+                flags[v.index()] = true;
+            }
+            flags
+        };
+        let mut visited = vec![false; n];
+        for &v in &degree_one {
+            if visited[v.index()] {
+                continue;
+            }
+            // Walk to the top of this component of indegree-1 nodes.
+            let mut top = v;
+            while let Some(pnode) = tree.parent(top) {
+                if in_x[pnode.index()] && !removed[pnode.index()] {
+                    top = pnode;
+                } else {
+                    break;
+                }
+            }
+            // Walk downwards collecting the component (each member has exactly one
+            // remaining child, and the component is a vertical path).
+            let mut component = vec![top];
+            visited[top.index()] = true;
+            let mut cur = top;
+            loop {
+                let next = tree
+                    .children(cur)
+                    .iter()
+                    .copied()
+                    .find(|&c| !removed[c.index()] && in_x[c.index()]);
+                match next {
+                    Some(c) if !visited[c.index()] => {
+                        visited[c.index()] = true;
+                        component.push(c);
+                        cur = c;
+                    }
+                    _ => break,
+                }
+            }
+            if component.len() >= p {
+                for &u in &component {
+                    this_layer.push(u);
+                    kind[u.index()] = RemovalKind::Compress;
+                }
+            }
+        }
+
+        assert!(
+            !this_layer.is_empty(),
+            "RCP must remove at least one node per step on a non-empty tree"
+        );
+
+        for &v in &this_layer {
+            removed[v.index()] = true;
+            layer[v.index()] = current_layer;
+            remaining -= 1;
+        }
+        for &v in &this_layer {
+            if let Some(pnode) = tree.parent(v) {
+                if !removed[pnode.index()] {
+                    indegree[pnode.index()] -= 1;
+                }
+            }
+        }
+        layers.push(this_layer);
+    }
+
+    RcpPartition {
+        p,
+        layer,
+        kind,
+        layers,
+    }
+}
+
+/// Checks the defining properties of an `RCP(p)` partition. Used by tests and by
+/// the property-based suite; returns a description of the first violation found.
+pub fn validate_partition(tree: &RootedTree, part: &RcpPartition) -> Result<(), String> {
+    let n = tree.len();
+    if part.layer.len() != n || part.kind.len() != n {
+        return Err("partition arrays have wrong length".into());
+    }
+    // Every node appears in exactly one layer, consistent with `layer`.
+    let mut seen = vec![false; n];
+    for (i, nodes) in part.layers.iter().enumerate() {
+        for &v in nodes {
+            if seen[v.index()] {
+                return Err(format!("{v} appears in two layers"));
+            }
+            seen[v.index()] = true;
+            if part.layer[v.index()] != i + 1 {
+                return Err(format!("{v} has inconsistent layer number"));
+            }
+        }
+    }
+    if seen.iter().any(|&s| !s) {
+        return Err("some node is missing from the partition".into());
+    }
+    // Replay the process and check each layer matches the definition.
+    let mut removed = vec![false; n];
+    for (i, nodes) in part.layers.iter().enumerate() {
+        let layer_no = i + 1;
+        let indegree = |v: NodeId, removed: &Vec<bool>| {
+            tree.children(v)
+                .iter()
+                .filter(|c| !removed[c.index()])
+                .count()
+        };
+        for v in tree.nodes() {
+            if removed[v.index()] {
+                continue;
+            }
+            let deg = indegree(v, &removed);
+            let in_layer = part.layer[v.index()] == layer_no;
+            if deg == 0 && !in_layer {
+                return Err(format!("leaf {v} of G_{i} not removed in layer {layer_no}"));
+            }
+            if in_layer && deg >= 2 {
+                return Err(format!("{v} removed with indegree {deg} >= 2"));
+            }
+            if in_layer && deg == 1 && part.kind[v.index()] != RemovalKind::Compress {
+                return Err(format!("{v} with indegree 1 should be a compress node"));
+            }
+        }
+        for &v in nodes {
+            removed[v.index()] = true;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn singleton_has_one_layer() {
+        let t = RootedTree::singleton();
+        let part = rcp_partition(&t, 3);
+        assert_eq!(part.num_layers(), 1);
+        assert_eq!(part.layer_of(t.root()), 1);
+        validate_partition(&t, &part).unwrap();
+    }
+
+    #[test]
+    fn balanced_tree_layers_grow_logarithmically() {
+        // A perfectly balanced tree rakes one level per step, so the number of
+        // layers is exactly depth + 1.
+        let t = generators::balanced(2, 6);
+        let part = rcp_partition(&t, 4);
+        assert_eq!(part.num_layers(), 7);
+        validate_partition(&t, &part).unwrap();
+    }
+
+    #[test]
+    fn path_is_compressed() {
+        let t = generators::path(64);
+        let part = rcp_partition(&t, 2);
+        // A long path must be mostly compressed; with only rakes it would take 64
+        // layers, with compression it takes O(log n).
+        assert!(part.num_layers() <= 10, "layers = {}", part.num_layers());
+        assert!(part
+            .kind
+            .iter()
+            .any(|&k| k == RemovalKind::Compress));
+        validate_partition(&t, &part).unwrap();
+    }
+
+    #[test]
+    fn hairy_path_uses_both_rake_and_compress() {
+        let t = generators::hairy_path(2, 100);
+        let part = rcp_partition(&t, 3);
+        assert!(part.num_layers() <= 20);
+        assert!(part.kind.iter().any(|&k| k == RemovalKind::Rake));
+        assert!(part.kind.iter().any(|&k| k == RemovalKind::Compress));
+        validate_partition(&t, &part).unwrap();
+    }
+
+    #[test]
+    fn lemma_5_9_logarithmic_layer_count() {
+        // Lemma 5.9: each step removes at least a 1/(6p) fraction, so
+        // L <= log_{1/(1-1/(6p))}(n) + 1. Check the bound for several shapes.
+        let p = 3usize;
+        let bound = |n: usize| {
+            let shrink = 1.0 - 1.0 / (6.0 * p as f64);
+            ((n as f64).ln() / (1.0 / shrink).ln()).ceil() as usize + 2
+        };
+        for seed in 0..3 {
+            let t = generators::random_full(2, 2000, seed);
+            let part = rcp_partition(&t, p);
+            assert!(
+                part.num_layers() <= bound(t.len()),
+                "layers {} exceeds bound {}",
+                part.num_layers(),
+                bound(t.len())
+            );
+            validate_partition(&t, &part).unwrap();
+        }
+        let skinny = generators::random_skewed(2, 2000, 0.95, 7);
+        let part = rcp_partition(&skinny, p);
+        assert!(part.num_layers() <= bound(skinny.len()));
+    }
+
+    #[test]
+    fn compress_runs_are_vertical_and_long() {
+        let t = generators::hairy_path(2, 50);
+        let p = 4;
+        let part = rcp_partition(&t, p);
+        let runs = part.compress_runs(&t);
+        assert!(!runs.is_empty());
+        for run in &runs {
+            assert!(run.len() >= p, "run shorter than p");
+            for w in run.windows(2) {
+                assert_eq!(t.parent(w[1]), Some(w[0]), "run must be a vertical path");
+            }
+        }
+        validate_partition(&t, &part).unwrap();
+    }
+
+    #[test]
+    fn short_paths_are_not_compressed() {
+        // With p larger than the path length, no node is ever compressed.
+        let t = generators::path(5);
+        let part = rcp_partition(&t, 10);
+        assert!(part.kind.iter().all(|&k| k == RemovalKind::Rake));
+        assert_eq!(part.num_layers(), 5);
+    }
+}

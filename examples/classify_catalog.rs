@@ -1,0 +1,46 @@
+//! Experiment E1: classify every problem in the catalog and compare against the
+//! complexity class the paper states (Table 1, rooted-regular-trees column, plus
+//! the worked examples of Sections 1 and 8).
+//!
+//! Run with `cargo run --release --example classify_catalog`.
+
+use std::time::Instant;
+
+use rooted_tree_lcl::core::classify;
+use rooted_tree_lcl::problems::catalog;
+
+fn main() {
+    println!(
+        "{:<22} {:>4} {:>4} {:<14} {:<28} {:>10}  ref",
+        "problem", "|Σ|", "|C|", "expected", "classified", "time"
+    );
+    println!("{}", "-".repeat(110));
+    let mut mismatches = 0;
+    for entry in catalog() {
+        let start = Instant::now();
+        let report = classify(&entry.problem);
+        let elapsed = start.elapsed();
+        let ok = entry.expected.matches(report.complexity);
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{:<22} {:>4} {:>4} {:<14} {:<28} {:>8.2?}  {}{}",
+            entry.name,
+            entry.problem.num_labels(),
+            entry.problem.num_configurations(),
+            entry.expected.describe(),
+            report.complexity.to_string(),
+            elapsed,
+            entry.reference,
+            if ok { "" } else { "   <-- MISMATCH" },
+        );
+    }
+    println!("{}", "-".repeat(110));
+    if mismatches == 0 {
+        println!("all classifications match the paper");
+    } else {
+        println!("{mismatches} MISMATCHES — see rows above");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,47 @@
+//! `rooted-tree-lcl` — a reproduction of *Locally Checkable Problems in Rooted
+//! Trees* (Balliu, Brandt, Chang, Olivetti, Studený, Suomela, Tereshchenko;
+//! PODC 2021).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`core`] (`lcl-core`) — the problem formalism, path-form automata,
+//!   certificates, and the four-class complexity classifier;
+//! * [`problems`] (`lcl-problems`) — the catalog of the paper's sample problems;
+//! * [`trees`] (`lcl-trees`) — rooted-tree arenas, generators, lower-bound
+//!   constructions, rake-and-compress;
+//! * [`sim`] (`lcl-sim`) — the synchronous LOCAL/CONGEST simulator;
+//! * [`algorithms`] (`lcl-algorithms`) — the certificate-driven solvers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rooted_tree_lcl::prelude::*;
+//!
+//! // Classify the maximal independent set problem of Section 1.3 …
+//! let problem = rooted_tree_lcl::problems::mis::mis_binary();
+//! let report = classify(&problem);
+//! assert_eq!(report.complexity, Complexity::Constant);
+//!
+//! // … and solve it on a random full binary tree with the optimal algorithm.
+//! let tree = rooted_tree_lcl::trees::generators::random_full(2, 501, 7);
+//! let outcome = solve(&problem, &report, &tree, IdAssignment::sequential(&tree)).unwrap();
+//! outcome.labeling.verify(&tree, &problem).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lcl_algorithms as algorithms;
+pub use lcl_core as core;
+pub use lcl_problems as problems;
+pub use lcl_sim as sim;
+pub use lcl_trees as trees;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use lcl_algorithms::{solve, RoundReport, SolverOutcome};
+    pub use lcl_core::{
+        classify, ClassificationReport, Complexity, Labeling, LclProblem, LogStarCertificate,
+    };
+    pub use lcl_sim::IdAssignment;
+    pub use lcl_trees::{generators, NodeId, RootedTree};
+}

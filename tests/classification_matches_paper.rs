@@ -1,0 +1,87 @@
+//! Cross-crate integration test: the classifier reproduces the complexity classes
+//! the paper states for every catalog problem (experiment E1), and the certificates
+//! it returns verify against their definitions.
+
+use rooted_tree_lcl::core::{classify, ClassifierConfig, Complexity};
+use rooted_tree_lcl::problems::{catalog, pi_k};
+
+#[test]
+fn catalog_classifications_match_the_paper() {
+    for entry in catalog() {
+        let report = classify(&entry.problem);
+        assert!(
+            entry.expected.matches(report.complexity),
+            "{}: expected {}, got {}",
+            entry.name,
+            entry.expected.describe(),
+            report.complexity
+        );
+    }
+}
+
+#[test]
+fn certificates_in_reports_verify_against_their_definitions() {
+    let config = ClassifierConfig::default();
+    for entry in catalog() {
+        let report = classify(&entry.problem);
+        if let Some(cert) = report.log_certificate() {
+            cert.verify(&entry.problem)
+                .unwrap_or_else(|e| panic!("{}: O(log n) certificate invalid: {e}", entry.name));
+        }
+        if let Some(cert) = report.log_star_certificate(&config) {
+            cert.unwrap()
+                .verify(&entry.problem)
+                .unwrap_or_else(|e| panic!("{}: O(log* n) certificate invalid: {e}", entry.name));
+        }
+        if let Some(cert) = report.constant_certificate(&config) {
+            cert.unwrap()
+                .verify(&entry.problem)
+                .unwrap_or_else(|e| panic!("{}: O(1) certificate invalid: {e}", entry.name));
+        }
+    }
+}
+
+#[test]
+fn class_nesting_is_respected() {
+    // Constant ⇒ log* certificate exists ⇒ log certificate exists.
+    for entry in catalog() {
+        let report = classify(&entry.problem);
+        match report.complexity {
+            Complexity::Constant => {
+                assert!(report.constant.is_some());
+                assert!(report.log_star.is_some());
+                assert!(report.log_certificate().is_some());
+            }
+            Complexity::LogStar => {
+                assert!(report.constant.is_none());
+                assert!(report.log_star.is_some());
+                assert!(report.log_certificate().is_some());
+            }
+            Complexity::Log => {
+                assert!(report.log_star.is_none());
+                assert!(report.log_certificate().is_some());
+            }
+            Complexity::Polynomial { .. } => {
+                assert!(report.log_certificate().is_none());
+            }
+            Complexity::Unsolvable => {
+                assert!(report.solvable_labels.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn pi_k_lower_bound_exponent_matches_k() {
+    for k in 1..=5 {
+        let problem = pi_k::pi_k(k);
+        let report = classify(&problem);
+        assert_eq!(
+            report.complexity,
+            Complexity::Polynomial {
+                lower_bound_exponent: k
+            },
+            "Π_{k}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests over random problems and random trees.
+
+use proptest::prelude::*;
+use rooted_tree_lcl::core::{classify, Complexity};
+use rooted_tree_lcl::prelude::*;
+use rooted_tree_lcl::problems::random::{random_problem, RandomProblemSpec};
+use rooted_tree_lcl::trees::{generators, rcp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random full trees really are full δ-ary trees of the requested size.
+    #[test]
+    fn random_full_trees_are_full(delta in 1usize..4, min_nodes in 1usize..300, seed in any::<u64>()) {
+        let tree = generators::random_full(delta, min_nodes, seed);
+        prop_assert!(tree.len() >= min_nodes);
+        prop_assert!(tree.is_full_dary(delta));
+        prop_assert!(tree.validate().is_ok());
+    }
+
+    /// RCP(p) partitions satisfy Definition 5.8 and have O(log n) layers.
+    #[test]
+    fn rcp_partitions_are_valid(p in 1usize..6, min_nodes in 2usize..500, seed in any::<u64>()) {
+        let tree = generators::random_full(2, min_nodes, seed);
+        let part = rcp::rcp_partition(&tree, p);
+        prop_assert!(rcp::validate_partition(&tree, &part).is_ok());
+        // Generous logarithmic bound (Lemma 5.9 gives shrinkage 1/(6p) per layer).
+        let bound = 12 * p * ((tree.len() as f64).ln().ceil() as usize + 1) + 1;
+        prop_assert!(part.num_layers() <= bound);
+    }
+
+    /// Classifier invariants on random problems: solvability agrees with the
+    /// greatest-fixed-point test, the classes are internally consistent, and for
+    /// solvable problems the unified solver produces verifiable solutions.
+    #[test]
+    fn classifier_and_solver_agree_on_random_problems(seed in 0u64..5000) {
+        let spec = RandomProblemSpec { delta: 2, num_labels: 3, density: 0.30 };
+        let problem = random_problem(&spec, seed);
+        let report = classify(&problem);
+        prop_assert_eq!(
+            report.complexity == Complexity::Unsolvable,
+            report.solvable_labels.is_empty()
+        );
+        match report.complexity {
+            Complexity::Constant => prop_assert!(report.constant.is_some()),
+            Complexity::LogStar => prop_assert!(report.log_star.is_some() && report.constant.is_none()),
+            Complexity::Log => prop_assert!(report.log_certificate().is_some() && report.log_star.is_none()),
+            Complexity::Polynomial { lower_bound_exponent } => {
+                prop_assert!(lower_bound_exponent >= 1);
+                prop_assert!(report.log_certificate().is_none());
+            }
+            Complexity::Unsolvable => {}
+        }
+        if report.complexity.is_solvable() {
+            let tree = generators::random_full(2, 101, seed);
+            let outcome = solve(&problem, &report, &tree, IdAssignment::sequential(&tree));
+            let outcome = outcome.expect("solvable problems must be solved");
+            prop_assert!(outcome.labeling.verify(&tree, &problem).is_ok());
+        }
+    }
+
+    /// Restriction is monotone: restricting to the solvable labels never changes
+    /// solvability, and path-forms of restrictions are restrictions of path-forms.
+    #[test]
+    fn restriction_invariants(seed in 0u64..3000) {
+        let spec = RandomProblemSpec { delta: 2, num_labels: 4, density: 0.25 };
+        let problem = random_problem(&spec, seed);
+        let solvable = rooted_tree_lcl::core::solvable_labels(&problem);
+        let restricted = problem.restrict_to(&solvable);
+        prop_assert!(restricted.is_restriction_of(&problem));
+        prop_assert_eq!(
+            rooted_tree_lcl::core::solvable_labels(&restricted),
+            solvable
+        );
+        let pf_restricted = restricted.path_form();
+        let pf = problem.path_form();
+        prop_assert!(pf_restricted.configurations().is_subset(pf.configurations()));
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-crate integration test: for every solvable catalog problem, the unified
+//! solver produces a labeling that the independent checker accepts, on several tree
+//! shapes and identifier assignments (the paper's robustness claims: the same
+//! complexity in LOCAL/CONGEST, deterministic/randomized).
+
+use rooted_tree_lcl::core::classify;
+use rooted_tree_lcl::prelude::*;
+use rooted_tree_lcl::problems::catalog;
+use rooted_tree_lcl::trees::generators;
+
+#[test]
+fn every_solvable_catalog_problem_is_solved_on_random_trees() {
+    for entry in catalog() {
+        let report = classify(&entry.problem);
+        if !report.complexity.is_solvable() {
+            continue;
+        }
+        let delta = entry.problem.delta();
+        let tree = generators::random_full(delta, 301, 13);
+        let outcome = solve(
+            &entry.problem,
+            &report,
+            &tree,
+            IdAssignment::random_permutation(&tree, 3),
+        )
+        .unwrap_or_else(|e| panic!("{}: solver failed: {e}", entry.name));
+        outcome
+            .labeling
+            .verify(&tree, &entry.problem)
+            .unwrap_or_else(|e| panic!("{}: invalid solution: {e}", entry.name));
+    }
+}
+
+#[test]
+fn solutions_are_valid_for_different_id_assignments() {
+    // Randomness / identifier robustness: sequential, permuted, and sparse random
+    // identifiers all lead to valid solutions with the same round accounting shape.
+    let problem = rooted_tree_lcl::problems::coloring::three_coloring_binary();
+    let report = classify(&problem);
+    let tree = generators::random_full(2, 501, 5);
+    let mut totals = Vec::new();
+    for ids in [
+        IdAssignment::sequential(&tree),
+        IdAssignment::random_permutation(&tree, 1),
+        IdAssignment::random_sparse(&tree, 2),
+    ] {
+        let outcome = solve(&problem, &report, &tree, ids).unwrap();
+        outcome.labeling.verify(&tree, &problem).unwrap();
+        totals.push(outcome.rounds.total());
+    }
+    let min = totals.iter().min().unwrap();
+    let max = totals.iter().max().unwrap();
+    assert!(max - min <= 3, "round counts {totals:?} diverge across id assignments");
+}
+
+#[test]
+fn solvers_handle_extreme_tree_shapes() {
+    let problem = rooted_tree_lcl::problems::coloring::branch_two_coloring();
+    let report = classify(&problem);
+    for tree in [
+        generators::balanced(2, 11),
+        generators::hairy_path(2, 500),
+        generators::random_skewed(2, 1001, 0.95, 9),
+        RootedTree::singleton(),
+    ] {
+        let ids = IdAssignment::sequential(&tree);
+        let outcome = solve(&problem, &report, &tree, ids).unwrap();
+        outcome.labeling.verify(&tree, &problem).unwrap();
+    }
+}
+
+#[test]
+fn lower_bound_trees_are_also_valid_inputs() {
+    // The Section 5.4 trees are ordinary rooted trees (not full δ-ary everywhere);
+    // solvers must still label them correctly since irregular nodes are
+    // unconstrained.
+    use rooted_tree_lcl::trees::lower_bound;
+    let problem = rooted_tree_lcl::problems::coloring::three_coloring_binary();
+    let report = classify(&problem);
+    let bipolar = lower_bound::t_x_k(2, 8, 2);
+    let tree = bipolar.tree;
+    let outcome = solve(
+        &problem,
+        &report,
+        &tree,
+        IdAssignment::sequential(&tree),
+    )
+    .unwrap();
+    outcome.labeling.verify(&tree, &problem).unwrap();
+}
