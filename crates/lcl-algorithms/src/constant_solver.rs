@@ -35,10 +35,9 @@ pub fn solve_constant(
     let splitting = split_into_blocks(tree, d);
 
     let mut labeling = Labeling::for_tree(tree);
-    let first_label = *base
+    let first_label = base
         .labels
-        .iter()
-        .next()
+        .first()
         .expect("certificates have at least one label");
     labeling.set(tree.root(), first_label);
     for &root in &splitting.block_roots {
@@ -47,14 +46,17 @@ pub fn solve_constant(
         }
     }
     if !labeling.is_complete() {
-        let restricted = problem.restrict_to(&base.labels);
+        let restricted = problem.restrict_to(base.labels);
         lcl_core::greedy::complete_downwards(&restricted, tree, &mut labeling);
     }
 
     // Round accounting per Theorem 7.2: k = 20·d + 1.
     let k = 20 * d + 1;
     let mut rounds = RoundReport::new();
-    rounds.charged("port-number defective distance-k colouring (10k ancestors)", 10 * k);
+    rounds.charged(
+        "port-number defective distance-k colouring (10k ancestors)",
+        10 * k,
+    );
     rounds.charged("marking periodic paths + ruling set extension", 8 * d + 2);
     rounds.charged("block completion from certificate trees", 2 * d + 2);
     SolverOutcome {
@@ -93,13 +95,13 @@ fn fill_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcl_core::{classify, ClassifierConfig};
+    use lcl_core::classify;
     use lcl_problems::{extras, mis};
     use lcl_trees::generators;
 
     fn certificate_for(problem: &LclProblem) -> ConstantCertificate {
         classify(problem)
-            .constant_certificate(&ClassifierConfig::default())
+            .constant_certificate()
             .expect("problem must be O(1)")
             .unwrap()
     }

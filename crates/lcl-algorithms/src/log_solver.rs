@@ -41,11 +41,13 @@ fn assign_children(
     if tree.is_leaf(node) {
         return Ok(());
     }
-    let parent_label = labeling.get(node).expect("node labeled before its children");
+    let parent_label = labeling
+        .get(node)
+        .expect("node labeled before its children");
     if tree.num_children(node) != problem_pf.delta() {
         // Unconstrained node (only possible on irregular trees): give every child
         // an arbitrary certificate label.
-        let fallback = *problem_pf.labels().iter().next().expect("non-empty");
+        let fallback = problem_pf.labels().first().expect("non-empty");
         for &c in tree.children(node) {
             if !labeling.is_set(c) {
                 labeling.set(c, fallback);
@@ -107,7 +109,7 @@ pub fn solve_log(
         runs_by_layer[layer].push(run);
     }
 
-    let first_label = *problem_pf.labels().iter().next().expect("certificate non-empty");
+    let first_label = problem_pf.labels().first().expect("certificate non-empty");
     let mut labeling = Labeling::for_tree(tree);
 
     for layer in (1..=num_layers).rev() {
@@ -152,7 +154,7 @@ pub fn solve_log(
                 None => problem_pf
                     .labels()
                     .iter()
-                    .find_map(|&t| automaton.find_walk(start, t, run.len())),
+                    .find_map(|t| automaton.find_walk(start, t, run.len())),
             }
             .ok_or_else(|| {
                 format!(

@@ -26,12 +26,7 @@ use crate::solve::{RoundReport, SolverOutcome};
 
 /// Copies the certificate tree rooted at the label of `root` onto the subtree of
 /// height (at most) `d` below `root`, assigning labels level by level.
-fn fill_block(
-    cert: &LogStarCertificate,
-    tree: &RootedTree,
-    labeling: &mut Labeling,
-    root: NodeId,
-) {
+fn fill_block(cert: &LogStarCertificate, tree: &RootedTree, labeling: &mut Labeling, root: NodeId) {
     let root_label = labeling.get(root).expect("block roots are labeled");
     let cert_tree = cert
         .tree_for(root_label)
@@ -74,10 +69,9 @@ pub fn solve_log_star(
 
     // Phase 3: completion.
     let mut labeling = Labeling::for_tree(tree);
-    let first_label = *cert
+    let first_label = cert
         .labels
-        .iter()
-        .next()
+        .first()
         .expect("certificates have at least one label");
     labeling.set(tree.root(), first_label);
     for &root in &splitting.block_roots {
@@ -90,7 +84,7 @@ pub fn solve_log_star(
     // covered by fill_block; anything left unlabeled (only possible on irregular
     // trees) is completed greedily inside the certificate labels.
     if !labeling.is_complete() {
-        let restricted = problem.restrict_to(&cert.labels);
+        let restricted = problem.restrict_to(cert.labels);
         greedy::complete_downwards(&restricted, tree, &mut labeling);
     }
     rounds.charged("block completion from certificate trees", 2 * d + 2);
@@ -142,12 +136,7 @@ mod tests {
             generators::random_skewed(2, 801, 0.9, 3),
             generators::hairy_path(2, 200),
         ] {
-            let outcome = solve_log_star(
-                &problem,
-                &cert,
-                &tree,
-                IdAssignment::sequential(&tree),
-            );
+            let outcome = solve_log_star(&problem, &cert, &tree, IdAssignment::sequential(&tree));
             outcome.labeling.verify(&tree, &problem).unwrap();
         }
     }
@@ -197,12 +186,7 @@ mod tests {
         let problem = lcl_problems::mis::mis_binary();
         let cert = certificate_for(&problem);
         let tree = generators::random_full(2, 301, 4);
-        let outcome = solve_log_star(
-            &problem,
-            &cert,
-            &tree,
-            IdAssignment::sequential(&tree),
-        );
+        let outcome = solve_log_star(&problem, &cert, &tree, IdAssignment::sequential(&tree));
         outcome.labeling.verify(&tree, &problem).unwrap();
     }
 }

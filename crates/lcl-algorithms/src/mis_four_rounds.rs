@@ -85,7 +85,11 @@ impl NodeProgram for MisFourRounds {
 /// Panics if `problem` does not contain labels named `1`, `a`, and `b` or if the
 /// tree is not binary (δ = 2).
 pub fn solve_mis_four_rounds(problem: &LclProblem, tree: &RootedTree) -> SolverOutcome {
-    assert_eq!(problem.delta(), 2, "the Figure 1 algorithm is for binary trees");
+    assert_eq!(
+        problem.delta(),
+        2,
+        "the Figure 1 algorithm is for binary trees"
+    );
     let to_label = |c: char| -> Label {
         problem
             .label_by_name(&c.to_string())
@@ -121,7 +125,7 @@ pub fn verify_table_against(problem: &LclProblem) -> Vec<u8> {
     let mut violations = Vec::new();
     for code in 0u8..16 {
         let parent = MIS_TABLE[code as usize];
-        let left = MIS_TABLE[(((code << 1) & 0b1111) | 0) as usize];
+        let left = MIS_TABLE[((code << 1) & 0b1111) as usize];
         let right = MIS_TABLE[(((code << 1) & 0b1111) | 1) as usize];
         let ok = problem.allows_parts(label_of(parent), &[label_of(left), label_of(right)]);
         if !ok {

@@ -49,13 +49,12 @@ pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
         // N_v: subtree sizes within the forest induced by U_i.
         let mut size = vec![0usize; n];
         for &v in tree.post_order().iter().filter(|v| in_u[v.index()]) {
-            size[v.index()] = 1
-                + tree
-                    .children(v)
-                    .iter()
-                    .filter(|c| in_u[c.index()])
-                    .map(|c| size[c.index()])
-                    .sum::<usize>();
+            size[v.index()] = 1 + tree
+                .children(v)
+                .iter()
+                .filter(|c| in_u[c.index()])
+                .map(|c| size[c.index()])
+                .sum::<usize>();
         }
         // The number of levels a node explores to decide whether N_v exceeds the
         // threshold — the measured O(n^{1/k}) quantity of this iteration.
@@ -99,10 +98,7 @@ pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
     }
 
     // Any node still unassigned (possible only when the loop exits early) joins B_k.
-    let part = part
-        .into_iter()
-        .map(|p| p.unwrap_or(Part::B(k)))
-        .collect();
+    let part = part.into_iter().map(|p| p.unwrap_or(Part::B(k))).collect();
     PiKPartition {
         part,
         iteration_depths,
@@ -133,7 +129,7 @@ pub fn solve_pi_k(problem: &LclProblem, k: usize, tree: &RootedTree) -> SolverOu
         match my_part {
             Part::X(i) => labeling.set(v, label(&format!("x{i}"))),
             Part::B(i) => {
-                let name = if comp_depth[v.index()] % 2 == 0 {
+                let name = if comp_depth[v.index()].is_multiple_of(2) {
                     format!("a{i}")
                 } else {
                     format!("b{i}")
@@ -144,7 +140,10 @@ pub fn solve_pi_k(problem: &LclProblem, k: usize, tree: &RootedTree) -> SolverOu
     }
     let mut rounds = RoundReport::new();
     for (i, depth) in partition.iteration_depths.iter().enumerate() {
-        rounds.measured(&format!("iteration {} subtree-size exploration", i + 1), *depth);
+        rounds.measured(
+            &format!("iteration {} subtree-size exploration", i + 1),
+            *depth,
+        );
     }
     rounds.charged("component 2-colouring (within-component depth)", {
         // Components have at most n^{1/k} nodes, hence at most that depth.
@@ -167,7 +166,14 @@ pub fn solve_by_depth_parity(problem: &LclProblem, tree: &RootedTree) -> SolverO
     let depths = tree.depths();
     let mut labeling = Labeling::for_tree(tree);
     for v in tree.nodes() {
-        labeling.set(v, if depths[v.index()] % 2 == 0 { one } else { two });
+        labeling.set(
+            v,
+            if depths[v.index()].is_multiple_of(2) {
+                one
+            } else {
+                two
+            },
+        );
     }
     let mut rounds = RoundReport::new();
     rounds.measured("top-down depth propagation", tree.height() + 1);

@@ -30,7 +30,7 @@ pub struct BlockSplitting {
 impl BlockSplitting {
     /// `true` if `v` is a block root.
     pub fn is_block_root(&self, v: NodeId) -> bool {
-        self.depths[v.index()] % self.block_height == 0
+        self.depths[v.index()].is_multiple_of(self.block_height)
     }
 }
 
@@ -45,7 +45,7 @@ pub fn split_into_blocks(tree: &RootedTree, d: usize) -> BlockSplitting {
     let block_roots = tree
         .bfs_order()
         .into_iter()
-        .filter(|v| depths[v.index()] % d == 0)
+        .filter(|v| depths[v.index()].is_multiple_of(d))
         .collect();
     BlockSplitting {
         block_height: d,

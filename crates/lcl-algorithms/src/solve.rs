@@ -1,6 +1,6 @@
 //! The unified solver entry point and round accounting.
 
-use lcl_core::{ClassificationReport, ClassifierConfig, Complexity, Labeling, LclProblem};
+use lcl_core::{ClassificationReport, Complexity, Labeling, LclProblem};
 use lcl_sim::IdAssignment;
 use lcl_trees::RootedTree;
 
@@ -107,19 +107,18 @@ pub fn solve(
     tree: &RootedTree,
     ids: IdAssignment,
 ) -> Result<SolverOutcome, SolveError> {
-    let config = ClassifierConfig::default();
     match report.complexity {
         Complexity::Unsolvable => Err(SolveError::Unsolvable),
         Complexity::Constant => {
             let cert = report
-                .constant_certificate(&config)
+                .constant_certificate()
                 .expect("constant class implies a certificate")
                 .map_err(|e| SolveError::CertificateTooLarge(e.to_string()))?;
             Ok(crate::constant_solver::solve_constant(problem, &cert, tree))
         }
         Complexity::LogStar => {
             let cert = report
-                .log_star_certificate(&config)
+                .log_star_certificate()
                 .expect("log* class implies a certificate")
                 .map_err(|e| SolveError::CertificateTooLarge(e.to_string()))?;
             Ok(crate::log_star_solver::solve_log_star(
@@ -130,8 +129,7 @@ pub fn solve(
             let cert = report
                 .log_certificate()
                 .expect("log class implies a certificate");
-            crate::log_solver::solve_log(problem, cert, tree)
-                .map_err(SolveError::Internal)
+            crate::log_solver::solve_log(problem, cert, tree).map_err(SolveError::Internal)
         }
         Complexity::Polynomial { .. } => {
             let labeling = lcl_core::greedy::solve(problem, tree).ok_or(SolveError::Unsolvable)?;
@@ -167,7 +165,10 @@ mod tests {
     #[test]
     fn solve_dispatches_for_every_class() {
         let problems = [
-            ("1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n", "O(1)"),
+            (
+                "1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n",
+                "O(1)",
+            ),
             (
                 "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n",
                 "log*",
@@ -200,13 +201,7 @@ mod tests {
         let problem: LclProblem = "a : b b\nb : c c\n".parse().unwrap();
         let report = classify(&problem);
         let tree = generators::balanced(2, 4);
-        let err = solve(
-            &problem,
-            &report,
-            &tree,
-            IdAssignment::sequential(&tree),
-        )
-        .unwrap_err();
+        let err = solve(&problem, &report, &tree, IdAssignment::sequential(&tree)).unwrap_err();
         assert_eq!(err, SolveError::Unsolvable);
     }
 }

@@ -2,47 +2,24 @@
 //! "classifies the sample problems in a matter of milliseconds" claim), plus a
 //! scaling sweep over random problems and the Π_k family.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-/// Keep the full-suite `cargo bench` run short: small sample counts are plenty for
-/// the magnitude comparisons these benchmarks support.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(600))
-}
+use lcl_bench::harness::{black_box, Bench};
 use lcl_core::classify;
 use lcl_problems::random::{random_problem, RandomProblemSpec};
 use lcl_problems::{catalog, pi_k};
 
-fn bench_catalog(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classify_catalog");
+fn main() {
+    let mut bench = Bench::new("classify_catalog");
     for entry in catalog() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(entry.name),
-            &entry.problem,
-            |b, problem| b.iter(|| classify(problem)),
-        );
+        bench.case(entry.name, || classify(black_box(&entry.problem)));
     }
-    group.finish();
-}
 
-fn bench_pi_k_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classify_pi_k");
+    let mut bench = Bench::new("classify_pi_k");
     for k in 1..=6 {
         let problem = pi_k::pi_k(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &problem, |b, problem| {
-            b.iter(|| classify(problem))
-        });
+        bench.case(&format!("k={k}"), || classify(black_box(&problem)));
     }
-    group.finish();
-}
 
-fn bench_random_problems(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classify_random");
+    let mut bench = Bench::new("classify_random (16 problems per case)");
     for num_labels in [2usize, 3, 4, 5] {
         let spec = RandomProblemSpec {
             delta: 2,
@@ -50,24 +27,10 @@ fn bench_random_problems(c: &mut Criterion) {
             density: 0.3,
         };
         let problems: Vec<_> = (0..16).map(|seed| random_problem(&spec, seed)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("labels", num_labels),
-            &problems,
-            |b, problems| {
-                b.iter(|| {
-                    for p in problems {
-                        criterion::black_box(classify(p));
-                    }
-                })
-            },
-        );
+        bench.case(&format!("labels={num_labels}"), || {
+            for p in &problems {
+                black_box(classify(p));
+            }
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_catalog, bench_pi_k_scaling, bench_random_problems
-}
-criterion_main!(benches);

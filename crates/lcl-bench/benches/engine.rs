@@ -1,0 +1,91 @@
+//! Batch classification throughput: naive sequential loop vs the memoized
+//! engine vs the parallel+memoized engine, on random δ=2 families.
+//!
+//! This is the workload the `ClassificationEngine` exists for: sweeping a whole
+//! problem family. Two family shapes are measured:
+//!
+//! * 3-label random families — few canonical duplicates, so the win comes from
+//!   the decision-only fast path (`classify_complexity`) and, on multicore
+//!   machines, the parallel workers;
+//! * a 2-label random family of 512 samples — only 64 distinct problems
+//!   (fewer up to renaming), so canonical-form memoization collapses almost
+//!   all of the work.
+//!
+//! The bench asserts that the parallel+memoized engine beats the naive
+//! sequential `classify()` loop on the duplication-heavy family, where the
+//! win is structural (~6x) rather than scheduling-dependent; the low-dup
+//! families report their speedup without gating, so a noisy CI runner cannot
+//! flake an unrelated PR.
+
+use lcl_bench::harness::{black_box, Bench};
+use lcl_core::{classify, ClassificationEngine};
+use lcl_problems::random::{random_family, RandomProblemSpec};
+
+fn run_family(label: &str, problems: &[lcl_core::LclProblem], assert_win: bool) {
+    let mut bench = Bench::new(label);
+
+    bench.case("naive sequential classify()", || {
+        for p in problems {
+            black_box(classify(p).complexity);
+        }
+    });
+
+    bench.case("engine sequential + memo", || {
+        let engine = ClassificationEngine::new();
+        black_box(engine.classify_batch_sequential(problems))
+    });
+
+    bench.case("engine parallel, no memo", || {
+        let mut engine = ClassificationEngine::new();
+        engine.set_memoization(false);
+        black_box(engine.classify_batch(problems))
+    });
+
+    bench.case("engine parallel + memo", || {
+        let engine = ClassificationEngine::new();
+        black_box(engine.classify_batch(problems))
+    });
+
+    let naive = bench
+        .median_of("naive sequential classify()")
+        .expect("case ran");
+    let best = bench.median_of("engine parallel + memo").expect("case ran");
+    let speedup = naive.as_secs_f64() / best.as_secs_f64().max(1e-12);
+    println!("parallel+memo speedup over naive sequential: {speedup:.2}x\n");
+    if assert_win {
+        assert!(
+            best < naive,
+            "parallel+memoized engine ({best:?}) should beat the naive loop ({naive:?}) on {label}"
+        );
+    }
+}
+
+fn main() {
+    let three_labels = RandomProblemSpec {
+        delta: 2,
+        num_labels: 3,
+        density: 0.3,
+    };
+    for count in [128usize, 512] {
+        let problems = random_family(&three_labels, 42, count);
+        run_family(
+            &format!("classify_batch ({count} random δ=2 problems, 3 labels)"),
+            &problems,
+            false,
+        );
+    }
+
+    // Duplication-heavy family: 512 samples over a universe of only 64
+    // problems, the shape of a full-family sweep.
+    let two_labels = RandomProblemSpec {
+        delta: 2,
+        num_labels: 2,
+        density: 0.5,
+    };
+    let problems = random_family(&two_labels, 7, 512);
+    run_family(
+        "classify_batch (512 random δ=2 problems, 2 labels, heavy duplication)",
+        &problems,
+        true,
+    );
+}

@@ -1,37 +1,19 @@
 //! Experiment E9 support: rake-and-compress partition cost and layer counts
 //! (Definition 5.8, Lemma 5.9).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-/// Keep the full-suite `cargo bench` run short: small sample counts are plenty for
-/// the magnitude comparisons these benchmarks support.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(600))
-}
+use lcl_bench::harness::Bench;
 use lcl_trees::{generators, rcp_partition};
 
-fn bench_rcp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rcp_partition");
+fn main() {
+    let mut bench = Bench::new("rcp_partition");
     for &n in &[1usize << 10, 1 << 13, 1 << 16] {
         for p in [2usize, 4, 8] {
             let tree = generators::random_full(2, n, 7);
-            group.bench_with_input(
-                BenchmarkId::new(format!("p{p}"), n),
-                &tree,
-                |b, tree| b.iter(|| rcp_partition(tree, p)),
-            );
+            bench.case(&format!("n={n} p={p}"), || rcp_partition(&tree, p));
         }
     }
-    group.finish();
-}
 
-fn bench_rcp_on_adversarial_shapes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rcp_partition_shapes");
+    let mut bench = Bench::new("rcp_partition_shapes");
     let n = 1 << 14;
     let shapes: Vec<(&str, lcl_trees::RootedTree)> = vec![
         ("balanced", generators::balanced(2, 14)),
@@ -40,16 +22,6 @@ fn bench_rcp_on_adversarial_shapes(c: &mut Criterion) {
         ("hairy_path", generators::hairy_path(2, n / 2)),
     ];
     for (name, tree) in shapes {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &tree, |b, tree| {
-            b.iter(|| rcp_partition(tree, 4))
-        });
+        bench.case(name, || rcp_partition(&tree, 4));
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_rcp, bench_rcp_on_adversarial_shapes
-}
-criterion_main!(benches);

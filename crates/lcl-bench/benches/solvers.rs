@@ -2,111 +2,71 @@
 //! E8–E11; the round-count tables themselves are produced by the experiment
 //! binaries).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-/// Keep the full-suite `cargo bench` run short: small sample counts are plenty for
-/// the magnitude comparisons these benchmarks support.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(600))
-}
 use lcl_algorithms::{constant_solver, log_solver, log_star_solver, mis_four_rounds, poly_solver};
-use lcl_core::{classify, ClassifierConfig};
+use lcl_bench::harness::Bench;
+use lcl_core::classify;
 use lcl_problems::{coloring, mis, pi_k};
 use lcl_sim::IdAssignment;
 use lcl_trees::generators;
 
 const SIZES: [usize; 3] = [1 << 10, 1 << 13, 1 << 16];
 
-fn bench_mis_four_rounds(c: &mut Criterion) {
-    let problem = mis::mis_binary();
-    let mut group = c.benchmark_group("solve_mis_four_rounds");
+fn main() {
+    let mis_problem = mis::mis_binary();
+    let mut bench = Bench::new("solve_mis_four_rounds");
     for &n in &SIZES {
         let tree = generators::random_full(2, n, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
-            b.iter(|| mis_four_rounds::solve_mis_four_rounds(&problem, tree))
+        bench.case(&format!("n={n}"), || {
+            mis_four_rounds::solve_mis_four_rounds(&mis_problem, &tree)
         });
     }
-    group.finish();
-}
 
-fn bench_constant_solver(c: &mut Criterion) {
-    let problem = mis::mis_binary();
-    let cert = classify(&problem)
-        .constant_certificate(&ClassifierConfig::default())
+    let cert = classify(&mis_problem)
+        .constant_certificate()
         .unwrap()
         .unwrap();
-    let mut group = c.benchmark_group("solve_constant_generic");
+    let mut bench = Bench::new("solve_constant_generic");
     for &n in &SIZES {
         let tree = generators::random_full(2, n, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
-            b.iter(|| constant_solver::solve_constant(&problem, &cert, tree))
+        bench.case(&format!("n={n}"), || {
+            constant_solver::solve_constant(&mis_problem, &cert, &tree)
         });
     }
-    group.finish();
-}
 
-fn bench_log_star_solver(c: &mut Criterion) {
-    let problem = coloring::three_coloring_binary();
-    let cert = classify(&problem)
-        .log_star_certificate(&ClassifierConfig::default())
+    let coloring_problem = coloring::three_coloring_binary();
+    let cert = classify(&coloring_problem)
+        .log_star_certificate()
         .unwrap()
         .unwrap();
-    let mut group = c.benchmark_group("solve_log_star");
+    let mut bench = Bench::new("solve_log_star");
     for &n in &SIZES {
         let tree = generators::random_full(2, n, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
-            b.iter(|| {
-                log_star_solver::solve_log_star(
-                    &problem,
-                    &cert,
-                    tree,
-                    IdAssignment::sequential(tree),
-                )
-            })
+        bench.case(&format!("n={n}"), || {
+            log_star_solver::solve_log_star(
+                &coloring_problem,
+                &cert,
+                &tree,
+                IdAssignment::sequential(&tree),
+            )
         });
     }
-    group.finish();
-}
 
-fn bench_log_solver(c: &mut Criterion) {
-    let problem = coloring::branch_two_coloring();
-    let cert = classify(&problem).log_certificate().unwrap().clone();
-    let mut group = c.benchmark_group("solve_log");
+    let branch_problem = coloring::branch_two_coloring();
+    let cert = classify(&branch_problem).log_certificate().unwrap().clone();
+    let mut bench = Bench::new("solve_log");
     for &n in &SIZES {
         let tree = generators::random_full(2, n, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
-            b.iter(|| log_solver::solve_log(&problem, &cert, tree).unwrap())
+        bench.case(&format!("n={n}"), || {
+            log_solver::solve_log(&branch_problem, &cert, &tree).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_poly_solver(c: &mut Criterion) {
-    let problem = pi_k::pi_k(2);
-    let mut group = c.benchmark_group("solve_pi_2");
+    let pi2 = pi_k::pi_k(2);
+    let mut bench = Bench::new("solve_pi_2");
     for &n in &SIZES {
         let tree = generators::random_full(2, n, 5);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
-            b.iter(|| poly_solver::solve_pi_k(&problem, 2, tree))
+        bench.case(&format!("n={n}"), || {
+            poly_solver::solve_pi_k(&pi2, 2, &tree)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets =
-    bench_mis_four_rounds,
-    bench_constant_solver,
-    bench_log_star_solver,
-    bench_log_solver,
-    bench_poly_solver
-
-}
-criterion_main!(benches);

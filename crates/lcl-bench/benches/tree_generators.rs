@@ -1,50 +1,26 @@
 //! Experiment E12 support: generator and lower-bound-construction throughput
 //! (Section 5.4 bipolar trees).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-/// Keep the full-suite `cargo bench` run short: small sample counts are plenty for
-/// the magnitude comparisons these benchmarks support.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(600))
-}
+use lcl_bench::harness::Bench;
 use lcl_trees::{generators, lower_bound};
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators");
+fn main() {
+    let mut bench = Bench::new("generators");
     for &n in &[1usize << 12, 1 << 16] {
-        group.bench_with_input(BenchmarkId::new("random_full", n), &n, |b, &n| {
-            b.iter(|| generators::random_full(2, n, 3))
+        bench.case(&format!("random_full n={n}"), || {
+            generators::random_full(2, n, 3)
         });
-        group.bench_with_input(BenchmarkId::new("hairy_path", n), &n, |b, &n| {
-            b.iter(|| generators::hairy_path(2, n / 2))
+        bench.case(&format!("hairy_path n={n}"), || {
+            generators::hairy_path(2, n / 2)
         });
     }
-    group.finish();
-}
 
-fn bench_lower_bound_trees(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lower_bound_trees");
+    let mut bench = Bench::new("lower_bound_trees");
     for k in [2usize, 3] {
         for x in [8usize, 16] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("t_x_{k}"), x),
-                &(x, k),
-                |b, &(x, k)| b.iter(|| lower_bound::t_x_k(2, x, k)),
-            );
+            bench.case(&format!("t_x_k k={k} x={x}"), || {
+                lower_bound::t_x_k(2, x, k)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_generators, bench_lower_bound_trees
-}
-criterion_main!(benches);

@@ -10,7 +10,10 @@ fn main() {
     let problem = mis::mis_binary();
     println!(
         "output table (4): {}",
-        MIS_TABLE.iter().map(|c| format!("{c} ")).collect::<String>()
+        MIS_TABLE
+            .iter()
+            .map(|c| format!("{c} "))
+            .collect::<String>()
     );
     let violations = mis_four_rounds::verify_table_against(&problem);
     println!(
@@ -20,7 +23,10 @@ fn main() {
     );
     assert!(violations.is_empty());
 
-    println!("\n{:>10} {:>8} {:>14} {:>10}", "n", "rounds", "max msg bits", "valid");
+    println!(
+        "\n{:>10} {:>8} {:>14} {:>10}",
+        "n", "rounds", "max msg bits", "valid"
+    );
     for exponent in [8u32, 12, 16, 20] {
         let tree = generators::random_full(2, (1usize << exponent) + 1, u64::from(exponent));
         let outcome = mis_four_rounds::solve_mis_four_rounds(&problem, &tree);
@@ -35,5 +41,7 @@ fn main() {
         );
         assert!(valid);
     }
-    println!("\nRESULT: constant rounds independent of n, 4-bit messages (CONGEST), all runs valid");
+    println!(
+        "\nRESULT: constant rounds independent of n, 4-bit messages (CONGEST), all runs valid"
+    );
 }

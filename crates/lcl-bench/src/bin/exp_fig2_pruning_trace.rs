@@ -36,5 +36,7 @@ fn main() {
     trace("branch 2-coloring (5)", &coloring::branch_two_coloring());
     trace("2-coloring (2)", &coloring::two_coloring_binary());
     println!("expected (paper): Π₀ removes {{a, b}} in one iteration and keeps {{1, 2}};");
-    println!("2-coloring empties in one iteration (Θ(n)); branch 2-coloring prunes nothing (Θ(log n)).");
+    println!(
+        "2-coloring empties in one iteration (Θ(n)); branch 2-coloring prunes nothing (Θ(log n))."
+    );
 }

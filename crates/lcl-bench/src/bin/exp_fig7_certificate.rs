@@ -1,7 +1,7 @@
 //! Experiment E4 (Figure 7): generate and verify a uniform certificate for
 //! O(log* n) solvability of the 3-coloring problem.
 
-use lcl_core::{classify, ClassifierConfig};
+use lcl_core::classify;
 use lcl_problems::coloring;
 
 fn main() {
@@ -9,7 +9,7 @@ fn main() {
     let report = classify(&problem);
     println!("3-coloring classified as {}", report.complexity);
     let cert = report
-        .log_star_certificate(&ClassifierConfig::default())
+        .log_star_certificate()
         .expect("Θ(log* n)")
         .expect("small certificate");
     cert.verify(&problem).expect("Definition 6.1 holds");

@@ -1,7 +1,7 @@
 //! Experiment E5 (Figure 8 + Definition 7.1): generate and verify a certificate for
 //! O(1) solvability of the maximal independent set problem.
 
-use lcl_core::{classify, ClassifierConfig};
+use lcl_core::classify;
 use lcl_problems::mis;
 
 fn main() {
@@ -9,7 +9,7 @@ fn main() {
     let report = classify(&problem);
     println!("MIS classified as {}", report.complexity);
     let cert = report
-        .constant_certificate(&ClassifierConfig::default())
+        .constant_certificate()
         .expect("O(1)")
         .expect("small certificate");
     cert.verify(&problem).expect("Definition 7.1 holds");

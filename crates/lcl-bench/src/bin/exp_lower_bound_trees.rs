@@ -34,7 +34,11 @@ fn main() {
     for k in 1..=3usize {
         let small = lower_bound::t_x_k_size(2, 16, k) as f64;
         let large = lower_bound::t_x_k_size(2, 32, k) as f64;
-        println!("k = {k}: ratio = {:.2} (expected ≈ {})", large / small, 1 << k);
+        println!(
+            "k = {k}: ratio = {:.2} (expected ≈ {})",
+            large / small,
+            1 << k
+        );
     }
 
     println!("\nconcatenation T^x_(2←1) (δ = 3, x = 6):");

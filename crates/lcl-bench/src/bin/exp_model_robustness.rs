@@ -17,10 +17,16 @@ fn main() {
     println!("tree: {} nodes\n", tree.len());
 
     println!("Cole–Vishkin chain colouring (the Θ(log* n) primitive):");
-    println!("{:<22} {:>8} {:>14} {:>16}", "identifiers", "rounds", "max msg bits", "CONGEST (c=2)?");
+    println!(
+        "{:<22} {:>8} {:>14} {:>16}",
+        "identifiers", "rounds", "max msg bits", "CONGEST (c=2)?"
+    );
     for (name, ids) in [
         ("sequential", IdAssignment::sequential(&tree)),
-        ("random permutation", IdAssignment::random_permutation(&tree, 1)),
+        (
+            "random permutation",
+            IdAssignment::random_permutation(&tree, 1),
+        ),
         ("sparse random (n³)", IdAssignment::random_sparse(&tree, 2)),
     ] {
         let (colors, metrics) = chain_coloring(&tree, ids);
@@ -55,7 +61,10 @@ fn main() {
     let report = classify(&col);
     for (name, ids) in [
         ("sequential", IdAssignment::sequential(&tree)),
-        ("random permutation", IdAssignment::random_permutation(&tree, 5)),
+        (
+            "random permutation",
+            IdAssignment::random_permutation(&tree, 5),
+        ),
         ("sparse random (n³)", IdAssignment::random_sparse(&tree, 6)),
     ] {
         let outcome = lcl_algorithms::solve(&col, &report, &tree, ids).unwrap();

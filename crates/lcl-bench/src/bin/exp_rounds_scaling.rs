@@ -3,7 +3,7 @@
 //! (flat / log* / log / n^{1/k}), plus the raw RCP layer counts of Lemma 5.9.
 
 use lcl_algorithms::{constant_solver, log_solver, log_star_solver, poly_solver};
-use lcl_core::{classify, ClassifierConfig};
+use lcl_core::classify;
 use lcl_problems::{coloring, mis, pi_k};
 use lcl_sim::IdAssignment;
 use lcl_trees::generators;
@@ -11,12 +11,12 @@ use lcl_trees::generators;
 fn main() {
     let mis_problem = mis::mis_binary();
     let mis_cert = classify(&mis_problem)
-        .constant_certificate(&ClassifierConfig::default())
+        .constant_certificate()
         .unwrap()
         .unwrap();
     let col_problem = coloring::three_coloring_binary();
     let col_cert = classify(&col_problem)
-        .log_star_certificate(&ClassifierConfig::default())
+        .log_star_certificate()
         .unwrap()
         .unwrap();
     let branch_problem = coloring::branch_two_coloring();
@@ -46,7 +46,10 @@ fn main() {
             (&pi2, &r_poly),
             (&two_col, &r_global),
         ] {
-            outcome.labeling.verify(&tree, problem).expect("valid solution");
+            outcome
+                .labeling
+                .verify(&tree, problem)
+                .expect("valid solution");
         }
         println!(
             "{:>9} | {:>10} {:>14} {:>16} {:>12} {:>10} | {:>10}",

@@ -10,7 +10,10 @@ use lcl_trees::generators;
 use std::time::Instant;
 
 fn main() {
-    println!("{:>3} {:>5} {:>5} {:<28} {:>10} {:>12}", "k", "|Σ|", "|C|", "classified", "prunes", "time");
+    println!(
+        "{:>3} {:>5} {:>5} {:<28} {:>10} {:>12}",
+        "k", "|Σ|", "|C|", "classified", "prunes", "time"
+    );
     for k in 1..=6 {
         let problem = pi_k::pi_k(k);
         let start = Instant::now();

@@ -16,7 +16,11 @@ use lcl_trees::generators;
 /// necessary condition used in Theorem 7.7's argument: if two *adjacent* constrained
 /// nodes share a view class, the label they share must appear in a configuration
 /// repeating the parent label.
-fn view_based_algorithm_possible(problem: &LclProblem, tree: &lcl_trees::RootedTree, t: usize) -> bool {
+fn view_based_algorithm_possible(
+    problem: &LclProblem,
+    tree: &lcl_trees::RootedTree,
+    t: usize,
+) -> bool {
     let classes = views::view_classes(tree, t);
     let mut class_of = vec![usize::MAX; tree.len()];
     for (i, class) in classes.iter().enumerate() {
@@ -51,7 +55,10 @@ fn main() {
     // identical low-radius views.
     let tree = generators::hairy_path(2, 200);
     println!("instance: hairy path with {} nodes\n", tree.len());
-    println!("{:>3} {:>24} {:>18}", "t", "3-coloring possible?", "MIS possible?");
+    println!(
+        "{:>3} {:>24} {:>18}",
+        "t", "3-coloring possible?", "MIS possible?"
+    );
     for t in 0..=4 {
         println!(
             "{:>3} {:>24} {:>18}",

@@ -1,0 +1,128 @@
+//! A minimal benchmark harness (criterion-lite).
+//!
+//! The workspace builds without external crates, so the `cargo bench` targets
+//! use this harness instead of criterion: each bench target sets
+//! `harness = false` and drives a [`Bench`] from its `main`. The harness warms
+//! up, picks an iteration count so every sample takes a few milliseconds, takes
+//! a fixed number of samples, and reports min/median/max per-iteration times on
+//! stdout. Re-exported [`black_box`] prevents the optimizer from deleting the
+//! benchmarked work.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Number of measurement samples per benchmark.
+const SAMPLES: usize = 11;
+
+/// One benchmark group, printing a header on creation and one line per case.
+pub struct Bench {
+    /// Collected `(label, median)` pairs, for programmatic comparisons.
+    results: Vec<(String, Duration)>,
+}
+
+impl Bench {
+    /// Starts a named benchmark group.
+    pub fn new(name: &str) -> Self {
+        println!("== {name}");
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            "case", "min", "median", "max"
+        );
+        Bench {
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark case and prints its timing line. Returns the median
+    /// per-iteration time.
+    pub fn case<T>(&mut self, label: &str, mut f: impl FnMut() -> T) -> Duration {
+        // Warm-up and calibration: find how many iterations fill SAMPLE_TARGET.
+        let mut iters = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+                break;
+            }
+            // Aim past the target so the loop terminates quickly.
+            let scale = (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)) as usize;
+        }
+        let mut samples: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            label,
+            format_duration(samples[0]),
+            format_duration(median),
+            format_duration(*samples.last().expect("non-empty samples"))
+        );
+        self.results.push((label.to_string(), median));
+        median
+    }
+
+    /// The median of a previously run case, by label.
+    pub fn median_of(&self, label: &str) -> Option<Duration> {
+        self.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, d)| d)
+    }
+}
+
+/// Renders a duration with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_reports_a_positive_median() {
+        let mut b = Bench::new("harness-selftest");
+        let median = b.case("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(median > Duration::ZERO);
+        assert_eq!(b.median_of("spin"), Some(median));
+        assert_eq!(b.median_of("missing"), None);
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

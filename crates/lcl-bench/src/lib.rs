@@ -4,6 +4,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::time::{Duration, Instant};
 
 use lcl_core::{classify, ClassificationReport};

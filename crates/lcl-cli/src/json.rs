@@ -1,0 +1,164 @@
+//! Minimal JSON emission for CLI output.
+//!
+//! The workspace builds without external crates, so instead of serde the CLI
+//! renders its reports through this tiny value type. Output is deterministic:
+//! object keys keep insertion order, label sets are in ascending label order.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (kept for completeness; current reports never emit it).
+    #[allow(dead_code)]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number rendered without a fractional part when integral.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for an integer value.
+    pub fn int(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with 2-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                Self::write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1)
+                })
+            }
+            Json::Obj(entries) => {
+                Self::write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    Json::Str(entries[i].0.clone()).write(out, None, 0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    entries[i].1.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+
+    fn write_seq(
+        out: &mut String,
+        indent: Option<usize>,
+        depth: usize,
+        open: char,
+        close: char,
+        len: usize,
+        mut item: impl FnMut(&mut String, usize),
+    ) {
+        out.push(open);
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * (depth + 1)));
+            }
+            item(out, i);
+        }
+        if len > 0 {
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * depth));
+            }
+        }
+        out.push(close);
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::int(1)),
+            ("b".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("c".into(), Json::str("x\"y\n")),
+        ]);
+        assert_eq!(v.to_compact(), r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_valid_and_indented() {
+        let v = Json::Obj(vec![("k".into(), Json::Arr(vec![Json::int(7)]))]);
+        let pretty = v.to_pretty();
+        assert!(pretty.contains("\n  \"k\": [\n    7\n  ]\n"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).to_pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).to_compact(), "{}");
+    }
+
+    #[test]
+    fn float_rendering() {
+        assert_eq!(Json::Num(1.5).to_compact(), "1.5");
+        assert_eq!(Json::Num(3.0).to_compact(), "3");
+    }
+}

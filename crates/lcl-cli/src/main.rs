@@ -6,13 +6,34 @@
 //!                                     # or a catalog name such as `mis`)
 //! rtlcl explain  <file|name>          # classification plus certificates
 //! rtlcl solve    <file|name> <n>      # classify, solve on a random n-node tree, verify
+//! rtlcl classify-batch [options]      # sweep a whole problem family through the engine
+//! ```
+//!
+//! `classify-batch` options:
+//!
+//! ```text
+//! --count <n>      number of random problems (default 500)
+//! --labels <k>     labels per problem (default 3)
+//! --delta <d>      children per internal node (default 2)
+//! --density <p>    configuration density in [0,1] (default 0.3)
+//! --seed <s>       base seed (default 1)
+//! --enumerate      sweep the complete (δ, Σ) family instead of random samples
+//!                  (combined with --count as a cap)
+//! --sequential     disable the parallel workers
+//! --no-memo        disable canonical-form memoization
+//! --json           emit the full per-problem results as JSON
 //! ```
 
-use std::process::ExitCode;
+mod json;
 
+use std::process::ExitCode;
+use std::time::Instant;
+
+use json::Json;
 use lcl_algorithms::solve;
-use lcl_core::{classify, ClassifierConfig, LclProblem};
+use lcl_core::{classify, ClassificationEngine, Complexity, LclProblem};
 use lcl_problems::catalog;
+use lcl_problems::random::{enumerate_problems, random_family, RandomProblemSpec};
 use lcl_sim::IdAssignment;
 use lcl_trees::generators;
 
@@ -38,6 +59,73 @@ fn cmd_catalog() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Renders a classification report as JSON (labels by name, ascending order).
+fn report_to_json(report: &lcl_core::ClassificationReport) -> Json {
+    let problem = &report.problem;
+    let alphabet = problem.alphabet();
+    let names = |set: lcl_core::LabelSet| {
+        Json::Arr(set.iter().map(|l| Json::str(alphabet.name(l))).collect())
+    };
+    let mut obj = vec![
+        (
+            "complexity".into(),
+            Json::str(report.complexity.to_string()),
+        ),
+        (
+            "complexity_short".into(),
+            Json::str(report.complexity.short_name()),
+        ),
+        ("delta".into(), Json::int(problem.delta())),
+        ("num_labels".into(), Json::int(problem.num_labels())),
+        (
+            "num_configurations".into(),
+            Json::int(problem.num_configurations()),
+        ),
+        ("problem".into(), Json::str(problem.to_text())),
+        ("solvable_labels".into(), names(report.solvable_labels)),
+        (
+            "pruned_sets".into(),
+            Json::Arr(
+                report
+                    .log_analysis
+                    .pruned_sets
+                    .iter()
+                    .map(|&s| names(s))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Complexity::Polynomial {
+        lower_bound_exponent,
+    } = report.complexity
+    {
+        obj.push((
+            "lower_bound_exponent".into(),
+            Json::int(lower_bound_exponent),
+        ));
+    }
+    if let Some(cert) = report.log_certificate() {
+        obj.push((
+            "log_certificate_labels".into(),
+            names(cert.problem_pf.labels()),
+        ));
+        obj.push(("max_flexibility".into(), Json::int(cert.max_flexibility)));
+    }
+    if let Some(r) = &report.log_star {
+        obj.push((
+            "log_star_certificate_labels".into(),
+            names(r.certificate_labels),
+        ));
+    }
+    if let Some(r) = &report.constant {
+        obj.push((
+            "special_configuration".into(),
+            Json::str(r.special.display(alphabet)),
+        ));
+    }
+    Json::Obj(obj)
+}
+
 fn cmd_classify(spec: &str, json: bool) -> ExitCode {
     let problem = match load_problem(spec) {
         Ok(p) => p,
@@ -48,13 +136,7 @@ fn cmd_classify(spec: &str, json: bool) -> ExitCode {
     };
     let report = classify(&problem);
     if json {
-        match serde_json::to_string_pretty(&report) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("serialization error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        println!("{}", report_to_json(&report).to_pretty());
     } else {
         println!("{}", report.complexity);
     }
@@ -71,12 +153,11 @@ fn cmd_explain(spec: &str) -> ExitCode {
     };
     let report = classify(&problem);
     print!("{}", report.describe());
-    let config = ClassifierConfig::default();
-    if let Some(Ok(cert)) = report.log_star_certificate(&config) {
+    if let Some(Ok(cert)) = report.log_star_certificate() {
         println!(
             "uniform certificate: depth {}, labels {}",
             cert.depth,
-            problem.alphabet().format_set(cert.labels.iter())
+            problem.alphabet().format_set(cert.labels)
         );
         let leaf_names: Vec<&str> = cert
             .leaf_pattern()
@@ -130,9 +211,221 @@ fn cmd_solve(spec: &str, n: usize) -> ExitCode {
     }
 }
 
+#[derive(Debug)]
+struct BatchOptions {
+    count: usize,
+    labels: usize,
+    delta: usize,
+    density: f64,
+    seed: u64,
+    enumerate: bool,
+    sequential: bool,
+    memoize: bool,
+    json: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            count: 500,
+            labels: 3,
+            delta: 2,
+            density: 0.3,
+            seed: 1,
+            enumerate: false,
+            sequential: false,
+            memoize: true,
+            json: false,
+        }
+    }
+}
+
+fn parse_batch_options(args: &[String]) -> Result<BatchOptions, String> {
+    let mut opts = BatchOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--count" => {
+                opts.count = value("--count")?
+                    .parse()
+                    .map_err(|e| format!("--count: {e}"))?
+            }
+            "--labels" => {
+                opts.labels = value("--labels")?
+                    .parse()
+                    .map_err(|e| format!("--labels: {e}"))?
+            }
+            "--delta" => {
+                opts.delta = value("--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?
+            }
+            "--density" => {
+                opts.density = value("--density")?
+                    .parse()
+                    .map_err(|e| format!("--density: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--enumerate" => opts.enumerate = true,
+            "--sequential" => opts.sequential = true,
+            "--no-memo" => opts.memoize = false,
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown classify-batch option `{other}`")),
+        }
+    }
+    if opts.labels == 0 || opts.delta == 0 {
+        return Err("--labels and --delta must be positive".into());
+    }
+    if opts.labels > lcl_core::MAX_SEARCH_LABELS {
+        return Err(format!(
+            "--labels {} exceeds the classifier's subset-search limit of {}",
+            opts.labels,
+            lcl_core::MAX_SEARCH_LABELS
+        ));
+    }
+    if !(0.0..=1.0).contains(&opts.density) {
+        return Err("--density must be in [0, 1]".into());
+    }
+    Ok(opts)
+}
+
+fn cmd_classify_batch(args: &[String]) -> ExitCode {
+    let opts = match parse_batch_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let problems: Vec<LclProblem> = if opts.enumerate {
+        enumerate_problems(opts.delta, opts.labels)
+            .take(opts.count)
+            .collect()
+    } else {
+        let spec = RandomProblemSpec {
+            delta: opts.delta,
+            num_labels: opts.labels,
+            density: opts.density,
+        };
+        random_family(&spec, opts.seed, opts.count)
+    };
+
+    let mut engine = ClassificationEngine::new();
+    engine.set_memoization(opts.memoize);
+    let start = Instant::now();
+    let results = if opts.sequential {
+        engine.classify_batch_sequential(&problems)
+    } else {
+        engine.classify_batch(&problems)
+    };
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+
+    // Histogram over the four classes + unsolvable, in complexity order.
+    let mut histogram: Vec<(&str, usize)> = vec![
+        ("O(1)", 0),
+        ("log*", 0),
+        ("log", 0),
+        ("poly", 0),
+        ("unsolvable", 0),
+    ];
+    for c in &results {
+        let slot = histogram
+            .iter_mut()
+            .find(|(name, _)| *name == c.short_name())
+            .expect("short names cover every class");
+        slot.1 += 1;
+    }
+
+    if opts.json {
+        let out = Json::Obj(vec![
+            ("count".into(), Json::int(problems.len())),
+            ("delta".into(), Json::int(opts.delta)),
+            ("labels".into(), Json::int(opts.labels)),
+            (
+                "mode".into(),
+                Json::str(if opts.enumerate {
+                    "enumerate"
+                } else {
+                    "random"
+                }),
+            ),
+            ("parallel".into(), Json::Bool(!opts.sequential)),
+            ("memoized".into(), Json::Bool(opts.memoize)),
+            ("elapsed_ms".into(), Json::Num(elapsed.as_secs_f64() * 1e3)),
+            ("cache_hits".into(), Json::int(stats.cache_hits)),
+            ("cache_misses".into(), Json::int(stats.cache_misses)),
+            (
+                "histogram".into(),
+                Json::Obj(
+                    histogram
+                        .iter()
+                        .map(|&(name, n)| (name.to_string(), Json::int(n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "results".into(),
+                Json::Arr(
+                    problems
+                        .iter()
+                        .zip(&results)
+                        .map(|(p, c)| {
+                            Json::Obj(vec![
+                                ("problem".into(), Json::str(p.to_text())),
+                                ("complexity".into(), Json::str(c.short_name())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", out.to_pretty());
+    } else {
+        println!(
+            "classified {} problems (δ={}, {} labels, {}) in {:.1} ms",
+            problems.len(),
+            opts.delta,
+            opts.labels,
+            if opts.enumerate {
+                "enumerated".to_string()
+            } else {
+                format!("random, density {}", opts.density)
+            },
+            elapsed.as_secs_f64() * 1e3
+        );
+        println!(
+            "engine: {} ({}), cache hits {}, misses {}",
+            if opts.sequential {
+                "sequential"
+            } else {
+                "parallel"
+            },
+            if opts.memoize { "memoized" } else { "no memo" },
+            stats.cache_hits,
+            stats.cache_misses
+        );
+        for (name, n) in histogram {
+            if n > 0 {
+                println!("{name:>12}: {n}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size>"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size>\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -153,6 +446,7 @@ fn main() -> ExitCode {
             (Some(spec), Some(n)) => cmd_solve(spec, n),
             _ => usage(),
         },
+        Some("classify-batch") => cmd_classify_batch(&args[1..]),
         _ => usage(),
     }
 }

@@ -9,27 +9,31 @@
 //! all inflexible states, and Algorithm 2's certificate is a restriction to a
 //! *minimal absorbing subgraph* — a strongly connected component without outgoing
 //! edges (Definition 4.12).
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! State sets are [`LabelSet`] bitsets throughout, so the reachability iterations
+//! (`closed_walk_lengths`, `find_walk`) advance whole frontiers with a handful of
+//! word operations per step.
 
 use crate::label::Label;
+use crate::label_set::LabelSet;
 use crate::problem::LclProblem;
 
 /// The path-form automaton `M(Π)` of a problem (Definition 4.7).
 #[derive(Debug, Clone)]
 pub struct Automaton {
+    /// The state labels in ascending order.
     states: Vec<Label>,
+    /// The states as a set; `state_set.rank(l)` is `l`'s index into `states`.
+    state_set: LabelSet,
     /// Successors of each state, indexed parallel to `states`.
-    successors: Vec<BTreeSet<Label>>,
-    /// Map from label to index in `states`.
-    index: BTreeMap<Label, usize>,
+    successors: Vec<LabelSet>,
 }
 
 /// A strongly connected component of the automaton, with its period.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Component {
     /// States of the component.
-    pub states: BTreeSet<Label>,
+    pub states: LabelSet,
     /// `true` if the component contains at least one edge (i.e. a cycle); single
     /// states without a self-loop are *trivial* components.
     pub has_cycle: bool,
@@ -44,20 +48,19 @@ pub struct Component {
 impl Automaton {
     /// Builds the automaton associated with the path-form of `problem`.
     pub fn of(problem: &LclProblem) -> Self {
-        let states: Vec<Label> = problem.labels().iter().copied().collect();
-        let index: BTreeMap<Label, usize> =
-            states.iter().enumerate().map(|(i, &l)| (l, i)).collect();
-        let mut successors = vec![BTreeSet::new(); states.len()];
+        let state_set = problem.labels();
+        let states: Vec<Label> = state_set.iter().collect();
+        let mut successors = vec![LabelSet::EMPTY; states.len()];
         for c in problem.configurations() {
-            let from = index[&c.parent()];
+            let from = state_set.rank(c.parent());
             for &child in c.children() {
                 successors[from].insert(child);
             }
         }
         Automaton {
             states,
+            state_set,
             successors,
-            index,
         }
     }
 
@@ -73,19 +76,18 @@ impl Automaton {
 
     /// The successors of a state (empty if the state has no outgoing transitions or
     /// is not part of the automaton).
-    pub fn successors(&self, state: Label) -> BTreeSet<Label> {
-        match self.index.get(&state) {
-            Some(&i) => self.successors[i].clone(),
-            None => BTreeSet::new(),
+    #[inline]
+    pub fn successors(&self, state: Label) -> LabelSet {
+        if self.state_set.contains(state) {
+            self.successors[self.state_set.rank(state)]
+        } else {
+            LabelSet::EMPTY
         }
     }
 
     /// Returns `true` if there is a transition `from → to`.
     pub fn has_edge(&self, from: Label, to: Label) -> bool {
-        self.index
-            .get(&from)
-            .map(|&i| self.successors[i].contains(&to))
-            .unwrap_or(false)
+        self.successors(from).contains(to)
     }
 
     /// Total number of transitions.
@@ -99,7 +101,12 @@ impl Automaton {
         let n = self.states.len();
         // Forward adjacency as indices.
         let forward: Vec<Vec<usize>> = (0..n)
-            .map(|i| self.successors[i].iter().map(|l| self.index[l]).collect())
+            .map(|i| {
+                self.successors[i]
+                    .iter()
+                    .map(|l| self.state_set.rank(l))
+                    .collect()
+            })
             .collect();
         let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (u, succs) in forward.iter().enumerate() {
@@ -149,24 +156,20 @@ impl Automaton {
             num_components += 1;
         }
 
-        let mut members: Vec<BTreeSet<Label>> = vec![BTreeSet::new(); num_components];
+        let mut members: Vec<LabelSet> = vec![LabelSet::EMPTY; num_components];
         for (i, &label) in self.states.iter().enumerate() {
             members[comp_id[i]].insert(label);
         }
-        (0..num_components)
-            .map(|cid| {
-                let states = members[cid].clone();
-                let has_cycle = self.component_has_cycle(&states);
+        members
+            .into_iter()
+            .map(|states| {
+                let has_cycle = self.component_has_cycle(states);
                 let period = if has_cycle {
-                    self.component_period(&states)
+                    self.component_period(states)
                 } else {
                     0
                 };
-                let is_sink = states.iter().all(|&s| {
-                    self.successors(s)
-                        .iter()
-                        .all(|succ| states.contains(succ))
-                });
+                let is_sink = states.iter().all(|s| self.successors(s).is_subset(states));
                 Component {
                     states,
                     has_cycle,
@@ -177,36 +180,33 @@ impl Automaton {
             .collect()
     }
 
-    fn component_has_cycle(&self, states: &BTreeSet<Label>) -> bool {
+    fn component_has_cycle(&self, states: LabelSet) -> bool {
         if states.len() > 1 {
             return true;
         }
-        let &only = states.iter().next().expect("non-empty component");
+        let only = states.first().expect("non-empty component");
         self.has_edge(only, only)
     }
 
     /// Computes the period (gcd of cycle lengths) of a strongly connected component
     /// that contains at least one cycle, via BFS layering: the period is the gcd of
     /// `level(u) + 1 − level(v)` over all internal edges `u → v`.
-    fn component_period(&self, states: &BTreeSet<Label>) -> usize {
-        let start = *states.iter().next().expect("non-empty component");
-        let mut level: BTreeMap<Label, i64> = BTreeMap::new();
-        level.insert(start, 0);
+    fn component_period(&self, states: LabelSet) -> usize {
+        let start = states.first().expect("non-empty component");
+        let mut level: Vec<Option<i64>> = vec![None; states.len()];
+        level[states.rank(start)] = Some(0);
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(start);
         let mut gcd: i64 = 0;
         while let Some(u) = queue.pop_front() {
-            let lu = level[&u];
-            for v in self.successors(u) {
-                if !states.contains(&v) {
-                    continue;
-                }
-                match level.get(&v) {
+            let lu = level[states.rank(u)].expect("queued states have levels");
+            for v in self.successors(u) & states {
+                match level[states.rank(v)] {
                     None => {
-                        level.insert(v, lu + 1);
+                        level[states.rank(v)] = Some(lu + 1);
                         queue.push_back(v);
                     }
-                    Some(&lv) => {
+                    Some(lv) => {
                         gcd = gcd_i64(gcd, (lu + 1 - lv).abs());
                     }
                 }
@@ -217,11 +217,11 @@ impl Automaton {
 
     /// Definition 4.8/4.9: the set of flexible (path-flexible) states — states whose
     /// SCC contains a cycle of period 1.
-    pub fn flexible_states(&self) -> BTreeSet<Label> {
-        let mut out = BTreeSet::new();
+    pub fn flexible_states(&self) -> LabelSet {
+        let mut out = LabelSet::EMPTY;
         for comp in self.components() {
             if comp.has_cycle && comp.period == 1 {
-                out.extend(comp.states.iter().copied());
+                out |= comp.states;
             }
         }
         out
@@ -238,13 +238,13 @@ impl Automaton {
         let comp = self
             .components()
             .into_iter()
-            .find(|c| c.states.contains(&state))?;
+            .find(|c| c.states.contains(state))?;
         if !comp.has_cycle || comp.period != 1 {
             return None;
         }
         let s = comp.states.len();
         let wielandt = (s.saturating_sub(1)).pow(2) + 1;
-        let achievable = self.closed_walk_lengths(state, &comp.states, wielandt);
+        let achievable = self.closed_walk_lengths(state, comp.states, wielandt);
         // All lengths >= wielandt are achievable (primitive component); find the
         // smallest K such that everything in [K, wielandt] is achievable, i.e. keep
         // lowering K while the length just below it is still achievable.
@@ -257,26 +257,17 @@ impl Automaton {
 
     /// For each length `1..=max_len`, whether a closed walk of that length from
     /// `state` back to itself exists using only states of `within`.
-    fn closed_walk_lengths(
-        &self,
-        state: Label,
-        within: &BTreeSet<Label>,
-        max_len: usize,
-    ) -> Vec<bool> {
-        // reachable[l] = set of states reachable from `state` by a walk of length l.
-        let mut reachable: BTreeSet<Label> = BTreeSet::new();
-        reachable.insert(state);
+    fn closed_walk_lengths(&self, state: Label, within: LabelSet, max_len: usize) -> Vec<bool> {
+        // reachable = set of states reachable from `state` by a walk of length l.
+        let mut reachable = LabelSet::singleton(state);
         let mut result = vec![false; max_len];
         for entry in result.iter_mut() {
-            let mut next = BTreeSet::new();
-            for &u in &reachable {
-                for v in self.successors(u) {
-                    if within.contains(&v) {
-                        next.insert(v);
-                    }
-                }
+            let mut next = LabelSet::EMPTY;
+            for u in reachable {
+                next |= self.successors(u);
             }
-            *entry = next.contains(&state);
+            next &= within;
+            *entry = next.contains(state);
             reachable = next;
         }
         result
@@ -291,21 +282,20 @@ impl Automaton {
     /// sequence of `len + 1` visited states, or `None` if no such walk exists.
     pub fn find_walk(&self, from: Label, to: Label, len: usize) -> Option<Vec<Label>> {
         // can_reach[l] = states from which `to` is reachable in exactly l steps.
-        let mut can_reach: Vec<BTreeSet<Label>> = Vec::with_capacity(len + 1);
-        let mut current = BTreeSet::new();
-        current.insert(to);
-        can_reach.push(current.clone());
+        let mut can_reach: Vec<LabelSet> = Vec::with_capacity(len + 1);
+        let mut current = LabelSet::singleton(to);
+        can_reach.push(current);
         for _ in 0..len {
-            let mut prev = BTreeSet::new();
+            let mut prev = LabelSet::EMPTY;
             for &s in &self.states {
-                if self.successors(s).iter().any(|succ| current.contains(succ)) {
+                if !self.successors(s).is_disjoint(current) {
                     prev.insert(s);
                 }
             }
-            can_reach.push(prev.clone());
+            can_reach.push(prev);
             current = prev;
         }
-        if !can_reach[len].contains(&from) {
+        if !can_reach[len].contains(from) {
             return None;
         }
         let mut walk = Vec::with_capacity(len + 1);
@@ -313,10 +303,8 @@ impl Automaton {
         walk.push(state);
         for step in 0..len {
             let remaining = len - step - 1;
-            let next = self
-                .successors(state)
-                .into_iter()
-                .find(|s| can_reach[remaining].contains(s))
+            let next = (self.successors(state) & can_reach[remaining])
+                .first()
                 .expect("walk reconstruction follows reachability sets");
             walk.push(next);
             state = next;
@@ -336,11 +324,11 @@ impl Automaton {
     /// contain a cycle are preferred (Lemma 5.5 needs at least one edge); ties are
     /// broken towards the component containing the smallest label, making the choice
     /// deterministic.
-    pub fn minimal_absorbing_component(&self) -> Option<BTreeSet<Label>> {
+    pub fn minimal_absorbing_component(&self) -> Option<LabelSet> {
         let comps = self.components();
         let mut sinks: Vec<&Component> = comps.iter().filter(|c| c.is_sink).collect();
-        sinks.sort_by_key(|c| (!c.has_cycle, *c.states.iter().next().expect("non-empty")));
-        sinks.first().map(|c| c.states.clone())
+        sinks.sort_by_key(|c| (!c.has_cycle, c.states.first().expect("non-empty")));
+        sinks.first().map(|c| c.states)
     }
 }
 
@@ -389,14 +377,8 @@ mod tests {
         let l = |n: &str| p.label_by_name(n).unwrap();
         let comps = m.components();
         assert_eq!(comps.len(), 2);
-        let ab = comps
-            .iter()
-            .find(|c| c.states.contains(&l("a")))
-            .unwrap();
-        let digits = comps
-            .iter()
-            .find(|c| c.states.contains(&l("1")))
-            .unwrap();
+        let ab = comps.iter().find(|c| c.states.contains(l("a"))).unwrap();
+        let digits = comps.iter().find(|c| c.states.contains(l("1"))).unwrap();
         // {a, b} is 2-periodic (only even closed walks), {1, 2} is 1-periodic.
         assert_eq!(ab.period, 2);
         assert!(ab.has_cycle);
@@ -411,10 +393,10 @@ mod tests {
         let m = Automaton::of(&p);
         let l = |n: &str| p.label_by_name(n).unwrap();
         let flexible = m.flexible_states();
-        assert!(flexible.contains(&l("1")));
-        assert!(flexible.contains(&l("2")));
-        assert!(!flexible.contains(&l("a")));
-        assert!(!flexible.contains(&l("b")));
+        assert!(flexible.contains(l("1")));
+        assert!(flexible.contains(l("2")));
+        assert!(!flexible.contains(l("a")));
+        assert!(!flexible.contains(l("b")));
     }
 
     #[test]
@@ -460,7 +442,7 @@ mod tests {
         let z = p.label_by_name("z").unwrap();
         let comps = m.components();
         assert_eq!(comps.len(), 2);
-        let z_comp = comps.iter().find(|c| c.states.contains(&z)).unwrap();
+        let z_comp = comps.iter().find(|c| c.states.contains(z)).unwrap();
         assert!(!z_comp.has_cycle);
         assert_eq!(z_comp.period, 0);
         assert_eq!(m.flexibility(z), None);
@@ -474,7 +456,7 @@ mod tests {
         let b = p.label_by_name("b").unwrap();
         let mac = m.minimal_absorbing_component().unwrap();
         assert_eq!(mac.len(), 1);
-        assert!(mac.contains(&b));
+        assert!(mac.contains(b));
     }
 
     #[test]

@@ -16,34 +16,33 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::certificate::{CertificateTree, LogStarCertificate};
 use crate::configuration::{assign_children_to_slots, children_match_slots};
 use crate::label::Label;
+use crate::label_set::LabelSet;
 use crate::problem::LclProblem;
 
 /// One element of the set `R` maintained by Algorithm 3: a set of labels that can
 /// all be produced as roots of identically-leaf-labeled trees, plus the indicator
 /// of whether such trees can contain the special label `a` on a leaf.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RootSetEntry {
     /// The producible root labels.
-    pub labels: BTreeSet<Label>,
+    pub labels: LabelSet,
     /// Whether the corresponding trees can be built with the special label on a
     /// leaf. Always `false` when Algorithm 3 is run without a special label.
     pub has_special_leaf: bool,
 }
 
 /// How a derived [`RootSetEntry`] was produced: the δ entries used as child slots.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Derivation {
     /// Indices (into [`CertificateBuilder::entries`]) of the δ child entries.
     pub child_indices: Vec<usize>,
 }
 
 /// The output of Algorithm 3.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CertificateBuilder {
     /// δ of the problem the builder was computed for.
     pub delta: usize,
@@ -59,8 +58,8 @@ pub struct CertificateBuilder {
 
 impl CertificateBuilder {
     /// The labels of the successful entry, i.e. the certificate labels Σ_T.
-    pub fn certificate_labels(&self) -> &BTreeSet<Label> {
-        &self.entries[self.success_index].labels
+    pub fn certificate_labels(&self) -> LabelSet {
+        self.entries[self.success_index].labels
     }
 }
 
@@ -78,21 +77,21 @@ pub fn find_unrestricted_certificate(
         return None;
     }
     if let Some(t) = target {
-        if !problem.labels().contains(&t) {
+        if !problem.labels().contains(t) {
             return None;
         }
     }
     let delta = problem.delta();
     let mut entries: Vec<RootSetEntry> = Vec::new();
     let mut derivations: Vec<Option<Derivation>> = Vec::new();
-    let mut seen: BTreeSet<(Vec<Label>, bool)> = BTreeSet::new();
+    let mut seen: BTreeSet<(LabelSet, bool)> = BTreeSet::new();
 
-    for &label in problem.labels() {
+    for label in problem.labels() {
         let entry = RootSetEntry {
-            labels: [label].into_iter().collect(),
+            labels: LabelSet::singleton(label),
             has_special_leaf: Some(label) == target,
         };
-        seen.insert((entry.labels.iter().copied().collect(), entry.has_special_leaf));
+        seen.insert((entry.labels, entry.has_special_leaf));
         entries.push(entry);
         derivations.push(None);
     }
@@ -104,11 +103,10 @@ pub fn find_unrestricted_certificate(
         let mut tuple = vec![0usize; delta];
         'tuples: loop {
             // Evaluate the current tuple.
-            let slot_sets: Vec<&BTreeSet<Label>> =
-                tuple.iter().map(|&i| &entries[i].labels).collect();
-            let mut produced: BTreeSet<Label> = BTreeSet::new();
+            let slot_sets: Vec<LabelSet> = tuple.iter().map(|&i| entries[i].labels).collect();
+            let mut produced = LabelSet::EMPTY;
             for config in problem.configurations() {
-                if produced.contains(&config.parent()) {
+                if produced.contains(config.parent()) {
                     continue;
                 }
                 if children_match_slots(config.children(), &slot_sets) {
@@ -117,7 +115,7 @@ pub fn find_unrestricted_certificate(
             }
             if !produced.is_empty() {
                 let flag = tuple.iter().any(|&i| entries[i].has_special_leaf);
-                let key = (produced.iter().copied().collect::<Vec<_>>(), flag);
+                let key = (produced, flag);
                 if !seen.contains(&key) {
                     seen.insert(key);
                     entries.push(RootSetEntry {
@@ -152,7 +150,7 @@ pub fn find_unrestricted_certificate(
     let wanted_flag = target.is_some();
     let success_index = entries
         .iter()
-        .position(|e| &e.labels == problem.labels() && e.has_special_leaf == wanted_flag)?;
+        .position(|e| e.labels == problem.labels() && e.has_special_leaf == wanted_flag)?;
     Some(CertificateBuilder {
         delta,
         target,
@@ -216,18 +214,18 @@ pub fn build_log_star_certificate(
     max_nodes: usize,
 ) -> Result<LogStarCertificate, CertificateBuildError> {
     let delta = builder.delta;
-    let sigma_t = builder.certificate_labels().clone();
-    debug_assert_eq!(&sigma_t, problem.labels());
+    let sigma_t = builder.certificate_labels();
+    debug_assert_eq!(sigma_t, problem.labels());
 
     // Case 1: a single certificate label σ. The builder's success implies C(Π') is
     // non-empty, and every configuration of the restriction is (σ : σ … σ).
     if sigma_t.len() == 1 {
-        let sigma = *sigma_t.iter().next().expect("non-empty");
+        let sigma = sigma_t.first().expect("non-empty");
         let mut labels = vec![sigma];
-        labels.extend(std::iter::repeat(sigma).take(delta));
+        labels.extend(std::iter::repeat_n(sigma, delta));
         let tree = CertificateTree::new(delta, 1, labels);
         return Ok(LogStarCertificate {
-            labels: sigma_t.clone(),
+            labels: sigma_t,
             depth: 1,
             trees: BTreeMap::from([(sigma, tree)]),
         });
@@ -235,7 +233,13 @@ pub fn build_log_star_certificate(
 
     // Step A: build the shape tree from the successful entry.
     let mut shape: Vec<ShapeNode> = Vec::new();
-    build_shape(builder, builder.success_index, 0, builder.target.is_some(), &mut shape);
+    build_shape(
+        builder,
+        builder.success_index,
+        0,
+        builder.target.is_some(),
+        &mut shape,
+    );
 
     let d0 = shape
         .iter()
@@ -284,7 +288,7 @@ pub fn build_log_star_certificate(
         }
         _ => None,
     };
-    for &sigma in &sigma_t {
+    for sigma in sigma_t {
         let assignment = assign_shape(problem, builder, &shape, sigma);
         let tree = emit_tree(
             problem,
@@ -324,7 +328,7 @@ fn build_shape(
     let is_singleton = builder.entries[entry].labels.len() == 1;
     let singleton_is_target = is_singleton
         && builder.target.is_some()
-        && builder.entries[entry].labels.iter().next().copied() == builder.target;
+        && builder.entries[entry].labels.first() == builder.target;
     // A node is expanded if it is not a singleton, or if it lies on the trail
     // towards the special label but is a *derived* singleton of a different label
     // (base singletons with the special flag are the special label itself).
@@ -382,10 +386,10 @@ fn assign_shape(
         if node.children.is_empty() {
             continue;
         }
-        let slot_sets: Vec<&BTreeSet<Label>> = node
+        let slot_sets: Vec<LabelSet> = node
             .children
             .iter()
-            .map(|&c| &builder.entries[shape[c].entry].labels)
+            .map(|&c| builder.entries[shape[c].entry].labels)
             .collect();
         let (_, child_assignment) = problem
             .configurations_with_parent(label)
@@ -404,7 +408,7 @@ fn assign_shape(
         if assignment[index] == Label(u16::MAX) {
             let entry = &builder.entries[node.entry];
             debug_assert_eq!(entry.labels.len(), 1);
-            assignment[index] = *entry.labels.iter().next().expect("singleton");
+            assignment[index] = entry.labels.first().expect("singleton");
         }
     }
     assignment
@@ -480,6 +484,7 @@ fn emit_tree(
     let total = CertificateTree::node_count(delta, depth);
     let mut labels: Vec<Label> = vec![Label(u16::MAX); total];
     let sigma_t = problem.labels();
+
     let padding_config = |label: Label| -> Vec<Label> {
         problem
             .continuation_within(label, sigma_t)
@@ -545,7 +550,11 @@ fn emit_tree(
                 } else {
                     &walk[step_index]
                 };
-                let next_index = if step_index == walk.len() { 1 } else { step_index + 1 };
+                let next_index = if step_index == walk.len() {
+                    1
+                } else {
+                    step_index + 1
+                };
                 for (slot, &child_label) in step.child_labels.iter().enumerate() {
                     let child_source = if slot == step.trail_slot {
                         Source::Walk(next_index)
@@ -566,7 +575,7 @@ mod tests {
     use super::*;
 
     fn restricted(problem: &LclProblem) -> LclProblem {
-        problem.restrict_to(&problem.labels().clone())
+        problem.restrict_to(problem.labels())
     }
 
     fn three_coloring() -> LclProblem {
@@ -625,7 +634,10 @@ mod tests {
         assert!(builder.entries[builder.success_index].has_special_leaf);
         let cert = build_log_star_certificate(&restricted(&p), &builder, 1_000_000).unwrap();
         cert.verify(&p).unwrap();
-        assert!(cert.has_leaf_labeled(b), "special label must appear on a leaf");
+        assert!(
+            cert.has_leaf_labeled(b),
+            "special label must appear on a leaf"
+        );
     }
 
     #[test]

@@ -8,18 +8,17 @@
 //! labels all belong to the certificate and whose repeated label `a` appears on a
 //! certificate leaf (Definition 7.1).
 
-use std::collections::{BTreeMap, BTreeSet};
-
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 use crate::configuration::Configuration;
 use crate::label::Label;
+use crate::label_set::LabelSet;
 use crate::problem::LclProblem;
 
 /// A completely labeled, complete δ-ary tree of a fixed depth, stored in level
 /// (heap) order: the root is index 0 and the children of index `i` are
 /// `δ·i + 1, …, δ·i + δ`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CertificateTree {
     delta: usize,
     depth: usize,
@@ -111,7 +110,7 @@ impl CertificateTree {
     }
 
     /// The set of distinct labels used anywhere in the tree.
-    pub fn used_labels(&self) -> BTreeSet<Label> {
+    pub fn used_labels(&self) -> LabelSet {
         self.labels.iter().copied().collect()
     }
 
@@ -169,10 +168,10 @@ impl CertificateTree {
 }
 
 /// A uniform certificate for O(log* n) solvability (Definition 6.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogStarCertificate {
     /// The certificate labels Σ_T.
-    pub labels: BTreeSet<Label>,
+    pub labels: LabelSet,
     /// The common depth `d ≥ 1` of the certificate trees.
     pub depth: usize,
     /// One completely labeled tree per certificate label, rooted at that label.
@@ -210,7 +209,7 @@ impl LogStarCertificate {
         if !self.labels.is_subset(problem.labels()) {
             return Err("certificate labels are not a subset of Σ(Π)".into());
         }
-        for &label in &self.labels {
+        for label in self.labels {
             let tree = self
                 .trees
                 .get(&label)
@@ -228,7 +227,7 @@ impl LogStarCertificate {
                     problem.label_name(tree.root_label())
                 ));
             }
-            if !tree.used_labels().is_subset(&self.labels) {
+            if !tree.used_labels().is_subset(self.labels) {
                 return Err(format!(
                     "tree for {} uses labels outside Σ_T",
                     problem.label_name(label)
@@ -260,7 +259,7 @@ impl LogStarCertificate {
 /// A certificate for O(1) solvability (Definition 7.1): a uniform certificate plus a
 /// special configuration `(a : b₁, …, a, …, b_δ)` over certificate labels whose
 /// repeated label `a` occurs on a certificate leaf.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConstantCertificate {
     /// The underlying uniform certificate.
     pub base: LogStarCertificate,
@@ -283,11 +282,7 @@ impl ConstantCertificate {
         if !self.special.parent_repeats_in_children() {
             return Err("special configuration does not repeat its parent label".into());
         }
-        if !self
-            .special
-            .labels()
-            .all(|l| self.base.labels.contains(&l))
-        {
+        if !self.special.labels().all(|l| self.base.labels.contains(l)) {
             return Err("special configuration uses labels outside Σ_T".into());
         }
         if !self.base.has_leaf_labeled(self.special.parent()) {

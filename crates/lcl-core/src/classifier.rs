@@ -13,15 +13,12 @@
 //! 4. Algorithm 5 — no certificate ⇒ `LogStar` (Θ(log* n), Theorem 6.3 +
 //!    Theorem 7.7), otherwise `Constant` (Theorem 7.2).
 
-use std::collections::BTreeSet;
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
 
 use crate::builder::CertificateBuildError;
 use crate::certificate::{ConstantCertificate, LogStarCertificate};
 use crate::constant::{find_constant_certificate, ConstantSearchResult};
-use crate::label::Label;
+use crate::label_set::LabelSet;
 use crate::log_certificate::{find_log_certificate, LogCertificate, LogCertificateAnalysis};
 use crate::log_star::{find_log_star_certificate, LogStarSearchResult};
 use crate::problem::LclProblem;
@@ -29,7 +26,7 @@ use crate::solvability::solvable_labels;
 
 /// The four complexity classes of the paper, plus `Unsolvable` for problems that
 /// admit no solution on deep trees at all.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Complexity {
     /// No labeling satisfies the constraints on sufficiently deep full δ-ary trees.
     Unsolvable,
@@ -85,7 +82,7 @@ impl fmt::Display for Complexity {
 
 /// Tunable limits of the classifier. Only affects how large the *explicit*
 /// certificate trees may grow when materialized; decisions are unaffected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClassifierConfig {
     /// Maximum number of nodes per materialized certificate tree.
     pub max_certificate_nodes: usize,
@@ -101,14 +98,17 @@ impl Default for ClassifierConfig {
 
 /// The full outcome of classifying a problem: the complexity class plus every
 /// certificate and trace the decision rests on.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClassificationReport {
     /// The problem that was classified.
     pub problem: LclProblem,
+    /// The configuration the classifier ran with; certificate materialization
+    /// through the report respects its limits.
+    pub config: ClassifierConfig,
     /// The resulting complexity class.
     pub complexity: Complexity,
     /// The greatest self-sustaining label set (empty iff unsolvable).
-    pub solvable_labels: BTreeSet<Label>,
+    pub solvable_labels: LabelSet,
     /// Algorithm 2's analysis: pruning trace, fixed point, and (possibly) the
     /// certificate for O(log n) solvability.
     pub log_analysis: LogCertificateAnalysis,
@@ -124,24 +124,24 @@ impl ClassificationReport {
         self.log_analysis.certificate.as_ref()
     }
 
-    /// Materializes the uniform certificate for O(log* n) solvability, if any.
+    /// Materializes the uniform certificate for O(log* n) solvability, if any,
+    /// bounded by the node budget of the report's [`ClassifierConfig`].
     pub fn log_star_certificate(
         &self,
-        config: &ClassifierConfig,
     ) -> Option<Result<LogStarCertificate, CertificateBuildError>> {
         self.log_star
             .as_ref()
-            .map(|r| r.materialize(config.max_certificate_nodes))
+            .map(|r| r.materialize(self.config.max_certificate_nodes))
     }
 
-    /// Materializes the certificate for O(1) solvability, if any.
+    /// Materializes the certificate for O(1) solvability, if any, bounded by the
+    /// node budget of the report's [`ClassifierConfig`].
     pub fn constant_certificate(
         &self,
-        config: &ClassifierConfig,
     ) -> Option<Result<ConstantCertificate, CertificateBuildError>> {
         self.constant
             .as_ref()
-            .map(|r| r.materialize(config.max_certificate_nodes))
+            .map(|r| r.materialize(self.config.max_certificate_nodes))
     }
 
     /// A multi-line human-readable summary of the decision and its witnesses.
@@ -157,19 +157,19 @@ impl ClassificationReport {
         out.push_str(&format!("complexity: {}\n", self.complexity));
         out.push_str(&format!(
             "solvable labels: {}\n",
-            alphabet.format_set(self.solvable_labels.iter())
+            alphabet.format_set(self.solvable_labels)
         ));
         for (i, removed) in self.log_analysis.pruned_sets.iter().enumerate() {
             out.push_str(&format!(
                 "pruning iteration {}: removed path-inflexible labels {}\n",
                 i + 1,
-                alphabet.format_set(removed.iter())
+                alphabet.format_set(*removed)
             ));
         }
         match self.log_certificate() {
             Some(cert) => out.push_str(&format!(
                 "certificate for O(log n): Π_pf with labels {} ({} configurations), max flexibility {}\n",
-                alphabet.format_set(cert.problem_pf.labels().iter()),
+                alphabet.format_set(cert.problem_pf.labels()),
                 cert.problem_pf.num_configurations(),
                 cert.max_flexibility
             )),
@@ -181,7 +181,7 @@ impl ClassificationReport {
         match &self.log_star {
             Some(r) => out.push_str(&format!(
                 "certificate for O(log* n): labels {}\n",
-                alphabet.format_set(r.certificate_labels.iter())
+                alphabet.format_set(r.certificate_labels)
             )),
             None if self.complexity == Complexity::Log => {
                 out.push_str("no certificate for O(log* n): lower bound Ω(log n)\n")
@@ -208,18 +208,46 @@ pub fn classify(problem: &LclProblem) -> ClassificationReport {
     classify_with_config(problem, &ClassifierConfig::default())
 }
 
-/// Classifies a problem. The configuration only bounds certificate materialization;
-/// it cannot change the resulting class.
+/// Decides only the complexity class, skipping everything a
+/// [`ClassificationReport`] carries: no problem clones, no pruning trace, no
+/// certificate construction (in particular none of the flexibility DPs that
+/// building a [`LogCertificate`] runs). This is the batch hot path used by
+/// [`crate::engine::ClassificationEngine`]; it always agrees with
+/// [`classify`]`(problem).complexity`.
+pub fn classify_complexity(problem: &LclProblem) -> Complexity {
+    if solvable_labels(problem).is_empty() {
+        return Complexity::Unsolvable;
+    }
+    let (fixpoint, pruned_sets) = crate::log_certificate::prune_to_fixpoint(problem);
+    if fixpoint.is_empty() {
+        return Complexity::Polynomial {
+            lower_bound_exponent: pruned_sets.len().max(1),
+        };
+    }
+    if find_log_star_certificate(problem).is_none() {
+        return Complexity::Log;
+    }
+    if find_constant_certificate(problem).is_some() {
+        Complexity::Constant
+    } else {
+        Complexity::LogStar
+    }
+}
+
+/// Classifies a problem. The configuration is threaded into the report, where it
+/// bounds certificate materialization; it cannot change the resulting class.
 pub fn classify_with_config(
     problem: &LclProblem,
-    _config: &ClassifierConfig,
+    config: &ClassifierConfig,
 ) -> ClassificationReport {
+    let config = *config;
     let solvable = solvable_labels(problem);
     let log_analysis = find_log_certificate(problem);
 
     if solvable.is_empty() {
         return ClassificationReport {
             problem: problem.clone(),
+            config,
             complexity: Complexity::Unsolvable,
             solvable_labels: solvable,
             log_analysis,
@@ -232,6 +260,7 @@ pub fn classify_with_config(
         let k = log_analysis.iterations().max(1);
         return ClassificationReport {
             problem: problem.clone(),
+            config,
             complexity: Complexity::Polynomial {
                 lower_bound_exponent: k,
             },
@@ -246,6 +275,7 @@ pub fn classify_with_config(
     if log_star.is_none() {
         return ClassificationReport {
             problem: problem.clone(),
+            config,
             complexity: Complexity::Log,
             solvable_labels: solvable,
             log_analysis,
@@ -262,6 +292,7 @@ pub fn classify_with_config(
     };
     ClassificationReport {
         problem: problem.clone(),
+        config,
         complexity,
         solvable_labels: solvable,
         log_analysis,
@@ -306,10 +337,7 @@ mod tests {
         let report = classify_text("1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n");
         assert_eq!(report.complexity, Complexity::Constant);
         let special = &report.constant.as_ref().unwrap().special;
-        assert_eq!(
-            special.display(report.problem.alphabet()),
-            "b : 1 b"
-        );
+        assert_eq!(special.display(report.problem.alphabet()), "b : 1 b");
     }
 
     #[test]
@@ -353,11 +381,27 @@ mod tests {
     #[test]
     fn certificates_materialize_from_report() {
         let report = classify_text("1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n");
-        let config = ClassifierConfig::default();
-        let log_star = report.log_star_certificate(&config).unwrap().unwrap();
+        let log_star = report.log_star_certificate().unwrap().unwrap();
         log_star.verify(&report.problem).unwrap();
-        let constant = report.constant_certificate(&config).unwrap().unwrap();
+        let constant = report.constant_certificate().unwrap().unwrap();
         constant.verify(&report.problem).unwrap();
+    }
+
+    #[test]
+    fn config_limits_apply_through_the_report() {
+        // A tiny node budget makes materialization fail with TooLarge while the
+        // decision itself is unaffected.
+        let p: LclProblem = "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n"
+            .parse()
+            .unwrap();
+        let tight = ClassifierConfig {
+            max_certificate_nodes: 2,
+        };
+        let report = classify_with_config(&p, &tight);
+        assert_eq!(report.complexity, Complexity::LogStar);
+        assert_eq!(report.config, tight);
+        let err = report.log_star_certificate().unwrap().unwrap_err();
+        assert!(err.to_string().contains("budget"));
     }
 
     #[test]

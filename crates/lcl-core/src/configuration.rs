@@ -5,13 +5,12 @@
 //! stored in a canonical form with the child labels sorted, so two configurations
 //! that differ only in child order compare equal.
 
-use serde::{Deserialize, Serialize};
-
 use crate::label::{Alphabet, Label};
+use crate::label_set::LabelSet;
 
 /// A single allowed configuration: the parent label together with the multiset of
 /// child labels (stored sorted).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Configuration {
     parent: Label,
     children: Vec<Label>,
@@ -48,11 +47,11 @@ impl Configuration {
     }
 
     /// Returns `true` if every label of the configuration is contained in `set`.
-    pub fn uses_only<F>(&self, mut set: F) -> bool
+    pub fn uses_only<F>(&self, set: F) -> bool
     where
         F: FnMut(Label) -> bool,
     {
-        self.labels().all(|l| set(l))
+        self.labels().all(set)
     }
 
     /// Returns `true` if the parent label also occurs among the children — the
@@ -85,13 +84,13 @@ impl Configuration {
 /// set placed in its slot. This is the matching step of Algorithm 3: a configuration
 /// `(σ : c₁, …, c_δ)` is compatible with a δ-tuple of root-label sets
 /// `(r₁, …, r_δ)` iff such an assignment exists.
-pub fn children_match_slots(children: &[Label], slots: &[&std::collections::BTreeSet<Label>]) -> bool {
+pub fn children_match_slots(children: &[Label], slots: &[LabelSet]) -> bool {
     debug_assert_eq!(children.len(), slots.len());
     let n = children.len();
     let mut used = vec![false; n];
     fn backtrack(
         children: &[Label],
-        slots: &[&std::collections::BTreeSet<Label>],
+        slots: &[LabelSet],
         used: &mut [bool],
         child_idx: usize,
     ) -> bool {
@@ -99,7 +98,7 @@ pub fn children_match_slots(children: &[Label], slots: &[&std::collections::BTre
             return true;
         }
         for slot in 0..slots.len() {
-            if used[slot] || !slots[slot].contains(&children[child_idx]) {
+            if used[slot] || !slots[slot].contains(children[child_idx]) {
                 continue;
             }
             used[slot] = true;
@@ -116,16 +115,13 @@ pub fn children_match_slots(children: &[Label], slots: &[&std::collections::BTre
 
 /// Finds one concrete assignment of `children` to `slots` (see
 /// [`children_match_slots`]); returns for each slot the child label assigned to it.
-pub fn assign_children_to_slots(
-    children: &[Label],
-    slots: &[&std::collections::BTreeSet<Label>],
-) -> Option<Vec<Label>> {
+pub fn assign_children_to_slots(children: &[Label], slots: &[LabelSet]) -> Option<Vec<Label>> {
     debug_assert_eq!(children.len(), slots.len());
     let n = children.len();
     let mut assignment: Vec<Option<Label>> = vec![None; n];
     fn backtrack(
         children: &[Label],
-        slots: &[&std::collections::BTreeSet<Label>],
+        slots: &[LabelSet],
         assignment: &mut [Option<Label>],
         child_idx: usize,
     ) -> bool {
@@ -133,7 +129,7 @@ pub fn assign_children_to_slots(
             return true;
         }
         for slot in 0..slots.len() {
-            if assignment[slot].is_some() || !slots[slot].contains(&children[child_idx]) {
+            if assignment[slot].is_some() || !slots[slot].contains(children[child_idx]) {
                 continue;
             }
             assignment[slot] = Some(children[child_idx]);
@@ -154,9 +150,8 @@ pub fn assign_children_to_slots(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
 
-    fn set(labels: &[u16]) -> BTreeSet<Label> {
+    fn set(labels: &[u16]) -> LabelSet {
         labels.iter().map(|&l| Label(l)).collect()
     }
 
@@ -197,7 +192,7 @@ mod tests {
     fn matching_simple_cases() {
         let r1 = set(&[1, 2]);
         let r2 = set(&[3]);
-        let slots = vec![&r1, &r2];
+        let slots = vec![r1, r2];
         assert!(children_match_slots(&[Label(1), Label(3)], &slots));
         assert!(children_match_slots(&[Label(3), Label(2)], &slots));
         assert!(!children_match_slots(&[Label(1), Label(2)], &slots));
@@ -208,7 +203,7 @@ mod tests {
     fn matching_with_duplicates() {
         let r1 = set(&[5]);
         let r2 = set(&[5, 6]);
-        let slots = vec![&r1, &r2];
+        let slots = vec![r1, r2];
         assert!(children_match_slots(&[Label(5), Label(5)], &slots));
         assert!(children_match_slots(&[Label(5), Label(6)], &slots));
         assert!(!children_match_slots(&[Label(6), Label(6)], &slots));
@@ -218,7 +213,7 @@ mod tests {
     fn assignment_returns_per_slot_labels() {
         let r1 = set(&[1]);
         let r2 = set(&[2]);
-        let slots = vec![&r1, &r2];
+        let slots = vec![r1, r2];
         let assignment = assign_children_to_slots(&[Label(2), Label(1)], &slots).unwrap();
         assert_eq!(assignment, vec![Label(1), Label(2)]);
         assert!(assign_children_to_slots(&[Label(1), Label(1)], &slots).is_none());
@@ -229,9 +224,18 @@ mod tests {
         let r1 = set(&[1, 2]);
         let r2 = set(&[2]);
         let r3 = set(&[1, 3]);
-        let slots = vec![&r1, &r2, &r3];
-        assert!(children_match_slots(&[Label(1), Label(2), Label(3)], &slots));
-        assert!(children_match_slots(&[Label(2), Label(2), Label(1)], &slots));
-        assert!(!children_match_slots(&[Label(1), Label(1), Label(3)], &slots));
+        let slots = vec![r1, r2, r3];
+        assert!(children_match_slots(
+            &[Label(1), Label(2), Label(3)],
+            &slots
+        ));
+        assert!(children_match_slots(
+            &[Label(2), Label(2), Label(1)],
+            &slots
+        ));
+        assert!(!children_match_slots(
+            &[Label(1), Label(1), Label(3)],
+            &slots
+        ));
     }
 }

@@ -8,10 +8,6 @@
 //! each restriction, invoking Algorithm 3 with the special label as the required
 //! leaf.
 
-use std::collections::BTreeSet;
-
-use serde::{Deserialize, Serialize};
-
 use crate::builder::{
     build_log_star_certificate, find_unrestricted_certificate, CertificateBuildError,
     CertificateBuilder,
@@ -19,15 +15,16 @@ use crate::builder::{
 use crate::certificate::ConstantCertificate;
 use crate::configuration::Configuration;
 use crate::label::Label;
-use crate::log_star::{is_self_sustaining, subsets_by_size};
+use crate::label_set::LabelSet;
+use crate::log_star::{is_self_sustaining, subsets_by_size, MAX_SEARCH_LABELS};
 use crate::problem::LclProblem;
 use crate::solvability::solvable_labels;
 
 /// The outcome of a successful Algorithm 5 search.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConstantSearchResult {
     /// The certificate labels Σ_T.
-    pub certificate_labels: BTreeSet<Label>,
+    pub certificate_labels: LabelSet,
     /// The restriction of the problem to Σ_T.
     pub restricted: LclProblem,
     /// The special configuration `(a : …, a, …)`.
@@ -40,6 +37,11 @@ impl ConstantSearchResult {
     /// The special label `a`.
     pub fn special_label(&self) -> Label {
         self.special.parent()
+    }
+
+    /// The certificate labels as an ordered set (conversion shim).
+    pub fn certificate_labels_btree(&self) -> std::collections::BTreeSet<Label> {
+        self.certificate_labels.to_btree()
     }
 
     /// Materializes the explicit certificate for O(1) solvability.
@@ -72,11 +74,16 @@ pub fn find_constant_certificate(problem: &LclProblem) -> Option<ConstantSearchR
     if sustaining.is_empty() {
         return None;
     }
-    for subset in subsets_by_size(&sustaining) {
-        if !is_self_sustaining(problem, &subset) {
+    assert!(
+        sustaining.len() <= MAX_SEARCH_LABELS,
+        "Algorithm 5 enumerates subsets of at most {MAX_SEARCH_LABELS} labels, got {}",
+        sustaining.len()
+    );
+    for subset in subsets_by_size(sustaining) {
+        if !is_self_sustaining(problem, subset) {
             continue;
         }
-        let restricted = problem.restrict_to(&subset);
+        let restricted = problem.restrict_to(subset);
         let specials: Vec<Configuration> = restricted
             .configurations()
             .iter()
@@ -152,7 +159,7 @@ mod tests {
         let p: LclProblem = "1:22\n2:11\ns:ss\n".parse().unwrap();
         let result = find_constant_certificate(&p).unwrap();
         let s = p.label_by_name("s").unwrap();
-        assert_eq!(result.certificate_labels, [s].into_iter().collect());
+        assert_eq!(result.certificate_labels, LabelSet::singleton(s));
         let cert = result.materialize(1_000).unwrap();
         cert.verify(&p).unwrap();
     }

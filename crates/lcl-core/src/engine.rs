@@ -1,0 +1,420 @@
+//! The batch classification engine: canonical forms, memoization, and parallel
+//! sweeps over whole problem families.
+//!
+//! The PODC 2021 classifier decides one problem at a time; the follow-up
+//! "Efficient Classification of Local Problems in Regular Trees" (Balliu et al.,
+//! 2022) shows what becomes possible once the decision procedure is fast enough
+//! to sweep entire problem families. This module provides that workload:
+//!
+//! * [`canonical_form`] — a label-permutation-invariant key for a problem. Two
+//!   problems that differ only by renaming labels share a key, and the
+//!   complexity class is invariant under renaming, so the key is a sound
+//!   memoization handle.
+//! * [`ClassificationEngine`] — a thread-safe classifier front end with a
+//!   canonical-form memo cache, a sequential batch API, and a parallel batch
+//!   API ([`ClassificationEngine::classify_batch`]) that fans work out over
+//!   `std::thread::scope` workers (the workspace builds without external
+//!   crates, so no rayon; the work-stealing loop below is a few lines).
+//!
+//! Batch results are always identical to running [`crate::classify`] on each
+//! problem individually — the engine tests assert this over the whole catalog
+//! and over large random families.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::classifier::{classify_complexity, classify_with_config, ClassifierConfig, Complexity};
+use crate::problem::LclProblem;
+
+/// A label-permutation-invariant fingerprint of a problem.
+///
+/// The encoding is `[delta, k, c₀ …]` where `k` is the number of labels used in
+/// configurations and the configurations are relabeled through the permutation
+/// of used labels that minimizes the sorted encoding. Labels that appear in no
+/// configuration are irrelevant to the complexity class (they are never
+/// self-sustaining and never enter a certificate), so they are excluded; two
+/// problems with the same configurations but different orphan labels share a
+/// key on purpose.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalKey(Vec<u16>);
+
+/// Number of used labels up to which the canonicalizer tries every permutation.
+/// Beyond this, it falls back to the identity relabeling (still dense), which
+/// dedups exact duplicates but not renamings. `8! = 40320` permutations of an
+/// 18-configuration problem is well under a millisecond; `9!` starts to rival
+/// the classification itself on easy problems.
+pub const MAX_CANONICAL_LABELS: usize = 8;
+
+/// Computes the [`CanonicalKey`] of a problem. See the type's documentation for
+/// what the key identifies.
+///
+/// Each configuration is packed into one `u128` (δ + 1 slots of 16 bits, which
+/// covers δ ≤ 7; larger δ skips the permutation search), so trying a
+/// permutation is a relabel-and-sort over a flat `Vec<u128>` with no per-row
+/// allocation.
+pub fn canonical_form(problem: &LclProblem) -> CanonicalKey {
+    let used = problem.used_labels();
+    let k = used.len();
+    let delta = problem.delta();
+    let slots = delta + 1;
+
+    // Rows in dense indices (used label -> 0..k by ascending index), once.
+    let rows_dense: Vec<Vec<u16>> = problem
+        .configurations()
+        .iter()
+        .map(|c| {
+            let mut row = Vec::with_capacity(slots);
+            row.push(used.rank(c.parent()) as u16);
+            row.extend(c.children().iter().map(|&l| used.rank(l) as u16));
+            row
+        })
+        .collect();
+
+    // Encodes all rows under one relabeling into `out` (packed, sorted).
+    let encode_packed = |perm: &[u16], out: &mut Vec<u128>| {
+        out.clear();
+        let mut children = [0u16; 8];
+        for row in &rows_dense {
+            for (slot, &d) in row[1..].iter().enumerate() {
+                children[slot] = perm[d as usize];
+            }
+            children[..delta].sort_unstable();
+            let mut packed = perm[row[0] as usize] as u128;
+            for &c in &children[..delta] {
+                packed = (packed << 16) | c as u128;
+            }
+            out.push(packed);
+        }
+        out.sort_unstable();
+    };
+
+    let identity: Vec<u16> = (0..k as u16).collect();
+    let mut best: Vec<u128> = Vec::with_capacity(rows_dense.len());
+    if slots <= 8 && k <= MAX_CANONICAL_LABELS && k > 1 {
+        encode_packed(&identity, &mut best);
+        let mut candidate: Vec<u128> = Vec::with_capacity(rows_dense.len());
+        let mut perm = identity.clone();
+        permute(&mut perm, 0, &mut |perm| {
+            encode_packed(perm, &mut candidate);
+            if candidate < best {
+                std::mem::swap(&mut best, &mut candidate);
+            }
+        });
+    } else if slots <= 8 {
+        encode_packed(&identity, &mut best);
+    } else {
+        // δ ≥ 8: rows don't fit one u128; use the lossless flat encoding under
+        // the identity relabeling (exact dedup only, no renaming dedup).
+        let mut rows: Vec<Vec<u16>> = rows_dense
+            .iter()
+            .map(|row| {
+                let mut r = row.clone();
+                r[1..].sort_unstable();
+                r
+            })
+            .collect();
+        rows.sort_unstable();
+        let mut flat: Vec<u16> = Vec::with_capacity(2 + rows.len() * slots);
+        flat.push(delta as u16);
+        flat.push(k as u16);
+        for row in &rows {
+            flat.extend_from_slice(row);
+        }
+        return CanonicalKey(flat);
+    }
+
+    // Unpack the winning packed encoding into the flat key.
+    let mut flat: Vec<u16> = Vec::with_capacity(2 + best.len() * slots);
+    flat.push(delta as u16);
+    flat.push(k as u16);
+    for &packed in &best {
+        for slot in (0..slots).rev() {
+            flat.push((packed >> (16 * slot)) as u16);
+        }
+    }
+    CanonicalKey(flat)
+}
+
+/// Calls `visit` with every permutation of `items[at..]` (Heap-style recursion).
+fn permute(items: &mut [u16], at: usize, visit: &mut impl FnMut(&[u16])) {
+    if at == items.len() {
+        visit(items);
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permute(items, at + 1, visit);
+        items.swap(at, i);
+    }
+}
+
+/// Statistics of an engine's lifetime, taken with [`ClassificationEngine::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Number of problems answered from the canonical-form cache.
+    pub cache_hits: usize,
+    /// Number of problems that ran the full decision procedure.
+    pub cache_misses: usize,
+}
+
+impl EngineStats {
+    /// Total problems classified through the engine.
+    pub fn total(&self) -> usize {
+        self.cache_hits + self.cache_misses
+    }
+}
+
+/// A thread-safe, memoizing front end to the classifier, built for sweeping
+/// problem families.
+///
+/// ```
+/// use lcl_core::engine::ClassificationEngine;
+/// use lcl_core::{classify, Complexity, LclProblem};
+///
+/// let engine = ClassificationEngine::new();
+/// let mis: LclProblem = "1:aa\n1:ab\n1:bb\na:bb\nb:b1\nb:11\n".parse().unwrap();
+/// let renamed: LclProblem = "2:xx\n2:xy\n2:yy\nx:yy\ny:y2\ny:22\n".parse().unwrap();
+/// assert_eq!(engine.classify(&mis), Complexity::Constant);
+/// // The renamed copy is answered from the cache via its canonical form.
+/// assert_eq!(engine.classify(&renamed), Complexity::Constant);
+/// assert_eq!(engine.stats().cache_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct ClassificationEngine {
+    config: ClassifierConfig,
+    canonicalize: bool,
+    cache: Mutex<HashMap<CanonicalKey, Complexity>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for ClassificationEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClassificationEngine {
+    /// An engine with the default [`ClassifierConfig`].
+    pub fn new() -> Self {
+        Self::with_config(ClassifierConfig::default())
+    }
+
+    /// An engine with an explicit configuration; the configuration is threaded
+    /// into every report the engine produces.
+    pub fn with_config(config: ClassifierConfig) -> Self {
+        ClassificationEngine {
+            config,
+            canonicalize: true,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Disables (or re-enables) canonical-form memoization. With memoization off
+    /// every call runs the full decision procedure; useful for benchmarking the
+    /// raw classifier.
+    pub fn set_memoization(&mut self, on: bool) {
+        self.canonicalize = on;
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.config
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Classifies one problem, answering from the canonical-form cache when a
+    /// renaming-equivalent problem has been classified before.
+    pub fn classify(&self, problem: &LclProblem) -> Complexity {
+        if !self.canonicalize {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return classify_complexity(problem);
+        }
+        let key = canonical_form(problem);
+        if let Some(&hit) = self.cache.lock().expect("engine cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let complexity = classify_complexity(problem);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("engine cache poisoned")
+            .insert(key, complexity);
+        complexity
+    }
+
+    /// Classifies one problem and returns the full report (certificates, pruning
+    /// trace). Full reports are label-specific, so they are never cached; the
+    /// complexity verdict still populates the cache for later [`Self::classify`]
+    /// calls.
+    pub fn classify_full(&self, problem: &LclProblem) -> crate::ClassificationReport {
+        let report = classify_with_config(problem, &self.config);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if self.canonicalize {
+            self.cache
+                .lock()
+                .expect("engine cache poisoned")
+                .insert(canonical_form(problem), report.complexity);
+        }
+        report
+    }
+
+    /// Classifies every problem on the calling thread, in order.
+    pub fn classify_batch_sequential(&self, problems: &[LclProblem]) -> Vec<Complexity> {
+        problems.iter().map(|p| self.classify(p)).collect()
+    }
+
+    /// Classifies every problem using all available cores, sharing the memo
+    /// cache across workers. The result at index `i` is the classification of
+    /// `problems[i]`, identical to what [`crate::classify`] returns for it.
+    pub fn classify_batch(&self, problems: &[LclProblem]) -> Vec<Complexity> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(problems.len().max(1));
+        if workers <= 1 || problems.len() <= 1 {
+            return self.classify_batch_sequential(problems);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Complexity>>> =
+            problems.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= problems.len() {
+                        break;
+                    }
+                    let complexity = self.classify(&problems[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(complexity);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index was processed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+
+    fn problem(text: &str) -> LclProblem {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn canonical_form_is_renaming_invariant() {
+        let a = problem("1:22\n2:11\n");
+        let b = problem("x:yy\ny:xx\n");
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+        let c = problem("1:12\n2:11\n");
+        assert_ne!(canonical_form(&a), canonical_form(&c));
+    }
+
+    #[test]
+    fn canonical_form_ignores_orphan_labels() {
+        let a = problem("1:11\n");
+        let b = problem("1:11\nlabels: z w\n");
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+        // Complexity really is the same, so sharing a key is sound.
+        assert_eq!(classify(&a).complexity, classify(&b).complexity);
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_delta() {
+        let a = problem("1:1\n");
+        let b = problem("1:11\n");
+        assert_ne!(canonical_form(&a), canonical_form(&b));
+    }
+
+    #[test]
+    fn canonical_form_handles_nontrivial_permutations() {
+        // MIS with two different namings and different textual orders.
+        let a = problem("1:aa\n1:ab\n1:bb\na:bb\nb:b1\nb:11\n");
+        let b = problem("y:y2\ny:22\nx:yy\n2:xx\n2:xy\n2:yy\n");
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+    }
+
+    #[test]
+    fn engine_memoizes_renamed_problems() {
+        let engine = ClassificationEngine::new();
+        assert_eq!(engine.classify(&problem("1:22\n2:11\n")), {
+            Complexity::Polynomial {
+                lower_bound_exponent: 1,
+            }
+        });
+        assert_eq!(engine.classify(&problem("a:bb\nb:aa\n")), {
+            Complexity::Polynomial {
+                lower_bound_exponent: 1,
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn engine_without_memoization_reclassifies() {
+        let mut engine = ClassificationEngine::new();
+        engine.set_memoization(false);
+        let p = problem("1:22\n2:11\n");
+        engine.classify(&p);
+        engine.classify(&p);
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn batch_matches_sequential_classify() {
+        let texts = [
+            "1:22\n2:11\n",
+            "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n",
+            "1:aa\n1:ab\n1:bb\na:bb\nb:b1\nb:11\n",
+            "1 : 1 2\n2 : 1 1\n",
+            "a : b b\nb : c c\n",
+            "x : x x\n",
+        ];
+        let problems: Vec<LclProblem> = texts.iter().map(|t| problem(t)).collect();
+        let expected: Vec<Complexity> = problems.iter().map(|p| classify(p).complexity).collect();
+        let engine = ClassificationEngine::new();
+        assert_eq!(engine.classify_batch_sequential(&problems), expected);
+        let engine = ClassificationEngine::new();
+        assert_eq!(engine.classify_batch(&problems), expected);
+    }
+
+    #[test]
+    fn classify_full_populates_the_cache() {
+        let engine = ClassificationEngine::new();
+        let p = problem("1:aa\n1:ab\n1:bb\na:bb\nb:b1\nb:11\n");
+        let report = engine.classify_full(&p);
+        assert_eq!(report.complexity, Complexity::Constant);
+        assert_eq!(engine.classify(&p), Complexity::Constant);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let engine = ClassificationEngine::new();
+        assert!(engine.classify_batch(&[]).is_empty());
+    }
+}

@@ -18,7 +18,7 @@ use crate::solvability::solvable_labels;
 /// unsolvable (its self-sustaining label set is empty).
 pub fn solve(problem: &LclProblem, tree: &RootedTree) -> Option<Labeling> {
     let kept = solvable_labels(problem);
-    let first = *kept.iter().next()?;
+    let first = kept.first()?;
     let mut labeling = Labeling::for_tree(tree);
     labeling.set(tree.root(), first);
     for v in tree.bfs_order() {
@@ -27,7 +27,7 @@ pub fn solve(problem: &LclProblem, tree: &RootedTree) -> Option<Labeling> {
         }
         let parent_label = labeling.get(v).expect("BFS order labels parents first");
         let config = problem
-            .continuation_within(parent_label, &kept)
+            .continuation_within(parent_label, kept)
             .expect("kept labels always have a continuation within the kept set");
         for (&child, &label) in tree.children(v).iter().zip(config.children()) {
             labeling.set(child, label);
@@ -60,17 +60,19 @@ pub fn complete_downwards(
         let fixed: Vec<_> = tree.children(v).iter().map(|&c| labeling.get(c)).collect();
         if fixed.iter().all(|f| f.is_none()) {
             // No child constrained yet: extend with any continuation in the kept set.
-            let config = problem.continuation_within(parent_label, &kept)?;
+            let config = problem.continuation_within(parent_label, kept)?;
             for (&child, &label) in tree.children(v).iter().zip(config.children()) {
                 labeling.set(child, label);
             }
         } else {
             // Some children are fixed: pick a configuration consistent with them
             // whose remaining labels stay in the kept set.
-            let chosen = problem.configurations_with_parent(parent_label).find(|cfg| {
-                cfg.uses_only(|l| kept.contains(&l) || fixed.contains(&Some(l)))
-                    && compatible(cfg.children(), &fixed)
-            })?;
+            let chosen = problem
+                .configurations_with_parent(parent_label)
+                .find(|cfg| {
+                    cfg.uses_only(|l| kept.contains(l) || fixed.contains(&Some(l)))
+                        && compatible(cfg.children(), &fixed)
+                })?;
             let assignment = assign(chosen.children(), &fixed)?;
             for (&c, &l) in tree.children(v).iter().zip(assignment.iter()) {
                 labeling.set(c, l);
@@ -106,7 +108,11 @@ fn assign(
             *slot = Some(it.next().expect("counts match"));
         }
     }
-    Some(out.into_iter().map(|o| o.expect("all slots filled")).collect())
+    Some(
+        out.into_iter()
+            .map(|o| o.expect("all slots filled"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

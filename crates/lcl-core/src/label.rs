@@ -9,10 +9,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// An output label of an LCL problem: an index into an [`Alphabet`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Label(pub u16);
 
 impl Label {
@@ -30,7 +28,7 @@ impl fmt::Display for Label {
 }
 
 /// The set of label names of a problem. Immutable once built; shared via `Arc`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alphabet {
     names: Vec<String>,
 }
@@ -101,11 +99,11 @@ impl Alphabet {
     }
 
     /// Formats a set of labels as `{name, name, …}` using this alphabet.
-    pub fn format_set<'a, I>(&self, labels: I) -> String
+    pub fn format_set<I>(&self, labels: I) -> String
     where
-        I: IntoIterator<Item = &'a Label>,
+        I: IntoIterator<Item = Label>,
     {
-        let names: Vec<&str> = labels.into_iter().map(|&l| self.name(l)).collect();
+        let names: Vec<&str> = labels.into_iter().map(|l| self.name(l)).collect();
         format!("{{{}}}", names.join(", "))
     }
 }
@@ -190,6 +188,6 @@ mod tests {
     fn format_set_uses_names() {
         let alpha = Alphabet::new(["1", "2"]);
         let set = vec![Label(0), Label(1)];
-        assert_eq!(alpha.format_set(set.iter()), "{1, 2}");
+        assert_eq!(alpha.format_set(set), "{1, 2}");
     }
 }

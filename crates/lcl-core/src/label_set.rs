@@ -1,0 +1,482 @@
+//! Fixed-width bitsets of [`Label`]s — the hot-path set representation.
+//!
+//! Every decision layer of the classifier (the solvability fixed point, the
+//! path-form automaton, Algorithm 2's pruning loop, and the subset searches of
+//! Algorithms 4–5) is a loop over label-set operations. A [`LabelSet`] packs a
+//! set of labels into a single `u128`, so union, intersection, difference,
+//! subset tests, and membership are all one or two machine instructions and the
+//! type is `Copy` — no allocation anywhere on the hot path. Iteration yields
+//! labels in ascending index order, matching the ordering of the former
+//! `BTreeSet<Label>` representation, so human-readable output is unchanged.
+//!
+//! Ordered-set shims ([`LabelSet::to_btree`], [`LabelSet::from_btree`]) are kept
+//! for report output and interop with external code that wants a `BTreeSet`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
+
+use crate::label::Label;
+
+/// A set of labels stored as a 128-bit bitmask. Supports labels with indices
+/// `0..128`; [`crate::problem::LclProblem`] enforces this bound at construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LabelSet {
+    bits: u128,
+}
+
+impl LabelSet {
+    /// The largest label index a `LabelSet` can hold, plus one.
+    pub const CAPACITY: usize = 128;
+
+    /// The empty set.
+    pub const EMPTY: LabelSet = LabelSet { bits: 0 };
+
+    /// Creates an empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// The set `{label}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label index is `>= 128`.
+    #[inline]
+    pub fn singleton(label: Label) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(label);
+        s
+    }
+
+    /// The set `{0, 1, …, n − 1}` of the first `n` labels.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "LabelSet supports at most 128 labels");
+        if n == Self::CAPACITY {
+            LabelSet { bits: u128::MAX }
+        } else {
+            LabelSet {
+                bits: (1u128 << n) - 1,
+            }
+        }
+    }
+
+    /// Builds a set directly from a bitmask. Bit `i` corresponds to `Label(i)`.
+    #[inline]
+    pub const fn from_bits(bits: u128) -> Self {
+        LabelSet { bits }
+    }
+
+    /// The underlying bitmask.
+    #[inline]
+    pub const fn bits(self) -> u128 {
+        self.bits
+    }
+
+    #[inline]
+    fn mask(label: Label) -> u128 {
+        assert!(
+            label.index() < Self::CAPACITY,
+            "label {} outside LabelSet capacity of 128",
+            label.index()
+        );
+        1u128 << label.index()
+    }
+
+    /// Adds a label. Returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, label: Label) -> bool {
+        let m = Self::mask(label);
+        let fresh = self.bits & m == 0;
+        self.bits |= m;
+        fresh
+    }
+
+    /// Removes a label. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, label: Label) -> bool {
+        let m = Self::mask(label);
+        let present = self.bits & m != 0;
+        self.bits &= !m;
+        present
+    }
+
+    /// Membership test. Labels outside the capacity are never members.
+    #[inline]
+    pub fn contains(self, label: Label) -> bool {
+        label.index() < Self::CAPACITY && self.bits & (1u128 << label.index()) != 0
+    }
+
+    /// Number of labels in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// `true` if the set has no labels.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: LabelSet) -> LabelSet {
+        LabelSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: LabelSet) -> LabelSet {
+        LabelSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: LabelSet) -> LabelSet {
+        LabelSet {
+            bits: self.bits & !other.bits,
+        }
+    }
+
+    /// `true` if every label of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(self, other: LabelSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// `true` if every label of `other` is in `self`.
+    #[inline]
+    pub fn is_superset(self, other: LabelSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// `true` if the sets share no label.
+    #[inline]
+    pub fn is_disjoint(self, other: LabelSet) -> bool {
+        self.bits & other.bits == 0
+    }
+
+    /// The smallest label of the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<Label> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(Label(self.bits.trailing_zeros() as u16))
+        }
+    }
+
+    /// The number of set members strictly smaller than `label` — the dense rank
+    /// used to index per-state arrays built from a set's ascending iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label index is `>= 128` (a masked shift would silently
+    /// return a wrong rank otherwise).
+    #[inline]
+    pub fn rank(self, label: Label) -> usize {
+        assert!(
+            label.index() < Self::CAPACITY,
+            "label {} outside LabelSet capacity of 128",
+            label.index()
+        );
+        let below = (1u128 << label.index()) - 1;
+        (self.bits & below).count_ones() as usize
+    }
+
+    /// Keeps only the labels for which `keep` returns `true`.
+    pub fn retain(&mut self, mut keep: impl FnMut(Label) -> bool) {
+        for label in self.iter() {
+            if !keep(label) {
+                self.remove(label);
+            }
+        }
+    }
+
+    /// Iterates over the labels in ascending index order.
+    #[inline]
+    pub fn iter(self) -> LabelSetIter {
+        LabelSetIter { bits: self.bits }
+    }
+
+    /// Converts to an ordered `BTreeSet` (shim for report output and interop).
+    pub fn to_btree(self) -> BTreeSet<Label> {
+        self.iter().collect()
+    }
+
+    /// Builds a `LabelSet` from an ordered set (shim for interop).
+    pub fn from_btree(set: &BTreeSet<Label>) -> Self {
+        set.iter().copied().collect()
+    }
+
+    /// Enumerates every subset of `self` (including the empty set and `self`
+    /// itself), in an unspecified order. There are `2^len` of them.
+    pub fn subsets(self) -> Subsets {
+        Subsets {
+            mask: self.bits,
+            next: Some(self.bits),
+        }
+    }
+}
+
+impl fmt::Debug for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Label> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> Self {
+        let mut s = LabelSet::EMPTY;
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+impl Extend<Label> for LabelSet {
+    fn extend<I: IntoIterator<Item = Label>>(&mut self, iter: I) {
+        for l in iter {
+            self.insert(l);
+        }
+    }
+}
+
+impl From<&BTreeSet<Label>> for LabelSet {
+    fn from(set: &BTreeSet<Label>) -> Self {
+        Self::from_btree(set)
+    }
+}
+
+impl IntoIterator for LabelSet {
+    type Item = Label;
+    type IntoIter = LabelSetIter;
+    fn into_iter(self) -> LabelSetIter {
+        self.iter()
+    }
+}
+
+impl BitOr for LabelSet {
+    type Output = LabelSet;
+    fn bitor(self, rhs: LabelSet) -> LabelSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for LabelSet {
+    fn bitor_assign(&mut self, rhs: LabelSet) {
+        self.bits |= rhs.bits;
+    }
+}
+
+impl BitAnd for LabelSet {
+    type Output = LabelSet;
+    fn bitand(self, rhs: LabelSet) -> LabelSet {
+        self.intersection(rhs)
+    }
+}
+
+impl BitAndAssign for LabelSet {
+    fn bitand_assign(&mut self, rhs: LabelSet) {
+        self.bits &= rhs.bits;
+    }
+}
+
+impl Sub for LabelSet {
+    type Output = LabelSet;
+    fn sub(self, rhs: LabelSet) -> LabelSet {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for LabelSet {
+    fn sub_assign(&mut self, rhs: LabelSet) {
+        self.bits &= !rhs.bits;
+    }
+}
+
+/// Ascending-order iterator over the labels of a [`LabelSet`].
+#[derive(Debug, Clone)]
+pub struct LabelSetIter {
+    bits: u128,
+}
+
+impl Iterator for LabelSetIter {
+    type Item = Label;
+
+    #[inline]
+    fn next(&mut self) -> Option<Label> {
+        if self.bits == 0 {
+            return None;
+        }
+        let i = self.bits.trailing_zeros();
+        self.bits &= self.bits - 1;
+        Some(Label(i as u16))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LabelSetIter {}
+
+/// Iterator over all subsets of a [`LabelSet`] (see [`LabelSet::subsets`]).
+#[derive(Debug, Clone)]
+pub struct Subsets {
+    mask: u128,
+    next: Option<u128>,
+}
+
+impl Iterator for Subsets {
+    type Item = LabelSet;
+
+    fn next(&mut self) -> Option<LabelSet> {
+        let current = self.next?;
+        // Standard sub-mask enumeration, descending: next = (current - 1) & mask.
+        self.next = if current == 0 {
+            None
+        } else {
+            Some((current - 1) & self.mask)
+        };
+        Some(LabelSet::from_bits(current))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(indices: &[u16]) -> LabelSet {
+        indices.iter().map(|&i| Label(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = LabelSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Label(3)));
+        assert!(!s.insert(Label(3)));
+        assert!(s.contains(Label(3)));
+        assert!(!s.contains(Label(4)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Label(3)));
+        assert!(!s.remove(Label(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        assert_eq!(a.union(b), set(&[0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), set(&[2]));
+        assert_eq!(a.difference(b), set(&[0, 1]));
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersection(b));
+        assert_eq!(a - b, a.difference(b));
+        assert!(set(&[1, 2]).is_subset(a));
+        assert!(!b.is_subset(a));
+        assert!(a.is_superset(set(&[0])));
+        assert!(set(&[0]).is_disjoint(set(&[1])));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = set(&[5, 1, 127, 64]);
+        let order: Vec<u16> = s.iter().map(|l| l.0).collect();
+        assert_eq!(order, vec![1, 5, 64, 127]);
+        assert_eq!(s.iter().len(), 4);
+        assert_eq!(s.first(), Some(Label(1)));
+    }
+
+    #[test]
+    fn rank_counts_smaller_members() {
+        let s = set(&[2, 5, 9]);
+        assert_eq!(s.rank(Label(2)), 0);
+        assert_eq!(s.rank(Label(5)), 1);
+        assert_eq!(s.rank(Label(9)), 2);
+        assert_eq!(s.rank(Label(7)), 2);
+    }
+
+    #[test]
+    fn btree_roundtrip() {
+        let s = set(&[0, 7, 100]);
+        let b = s.to_btree();
+        assert_eq!(b.len(), 3);
+        assert_eq!(LabelSet::from_btree(&b), s);
+        assert_eq!(LabelSet::from(&b), s);
+    }
+
+    #[test]
+    fn first_n_and_capacity_edges() {
+        assert_eq!(LabelSet::first_n(0), LabelSet::EMPTY);
+        assert_eq!(LabelSet::first_n(3), set(&[0, 1, 2]));
+        assert_eq!(LabelSet::first_n(128).len(), 128);
+        let mut full = LabelSet::first_n(128);
+        assert!(full.contains(Label(127)));
+        assert!(full.remove(Label(127)));
+        assert_eq!(full.len(), 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside LabelSet capacity")]
+    fn oversized_label_panics_on_insert() {
+        let mut s = LabelSet::new();
+        s.insert(Label(128));
+    }
+
+    #[test]
+    fn oversized_label_is_never_contained() {
+        assert!(!LabelSet::first_n(128).contains(Label(200)));
+    }
+
+    #[test]
+    fn subsets_enumerate_all() {
+        let s = set(&[1, 4, 6]);
+        let subs: Vec<LabelSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&LabelSet::EMPTY));
+        assert!(subs.contains(&s));
+        assert!(subs.contains(&set(&[1, 6])));
+        for sub in subs {
+            assert!(sub.is_subset(s));
+        }
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut s = set(&[0, 1, 2, 3]);
+        s.retain(|l| l.0 % 2 == 0);
+        assert_eq!(s, set(&[0, 2]));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = set(&[0, 2]);
+        assert_eq!(format!("{s}"), "{#0, #2}");
+        assert_eq!(format!("{s:?}"), "{#0, #2}");
+    }
+}

@@ -8,14 +8,13 @@
 //! the checker, so tests can use it as an oracle.
 
 use lcl_trees::{NodeId, RootedTree};
-use serde::{Deserialize, Serialize};
 
 use crate::configuration::Configuration;
 use crate::label::Label;
 use crate::problem::LclProblem;
 
 /// A (possibly partial) assignment of labels to the nodes of a tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Labeling {
     labels: Vec<Option<Label>>,
 }
@@ -98,7 +97,7 @@ impl Labeling {
                 Some(l) => l,
                 None => return Err(SolutionError::Unlabeled { node: v }),
             };
-            if !problem.labels().contains(&label) {
+            if !problem.labels().contains(label) {
                 return Err(SolutionError::InactiveLabel { node: v, label });
             }
         }
@@ -172,14 +171,23 @@ impl std::fmt::Display for SolutionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolutionError::WrongSize { expected, found } => {
-                write!(f, "labeling covers {found} nodes but the tree has {expected}")
+                write!(
+                    f,
+                    "labeling covers {found} nodes but the tree has {expected}"
+                )
             }
             SolutionError::Unlabeled { node } => write!(f, "node {node} has no label"),
             SolutionError::InactiveLabel { node, label } => {
-                write!(f, "node {node} carries label {label} outside the active set")
+                write!(
+                    f,
+                    "node {node} carries label {label} outside the active set"
+                )
             }
             SolutionError::ForbiddenConfiguration { node, .. } => {
-                write!(f, "node {node} and its children form a forbidden configuration")
+                write!(
+                    f,
+                    "node {node} and its children form a forbidden configuration"
+                )
             }
         }
     }
@@ -205,7 +213,11 @@ mod tests {
         let depths = tree.depths();
         let mut labeling = Labeling::for_tree(&tree);
         for v in tree.nodes() {
-            let label = if depths[v.index()] % 2 == 0 { one } else { two };
+            let label = if depths[v.index()].is_multiple_of(2) {
+                one
+            } else {
+                two
+            };
             labeling.set(v, label);
         }
         assert!(labeling.is_complete());

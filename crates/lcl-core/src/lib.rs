@@ -18,6 +18,27 @@
 //! * the top-level classifier returning one of the four complexity classes
 //!   ([`classifier`]).
 //!
+//! # Hot-path representation: [`label_set::LabelSet`]
+//!
+//! Every decision procedure above is, at its core, a loop over label-set
+//! operations (fixed points of continuations, flexibility pruning, subset
+//! searches). Label sets are therefore `u128`-backed bitsets ([`LabelSet`]):
+//! `Copy`, allocation-free, with O(1) union/intersection/subset/membership, and
+//! iteration in ascending label order so output matches the former ordered-set
+//! representation. Problems intern their configurations once at construction
+//! into a dense, parent-indexed table with precomputed per-configuration label
+//! sets ([`LclProblem`]), making "has a continuation within S" a few subset
+//! tests. Conversion shims (`*_btree` methods) are kept wherever external code
+//! wants ordered `BTreeSet`s.
+//!
+//! # Batch classification: [`engine`]
+//!
+//! The [`engine::ClassificationEngine`] layers canonical-form memoization
+//! (label-permutation-invariant keys) and a parallel `classify_batch` on top of
+//! the classifier, opening the "sweep a whole problem family" workload: see
+//! `lcl-problems::random` for family generators and the `rtlcl classify-batch`
+//! subcommand for the CLI entry point.
+//!
 //! # Quick example
 //!
 //! ```
@@ -43,8 +64,10 @@ pub mod certificate;
 pub mod classifier;
 pub mod configuration;
 pub mod constant;
+pub mod engine;
 pub mod greedy;
 pub mod label;
+pub mod label_set;
 pub mod labeling;
 pub mod log_certificate;
 pub mod log_star;
@@ -56,14 +79,17 @@ pub use automaton::Automaton;
 pub use builder::{find_unrestricted_certificate, CertificateBuilder};
 pub use certificate::{CertificateTree, ConstantCertificate, LogStarCertificate};
 pub use classifier::{
-    classify, classify_with_config, ClassificationReport, ClassifierConfig, Complexity,
+    classify, classify_complexity, classify_with_config, ClassificationReport, ClassifierConfig,
+    Complexity,
 };
 pub use configuration::Configuration;
 pub use constant::find_constant_certificate;
+pub use engine::{canonical_form, CanonicalKey, ClassificationEngine, EngineStats};
 pub use label::{Alphabet, Label};
+pub use label_set::LabelSet;
 pub use labeling::{Labeling, SolutionError};
 pub use log_certificate::{find_log_certificate, LogCertificate, LogCertificateAnalysis};
-pub use log_star::find_log_star_certificate;
+pub use log_star::{find_log_star_certificate, MAX_SEARCH_LABELS};
 pub use parser::ParseError;
 pub use problem::LclProblem;
 pub use solvability::solvable_labels;

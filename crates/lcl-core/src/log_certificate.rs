@@ -9,12 +9,9 @@
 //! not exist the pruning sequence Σ₁, …, Σ_k witnesses an Ω(n^{1/k}) lower bound
 //! (Theorem 5.2).
 
-use std::collections::BTreeSet;
-
-use serde::{Deserialize, Serialize};
-
 use crate::automaton::Automaton;
 use crate::label::Label;
+use crate::label_set::LabelSet;
 use crate::problem::LclProblem;
 
 /// Algorithm 1: the restriction of `problem` to its path-flexible labels.
@@ -23,13 +20,12 @@ use crate::problem::LclProblem;
 /// in the output; Algorithm 2 therefore iterates this procedure to a fixed point.
 pub fn remove_path_inflexible(problem: &LclProblem) -> LclProblem {
     let automaton = Automaton::of(problem);
-    let flexible = automaton.flexible_states();
-    problem.restrict_to(&flexible)
+    problem.restrict_to(automaton.flexible_states())
 }
 
 /// The certificate for O(log n) solvability produced by Algorithm 2: a non-empty
 /// path-flexible restriction Π_pf whose automaton is strongly connected.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogCertificate {
     /// The restriction Π_pf of the original problem to the labels of a minimal
     /// absorbing subgraph of the pruned automaton.
@@ -63,8 +59,8 @@ impl LogCertificate {
         if automaton.num_edges() == 0 {
             return Err("certificate automaton has no edges".into());
         }
-        let labels = self.problem_pf.labels().clone();
-        for &l in &labels {
+        let labels = self.problem_pf.labels();
+        for l in labels {
             match automaton.flexibility(l) {
                 None => {
                     return Err(format!(
@@ -82,7 +78,7 @@ impl LogCertificate {
                 }
                 Some(_) => {}
             }
-            if !self.problem_pf.has_continuation_within(l, &labels) {
+            if !self.problem_pf.has_continuation_within(l, labels) {
                 return Err(format!(
                     "label {} has no continuation below within the certificate",
                     self.problem_pf.label_name(l)
@@ -94,11 +90,11 @@ impl LogCertificate {
 }
 
 /// The full outcome of Algorithm 2, including the pruning trace shown in Figure 2.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogCertificateAnalysis {
     /// The label sets Σ₁, Σ₂, …, Σ_k removed by the successive iterations of
     /// Algorithm 1 (only non-empty removals are recorded).
-    pub pruned_sets: Vec<BTreeSet<Label>>,
+    pub pruned_sets: Vec<LabelSet>,
     /// The fixed point Π_k reached by the pruning loop (possibly empty).
     pub fixpoint: LclProblem,
     /// The certificate, if the fixed point is non-empty.
@@ -116,13 +112,19 @@ impl LogCertificateAnalysis {
     pub fn has_certificate(&self) -> bool {
         self.certificate.is_some()
     }
+
+    /// The pruning trace as ordered sets (conversion shim for report output).
+    pub fn pruned_sets_btree(&self) -> Vec<std::collections::BTreeSet<Label>> {
+        self.pruned_sets.iter().map(|s| s.to_btree()).collect()
+    }
 }
 
-/// Algorithm 2: `findLogCertificate`. Iterates Algorithm 1 to a fixed point; if the
-/// fixed point is empty the problem requires n^{Ω(1)} rounds, otherwise the
-/// restriction to a minimal absorbing subgraph of the fixed point's automaton is a
-/// certificate for O(log n) solvability.
-pub fn find_log_certificate(problem: &LclProblem) -> LogCertificateAnalysis {
+/// Iterates Algorithm 1 to its fixed point, returning the fixed point and the
+/// non-empty label sets removed along the way (Σ₁, …, Σ_k). Shared by
+/// [`find_log_certificate`] and the decision-only fast path
+/// [`crate::classifier::classify_complexity`], so the two can never disagree on
+/// the iteration count `k`.
+pub(crate) fn prune_to_fixpoint(problem: &LclProblem) -> (LclProblem, Vec<LabelSet>) {
     let mut current = problem.clone();
     let mut pruned_sets = Vec::new();
     loop {
@@ -130,16 +132,21 @@ pub fn find_log_certificate(problem: &LclProblem) -> LogCertificateAnalysis {
         if next == current {
             break;
         }
-        let removed: BTreeSet<Label> = current
-            .labels()
-            .difference(next.labels())
-            .copied()
-            .collect();
+        let removed = current.labels() - next.labels();
         if !removed.is_empty() {
             pruned_sets.push(removed);
         }
         current = next;
     }
+    (current, pruned_sets)
+}
+
+/// Algorithm 2: `findLogCertificate`. Iterates Algorithm 1 to a fixed point; if the
+/// fixed point is empty the problem requires n^{Ω(1)} rounds, otherwise the
+/// restriction to a minimal absorbing subgraph of the fixed point's automaton is a
+/// certificate for O(log n) solvability.
+pub fn find_log_certificate(problem: &LclProblem) -> LogCertificateAnalysis {
+    let (current, pruned_sets) = prune_to_fixpoint(problem);
 
     let certificate = if current.is_empty() {
         None
@@ -148,12 +155,12 @@ pub fn find_log_certificate(problem: &LclProblem) -> LogCertificateAnalysis {
         let absorbing = automaton
             .minimal_absorbing_component()
             .expect("non-empty automaton has a minimal absorbing subgraph");
-        let problem_pf = current.restrict_to(&absorbing);
+        let problem_pf = current.restrict_to(absorbing);
         let pf_automaton = Automaton::of(&problem_pf);
         let max_flexibility = problem_pf
             .labels()
             .iter()
-            .map(|&l| {
+            .map(|l| {
                 pf_automaton
                     .flexibility(l)
                     .expect("labels of the absorbing component stay flexible (Lemma 5.5)")
@@ -205,8 +212,8 @@ mod tests {
         let p = pi0();
         let analysis = find_log_certificate(&p);
         assert_eq!(analysis.iterations(), 1);
-        let removed = &analysis.pruned_sets[0];
-        let names: Vec<&str> = removed.iter().map(|&l| p.label_name(l)).collect();
+        let removed = analysis.pruned_sets[0];
+        let names: Vec<&str> = removed.iter().map(|l| p.label_name(l)).collect();
         assert_eq!(names, vec!["a", "b"]);
         let cert = analysis.certificate.expect("Π₀ is O(log n) solvable");
         assert_eq!(cert.problem_pf.num_labels(), 2);
@@ -264,7 +271,7 @@ mod tests {
         // the rest.
         let first: Vec<&str> = analysis.pruned_sets[0]
             .iter()
-            .map(|&l| p.label_name(l))
+            .map(|l| p.label_name(l))
             .collect();
         assert_eq!(first, vec!["a1", "b1"]);
     }

@@ -6,11 +6,8 @@
 //! Theorem 6.3 / Lemma 6.7 happens iff the problem is solvable in O(log* n) rounds.
 //! The search prunes subsets in which some label has no continuation below
 //! (such a label could never be the root of a certificate tree), which keeps the
-//! exponential search fast on all problems of practical interest.
-
-use std::collections::BTreeSet;
-
-use serde::{Deserialize, Serialize};
+//! exponential search fast on all problems of practical interest. Subsets are
+//! enumerated directly as sub-masks of the [`LabelSet`] bitset.
 
 use crate::builder::{
     build_log_star_certificate, find_unrestricted_certificate, CertificateBuildError,
@@ -18,14 +15,15 @@ use crate::builder::{
 };
 use crate::certificate::LogStarCertificate;
 use crate::label::Label;
+use crate::label_set::LabelSet;
 use crate::problem::LclProblem;
 use crate::solvability::solvable_labels;
 
 /// The outcome of a successful Algorithm 4 search.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogStarSearchResult {
     /// The certificate labels Σ_T (the subset Σ' that succeeded).
-    pub certificate_labels: BTreeSet<Label>,
+    pub certificate_labels: LabelSet,
     /// The restriction of the problem to Σ_T.
     pub restricted: LclProblem,
     /// The certificate builder found by Algorithm 3.
@@ -41,24 +39,25 @@ impl LogStarSearchResult {
     ) -> Result<LogStarCertificate, CertificateBuildError> {
         build_log_star_certificate(&self.restricted, &self.builder, max_nodes)
     }
+
+    /// The certificate labels as an ordered set (conversion shim).
+    pub fn certificate_labels_btree(&self) -> std::collections::BTreeSet<Label> {
+        self.certificate_labels.to_btree()
+    }
 }
 
-/// Enumerates the subsets of `labels` (as sorted vectors), smallest first, skipping
-/// the empty set.
-pub(crate) fn subsets_by_size(labels: &BTreeSet<Label>) -> Vec<BTreeSet<Label>> {
-    let items: Vec<Label> = labels.iter().copied().collect();
-    let n = items.len();
-    let mut subsets: Vec<BTreeSet<Label>> = Vec::new();
-    for mask in 1u64..(1u64 << n) {
-        let subset: BTreeSet<Label> = items
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, &l)| l)
-            .collect();
-        subsets.push(subset);
-    }
-    subsets.sort_by_key(|s| s.len());
+/// The subset searches of Algorithms 4–5 enumerate every subset of the
+/// self-sustaining label set; beyond this many labels the 2^n enumeration is
+/// hopeless (and the up-front subset vector large), so the search panics with a
+/// clear message rather than looping for years. Callers that feed arbitrary
+/// problems into batch sweeps should bound their label counts accordingly
+/// (`rtlcl classify-batch` validates its `--labels` against this).
+pub const MAX_SEARCH_LABELS: usize = 20;
+
+/// Enumerates the non-empty subsets of `labels`, smallest first.
+pub(crate) fn subsets_by_size(labels: LabelSet) -> Vec<LabelSet> {
+    let mut subsets: Vec<LabelSet> = labels.subsets().filter(|s| !s.is_empty()).collect();
+    subsets.sort_by_key(|s| (s.len(), s.bits()));
     subsets
 }
 
@@ -66,10 +65,10 @@ pub(crate) fn subsets_by_size(labels: &BTreeSet<Label>) -> Vec<BTreeSet<Label>> 
 /// `subset` in `problem` — a necessary condition for `subset` to be the label set of
 /// a uniform certificate (every label is the root of a certificate tree of depth
 /// ≥ 1).
-pub(crate) fn is_self_sustaining(problem: &LclProblem, subset: &BTreeSet<Label>) -> bool {
+pub(crate) fn is_self_sustaining(problem: &LclProblem, subset: LabelSet) -> bool {
     subset
         .iter()
-        .all(|&l| problem.has_continuation_within(l, subset))
+        .all(|l| problem.has_continuation_within(l, subset))
 }
 
 /// Algorithm 4: searches for a uniform certificate of O(log* n) solvability.
@@ -82,16 +81,16 @@ pub fn find_log_star_certificate(problem: &LclProblem) -> Option<LogStarSearchRe
     if sustaining.is_empty() {
         return None;
     }
-    if problem.num_labels() > 63 {
-        // The subset enumeration uses a 64-bit mask; problems anywhere near this
-        // size are far outside the practical range of the exponential search.
-        panic!("Algorithm 4 supports at most 63 labels, got {}", problem.num_labels());
-    }
-    for subset in subsets_by_size(&sustaining) {
-        if !is_self_sustaining(problem, &subset) {
+    assert!(
+        sustaining.len() <= MAX_SEARCH_LABELS,
+        "Algorithm 4 enumerates subsets of at most {MAX_SEARCH_LABELS} labels, got {}",
+        sustaining.len()
+    );
+    for subset in subsets_by_size(sustaining) {
+        if !is_self_sustaining(problem, subset) {
             continue;
         }
-        let restricted = problem.restrict_to(&subset);
+        let restricted = problem.restrict_to(subset);
         if let Some(builder) = find_unrestricted_certificate(&restricted, None) {
             return Some(LogStarSearchResult {
                 certificate_labels: subset,
@@ -119,7 +118,7 @@ mod tests {
         let result = find_log_star_certificate(&p).expect("3-coloring is Θ(log* n)");
         let cert = result.materialize(1_000_000).unwrap();
         cert.verify(&p).unwrap();
-        // The certificate uses all three colors (no proper subset of ≥... size 1 or 2
+        // The certificate uses all three colors (no proper subset of size 1 or 2
         // self-sustains into a certificate for a proper coloring).
         assert_eq!(result.certificate_labels.len(), 3);
     }
@@ -171,16 +170,19 @@ mod tests {
         let p: LclProblem = "1:22\n2:11\nz:zz\nz:12\n".parse().unwrap();
         let result = find_log_star_certificate(&p).unwrap();
         let z = p.label_by_name("z").unwrap();
-        assert_eq!(result.certificate_labels, [z].into_iter().collect());
+        assert_eq!(result.certificate_labels, LabelSet::singleton(z));
+        assert_eq!(result.certificate_labels_btree(), [z].into_iter().collect());
     }
 
     #[test]
     fn subsets_are_enumerated_smallest_first() {
-        let labels: BTreeSet<Label> = [Label(0), Label(1), Label(2)].into_iter().collect();
-        let subsets = subsets_by_size(&labels);
+        let labels: LabelSet = [Label(0), Label(1), Label(2)].into_iter().collect();
+        let subsets = subsets_by_size(labels);
         assert_eq!(subsets.len(), 7);
         assert_eq!(subsets[0].len(), 1);
         assert_eq!(subsets[6].len(), 3);
+        // Sizes are non-decreasing throughout.
+        assert!(subsets.windows(2).all(|w| w[0].len() <= w[1].len()));
     }
 
     #[test]
@@ -188,10 +190,10 @@ mod tests {
         let p: LclProblem = "1 : 1 2\n2 : 1 1\n".parse().unwrap();
         let one = p.label_by_name("1").unwrap();
         let two = p.label_by_name("2").unwrap();
-        let both: BTreeSet<Label> = [one, two].into_iter().collect();
-        let just_one: BTreeSet<Label> = [one].into_iter().collect();
-        assert!(is_self_sustaining(&p, &both));
+        let both: LabelSet = [one, two].into_iter().collect();
+        let just_one = LabelSet::singleton(one);
+        assert!(is_self_sustaining(&p, both));
         // 1 alone has no continuation using only 1 (its configurations need 2).
-        assert!(!is_self_sustaining(&p, &just_one));
+        assert!(!is_self_sustaining(&p, just_one));
     }
 }

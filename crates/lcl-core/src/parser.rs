@@ -27,6 +27,7 @@ use std::fmt;
 
 use crate::configuration::Configuration;
 use crate::label::AlphabetBuilder;
+use crate::label_set::LabelSet;
 use crate::problem::LclProblem;
 
 /// Errors produced while parsing a problem description.
@@ -53,6 +54,11 @@ pub enum ParseError {
         /// Number of children found on this line.
         found: usize,
     },
+    /// The description uses more distinct labels than a [`LabelSet`] can hold.
+    TooManyLabels {
+        /// Number of distinct labels found.
+        found: usize,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -73,6 +79,11 @@ impl fmt::Display for ParseError {
                 f,
                 "line {line}: configuration has {found} children but earlier lines have {expected}"
             ),
+            ParseError::TooManyLabels { found } => write!(
+                f,
+                "problem uses {found} distinct labels, the classifier supports at most {}",
+                LabelSet::CAPACITY
+            ),
         }
     }
 }
@@ -83,8 +94,8 @@ impl std::error::Error for ParseError {}
 /// the accepted format.
 pub fn parse_problem(input: &str) -> Result<LclProblem, ParseError> {
     let mut alphabet = AlphabetBuilder::new();
-    let mut labels = std::collections::BTreeSet::new();
-    let mut configurations = std::collections::BTreeSet::new();
+    let mut labels = Vec::new();
+    let mut configurations = Vec::new();
     let mut delta: Option<usize> = None;
 
     for (idx, raw_line) in input.lines().enumerate() {
@@ -99,7 +110,7 @@ pub fn parse_problem(input: &str) -> Result<LclProblem, ParseError> {
         }
         if let Some(rest) = line.strip_prefix("labels:") {
             for name in rest.split_whitespace() {
-                labels.insert(alphabet.intern(name));
+                labels.push(alphabet.intern(name));
             }
             continue;
         }
@@ -135,16 +146,16 @@ pub fn parse_problem(input: &str) -> Result<LclProblem, ParseError> {
             _ => {}
         }
         let parent = alphabet.intern(parent_name);
-        labels.insert(parent);
+        labels.push(parent);
         let children: Vec<_> = child_names
             .iter()
             .map(|n| {
                 let l = alphabet.intern(n);
-                labels.insert(l);
+                labels.push(l);
                 l
             })
             .collect();
-        configurations.insert(Configuration::new(parent, children));
+        configurations.push(Configuration::new(parent, children));
     }
 
     let delta = match delta {
@@ -152,6 +163,12 @@ pub fn parse_problem(input: &str) -> Result<LclProblem, ParseError> {
         None if !labels.is_empty() => 1,
         None => return Err(ParseError::Empty),
     };
+    if alphabet.len() > LabelSet::CAPACITY {
+        return Err(ParseError::TooManyLabels {
+            found: alphabet.len(),
+        });
+    }
+    let labels: LabelSet = labels.into_iter().collect();
     Ok(LclProblem::new(
         delta,
         alphabet.finish(),
@@ -240,7 +257,10 @@ mod tests {
 
     #[test]
     fn error_empty_input() {
-        assert_eq!(parse_problem("  \n# nothing\n").unwrap_err(), ParseError::Empty);
+        assert_eq!(
+            parse_problem("  \n# nothing\n").unwrap_err(),
+            ParseError::Empty
+        );
         assert!(parse_problem("").is_err());
     }
 

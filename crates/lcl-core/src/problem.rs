@@ -1,48 +1,83 @@
 //! LCL problems Π = (δ, Σ, C) on rooted regular trees (Definition 4.1).
+//!
+//! A problem owns an interned *core*: configurations are stored sorted in a
+//! dense `Vec`, grouped by parent label through a per-label index range built
+//! once at construction time, and every configuration carries a precomputed
+//! [`LabelSet`] of the labels it uses. Together with the bitset representation
+//! of Σ this makes the classifier's hot queries — "does `label` have a
+//! continuation below within `allowed`?", "which configurations survive a
+//! restriction?" — run in O(1) per configuration with no allocation.
 
-use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::configuration::Configuration;
 use crate::label::{Alphabet, AlphabetBuilder, Label};
+use crate::label_set::LabelSet;
 
 /// An LCL problem in the rooted-regular-tree formalism of the paper: the number of
 /// children `δ`, a finite set of labels `Σ`, and a set of allowed configurations `C`.
 ///
-/// Problems are immutable after construction. The *active* label set `Σ` may be a
+/// Problems are immutable after construction. The *active* label set Σ may be a
 /// subset of the shared [`Alphabet`]: restrictions (Definition 4.3) keep the same
 /// alphabet so label identities and names are stable across the whole analysis.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// At most [`LabelSet::CAPACITY`] (128) alphabet entries are supported.
+#[derive(Debug, Clone)]
 pub struct LclProblem {
     delta: usize,
     alphabet: Arc<Alphabet>,
-    labels: BTreeSet<Label>,
-    configurations: BTreeSet<Configuration>,
+    labels: LabelSet,
+    /// Sorted and deduplicated; configurations with equal parents are contiguous.
+    configurations: Vec<Configuration>,
+    /// For each alphabet label index, the range of `configurations` whose parent
+    /// is that label.
+    parent_ranges: Vec<(u32, u32)>,
+    /// For each configuration, the set of labels it uses (parent and children).
+    config_sets: Vec<LabelSet>,
+    /// Union of all configuration label sets.
+    used_labels: LabelSet,
 }
 
+impl PartialEq for LclProblem {
+    fn eq(&self, other: &Self) -> bool {
+        // The index structures are functions of the three defining fields.
+        self.delta == other.delta
+            && self.labels == other.labels
+            && self.configurations == other.configurations
+            && (Arc::ptr_eq(&self.alphabet, &other.alphabet) || self.alphabet == other.alphabet)
+    }
+}
+
+impl Eq for LclProblem {}
+
 impl LclProblem {
-    /// Creates a problem from its parts.
+    /// Creates a problem from its parts. `configurations` may be in any order and
+    /// contain duplicates; they are canonicalized here.
     ///
     /// # Panics
     ///
     /// Panics if a configuration uses a label outside `labels`, has the wrong number
-    /// of children, or if a label index is outside the alphabet.
+    /// of children, if a label index is outside the alphabet, or if the alphabet has
+    /// more than 128 entries.
     pub fn new(
         delta: usize,
         alphabet: Arc<Alphabet>,
-        labels: BTreeSet<Label>,
-        configurations: BTreeSet<Configuration>,
+        labels: LabelSet,
+        configurations: Vec<Configuration>,
     ) -> Self {
         assert!(delta >= 1, "delta must be at least 1");
-        for l in &labels {
-            assert!(
-                l.index() < alphabet.len(),
-                "label {l} outside the alphabet"
-            );
+        assert!(
+            alphabet.len() <= LabelSet::CAPACITY,
+            "alphabet has {} labels, LabelSet supports at most {}",
+            alphabet.len(),
+            LabelSet::CAPACITY
+        );
+        for l in labels.iter() {
+            assert!(l.index() < alphabet.len(), "label {l} outside the alphabet");
         }
+        let mut configurations = configurations;
+        configurations.sort_unstable();
+        configurations.dedup();
         for c in &configurations {
             assert_eq!(
                 c.delta(),
@@ -53,18 +88,47 @@ impl LclProblem {
             );
             for l in c.labels() {
                 assert!(
-                    labels.contains(&l),
+                    labels.contains(l),
                     "configuration {} uses label {} not in the active label set",
                     c.display(&alphabet),
                     alphabet.name(l)
                 );
             }
         }
+        Self::from_canonical(delta, alphabet, labels, configurations)
+    }
+
+    /// Builds the dense index for already-sorted, validated configurations.
+    fn from_canonical(
+        delta: usize,
+        alphabet: Arc<Alphabet>,
+        labels: LabelSet,
+        configurations: Vec<Configuration>,
+    ) -> Self {
+        debug_assert!(configurations.windows(2).all(|w| w[0] < w[1]));
+        let mut parent_ranges = vec![(0u32, 0u32); alphabet.len()];
+        let mut config_sets = Vec::with_capacity(configurations.len());
+        let mut used_labels = LabelSet::EMPTY;
+        let mut i = 0usize;
+        while i < configurations.len() {
+            let parent = configurations[i].parent();
+            let start = i;
+            while i < configurations.len() && configurations[i].parent() == parent {
+                let set: LabelSet = configurations[i].labels().collect();
+                used_labels |= set;
+                config_sets.push(set);
+                i += 1;
+            }
+            parent_ranges[parent.index()] = (start as u32, i as u32);
+        }
         LclProblem {
             delta,
             alphabet,
             labels,
             configurations,
+            parent_ranges,
+            config_sets,
+            used_labels,
         }
     }
 
@@ -87,14 +151,32 @@ impl LclProblem {
 
     /// The active label set Σ(Π).
     #[inline]
-    pub fn labels(&self) -> &BTreeSet<Label> {
-        &self.labels
+    pub fn labels(&self) -> LabelSet {
+        self.labels
     }
 
-    /// The allowed configurations C(Π).
+    /// The active label set as an ordered `BTreeSet` (conversion shim).
+    pub fn labels_btree(&self) -> std::collections::BTreeSet<Label> {
+        self.labels.to_btree()
+    }
+
+    /// The allowed configurations C(Π), sorted with equal parents contiguous.
     #[inline]
-    pub fn configurations(&self) -> &BTreeSet<Configuration> {
+    pub fn configurations(&self) -> &[Configuration] {
         &self.configurations
+    }
+
+    /// The precomputed label set of the configuration at `index` (parallel to
+    /// [`Self::configurations`]).
+    #[inline]
+    pub fn configuration_label_set(&self, index: usize) -> LabelSet {
+        self.config_sets[index]
+    }
+
+    /// The labels that appear in at least one configuration.
+    #[inline]
+    pub fn used_labels(&self) -> LabelSet {
+        self.used_labels
     }
 
     /// Number of active labels.
@@ -122,7 +204,15 @@ impl LclProblem {
     pub fn label_by_name(&self, name: &str) -> Option<Label> {
         self.alphabet
             .label(name)
-            .filter(|l| self.labels.contains(l))
+            .filter(|&l| self.labels.contains(l))
+    }
+
+    #[inline]
+    fn parent_range(&self, label: Label) -> std::ops::Range<usize> {
+        match self.parent_ranges.get(label.index()) {
+            Some(&(a, b)) => a as usize..b as usize,
+            None => 0..0,
+        }
     }
 
     /// The configurations whose parent is `label`.
@@ -130,76 +220,81 @@ impl LclProblem {
         &self,
         label: Label,
     ) -> impl Iterator<Item = &Configuration> + '_ {
-        self.configurations
-            .iter()
-            .filter(move |c| c.parent() == label)
+        self.configurations[self.parent_range(label)].iter()
     }
 
     /// Definition 4.4: `label` has a *continuation below* if some configuration has
     /// it as the parent.
     pub fn has_continuation_below(&self, label: Label) -> bool {
-        self.configurations_with_parent(label).next().is_some()
+        !self.parent_range(label).is_empty()
     }
 
     /// Definition 4.5: `label` has a continuation below *with labels in `allowed`*
     /// if some configuration `(label : σ₁ … σ_δ)` uses only labels from `allowed`
-    /// (including `label` itself).
-    pub fn has_continuation_within(&self, label: Label, allowed: &BTreeSet<Label>) -> bool {
-        self.continuation_within(label, allowed).is_some()
+    /// (including `label` itself). A single subset test per configuration.
+    #[inline]
+    pub fn has_continuation_within(&self, label: Label, allowed: LabelSet) -> bool {
+        if !allowed.contains(label) {
+            return false;
+        }
+        self.parent_range(label)
+            .any(|i| self.config_sets[i].is_subset(allowed))
     }
 
     /// Returns a configuration witnessing [`Self::has_continuation_within`], if any.
-    pub fn continuation_within(
-        &self,
-        label: Label,
-        allowed: &BTreeSet<Label>,
-    ) -> Option<&Configuration> {
-        if !allowed.contains(&label) {
+    pub fn continuation_within(&self, label: Label, allowed: LabelSet) -> Option<&Configuration> {
+        if !allowed.contains(label) {
             return None;
         }
-        self.configurations_with_parent(label)
-            .find(|c| c.uses_only(|l| allowed.contains(&l)))
+        self.parent_range(label)
+            .find(|&i| self.config_sets[i].is_subset(allowed))
+            .map(|i| &self.configurations[i])
     }
 
     /// Definition 4.3: the restriction of the problem to the labels in `subset`.
     /// Only configurations entirely within `subset` survive.
-    pub fn restrict_to(&self, subset: &BTreeSet<Label>) -> LclProblem {
-        let labels: BTreeSet<Label> = self.labels.intersection(subset).copied().collect();
-        let configurations = self
+    pub fn restrict_to(&self, subset: LabelSet) -> LclProblem {
+        let labels = self.labels & subset;
+        // Filtering a sorted sequence keeps it sorted, so the canonical
+        // constructor can skip re-sorting and re-validating.
+        let configurations: Vec<Configuration> = self
             .configurations
             .iter()
-            .filter(|c| c.uses_only(|l| labels.contains(&l)))
-            .cloned()
+            .zip(self.config_sets.iter())
+            .filter(|(_, set)| set.is_subset(labels))
+            .map(|(c, _)| c.clone())
             .collect();
-        LclProblem {
-            delta: self.delta,
-            alphabet: Arc::clone(&self.alphabet),
+        LclProblem::from_canonical(
+            self.delta,
+            Arc::clone(&self.alphabet),
             labels,
             configurations,
-        }
+        )
     }
 
     /// Definition 4.6: the path-form of the problem, i.e. the δ = 1 problem whose
     /// configurations are all pairs `(a : b)` such that some configuration of the
     /// original problem has parent `a` and `b` among its children.
     pub fn path_form(&self) -> LclProblem {
-        let mut pairs = BTreeSet::new();
+        let mut pairs = std::collections::BTreeSet::new();
         for c in &self.configurations {
             for &child in c.children() {
                 pairs.insert(Configuration::new(c.parent(), vec![child]));
             }
         }
-        LclProblem {
-            delta: 1,
-            alphabet: Arc::clone(&self.alphabet),
-            labels: self.labels.clone(),
-            configurations: pairs,
-        }
+        LclProblem::from_canonical(
+            1,
+            Arc::clone(&self.alphabet),
+            self.labels,
+            pairs.into_iter().collect(),
+        )
     }
 
     /// Returns `true` if the configuration is allowed by the problem.
     pub fn allows(&self, configuration: &Configuration) -> bool {
-        self.configurations.contains(configuration)
+        self.configurations[self.parent_range(configuration.parent())]
+            .binary_search(configuration)
+            .is_ok()
     }
 
     /// Returns `true` if a node labeled `parent` may have children carrying exactly
@@ -213,8 +308,8 @@ impl LclProblem {
     pub fn is_restriction_of(&self, other: &LclProblem) -> bool {
         self.delta == other.delta
             && Arc::ptr_eq(&self.alphabet, &other.alphabet)
-            && self.labels.is_subset(&other.labels)
-            && self.configurations.is_subset(&other.configurations)
+            && self.labels.is_subset(other.labels)
+            && self.configurations.iter().all(|c| other.allows(c))
     }
 
     /// Canonical multi-line text form (one configuration per line), parseable back
@@ -226,11 +321,9 @@ impl LclProblem {
             out.push_str(&c.display(&self.alphabet));
             out.push('\n');
         }
-        let unused: Vec<&str> = self
-            .labels
+        let unused: Vec<&str> = (self.labels - self.used_labels)
             .iter()
-            .filter(|l| self.configurations.iter().all(|c| c.labels().all(|x| x != **l)))
-            .map(|&l| self.alphabet.name(l))
+            .map(|l| self.alphabet.name(l))
             .collect();
         if !unused.is_empty() {
             out.push_str(&format!("labels: {}\n", unused.join(" ")));
@@ -264,7 +357,7 @@ impl std::str::FromStr for LclProblem {
 pub struct ProblemBuilder {
     delta: usize,
     alphabet: AlphabetBuilder,
-    labels: BTreeSet<Label>,
+    labels: LabelSet,
     configurations: Vec<(Label, Vec<Label>)>,
 }
 
@@ -275,7 +368,7 @@ impl ProblemBuilder {
         ProblemBuilder {
             delta,
             alphabet: AlphabetBuilder::new(),
-            labels: BTreeSet::new(),
+            labels: LabelSet::EMPTY,
             configurations: Vec::new(),
         }
     }
@@ -379,10 +472,10 @@ mod tests {
         assert!(p.has_continuation_below(a));
         assert!(p.has_continuation_below(b));
         // Within {1, b} the label a has no continuation; 1 and b do.
-        let sub: BTreeSet<Label> = [one, b].into_iter().collect();
-        assert!(p.has_continuation_within(one, &sub));
-        assert!(p.has_continuation_within(b, &sub));
-        assert!(!p.has_continuation_within(a, &sub));
+        let sub: LabelSet = [one, b].into_iter().collect();
+        assert!(p.has_continuation_within(one, sub));
+        assert!(p.has_continuation_within(b, sub));
+        assert!(!p.has_continuation_within(a, sub));
     }
 
     #[test]
@@ -390,8 +483,8 @@ mod tests {
         let p = three_coloring();
         let one = p.label_by_name("1").unwrap();
         let two = p.label_by_name("2").unwrap();
-        let sub: BTreeSet<Label> = [one, two].into_iter().collect();
-        let r = p.restrict_to(&sub);
+        let sub: LabelSet = [one, two].into_iter().collect();
+        let r = p.restrict_to(sub);
         assert_eq!(r.num_labels(), 2);
         // Only 1:22 and 2:11 survive.
         assert_eq!(r.num_configurations(), 2);
@@ -457,6 +550,14 @@ mod tests {
         assert!(text.contains("labels: orphan"));
         let reparsed: LclProblem = text.parse().unwrap();
         assert_eq!(reparsed.num_labels(), 2);
+    }
+
+    #[test]
+    fn labels_btree_shim_is_ordered() {
+        let p = three_coloring();
+        let btree = p.labels_btree();
+        let via_iter: Vec<Label> = p.labels().iter().collect();
+        assert_eq!(btree.into_iter().collect::<Vec<_>>(), via_iter);
     }
 
     #[test]

@@ -8,22 +8,19 @@
 //! unconstrained. Conversely, if the fixed point is empty, a simple induction shows
 //! that no labeling of a deep enough balanced tree can satisfy all internal nodes.
 
-use std::collections::BTreeSet;
-
-use crate::label::Label;
+use crate::label_set::LabelSet;
 use crate::problem::LclProblem;
 
 /// Computes the greatest set `S ⊆ Σ(Π)` such that every label in `S` has a
 /// continuation below using only labels of `S` (the *self-sustaining* labels).
 ///
 /// The problem is solvable on all full δ-ary trees iff the result is non-empty.
-pub fn solvable_labels(problem: &LclProblem) -> BTreeSet<Label> {
-    let mut kept: BTreeSet<Label> = problem.labels().clone();
+pub fn solvable_labels(problem: &LclProblem) -> LabelSet {
+    let mut kept = problem.labels();
     loop {
-        let next: BTreeSet<Label> = kept
+        let next: LabelSet = kept
             .iter()
-            .copied()
-            .filter(|&l| problem.has_continuation_within(l, &kept))
+            .filter(|&l| problem.has_continuation_within(l, kept))
             .collect();
         if next == kept {
             return kept;
@@ -48,6 +45,7 @@ pub fn unsolvability_depth_bound(problem: &LclProblem) -> usize {
 mod tests {
     use super::*;
     use crate::greedy;
+    use crate::label::Label;
     use crate::labeling::Labeling;
     use lcl_trees::generators;
 
@@ -71,9 +69,9 @@ mod tests {
         let p: LclProblem = "a : a a\na : b c\nb : c c\n".parse().unwrap();
         let solvable = solvable_labels(&p);
         let a = p.label_by_name("a").unwrap();
-        assert!(solvable.contains(&a));
-        assert!(!solvable.contains(&p.label_by_name("b").unwrap()));
-        assert!(!solvable.contains(&p.label_by_name("c").unwrap()));
+        assert!(solvable.contains(a));
+        assert!(!solvable.contains(p.label_by_name("b").unwrap()));
+        assert!(!solvable.contains(p.label_by_name("c").unwrap()));
         assert!(is_solvable(&p));
     }
 
@@ -92,7 +90,7 @@ mod tests {
         let p: LclProblem = "a : b b\n".parse().unwrap();
         assert!(!is_solvable(&p));
         let tree = generators::balanced(2, 2);
-        let labels: Vec<Label> = p.labels().iter().copied().collect();
+        let labels: Vec<Label> = p.labels().iter().collect();
         let n = tree.len();
         let total = labels.len().pow(n as u32);
         let mut found = false;
@@ -108,7 +106,10 @@ mod tests {
                 break;
             }
         }
-        assert!(!found, "brute force found a solution for an 'unsolvable' problem");
+        assert!(
+            !found,
+            "brute force found a solution for an 'unsolvable' problem"
+        );
     }
 
     #[test]

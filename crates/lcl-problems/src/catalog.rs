@@ -221,12 +221,16 @@ mod tests {
     fn expected_complexity_matching() {
         assert!(ExpectedComplexity::Constant.matches(Complexity::Constant));
         assert!(!ExpectedComplexity::Constant.matches(Complexity::Log));
-        assert!(ExpectedComplexity::Polynomial(2).matches(Complexity::Polynomial {
-            lower_bound_exponent: 2
-        }));
-        assert!(!ExpectedComplexity::Polynomial(2).matches(Complexity::Polynomial {
-            lower_bound_exponent: 1
-        }));
+        assert!(
+            ExpectedComplexity::Polynomial(2).matches(Complexity::Polynomial {
+                lower_bound_exponent: 2
+            })
+        );
+        assert!(
+            !ExpectedComplexity::Polynomial(2).matches(Complexity::Polynomial {
+                lower_bound_exponent: 1
+            })
+        );
         assert!(ExpectedComplexity::Log.describe().contains("log"));
     }
 }

@@ -25,9 +25,7 @@ pub fn coloring(delta: usize, colors: usize) -> LclProblem {
     for parent in 0..colors {
         // Enumerate all non-decreasing child color tuples avoiding the parent color.
         loop {
-            if children.iter().all(|&c| c != parent)
-                && children.windows(2).all(|w| w[0] <= w[1])
-            {
+            if children.iter().all(|&c| c != parent) && children.windows(2).all(|w| w[0] <= w[1]) {
                 let child_names: Vec<&str> = children.iter().map(|&c| names[c].as_str()).collect();
                 builder.configuration(&names[parent], &child_names);
             }
@@ -124,7 +122,10 @@ mod tests {
 
     #[test]
     fn classifications_match_the_paper() {
-        assert_eq!(classify(&three_coloring_binary()).complexity, Complexity::LogStar);
+        assert_eq!(
+            classify(&three_coloring_binary()).complexity,
+            Complexity::LogStar
+        );
         assert_eq!(
             classify(&two_coloring_binary()).complexity,
             Complexity::Polynomial {
@@ -132,7 +133,10 @@ mod tests {
             }
         );
         assert_eq!(classify(&branch_two_coloring()).complexity, Complexity::Log);
-        assert_eq!(classify(&figure_2_combination()).complexity, Complexity::Log);
+        assert_eq!(
+            classify(&figure_2_combination()).complexity,
+            Complexity::Log
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use lcl_core::LclProblem;
 /// The trivial problem: one label, always allowed. Solvable in zero rounds.
 pub fn trivial(delta: usize) -> LclProblem {
     let mut b = LclProblem::builder(delta);
-    let children: Vec<&str> = std::iter::repeat("x").take(delta).collect();
+    let children: Vec<&str> = std::iter::repeat_n("x", delta).collect();
     b.configuration("x", &children);
     b.build()
 }
@@ -27,7 +27,7 @@ pub fn unsolvable(delta: usize) -> LclProblem {
 pub fn copy_child(delta: usize) -> LclProblem {
     let mut b = LclProblem::builder(delta);
     for name in ["p", "q"] {
-        let children: Vec<&str> = std::iter::repeat(name).take(delta).collect();
+        let children: Vec<&str> = std::iter::repeat_n(name, delta).collect();
         b.configuration(name, &children);
     }
     b.build()
@@ -43,8 +43,8 @@ pub fn both_colors_below(delta: usize) -> LclProblem {
         // children: at least one 1 and at least one 2.
         for ones in 1..delta {
             let mut children: Vec<&str> = Vec::new();
-            children.extend(std::iter::repeat("1").take(ones));
-            children.extend(std::iter::repeat("2").take(delta - ones));
+            children.extend(std::iter::repeat_n("1", ones));
+            children.extend(std::iter::repeat_n("2", delta - ones));
             b.configuration(parent, &children);
         }
     }
@@ -57,10 +57,10 @@ pub fn both_colors_below(delta: usize) -> LclProblem {
 /// label is what makes restrictions of it interesting.
 pub fn chain_or_free(delta: usize) -> LclProblem {
     let mut b = LclProblem::builder(delta);
-    let all_f: Vec<&str> = std::iter::repeat("f").take(delta).collect();
+    let all_f: Vec<&str> = std::iter::repeat_n("f", delta).collect();
     b.configuration("f", &all_f);
     let mut chain_children: Vec<&str> = vec!["c"];
-    chain_children.extend(std::iter::repeat("f").take(delta - 1));
+    chain_children.extend(std::iter::repeat_n("f", delta - 1));
     b.configuration("c", &chain_children);
     b.configuration("f", &chain_children);
     b.build()
@@ -74,10 +74,10 @@ pub fn chain_or_free(delta: usize) -> LclProblem {
 /// as a regression test that the classifier handles nested absorbing components.
 pub fn nested_absorbing(delta: usize) -> LclProblem {
     let mut b = LclProblem::builder(delta);
-    let all_s: Vec<&str> = std::iter::repeat("s").take(delta).collect();
-    let all_t: Vec<&str> = std::iter::repeat("t").take(delta).collect();
+    let all_s: Vec<&str> = std::iter::repeat_n("s", delta).collect();
+    let all_t: Vec<&str> = std::iter::repeat_n("t", delta).collect();
     let mut t_then_s: Vec<&str> = vec!["t"];
-    t_then_s.extend(std::iter::repeat("s").take(delta - 1));
+    t_then_s.extend(std::iter::repeat_n("s", delta - 1));
     b.configuration("s", &all_s);
     b.configuration("t", &all_t);
     b.configuration("t", &t_then_s);
@@ -109,8 +109,14 @@ mod tests {
     fn both_colors_below_is_constant() {
         // The certificate uses both labels: each tree alternates freely, and the
         // special configuration (1 : 1 2) makes it constant-time.
-        assert_eq!(classify(&both_colors_below(2)).complexity, Complexity::Constant);
-        assert_eq!(classify(&both_colors_below(3)).complexity, Complexity::Constant);
+        assert_eq!(
+            classify(&both_colors_below(2)).complexity,
+            Complexity::Constant
+        );
+        assert_eq!(
+            classify(&both_colors_below(3)).complexity,
+            Complexity::Constant
+        );
     }
 
     #[test]

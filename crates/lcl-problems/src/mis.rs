@@ -30,18 +30,18 @@ pub fn mis(delta: usize) -> LclProblem {
     // 1 : any multiset over {a, b}.
     for split in 0..=delta {
         let mut children: Vec<&str> = Vec::with_capacity(delta);
-        children.extend(std::iter::repeat("a").take(split));
-        children.extend(std::iter::repeat("b").take(delta - split));
+        children.extend(std::iter::repeat_n("a", split));
+        children.extend(std::iter::repeat_n("b", delta - split));
         builder.configuration("1", &children);
     }
     // a : all children b.
-    let all_b: Vec<&str> = std::iter::repeat("b").take(delta).collect();
+    let all_b: Vec<&str> = std::iter::repeat_n("b", delta).collect();
     builder.configuration("a", &all_b);
     // b : at least one child 1, the rest 1 or b.
     for ones in 1..=delta {
         let mut children: Vec<&str> = Vec::with_capacity(delta);
-        children.extend(std::iter::repeat("1").take(ones));
-        children.extend(std::iter::repeat("b").take(delta - ones));
+        children.extend(std::iter::repeat_n("1", ones));
+        children.extend(std::iter::repeat_n("b", delta - ones));
         builder.configuration("b", &children);
     }
     builder.build()

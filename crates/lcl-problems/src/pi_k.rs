@@ -54,7 +54,10 @@ pub fn pi_k(k: usize) -> LclProblem {
     };
     for i in 1..=k {
         // (a_i : σ σ') and (b_i : σ σ') for σ, σ' in lower(i) ∪ {partner}.
-        for (parent, partner) in [(format!("a{i}"), format!("b{i}")), (format!("b{i}"), format!("a{i}"))] {
+        for (parent, partner) in [
+            (format!("a{i}"), format!("b{i}")),
+            (format!("b{i}"), format!("a{i}")),
+        ] {
             let mut allowed = lower(i);
             allowed.push(partner);
             for (s, t) in all_pairs(&allowed) {
@@ -138,7 +141,7 @@ mod tests {
             // First removal is exactly {a1, b1}.
             let first: Vec<&str> = report.log_analysis.pruned_sets[0]
                 .iter()
-                .map(|&l| p.label_name(l))
+                .map(|l| p.label_name(l))
                 .collect();
             assert_eq!(first, vec!["a1", "b1"]);
         }

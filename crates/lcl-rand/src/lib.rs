@@ -1,0 +1,156 @@
+//! A tiny, dependency-free, seeded pseudo-random number generator.
+//!
+//! The workspace builds without any external crates, so the tree generators,
+//! random-problem generators, identifier assignments, property tests, and
+//! benchmarks all draw their randomness from this SplitMix64 generator. It is
+//! deterministic per seed, fast, and statistically solid for test/benchmark
+//! workloads (it is the seeding generator of `xoshiro`); it is *not* a
+//! cryptographic generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be positive");
+        // Lemire's multiply-shift rejection method, bias-free.
+        let bound64 = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound64 as u128);
+            let low = m as u64;
+            if low >= bound64.wrapping_neg() % bound64 {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// A uniformly random `u64` in the inclusive range `[lo, hi]`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let span = span + 1;
+        // Rejection sampling over the largest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return lo + x % span;
+            }
+        }
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 random mantissa bits give a uniform float in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_index_stays_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for bound in 1..50 {
+            for _ in 0..100 {
+                assert!(rng.gen_index(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_endpoints() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let x = rng.gen_range_u64(5, 8);
+            assert!((5..=8).contains(&x));
+            seen_lo |= x == 5;
+            seen_hi |= x == 8;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "suspicious bias: {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements left them sorted");
+    }
+}

@@ -1,9 +1,7 @@
 //! Identifier assignments (Section 4.2: identifiers from `{1, …, poly(n)}`).
 
+use lcl_rand::SplitMix64;
 use lcl_trees::RootedTree;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// An assignment of unique identifiers to the nodes of a tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,7 +21,7 @@ impl IdAssignment {
     /// A uniformly random permutation of `1, …, n` (seeded).
     pub fn random_permutation(tree: &RootedTree, seed: u64) -> Self {
         let mut ids: Vec<u64> = (1..=tree.len() as u64).collect();
-        ids.shuffle(&mut StdRng::seed_from_u64(seed));
+        SplitMix64::seed_from_u64(seed).shuffle(&mut ids);
         IdAssignment { ids }
     }
 
@@ -32,10 +30,10 @@ impl IdAssignment {
     pub fn random_sparse(tree: &RootedTree, seed: u64) -> Self {
         let n = tree.len() as u64;
         let space = n.saturating_mul(n).saturating_mul(n).max(n);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut chosen = std::collections::BTreeSet::new();
         while chosen.len() < tree.len() {
-            chosen.insert(rng.gen_range(1..=space));
+            chosen.insert(rng.gen_range_u64(1, space));
         }
         IdAssignment {
             ids: chosen.into_iter().collect(),

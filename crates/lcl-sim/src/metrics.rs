@@ -51,8 +51,10 @@ mod tests {
         assert_eq!(m.max_message_bits, 30);
         assert_eq!(m.total_message_bits, 40);
 
-        let mut other = Metrics::default();
-        other.rounds = 3;
+        let mut other = Metrics {
+            rounds: 3,
+            ..Default::default()
+        };
         other.record_message(50);
         m.absorb(&other);
         assert_eq!(m.rounds, 7);

@@ -36,8 +36,9 @@ impl NodeProgram for DepthComputation {
             }
         }
         match *state {
-            Some(depth) => RoundAction::output(depth)
-                .broadcast_to_children(depth, info.num_children),
+            Some(depth) => {
+                RoundAction::output(depth).broadcast_to_children(depth, info.num_children)
+            }
             None => RoundAction::idle(),
         }
     }
@@ -155,8 +156,7 @@ impl NodeProgram for ChainColorReduction {
             state.color = Self::cv_step(state.color, parent_color);
             state.remaining -= 1;
         }
-        let mut action =
-            RoundAction::idle().broadcast_to_children(state.color, info.num_children);
+        let mut action = RoundAction::idle().broadcast_to_children(state.color, info.num_children);
         if state.remaining == 0 {
             debug_assert!(state.color < 6, "colour {} out of range", state.color);
             action.output = Some(state.color as u8);
@@ -218,8 +218,7 @@ mod tests {
         assert!(ChainColorReduction::iterations_needed(64) <= 7);
         // Monotone in the identifier size.
         assert!(
-            ChainColorReduction::iterations_needed(64)
-                >= ChainColorReduction::iterations_needed(8)
+            ChainColorReduction::iterations_needed(64) >= ChainColorReduction::iterations_needed(8)
         );
     }
 

@@ -17,9 +17,7 @@ pub struct View {
 
 /// Collects all nodes within distance `t` of `v`.
 pub fn ball(tree: &RootedTree, v: NodeId, t: usize) -> Vec<NodeId> {
-    tree.nodes()
-        .filter(|&u| tree.distance(u, v) <= t)
-        .collect()
+    tree.nodes().filter(|&u| tree.distance(u, v) <= t).collect()
 }
 
 /// Computes a canonical, identifier-free encoding of the radius-`t` view of `v` in

@@ -2,8 +2,7 @@
 //! full δ-ary trees (Section 4.1), directed paths (δ = 1), and hairy paths
 //! (Definition 4.11).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lcl_rand::SplitMix64;
 
 use crate::tree::{NodeId, RootedTree, TreeBuilder};
 
@@ -86,11 +85,11 @@ pub fn hairy_path(delta: usize, spine_len: usize) -> RootedTree {
 /// `min_nodes ≤ n ≤ min_nodes + delta` nodes.
 pub fn random_full(delta: usize, min_nodes: usize, seed: u64) -> RootedTree {
     assert!(delta >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut t = RootedTree::singleton();
     let mut leaves: Vec<NodeId> = vec![t.root()];
     while t.len() < min_nodes {
-        let idx = rng.gen_range(0..leaves.len());
+        let idx = rng.gen_index(leaves.len());
         let leaf = leaves.swap_remove(idx);
         let new_children = t.add_children(leaf, delta);
         leaves.extend(new_children);
@@ -108,14 +107,14 @@ pub fn random_full(delta: usize, min_nodes: usize, seed: u64) -> RootedTree {
 pub fn random_skewed(delta: usize, min_nodes: usize, skew: f64, seed: u64) -> RootedTree {
     assert!(delta >= 1);
     assert!((0.0..=1.0).contains(&skew), "skew must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut t = RootedTree::singleton();
     let mut leaves: Vec<NodeId> = vec![t.root()];
     while t.len() < min_nodes {
         let idx = if rng.gen_bool(skew) {
             leaves.len() - 1
         } else {
-            rng.gen_range(0..leaves.len())
+            rng.gen_index(leaves.len())
         };
         let leaf = leaves.remove(idx);
         let new_children = t.add_children(leaf, delta);

@@ -179,7 +179,7 @@ mod tests {
         // T^x_1 with delta = 3, x = 5 (the setting of Figure 4 before the second level).
         let t1 = t_x_k(3, 5, 1);
         assert_eq!(t1.tree.len(), t_x_k_size(3, 5, 1));
-        assert_eq!(t1.tree.len(), 5 * (1 + 2 * 1));
+        assert_eq!(t1.tree.len(), 5 * (1 + 2));
         assert_eq!(t1.core_path().len(), 5);
         // Every core-path node except t has delta children; t has delta - 1.
         let core = t1.core_path();

@@ -287,10 +287,7 @@ mod tests {
         // A long path must be mostly compressed; with only rakes it would take 64
         // layers, with compression it takes O(log n).
         assert!(part.num_layers() <= 10, "layers = {}", part.num_layers());
-        assert!(part
-            .kind
-            .iter()
-            .any(|&k| k == RemovalKind::Compress));
+        assert!(part.kind.contains(&RemovalKind::Compress));
         validate_partition(&t, &part).unwrap();
     }
 
@@ -299,8 +296,8 @@ mod tests {
         let t = generators::hairy_path(2, 100);
         let part = rcp_partition(&t, 3);
         assert!(part.num_layers() <= 20);
-        assert!(part.kind.iter().any(|&k| k == RemovalKind::Rake));
-        assert!(part.kind.iter().any(|&k| k == RemovalKind::Compress));
+        assert!(part.kind.contains(&RemovalKind::Rake));
+        assert!(part.kind.contains(&RemovalKind::Compress));
         validate_partition(&t, &part).unwrap();
     }
 

@@ -107,18 +107,18 @@ pub struct TreeStats {
 /// Computes [`TreeStats`] for a tree.
 pub fn stats(tree: &RootedTree) -> TreeStats {
     let depths = tree.depths();
-    let min_leaf_depth = tree
-        .leaves()
-        .map(|v| depths[v.index()])
-        .min()
-        .unwrap_or(0);
+    let min_leaf_depth = tree.leaves().map(|v| depths[v.index()]).min().unwrap_or(0);
     TreeStats {
         nodes: tree.len(),
         internal: tree.internal_count(),
         leaves: tree.leaf_count(),
         height: tree.height(),
         min_leaf_depth,
-        max_degree: tree.nodes().map(|v| tree.num_children(v)).max().unwrap_or(0),
+        max_degree: tree
+            .nodes()
+            .map(|v| tree.num_children(v))
+            .max()
+            .unwrap_or(0),
     }
 }
 

@@ -12,7 +12,6 @@ use std::fmt;
 /// Node ids are dense: a tree with `n` nodes uses ids `0..n`. The root is not
 /// necessarily id `0` in general, but all constructors in this crate place it there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -36,7 +35,6 @@ impl fmt::Display for NodeId {
 /// the paper (Section 5.3: "each edge `{u, v}` is oriented from `u` to `v` if `v` is
 /// the parent of `u`").
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RootedTree {
     parent: Vec<Option<NodeId>>,
     children: Vec<Vec<NodeId>>,

@@ -37,9 +37,17 @@ fn main() {
             return;
         }
         let tree = generators::random_full(problem.delta(), size, 1);
-        match solve(&problem, &report, &tree, IdAssignment::random_permutation(&tree, 2)) {
+        match solve(
+            &problem,
+            &report,
+            &tree,
+            IdAssignment::random_permutation(&tree, 2),
+        ) {
             Ok(outcome) => {
-                outcome.labeling.verify(&tree, &problem).expect("valid solution");
+                outcome
+                    .labeling
+                    .verify(&tree, &problem)
+                    .expect("valid solution");
                 println!(
                     "\nsolved on a {}-node random full {}-ary tree with `{}`",
                     tree.len(),

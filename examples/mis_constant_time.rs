@@ -6,7 +6,7 @@
 //! Run with `cargo run --release --example mis_constant_time`.
 
 use rooted_tree_lcl::algorithms::mis_four_rounds;
-use rooted_tree_lcl::core::{classify, ClassifierConfig};
+use rooted_tree_lcl::core::classify;
 use rooted_tree_lcl::prelude::*;
 use rooted_tree_lcl::problems::mis::mis_binary;
 
@@ -18,10 +18,7 @@ fn main() {
     assert_eq!(report.complexity, Complexity::Constant);
 
     // The certificate for O(1) solvability (Figure 8).
-    let cert = report
-        .constant_certificate(&ClassifierConfig::default())
-        .unwrap()
-        .unwrap();
+    let cert = report.constant_certificate().unwrap().unwrap();
     println!("\n== certificate for O(1) solvability (Definition 7.1) ==");
     println!(
         "certificate labels: {}, depth {}, special configuration: {}",
@@ -42,7 +39,10 @@ fn main() {
 
     // Solve on growing trees with both constant-time algorithms.
     println!("\n== rounds vs n (flat = constant time) ==");
-    println!("{:>10} {:>18} {:>22}", "n", "4-round alg", "generic (Thm 7.2)");
+    println!(
+        "{:>10} {:>18} {:>22}",
+        "n", "4-round alg", "generic (Thm 7.2)"
+    );
     for exponent in [10, 12, 14, 16, 18] {
         let tree = generators::random_full(2, (1usize << exponent) + 1, exponent as u64);
         let explicit = mis_four_rounds::solve_mis_four_rounds(&problem, &tree);

@@ -30,8 +30,13 @@ fn main() {
 
     // Solve it on a random full binary tree with the certificate-driven algorithm.
     let tree = generators::random_full(2, 10_001, 42);
-    let outcome = solve(&problem, &report, &tree, IdAssignment::random_permutation(&tree, 1))
-        .expect("solvable problem");
+    let outcome = solve(
+        &problem,
+        &report,
+        &tree,
+        IdAssignment::random_permutation(&tree, 1),
+    )
+    .expect("solvable problem");
     outcome
         .labeling
         .verify(&tree, &problem)
@@ -42,7 +47,7 @@ fn main() {
 
     // The certificate behind the algorithm (Figure 7 of the paper).
     let cert = report
-        .log_star_certificate(&Default::default())
+        .log_star_certificate()
         .expect("Θ(log* n) problems have a uniform certificate")
         .expect("small certificate");
     println!("\n== uniform certificate (Definition 6.1) ==");
@@ -57,6 +62,10 @@ fn main() {
             .iter()
             .map(|&l| problem.label_name(l))
             .collect();
-        println!("tree rooted at {}: {}", problem.label_name(*label), names.join(" "));
+        println!(
+            "tree rooted at {}: {}",
+            problem.label_name(*label),
+            names.join(" ")
+        );
     }
 }

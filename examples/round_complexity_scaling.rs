@@ -5,10 +5,8 @@
 //!
 //! Run with `cargo run --release --example round_complexity_scaling`.
 
-use rooted_tree_lcl::algorithms::{
-    constant_solver, log_solver, log_star_solver, poly_solver,
-};
-use rooted_tree_lcl::core::{classify, ClassifierConfig};
+use rooted_tree_lcl::algorithms::{constant_solver, log_solver, log_star_solver, poly_solver};
+use rooted_tree_lcl::core::classify;
 use rooted_tree_lcl::prelude::*;
 use rooted_tree_lcl::problems::{coloring, mis, pi_k};
 
@@ -17,17 +15,11 @@ fn main() {
 
     let mis_problem = mis::mis_binary();
     let mis_report = classify(&mis_problem);
-    let mis_cert = mis_report
-        .constant_certificate(&ClassifierConfig::default())
-        .unwrap()
-        .unwrap();
+    let mis_cert = mis_report.constant_certificate().unwrap().unwrap();
 
     let col_problem = coloring::three_coloring_binary();
     let col_report = classify(&col_problem);
-    let col_cert = col_report
-        .log_star_certificate(&ClassifierConfig::default())
-        .unwrap()
-        .unwrap();
+    let col_cert = col_report.log_star_certificate().unwrap().unwrap();
 
     let branch_problem = coloring::branch_two_coloring();
     let branch_cert = classify(&branch_problem).log_certificate().unwrap().clone();

@@ -40,7 +40,8 @@ pub use lcl_trees as trees;
 pub mod prelude {
     pub use lcl_algorithms::{solve, RoundReport, SolverOutcome};
     pub use lcl_core::{
-        classify, ClassificationReport, Complexity, Labeling, LclProblem, LogStarCertificate,
+        classify, ClassificationEngine, ClassificationReport, Complexity, Label, LabelSet,
+        Labeling, LclProblem, LogStarCertificate,
     };
     pub use lcl_sim::IdAssignment;
     pub use lcl_trees::{generators, NodeId, RootedTree};

@@ -2,7 +2,7 @@
 //! the paper states for every catalog problem (experiment E1), and the certificates
 //! it returns verify against their definitions.
 
-use rooted_tree_lcl::core::{classify, ClassifierConfig, Complexity};
+use rooted_tree_lcl::core::{classify, Complexity};
 use rooted_tree_lcl::problems::{catalog, pi_k};
 
 #[test]
@@ -21,19 +21,18 @@ fn catalog_classifications_match_the_paper() {
 
 #[test]
 fn certificates_in_reports_verify_against_their_definitions() {
-    let config = ClassifierConfig::default();
     for entry in catalog() {
         let report = classify(&entry.problem);
         if let Some(cert) = report.log_certificate() {
             cert.verify(&entry.problem)
                 .unwrap_or_else(|e| panic!("{}: O(log n) certificate invalid: {e}", entry.name));
         }
-        if let Some(cert) = report.log_star_certificate(&config) {
+        if let Some(cert) = report.log_star_certificate() {
             cert.unwrap()
                 .verify(&entry.problem)
                 .unwrap_or_else(|e| panic!("{}: O(log* n) certificate invalid: {e}", entry.name));
         }
-        if let Some(cert) = report.constant_certificate(&config) {
+        if let Some(cert) = report.constant_certificate() {
             cert.unwrap()
                 .verify(&entry.problem)
                 .unwrap_or_else(|e| panic!("{}: O(1) certificate invalid: {e}", entry.name));

@@ -1,0 +1,91 @@
+//! Engine integration tests: batch classification must agree exactly with
+//! per-problem sequential `classify`, across the whole catalog and across a
+//! large enumerated random family, through both the memoized and the parallel
+//! paths. This is the acceptance gate for the batch classification engine.
+
+use rooted_tree_lcl::core::{classify, ClassificationEngine, Complexity, LclProblem};
+use rooted_tree_lcl::problems::catalog;
+use rooted_tree_lcl::problems::random::{enumerate_problems, random_family, RandomProblemSpec};
+
+fn expected_of(problems: &[LclProblem]) -> Vec<Complexity> {
+    problems.iter().map(|p| classify(p).complexity).collect()
+}
+
+#[test]
+fn batch_matches_sequential_on_the_catalog() {
+    let problems: Vec<LclProblem> = catalog().into_iter().map(|e| e.problem).collect();
+    let expected = expected_of(&problems);
+
+    let engine = ClassificationEngine::new();
+    assert_eq!(engine.classify_batch_sequential(&problems), expected);
+
+    let engine = ClassificationEngine::new();
+    assert_eq!(engine.classify_batch(&problems), expected);
+
+    let mut engine = ClassificationEngine::new();
+    engine.set_memoization(false);
+    assert_eq!(engine.classify_batch(&problems), expected);
+}
+
+#[test]
+fn batch_matches_sequential_on_a_500_problem_family() {
+    // The acceptance workload: ≥ 500 random δ=2 problems over 3 labels.
+    let spec = RandomProblemSpec {
+        delta: 2,
+        num_labels: 3,
+        density: 0.3,
+    };
+    let problems = random_family(&spec, 7, 512);
+    assert!(problems.len() >= 500);
+    let expected = expected_of(&problems);
+
+    // Parallel + memoized path.
+    let engine = ClassificationEngine::new();
+    let parallel = engine.classify_batch(&problems);
+    assert_eq!(parallel, expected);
+    let stats = engine.stats();
+    assert_eq!(stats.total(), problems.len());
+    // Random 3-label families repeat canonical forms heavily; the cache must
+    // actually be doing work, otherwise the memoized path is untested.
+    assert!(
+        stats.cache_hits > 0,
+        "expected cache hits over a 512-problem random family, got stats {stats:?}"
+    );
+
+    // Memoized sequential path on a fresh engine.
+    let engine = ClassificationEngine::new();
+    assert_eq!(engine.classify_batch_sequential(&problems), expected);
+}
+
+#[test]
+fn batch_matches_sequential_on_an_enumerated_family_slice() {
+    // A deterministic slice of the complete δ=2, 2-label family.
+    let problems: Vec<LclProblem> = enumerate_problems(2, 2).take(64).collect();
+    let expected = expected_of(&problems);
+    let engine = ClassificationEngine::new();
+    assert_eq!(engine.classify_batch(&problems), expected);
+}
+
+#[test]
+fn engine_caches_across_renamings_without_changing_answers() {
+    let spec = RandomProblemSpec {
+        delta: 2,
+        num_labels: 3,
+        density: 0.4,
+    };
+    let problems = random_family(&spec, 99, 64);
+    let engine = ClassificationEngine::new();
+    // Classify everything twice: the second pass must be pure cache hits and
+    // still agree with sequential classification.
+    let first = engine.classify_batch(&problems);
+    let before_second = engine.stats();
+    let second = engine.classify_batch(&problems);
+    assert_eq!(first, second);
+    let after = engine.stats();
+    assert_eq!(
+        after.cache_hits - before_second.cache_hits,
+        problems.len(),
+        "second pass must be answered entirely from the cache"
+    );
+    assert_eq!(first, expected_of(&problems));
+}

@@ -50,7 +50,10 @@ fn solutions_are_valid_for_different_id_assignments() {
     }
     let min = totals.iter().min().unwrap();
     let max = totals.iter().max().unwrap();
-    assert!(max - min <= 3, "round counts {totals:?} diverge across id assignments");
+    assert!(
+        max - min <= 3,
+        "round counts {totals:?} diverge across id assignments"
+    );
 }
 
 #[test]
@@ -79,12 +82,6 @@ fn lower_bound_trees_are_also_valid_inputs() {
     let report = classify(&problem);
     let bipolar = lower_bound::t_x_k(2, 8, 2);
     let tree = bipolar.tree;
-    let outcome = solve(
-        &problem,
-        &report,
-        &tree,
-        IdAssignment::sequential(&tree),
-    )
-    .unwrap();
+    let outcome = solve(&problem, &report, &tree, IdAssignment::sequential(&tree)).unwrap();
     outcome.labeling.verify(&tree, &problem).unwrap();
 }
