@@ -1,0 +1,84 @@
+//! Labeling validation at million-node scale: the naive per-node
+//! `RootedTree` walk (`Labeling::verify`, one `Vec` + one `Configuration`
+//! allocation per internal node) vs the CSR [`LabelingValidator`] from
+//! `lcl-verify` (dense parent-indexed packed tables, no allocation per node),
+//! sequentially and sharded over `std::thread::scope`.
+//!
+//! The bench asserts that the parallel CSR validator beats the naive walk on
+//! a ≥ 1M-node random full binary tree. The win is structural — the naive
+//! walk allocates and sorts per node while the CSR check is a stack-local
+//! insertion sort plus one binary search over a flat `&[u128]` — so the
+//! assertion holds even on a single-core runner where "parallel" degrades to
+//! the sequential CSR scan.
+
+use lcl_bench::harness::{black_box, Bench};
+use lcl_core::{Label, Labeling, LclProblem};
+use lcl_trees::FlatTree;
+use lcl_verify::LabelingValidator;
+
+const MIN_NODES: usize = 1_000_000;
+
+fn main() {
+    let problem: LclProblem = "1:22\n2:11\n".parse().unwrap();
+    let one = problem.label_by_name("1").unwrap();
+    let two = problem.label_by_name("2").unwrap();
+
+    let tree = FlatTree::random_full(2, MIN_NODES, 1);
+    assert!(tree.len() >= MIN_NODES);
+    let labels: Vec<Label> = tree
+        .depths()
+        .into_iter()
+        .map(|d| if d % 2 == 0 { one } else { two })
+        .collect();
+
+    // The naive side: the same labeling as an arena-world `Labeling` on a
+    // `RootedTree`, checked by the reference checker.
+    let arena = tree.to_rooted();
+    let mut labeling = Labeling::for_tree(&arena);
+    for v in arena.nodes() {
+        labeling.set(v, labels[v.index()]);
+    }
+
+    let validator = LabelingValidator::new(&problem);
+    // All three checkers must agree before any timing matters.
+    labeling.verify(&arena, &problem).unwrap();
+    validator.validate(&tree, &labels).unwrap();
+    validator.validate_parallel(&tree, &labels).unwrap();
+
+    let mut bench = Bench::new(&format!(
+        "validate a depth-parity 2-coloring of a {}-node random full binary tree",
+        tree.len()
+    ));
+    bench.case("naive RootedTree walk (Labeling::verify)", || {
+        black_box(labeling.verify(&arena, &problem)).is_ok()
+    });
+    bench.case("CSR validator, sequential", || {
+        black_box(validator.validate(&tree, &labels)).is_ok()
+    });
+    bench.case("CSR validator, parallel shards", || {
+        black_box(validator.validate_parallel(&tree, &labels)).is_ok()
+    });
+
+    let naive = bench
+        .median_of("naive RootedTree walk (Labeling::verify)")
+        .expect("case ran");
+    let seq = bench
+        .median_of("CSR validator, sequential")
+        .expect("case ran");
+    let par = bench
+        .median_of("CSR validator, parallel shards")
+        .expect("case ran");
+    println!(
+        "CSR sequential speedup over naive walk: {:.2}x",
+        naive.as_secs_f64() / seq.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "CSR parallel speedup over naive walk:   {:.2}x\n",
+        naive.as_secs_f64() / par.as_secs_f64().max(1e-12)
+    );
+    assert!(
+        par < naive,
+        "parallel CSR validator ({par:?}) should beat the naive RootedTree walk ({naive:?}) on {} nodes",
+        tree.len()
+    );
+}

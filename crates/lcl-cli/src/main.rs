@@ -6,7 +6,31 @@
 //!                                     # or a catalog name such as `mis`)
 //! rtlcl explain  <file|name>          # classification plus certificates
 //! rtlcl solve    <file|name> <n>      # classify, solve on a random n-node tree, verify
+//!                                     # (--emit-labeling <path> writes the solution)
 //! rtlcl classify-batch [options]      # sweep a whole problem family through the engine
+//! rtlcl verify   <file|name> <labeling-file> [options]
+//!                                     # validate a labeling file on a generated tree
+//! rtlcl fuzz     [options]            # run the classifier-vs-solver differential oracle
+//! ```
+//!
+//! `verify` options:
+//!
+//! ```text
+//! --tree <shape>   random | balanced | hairy (default random)
+//! --nodes <n>      minimum tree size (default 101)
+//! --seed <s>       tree seed (default 1)
+//! --json           emit the verdict as JSON
+//! ```
+//!
+//! The labeling file holds one label name per node, whitespace-separated, in
+//! node-id order — the format written by `rtlcl solve --emit-labeling`.
+//!
+//! `fuzz` options:
+//!
+//! ```text
+//! --iters <n>      oracle iterations (default 200)
+//! --seed <s>       base seed (default 1)
+//! --json           emit the full report as JSON
 //! ```
 //!
 //! `classify-batch` options:
@@ -35,7 +59,8 @@ use lcl_core::{classify, ClassificationEngine, Complexity, LclProblem};
 use lcl_problems::catalog;
 use lcl_problems::random::{enumerate_problems, random_family, RandomProblemSpec};
 use lcl_sim::IdAssignment;
-use lcl_trees::generators;
+use lcl_trees::{generators, FlatTree};
+use lcl_verify::{fuzz_classifier_vs_solvers, LabelingValidator};
 
 fn load_problem(spec: &str) -> Result<LclProblem, String> {
     if let Some(entry) = catalog::by_name(spec) {
@@ -169,7 +194,7 @@ fn cmd_explain(spec: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_solve(spec: &str, n: usize) -> ExitCode {
+fn cmd_solve(spec: &str, n: usize, emit_labeling: Option<&str>) -> ExitCode {
     let problem = match load_problem(spec) {
         Ok(p) => p,
         Err(e) => {
@@ -181,6 +206,12 @@ fn cmd_solve(spec: &str, n: usize) -> ExitCode {
     println!("complexity: {}", report.complexity);
     if !report.complexity.is_solvable() {
         println!("problem is unsolvable; nothing to solve");
+        if let Some(path) = emit_labeling {
+            // Fail rather than exit 0 with nothing written: a `solve … &&
+            // verify …` chain would otherwise validate a stale file.
+            eprintln!("--emit-labeling {path}: no labeling exists for an unsolvable problem");
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
     let tree = generators::random_full(problem.delta(), n.max(1), 1);
@@ -202,12 +233,303 @@ fn cmd_solve(spec: &str, n: usize) -> ExitCode {
             );
             println!("algorithm: {}", outcome.algorithm);
             println!("rounds: {}", outcome.rounds.summary());
+            if let Some(path) = emit_labeling {
+                let mut out = String::with_capacity(tree.len() * 2);
+                for v in tree.nodes() {
+                    let label = outcome
+                        .labeling
+                        .get(v)
+                        .expect("verified labeling is complete");
+                    out.push_str(problem.label_name(label));
+                    out.push('\n');
+                }
+                if let Err(e) = std::fs::write(path, out) {
+                    eprintln!("cannot write labeling to `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("labeling written to {path} (validate with `rtlcl verify`)");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("solver error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Shared `--flag value` cursor for the subcommand option parsers: fetches the
+/// next token as a flag's value and parses it with the flag name prefixed to
+/// any error, so every subcommand reports `--flag: <parse error>` uniformly.
+struct FlagCursor<'a> {
+    it: std::slice::Iter<'a, String>,
+}
+
+impl<'a> FlagCursor<'a> {
+    fn new(args: &'a [String]) -> Self {
+        FlagCursor { it: args.iter() }
+    }
+
+    fn next_arg(&mut self) -> Option<&'a String> {
+        self.it.next()
+    }
+
+    fn value(&mut self, name: &str) -> Result<&'a String, String> {
+        match self.it.next() {
+            None => Err(format!("{name} requires a value")),
+            Some(v) if v.starts_with("--") => {
+                Err(format!("{name} requires a value, got the flag `{v}`"))
+            }
+            Some(v) => Ok(v),
+        }
+    }
+
+    fn parse_value<T: std::str::FromStr>(&mut self, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.value(name)?
+            .parse()
+            .map_err(|e| format!("{name}: {e}"))
+    }
+}
+
+/// Generates the tree a `verify` invocation checks against: deterministic in
+/// `(shape, delta, nodes, seed)`, with at least `nodes` nodes.
+fn build_tree(shape: &str, delta: usize, nodes: usize, seed: u64) -> Result<FlatTree, String> {
+    let nodes = nodes.max(1);
+    match shape {
+        "random" => Ok(FlatTree::random_full(delta, nodes, seed)),
+        "balanced" => Ok(FlatTree::balanced(
+            delta,
+            generators::minimal_complete_depth(delta, nodes),
+        )),
+        "hairy" => Ok(FlatTree::hairy_path(delta, nodes.div_ceil(delta).max(1))),
+        other => Err(format!(
+            "unknown tree shape `{other}` (expected random, balanced, or hairy)"
+        )),
+    }
+}
+
+struct VerifyOptions {
+    shape: String,
+    nodes: usize,
+    seed: u64,
+    json: bool,
+    positional: Vec<String>,
+}
+
+fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
+    let mut opts = VerifyOptions {
+        shape: "random".into(),
+        nodes: 101,
+        seed: 1,
+        json: false,
+        positional: Vec::new(),
+    };
+    let mut cur = FlagCursor::new(args);
+    while let Some(arg) = cur.next_arg() {
+        match arg.as_str() {
+            "--tree" => opts.shape = cur.value("--tree")?.clone(),
+            "--nodes" => opts.nodes = cur.parse_value("--nodes")?,
+            "--seed" => opts.seed = cur.parse_value("--seed")?,
+            "--json" => opts.json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown verify option `{other}`"))
+            }
+            _ => opts.positional.push(arg.clone()),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let opts = match parse_verify_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let VerifyOptions {
+        shape,
+        nodes,
+        seed,
+        json,
+        positional,
+    } = opts;
+    let (problem_spec, labeling_path) = match positional.as_slice() {
+        [p, l] => (p.as_str(), l.as_str()),
+        _ => {
+            eprintln!("verify expects a problem and a labeling file");
+            return usage();
+        }
+    };
+    let problem = match load_problem(problem_spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(labeling_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read labeling file `{labeling_path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut labels = Vec::new();
+    for (i, name) in text.split_whitespace().enumerate() {
+        match problem.label_by_name(name) {
+            Some(l) => labels.push(l),
+            None => {
+                eprintln!("labeling entry {i} (`{name}`) is not an active label of the problem");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let tree = match build_tree(&shape, problem.delta(), nodes, seed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verdict = LabelingValidator::new(&problem).validate_parallel(&tree, &labels);
+    if json {
+        let mut obj = vec![
+            ("problem".into(), Json::str(problem.to_text())),
+            ("tree".into(), Json::str(shape.as_str())),
+            ("nodes".into(), Json::int(tree.len())),
+        ];
+        // Only the random shape is seed-dependent; balanced/hairy trees are
+        // fully determined by (delta, nodes), so reporting a seed for them
+        // would suggest a distinction that does not exist.
+        if shape == "random" {
+            obj.push(("seed".into(), Json::int(seed as usize)));
+        }
+        obj.push(("valid".into(), Json::Bool(verdict.is_ok())));
+        if let Err(e) = &verdict {
+            obj.push(("violation".into(), Json::str(e.to_string())));
+            // A size mismatch has no offending node to point at.
+            if let Some(node) = e.node() {
+                obj.push(("violation_node".into(), Json::int(node as usize)));
+            }
+        }
+        println!("{}", Json::Obj(obj).to_pretty());
+    } else {
+        match &verdict {
+            Ok(()) => println!(
+                "valid: all {} nodes of the {} tree satisfy the problem",
+                tree.len(),
+                shape
+            ),
+            Err(e) => println!("INVALID: {e}"),
+        }
+    }
+    if verdict.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_fuzz_options(args: &[String]) -> Result<(usize, u64, bool), String> {
+    let (mut iters, mut seed, mut json) = (200usize, 1u64, false);
+    let mut cur = FlagCursor::new(args);
+    while let Some(arg) = cur.next_arg() {
+        match arg.as_str() {
+            "--iters" => iters = cur.parse_value("--iters")?,
+            "--seed" => seed = cur.parse_value("--seed")?,
+            "--json" => json = true,
+            other => return Err(format!("unknown fuzz option `{other}`")),
+        }
+    }
+    Ok((iters, seed, json))
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let (iters, seed, json) = match parse_fuzz_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let start = Instant::now();
+    let report = fuzz_classifier_vs_solvers(seed, iters);
+    let elapsed = start.elapsed();
+    if json {
+        let out = Json::Obj(vec![
+            ("seed".into(), Json::int(seed as usize)),
+            ("iterations".into(), Json::int(report.iterations)),
+            ("elapsed_ms".into(), Json::Num(elapsed.as_secs_f64() * 1e3)),
+            (
+                "histogram".into(),
+                Json::Obj(
+                    report
+                        .histogram
+                        .iter()
+                        .map(|&(name, n)| (name.to_string(), Json::int(n)))
+                        .collect(),
+                ),
+            ),
+            ("solver_runs".into(), Json::int(report.solver_runs)),
+            ("validated_nodes".into(), Json::int(report.validated_nodes)),
+            (
+                "skipped_certificates".into(),
+                Json::int(report.skipped_certificates),
+            ),
+            ("clean".into(), Json::Bool(report.is_clean())),
+            (
+                "discrepancies".into(),
+                Json::Arr(
+                    report
+                        .discrepancies
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("iteration".into(), Json::int(d.iteration)),
+                                ("problem".into(), Json::str(d.problem.as_str())),
+                                ("complexity".into(), Json::str(d.complexity.as_str())),
+                                ("context".into(), Json::str(d.context.as_str())),
+                                ("detail".into(), Json::str(d.detail.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", out.to_pretty());
+    } else {
+        println!(
+            "fuzzed {} problems (seed {seed}) in {:.1} ms",
+            report.iterations,
+            elapsed.as_secs_f64() * 1e3
+        );
+        for (name, n) in report.histogram {
+            if n > 0 {
+                println!("{name:>12}: {n}");
+            }
+        }
+        println!(
+            "solver runs: {} ({} nodes validated, {} certificate skips)",
+            report.solver_runs, report.validated_nodes, report.skipped_certificates
+        );
+        if report.is_clean() {
+            println!("no discrepancies: classifier, solvers, and validator agree");
+        } else {
+            println!("{} DISCREPANCIES:", report.discrepancies.len());
+            for d in &report.discrepancies {
+                println!("  {d}");
+            }
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -242,39 +564,14 @@ impl Default for BatchOptions {
 
 fn parse_batch_options(args: &[String]) -> Result<BatchOptions, String> {
     let mut opts = BatchOptions::default();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-                .cloned()
-        };
+    let mut cur = FlagCursor::new(args);
+    while let Some(arg) = cur.next_arg() {
         match arg.as_str() {
-            "--count" => {
-                opts.count = value("--count")?
-                    .parse()
-                    .map_err(|e| format!("--count: {e}"))?
-            }
-            "--labels" => {
-                opts.labels = value("--labels")?
-                    .parse()
-                    .map_err(|e| format!("--labels: {e}"))?
-            }
-            "--delta" => {
-                opts.delta = value("--delta")?
-                    .parse()
-                    .map_err(|e| format!("--delta: {e}"))?
-            }
-            "--density" => {
-                opts.density = value("--density")?
-                    .parse()
-                    .map_err(|e| format!("--density: {e}"))?
-            }
-            "--seed" => {
-                opts.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
+            "--count" => opts.count = cur.parse_value("--count")?,
+            "--labels" => opts.labels = cur.parse_value("--labels")?,
+            "--delta" => opts.delta = cur.parse_value("--delta")?,
+            "--density" => opts.density = cur.parse_value("--density")?,
+            "--seed" => opts.seed = cur.parse_value("--seed")?,
             "--enumerate" => opts.enumerate = true,
             "--sequential" => opts.sequential = true,
             "--no-memo" => opts.memoize = false,
@@ -423,9 +720,31 @@ fn cmd_classify_batch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn parse_solve_options(args: &[String]) -> Result<(String, usize, Option<String>), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut emit = None;
+    let mut cur = FlagCursor::new(args);
+    while let Some(arg) = cur.next_arg() {
+        match arg.as_str() {
+            "--emit-labeling" => emit = Some(cur.value("--emit-labeling")?.clone()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown solve option `{other}`"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    match positional.as_slice() {
+        [spec, n] => {
+            let n = n.parse().map_err(|e| format!("tree size `{n}`: {e}"))?;
+            Ok((spec.to_string(), n, emit))
+        }
+        _ => Err("solve expects a problem and a tree size".into()),
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size>\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size> [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -442,11 +761,16 @@ fn main() -> ExitCode {
             Some(spec) => cmd_explain(spec),
             None => usage(),
         },
-        Some("solve") => match (args.get(1), args.get(2).and_then(|s| s.parse().ok())) {
-            (Some(spec), Some(n)) => cmd_solve(spec, n),
-            _ => usage(),
+        Some("solve") => match parse_solve_options(&args[1..]) {
+            Ok((spec, n, emit)) => cmd_solve(&spec, n, emit.as_deref()),
+            Err(e) => {
+                eprintln!("{e}");
+                usage()
+            }
         },
         Some("classify-batch") => cmd_classify_batch(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => usage(),
     }
 }

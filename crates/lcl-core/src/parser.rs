@@ -281,4 +281,90 @@ mod tests {
         let err = parse_problem("oops").unwrap_err();
         assert!(err.to_string().contains("line 1"));
     }
+
+    #[test]
+    fn error_too_many_labels_via_labels_line() {
+        // One over the LabelSet capacity: one configuration label plus 128
+        // extras declared through a `labels:` line.
+        let mut input = String::from("z : z z\nlabels:");
+        for i in 1..=crate::LabelSet::CAPACITY {
+            input.push_str(&format!(" x{i}"));
+        }
+        let err = parse_problem(&input).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::TooManyLabels {
+                found: crate::LabelSet::CAPACITY + 1
+            }
+        );
+        assert!(err.to_string().contains("128"));
+    }
+
+    #[test]
+    fn error_too_many_labels_via_configurations() {
+        // The same overflow reached through (spaced-form) configuration lines
+        // alone: 129 distinct labels.
+        let mut input = String::new();
+        for i in 0..=crate::LabelSet::CAPACITY {
+            input.push_str(&format!("y{i} : y{i} y{i}\n"));
+        }
+        assert!(matches!(
+            parse_problem(&input).unwrap_err(),
+            ParseError::TooManyLabels { .. }
+        ));
+        // Exactly at capacity still parses.
+        let mut input = String::new();
+        for i in 0..crate::LabelSet::CAPACITY {
+            input.push_str(&format!("y{i} : y{i} y{i}\n"));
+        }
+        let p = parse_problem(&input).unwrap();
+        assert_eq!(p.num_labels(), crate::LabelSet::CAPACITY);
+    }
+
+    #[test]
+    fn error_malformed_configurations_do_not_panic() {
+        // A grab-bag of malformed inputs: every one must surface a ParseError
+        // variant, never a panic.
+        for (input, expected_line) in [
+            (":", 1),
+            (": :", 1),
+            ("1 :", 1),
+            (" : ", 1),
+            ("1 : 2 2\n:\n", 2),
+            ("# only\n1 2\n", 2),
+        ] {
+            let err = parse_problem(input).unwrap_err();
+            let line = match err {
+                ParseError::MissingColon { line } => line,
+                ParseError::MissingLabels { line } => line,
+                other => panic!("unexpected variant {other:?} for {input:?}"),
+            };
+            assert_eq!(line, expected_line, "input {input:?}");
+        }
+        // Inconsistent delta between spaced and compact forms.
+        assert!(matches!(
+            parse_problem("1 : 2 2\n2:111\n").unwrap_err(),
+            ParseError::InconsistentDelta {
+                line: 2,
+                expected: 2,
+                found: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn error_empty_variants() {
+        for input in ["", "   ", "\n\n", "# a\n# b\n", "  # c"] {
+            assert_eq!(
+                parse_problem(input).unwrap_err(),
+                ParseError::Empty,
+                "input {input:?}"
+            );
+        }
+        // A bare `labels:` line with no configurations is delta-less but not
+        // empty: it parses as a delta-1 problem with no configurations.
+        let p = parse_problem("labels: a b\n").unwrap();
+        assert_eq!(p.delta(), 1);
+        assert_eq!(p.num_configurations(), 0);
+    }
 }

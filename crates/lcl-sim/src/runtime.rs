@@ -12,6 +12,9 @@ pub struct Simulator<'a> {
     tree: &'a RootedTree,
     ids: IdAssignment,
     max_rounds: usize,
+    /// The global maximum degree δ, computed once at construction so per-node
+    /// queries stay O(1).
+    delta: usize,
 }
 
 impl<'a> Simulator<'a> {
@@ -22,10 +25,16 @@ impl<'a> Simulator<'a> {
     /// Panics if the identifier assignment does not cover exactly the tree's nodes.
     pub fn new(tree: &'a RootedTree, ids: IdAssignment) -> Self {
         assert_eq!(ids.len(), tree.len(), "one identifier per node is required");
+        let delta = tree
+            .nodes()
+            .map(|u| tree.num_children(u))
+            .max()
+            .unwrap_or(0);
         Simulator {
             tree,
             ids,
             max_rounds: 4 * tree.len() + 16,
+            delta,
         }
     }
 
@@ -42,18 +51,12 @@ impl<'a> Simulator<'a> {
 
     /// The initial knowledge of a node.
     pub fn node_info(&self, v: NodeId) -> NodeInfo {
-        let delta = self
-            .tree
-            .nodes()
-            .map(|u| self.tree.num_children(u))
-            .max()
-            .unwrap_or(0);
         NodeInfo {
             id: self.ids.id_of(v),
             n: self.tree.len(),
             num_children: self.tree.num_children(v),
             has_parent: self.tree.parent(v).is_some(),
-            delta,
+            delta: self.delta,
         }
     }
 
@@ -67,23 +70,7 @@ impl<'a> Simulator<'a> {
     /// algorithms in this repository.
     pub fn run<P: NodeProgram>(&self, program: &P) -> (Vec<P::Output>, Metrics) {
         let n = self.tree.len();
-        let delta = self
-            .tree
-            .nodes()
-            .map(|u| self.tree.num_children(u))
-            .max()
-            .unwrap_or(0);
-        let infos: Vec<NodeInfo> = self
-            .tree
-            .nodes()
-            .map(|v| NodeInfo {
-                id: self.ids.id_of(v),
-                n,
-                num_children: self.tree.num_children(v),
-                has_parent: self.tree.parent(v).is_some(),
-                delta,
-            })
-            .collect();
+        let infos: Vec<NodeInfo> = self.tree.nodes().map(|v| self.node_info(v)).collect();
         let mut states: Vec<P::State> = infos.iter().map(|i| program.init(i)).collect();
         let mut outputs: Vec<Option<P::Output>> = vec![None; n];
         let mut metrics = Metrics::default();

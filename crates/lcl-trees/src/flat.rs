@@ -1,0 +1,410 @@
+//! Compressed-sparse-row (CSR) view of rooted trees, for million-node scale.
+//!
+//! [`RootedTree`] stores one `Vec<NodeId>` per node, which is the right shape
+//! for incremental construction and small-tree algorithms but wastes an
+//! allocation (and a pointer chase) per node. A [`FlatTree`] packs the same
+//! structure into three flat arrays:
+//!
+//! * `parent[v]` — the parent of `v`, or [`FlatTree::NO_PARENT`] for the root;
+//! * `child_start[v] .. child_start[v + 1]` — the range of `children` holding
+//!   the children of `v`, in port order;
+//! * `children` — all child ids, concatenated.
+//!
+//! This is the representation the parallel labeling validator in `lcl-verify`
+//! shards over: contiguous, `Sync`, and O(1) to slice at any node range. A
+//! `FlatTree` is immutable; build it either [from a `RootedTree`](FlatTree::from_tree)
+//! or directly with the streaming generators ([`FlatTree::random_full`],
+//! [`FlatTree::balanced`], [`FlatTree::hairy_path`]), which construct
+//! million-node δ-ary trees from a parent array without ever touching a
+//! per-node `Vec`.
+
+use lcl_rand::SplitMix64;
+
+use crate::tree::{NodeId, RootedTree};
+
+/// A rooted tree in compressed-sparse-row form. See the module documentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatTree {
+    parent: Vec<u32>,
+    child_start: Vec<u32>,
+    children: Vec<u32>,
+    root: u32,
+}
+
+impl FlatTree {
+    /// Sentinel stored in the parent array for the root node.
+    pub const NO_PARENT: u32 = u32::MAX;
+
+    /// Builds the CSR view of `tree`. Children keep their port order.
+    pub fn from_tree(tree: &RootedTree) -> Self {
+        let n = tree.len();
+        let mut parent = Vec::with_capacity(n);
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut children = Vec::with_capacity(n.saturating_sub(1));
+        child_start.push(0);
+        for v in tree.nodes() {
+            parent.push(match tree.parent(v) {
+                Some(p) => p.0,
+                None => Self::NO_PARENT,
+            });
+            children.extend(tree.children(v).iter().map(|c| c.0));
+            child_start.push(children.len() as u32);
+        }
+        FlatTree {
+            parent,
+            child_start,
+            children,
+            root: tree.root().0,
+        }
+    }
+
+    /// Builds the CSR arrays from a parent array alone (entry `NO_PARENT`
+    /// marks the root). Children end up in ascending id order, which matches
+    /// the port order of every generator in this crate (children are created
+    /// with consecutive, increasing ids).
+    fn from_parent_array(parent: Vec<u32>) -> Self {
+        let n = parent.len();
+        assert!(n >= 1, "tree must have at least one node");
+        assert!(n < Self::NO_PARENT as usize, "tree too large for u32 ids");
+        let mut child_start = vec![0u32; n + 1];
+        let mut root = None;
+        for (v, &p) in parent.iter().enumerate() {
+            if p == Self::NO_PARENT {
+                assert!(root.is_none(), "parent array has multiple roots");
+                root = Some(v as u32);
+            } else {
+                assert!((p as usize) < n, "parent {p} of node {v} out of bounds");
+                child_start[p as usize + 1] += 1;
+            }
+        }
+        let root = root.expect("parent array has no root");
+        for i in 0..n {
+            child_start[i + 1] += child_start[i];
+        }
+        let mut cursor = child_start.clone();
+        let mut children = vec![0u32; n - 1];
+        // Ascending v keeps each node's children sorted by id.
+        for (v, &p) in parent.iter().enumerate() {
+            if p != Self::NO_PARENT {
+                children[cursor[p as usize] as usize] = v as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+        FlatTree {
+            parent,
+            child_start,
+            children,
+            root,
+        }
+    }
+
+    /// Streaming counterpart of [`crate::generators::random_full`]: a uniformly
+    /// random full δ-ary tree with at least `min_nodes` nodes, grown by
+    /// expanding a random leaf until the size bound is met. Only the parent
+    /// array and a flat leaf list are touched during growth, so million-node
+    /// trees build in O(n) time and O(n) words with no per-node allocation.
+    pub fn random_full(delta: usize, min_nodes: usize, seed: u64) -> Self {
+        assert!(delta >= 1, "delta must be at least 1");
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut parent: Vec<u32> = Vec::with_capacity(min_nodes + delta);
+        parent.push(Self::NO_PARENT);
+        let mut leaves: Vec<u32> = vec![0];
+        while parent.len() < min_nodes {
+            let idx = rng.gen_index(leaves.len());
+            let leaf = leaves.swap_remove(idx);
+            for _ in 0..delta {
+                leaves.push(parent.len() as u32);
+                parent.push(leaf);
+            }
+        }
+        Self::from_parent_array(parent)
+    }
+
+    /// Streaming counterpart of [`crate::generators::balanced`]: the complete
+    /// full δ-ary tree of the given depth.
+    pub fn balanced(delta: usize, depth: usize) -> Self {
+        assert!(delta >= 1, "delta must be at least 1");
+        let total = crate::generators::complete_tree_size(delta, depth);
+        let mut parent: Vec<u32> = Vec::with_capacity(total);
+        parent.push(Self::NO_PARENT);
+        let mut level_start = 0usize;
+        for _ in 0..depth {
+            let level_end = parent.len();
+            for p in level_start..level_end {
+                for _ in 0..delta {
+                    parent.push(p as u32);
+                }
+            }
+            level_start = level_end;
+        }
+        Self::from_parent_array(parent)
+    }
+
+    /// Streaming counterpart of [`crate::generators::hairy_path`]: a directed
+    /// path of `spine_len` internal nodes, each with δ children — one
+    /// continuing the spine (except the last), the rest leaves.
+    pub fn hairy_path(delta: usize, spine_len: usize) -> Self {
+        assert!(delta >= 1 && spine_len >= 1);
+        let mut parent: Vec<u32> = Vec::with_capacity(1 + spine_len * delta);
+        parent.push(Self::NO_PARENT);
+        let mut cur = 0u32;
+        for i in 0..spine_len {
+            let first_child = parent.len() as u32;
+            for _ in 0..delta {
+                parent.push(cur);
+            }
+            if i + 1 < spine_len {
+                cur = first_child;
+            }
+        }
+        Self::from_parent_array(parent)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the tree has no nodes (never produced by the constructors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: u32) -> Option<u32> {
+        match self.parent[v as usize] {
+            Self::NO_PARENT => None,
+            p => Some(p),
+        }
+    }
+
+    /// The raw parent array (`NO_PARENT` marks the root).
+    #[inline]
+    pub fn parent_array(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// The children of `v`, in port order.
+    #[inline]
+    pub fn children(&self, v: u32) -> &[u32] {
+        let start = self.child_start[v as usize] as usize;
+        let end = self.child_start[v as usize + 1] as usize;
+        &self.children[start..end]
+    }
+
+    /// The number of children of `v`.
+    #[inline]
+    pub fn num_children(&self, v: u32) -> usize {
+        (self.child_start[v as usize + 1] - self.child_start[v as usize]) as usize
+    }
+
+    /// `true` if `v` has no children.
+    #[inline]
+    pub fn is_leaf(&self, v: u32) -> bool {
+        self.num_children(v) == 0
+    }
+
+    /// `true` if every internal node has exactly `delta` children.
+    pub fn is_full_dary(&self, delta: usize) -> bool {
+        (0..self.len() as u32).all(|v| self.is_leaf(v) || self.num_children(v) == delta)
+    }
+
+    /// The depth of every node, indexed by node id. One BFS pass over the CSR
+    /// arrays; O(n) time, no recursion.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.len()];
+        let mut queue = std::collections::VecDeque::with_capacity(self.len());
+        queue.push_back(self.root);
+        while let Some(v) = queue.pop_front() {
+            for &c in self.children(v) {
+                depth[c as usize] = depth[v as usize] + 1;
+                queue.push_back(c);
+            }
+        }
+        depth
+    }
+
+    /// The height of the tree (maximum depth).
+    pub fn height(&self) -> usize {
+        self.depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Expands the CSR view back into an arena [`RootedTree`]. Intended for
+    /// small-tree agreement tests; costs one `Vec` per node again.
+    pub fn to_rooted(&self) -> RootedTree {
+        assert_eq!(
+            self.root, 0,
+            "to_rooted requires the root at id 0, as all constructors place it"
+        );
+        let mut tree = RootedTree::singleton();
+        // All constructors produce parent[v] < v for v > 0, so a single
+        // ascending pass can re-add every node. Verify as we go.
+        for v in 1..self.len() as u32 {
+            let p = self.parent[v as usize];
+            assert!(p < v, "flat tree is not in creation order");
+            let id = tree.add_child(NodeId(p));
+            assert_eq!(id, NodeId(v), "children must be contiguous per parent");
+        }
+        tree
+    }
+
+    /// Checks internal CSR consistency (parent/child symmetry, single root,
+    /// connectivity). Intended for tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.is_empty() {
+            return Err("tree has no nodes".into());
+        }
+        if self.child_start.len() != self.len() + 1 {
+            return Err("child_start has the wrong length".into());
+        }
+        if self.children.len() != self.len() - 1 {
+            return Err("children array must hold exactly n - 1 edges".into());
+        }
+        let mut roots = 0usize;
+        for v in 0..self.len() as u32 {
+            match self.parent(v) {
+                None => roots += 1,
+                Some(p) => {
+                    if !self.children(p).contains(&v) {
+                        return Err(format!("node {v} missing from children of {p}"));
+                    }
+                }
+            }
+            for &c in self.children(v) {
+                if self.parent(c) != Some(v) {
+                    return Err(format!("child {c} of {v} has wrong parent"));
+                }
+            }
+        }
+        if roots != 1 {
+            return Err(format!("expected exactly one root, found {roots}"));
+        }
+        // Connectivity: count the nodes actually reachable from the root
+        // (depths() is indexed by id and always has length n, so it cannot
+        // detect an unreachable component).
+        let mut reached = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            reached += 1;
+            stack.extend_from_slice(self.children(v));
+        }
+        if reached != self.len() {
+            return Err(format!(
+                "tree is not connected: {reached} of {} nodes reachable from the root",
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn from_tree_preserves_structure() {
+        let tree = generators::random_full(2, 101, 3);
+        let flat = FlatTree::from_tree(&tree);
+        assert_eq!(flat.len(), tree.len());
+        assert_eq!(flat.root(), tree.root().0);
+        for v in tree.nodes() {
+            assert_eq!(flat.parent(v.0), tree.parent(v).map(|p| p.0));
+            let expected: Vec<u32> = tree.children(v).iter().map(|c| c.0).collect();
+            assert_eq!(flat.children(v.0), expected.as_slice());
+        }
+        flat.validate().unwrap();
+    }
+
+    #[test]
+    fn streaming_random_full_matches_arena_generator() {
+        // Same seed, same leaf-expansion process, same tree.
+        for seed in 0..4 {
+            let arena = generators::random_full(2, 201, seed);
+            let flat = FlatTree::random_full(2, 201, seed);
+            assert_eq!(flat, FlatTree::from_tree(&arena), "seed {seed}");
+        }
+        let arena3 = generators::random_full(3, 100, 9);
+        assert_eq!(
+            FlatTree::random_full(3, 100, 9),
+            FlatTree::from_tree(&arena3)
+        );
+    }
+
+    #[test]
+    fn streaming_balanced_matches_arena_generator() {
+        for (delta, depth) in [(1, 5), (2, 4), (3, 3)] {
+            let arena = generators::balanced(delta, depth);
+            assert_eq!(
+                FlatTree::balanced(delta, depth),
+                FlatTree::from_tree(&arena),
+                "delta {delta} depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_hairy_path_matches_arena_generator() {
+        for (delta, spine) in [(1, 4), (2, 6), (3, 5)] {
+            let arena = generators::hairy_path(delta, spine);
+            assert_eq!(
+                FlatTree::hairy_path(delta, spine),
+                FlatTree::from_tree(&arena),
+                "delta {delta} spine {spine}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_rooted_round_trips() {
+        let flat = FlatTree::random_full(3, 151, 5);
+        let rooted = flat.to_rooted();
+        rooted.validate().unwrap();
+        assert_eq!(FlatTree::from_tree(&rooted), flat);
+    }
+
+    #[test]
+    fn depths_and_height_match_arena() {
+        let arena = generators::random_skewed(2, 101, 0.7, 2);
+        let flat = FlatTree::from_tree(&arena);
+        assert_eq!(flat.depths(), arena.depths());
+        assert_eq!(flat.height(), arena.height());
+    }
+
+    #[test]
+    fn large_tree_is_well_formed() {
+        let flat = FlatTree::random_full(2, 100_001, 1);
+        assert!(flat.len() >= 100_001);
+        assert!(flat.is_full_dary(2));
+        flat.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_detects_unreachable_cycle() {
+        // A root plus a detached 2-cycle: parent/child symmetry holds and
+        // there is exactly one root, so only the connectivity check can
+        // reject it.
+        let broken = FlatTree::from_parent_array(vec![FlatTree::NO_PARENT, 2, 1]);
+        let err = broken.validate().unwrap_err();
+        assert!(err.contains("not connected"), "{err}");
+    }
+
+    #[test]
+    fn singleton_flat_tree() {
+        let flat = FlatTree::balanced(2, 0);
+        assert_eq!(flat.len(), 1);
+        assert!(flat.is_leaf(0));
+        assert_eq!(flat.height(), 0);
+        flat.validate().unwrap();
+    }
+}

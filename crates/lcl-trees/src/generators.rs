@@ -21,15 +21,17 @@ pub fn balanced(delta: usize, depth: usize) -> RootedTree {
 /// Builds the smallest perfectly balanced full δ-ary tree with at least `min_nodes`
 /// nodes ("as balanced as possible", used in the proofs of Lemma 6.4 and 6.7).
 pub fn balanced_with_at_least(delta: usize, min_nodes: usize) -> RootedTree {
+    balanced(delta, minimal_complete_depth(delta, min_nodes))
+}
+
+/// The smallest depth whose complete δ-ary tree has at least `min_nodes` nodes.
+pub fn minimal_complete_depth(delta: usize, min_nodes: usize) -> usize {
     assert!(delta >= 1);
     let mut depth = 0usize;
-    loop {
-        let size = complete_tree_size(delta, depth);
-        if size >= min_nodes {
-            return balanced(delta, depth);
-        }
+    while complete_tree_size(delta, depth) < min_nodes {
         depth += 1;
     }
+    depth
 }
 
 /// Number of nodes of the complete δ-ary tree of the given depth.

@@ -5,6 +5,8 @@
 //! It provides
 //!
 //! * an arena-based rooted tree type ([`RootedTree`], [`NodeId`]),
+//! * a flat compressed-sparse-row view with streaming million-node generators
+//!   ([`flat`]: [`FlatTree`]),
 //! * traversal and measurement helpers ([`traversal`]),
 //! * generators for the tree families used throughout the paper
 //!   ([`generators`]: balanced and random full δ-ary trees, hairy paths),
@@ -27,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flat;
 pub mod generators;
 pub mod lower_bound;
 pub mod rcp;
 pub mod traversal;
 pub mod tree;
 
+pub use flat::FlatTree;
 pub use rcp::{rcp_partition, RcpPartition};
 pub use tree::{NodeId, RootedTree, TreeBuilder};

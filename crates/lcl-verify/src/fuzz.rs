@@ -1,0 +1,273 @@
+//! The differential fuzzing oracle: classifier vs solvers vs validator.
+//!
+//! One fuzz iteration draws a random problem ([`lcl_problems::random`]),
+//! classifies it through the memoizing [`ClassificationEngine`], and then
+//! holds the verdict to account:
+//!
+//! * **solvable** verdicts must be *constructive* — the matching solver from
+//!   `lcl-algorithms` must produce a labeling on every generated tree shape
+//!   (random full, balanced, hairy path), and that labeling must pass both
+//!   the CSR [`LabelingValidator`](crate::LabelingValidator) and the
+//!   independent reference checker [`Labeling::verify`](lcl_core::Labeling::verify),
+//!   with identical verdicts;
+//! * **unsolvable** verdicts must be *unbeatable* — the centralized greedy
+//!   solver must fail to find any labeling on a deep tree (and if it ever
+//!   returns one that verifies, the classifier is wrong);
+//! * the engine's memoized decision-only path must agree with the full
+//!   report's complexity (canonicalization soundness).
+//!
+//! Any violated expectation is recorded as a [`Discrepancy`]; a healthy
+//! repository reports none over arbitrarily many iterations. The oracle is
+//! fully deterministic per `(seed, iters)` pair.
+
+use lcl_algorithms::solve::{solve, SolveError};
+use lcl_core::{greedy, ClassificationEngine, Complexity, Label};
+use lcl_problems::random::{random_problem, RandomProblemSpec};
+use lcl_rand::SplitMix64;
+use lcl_sim::IdAssignment;
+use lcl_trees::FlatTree;
+
+use crate::validator::LabelingValidator;
+
+/// One classifier/solver/validator disagreement found by the oracle.
+#[derive(Debug, Clone)]
+pub struct Discrepancy {
+    /// The fuzz iteration (0-based) that found it.
+    pub iteration: usize,
+    /// The problem, in the parser's text format.
+    pub problem: String,
+    /// The complexity class the classifier reported.
+    pub complexity: String,
+    /// Where the disagreement surfaced (tree shape or check name).
+    pub context: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Discrepancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "iteration {}: [{}] {} (classified {}; problem: {})",
+            self.iteration,
+            self.context,
+            self.detail,
+            self.complexity,
+            self.problem.replace('\n', "; "),
+        )
+    }
+}
+
+/// The aggregate result of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The seed the run was started with.
+    pub seed: u64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Classifications per class, in complexity order:
+    /// `O(1)`, `log*`, `log`, `poly`, `unsolvable`.
+    pub histogram: [(&'static str, usize); 5],
+    /// Number of successful solver runs whose output was validated.
+    pub solver_runs: usize,
+    /// Total nodes validated across all solver runs.
+    pub validated_nodes: usize,
+    /// Solver runs skipped because a certificate exceeded its size budget
+    /// (a resource limit, not a correctness failure).
+    pub skipped_certificates: usize,
+    /// Every disagreement found. Empty on a healthy repository.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+impl FuzzReport {
+    /// `true` when no discrepancy was found.
+    pub fn is_clean(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+}
+
+/// The tree shapes every solvable problem is exercised on.
+fn tree_shapes(delta: usize, rng: &mut SplitMix64) -> Vec<(&'static str, FlatTree)> {
+    let min_nodes = 60 + rng.gen_index(80);
+    let depth = match delta {
+        1 => 40,
+        2 => 6,
+        _ => 4,
+    };
+    let spine = 15 + rng.gen_index(15);
+    vec![
+        (
+            "random",
+            FlatTree::random_full(delta, min_nodes, rng.next_u64()),
+        ),
+        ("balanced", FlatTree::balanced(delta, depth)),
+        ("hairy-path", FlatTree::hairy_path(delta, spine)),
+    ]
+}
+
+/// Runs `iters` iterations of the differential oracle starting from `seed`.
+/// Deterministic: equal inputs produce equal reports.
+pub fn fuzz_classifier_vs_solvers(seed: u64, iters: usize) -> FuzzReport {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let engine = ClassificationEngine::new();
+    let mut report = FuzzReport {
+        seed,
+        iterations: iters,
+        histogram: [
+            ("O(1)", 0),
+            ("log*", 0),
+            ("log", 0),
+            ("poly", 0),
+            ("unsolvable", 0),
+        ],
+        solver_runs: 0,
+        validated_nodes: 0,
+        skipped_certificates: 0,
+        discrepancies: Vec::new(),
+    };
+
+    for iteration in 0..iters {
+        let spec = RandomProblemSpec {
+            delta: 1 + rng.gen_index(3),
+            num_labels: 2 + rng.gen_index(3),
+            density: [0.2, 0.3, 0.45, 0.6][rng.gen_index(4)],
+        };
+        let problem = random_problem(&spec, rng.next_u64());
+        let full = engine.classify_full(&problem);
+        let complexity = full.complexity;
+        let class_name = complexity.short_name();
+        let slot = report
+            .histogram
+            .iter_mut()
+            .find(|(name, _)| *name == class_name)
+            .expect("short names cover every class");
+        slot.1 += 1;
+        let mut record = |context: &str, detail: String| {
+            report.discrepancies.push(Discrepancy {
+                iteration,
+                problem: problem.to_text(),
+                complexity: complexity.to_string(),
+                context: context.to_string(),
+                detail,
+            });
+        };
+
+        // Canonicalization soundness: the memoized decision-only path must
+        // agree with the full report.
+        let memoized = engine.classify(&problem);
+        if memoized != complexity {
+            record(
+                "engine",
+                format!("memoized verdict {memoized} differs from full report {complexity}"),
+            );
+            continue;
+        }
+
+        if complexity == Complexity::Unsolvable {
+            // Unsolvable verdicts must be unbeatable: greedy must fail on a
+            // deep tree, and must certainly never produce a valid labeling.
+            let arena = lcl_trees::generators::balanced(
+                problem.delta(),
+                if problem.delta() == 1 { 40 } else { 6 },
+            );
+            if let Some(labeling) = greedy::solve(&problem, &arena) {
+                match labeling.verify(&arena, &problem) {
+                    Ok(()) => record(
+                        "greedy",
+                        "classifier says unsolvable but greedy found a valid labeling".into(),
+                    ),
+                    Err(e) => record(
+                        "greedy",
+                        format!("greedy returned an invalid labeling instead of None: {e}"),
+                    ),
+                }
+            }
+            continue;
+        }
+
+        // Solvable verdicts must be constructive on every tree shape.
+        let validator = LabelingValidator::new(&problem);
+        for (shape, flat) in tree_shapes(problem.delta(), &mut rng) {
+            let arena = flat.to_rooted();
+            let ids = IdAssignment::random_permutation(&arena, rng.next_u64());
+            let outcome = match solve(&problem, &full, &arena, ids) {
+                Ok(outcome) => outcome,
+                Err(SolveError::CertificateTooLarge(_)) => {
+                    report.skipped_certificates += 1;
+                    continue;
+                }
+                Err(e) => {
+                    record(shape, format!("solver failed on a solvable problem: {e}"));
+                    continue;
+                }
+            };
+            report.solver_runs += 1;
+            report.validated_nodes += flat.len();
+
+            let reference = outcome.labeling.verify(&arena, &problem);
+            let labels: Vec<Label> = (0..flat.len() as u32)
+                .map(|v| {
+                    outcome
+                        .labeling
+                        .get(lcl_trees::NodeId(v))
+                        .unwrap_or(Label(u16::MAX))
+                })
+                .collect();
+            let fast = validator.validate_parallel(&flat, &labels);
+            if reference.is_ok() != fast.is_ok() {
+                record(
+                    shape,
+                    format!(
+                        "validator disagreement: reference checker says {reference:?}, CSR validator says {fast:?}"
+                    ),
+                );
+            }
+            if let Err(e) = reference {
+                record(
+                    shape,
+                    format!(
+                        "solver `{}` produced an invalid labeling: {e}",
+                        outcome.algorithm
+                    ),
+                );
+            } else if let Err(e) = fast {
+                record(
+                    shape,
+                    format!("CSR validator rejected a valid labeling: {e}"),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_is_clean_and_deterministic() {
+        let a = fuzz_classifier_vs_solvers(1, 60);
+        assert!(a.is_clean(), "discrepancies: {:#?}", a.discrepancies);
+        assert!(a.solver_runs > 0, "no solver run was exercised");
+        assert!(a.validated_nodes > 0);
+        let total: usize = a.histogram.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, a.iterations);
+
+        let b = fuzz_classifier_vs_solvers(1, 60);
+        assert_eq!(a.histogram, b.histogram);
+        assert_eq!(a.solver_runs, b.solver_runs);
+        assert_eq!(a.validated_nodes, b.validated_nodes);
+    }
+
+    #[test]
+    fn different_seeds_explore_different_problems() {
+        let a = fuzz_classifier_vs_solvers(2, 30);
+        let b = fuzz_classifier_vs_solvers(3, 30);
+        assert!(a.is_clean() && b.is_clean());
+        assert!(
+            a.histogram != b.histogram || a.validated_nodes != b.validated_nodes,
+            "two seeds produced identical runs; the oracle is not actually random"
+        );
+    }
+}

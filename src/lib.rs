@@ -10,7 +10,9 @@
 //! * [`trees`] (`lcl-trees`) — rooted-tree arenas, generators, lower-bound
 //!   constructions, rake-and-compress;
 //! * [`sim`] (`lcl-sim`) — the synchronous LOCAL/CONGEST simulator;
-//! * [`algorithms`] (`lcl-algorithms`) — the certificate-driven solvers.
+//! * [`algorithms`] (`lcl-algorithms`) — the certificate-driven solvers;
+//! * [`verify`] (`lcl-verify`) — the parallel labeling validator and the
+//!   classifier-vs-solver differential fuzzing oracle.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@ pub use lcl_core as core;
 pub use lcl_problems as problems;
 pub use lcl_sim as sim;
 pub use lcl_trees as trees;
+pub use lcl_verify as verify;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -44,5 +47,6 @@ pub mod prelude {
         Labeling, LclProblem, LogStarCertificate,
     };
     pub use lcl_sim::IdAssignment;
-    pub use lcl_trees::{generators, NodeId, RootedTree};
+    pub use lcl_trees::{generators, FlatTree, NodeId, RootedTree};
+    pub use lcl_verify::{fuzz_classifier_vs_solvers, FuzzReport, LabelingValidator};
 }

@@ -1,0 +1,130 @@
+//! Canonicalization soundness tests for `lcl_core::engine`: a problem and any
+//! label-permuted copy of it must share a canonical form, hit the same memo
+//! entry in the [`ClassificationEngine`] (asserted through the engine's
+//! cache-hit statistics), and report the identical complexity class.
+
+use lcl_rand::SplitMix64;
+use rooted_tree_lcl::core::problem::ProblemBuilder;
+use rooted_tree_lcl::core::{canonical_form, classify, ClassificationEngine, LclProblem};
+use rooted_tree_lcl::problems::random::{random_problem, RandomProblemSpec};
+
+/// Rebuilds `problem` with its label identities permuted by `perm` (index `i`
+/// becomes index `perm[i]`) and fresh label names, so the copy shares nothing
+/// with the original except its structure up to renaming.
+fn permuted_copy(problem: &LclProblem, perm: &[usize]) -> LclProblem {
+    let k = problem.alphabet().len();
+    assert_eq!(perm.len(), k);
+    let names: Vec<String> = (0..k).map(|i| format!("q{i}")).collect();
+    let mut builder = ProblemBuilder::new(problem.delta());
+    // Declare every label up front so orphan labels survive the rebuild and
+    // the alphabet size matches.
+    for name in &names {
+        builder.label(name);
+    }
+    for c in problem.configurations() {
+        let parent = names[perm[c.parent().index()]].as_str();
+        let children: Vec<&str> = c
+            .children()
+            .iter()
+            .map(|l| names[perm[l.index()]].as_str())
+            .collect();
+        builder.configuration(parent, &children);
+    }
+    builder.build()
+}
+
+/// A deterministic shuffle of `0..k`.
+fn random_permutation(k: usize, rng: &mut SplitMix64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..k).collect();
+    for i in (1..k).rev() {
+        perm.swap(i, rng.gen_index(i + 1));
+    }
+    perm
+}
+
+#[test]
+fn permuted_problems_share_canonical_form_and_memo_entry() {
+    let mut rng = SplitMix64::seed_from_u64(4242);
+    let mut checked = 0usize;
+    for round in 0..40 {
+        let spec = RandomProblemSpec {
+            delta: 1 + rng.gen_index(3),
+            num_labels: 2 + rng.gen_index(3),
+            density: 0.4,
+        };
+        let problem = random_problem(&spec, rng.next_u64());
+        if problem.is_empty() {
+            continue;
+        }
+        let perm = random_permutation(problem.alphabet().len(), &mut rng);
+        let renamed = permuted_copy(&problem, &perm);
+        assert_eq!(
+            canonical_form(&problem),
+            canonical_form(&renamed),
+            "round {round}: permuting labels changed the canonical form"
+        );
+
+        // A fresh engine per pair: the second classification must be a pure
+        // cache hit with the identical verdict.
+        let engine = ClassificationEngine::new();
+        let original = engine.classify(&problem);
+        let permuted = engine.classify(&renamed);
+        assert_eq!(original, permuted, "round {round}");
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 1, "round {round}: {stats:?}");
+        assert_eq!(
+            stats.cache_hits, 1,
+            "round {round}: permuted copy missed the memo entry ({stats:?})"
+        );
+        // And both must agree with the unmemoized reference classifier.
+        assert_eq!(original, classify(&problem).complexity, "round {round}");
+        assert_eq!(permuted, classify(&renamed).complexity, "round {round}");
+        checked += 1;
+    }
+    assert!(checked >= 30, "only {checked} non-empty problems generated");
+}
+
+#[test]
+fn every_permutation_of_a_small_problem_hits_one_memo_entry() {
+    // All 3! = 6 label permutations of a 3-label problem, classified through
+    // one engine: exactly one miss, five hits, one verdict.
+    let problem: LclProblem = "1:22\n1:23\n2:33\n3:11\n".parse().unwrap();
+    let engine = ClassificationEngine::new();
+    let baseline = engine.classify(&problem);
+    let mut perms = vec![vec![0usize, 1, 2]];
+    perms.extend([
+        vec![0, 2, 1],
+        vec![1, 0, 2],
+        vec![1, 2, 0],
+        vec![2, 0, 1],
+        vec![2, 1, 0],
+    ]);
+    for perm in &perms {
+        assert_eq!(engine.classify(&permuted_copy(&problem, perm)), baseline);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.cache_misses, 1, "{stats:?}");
+    assert_eq!(stats.cache_hits, perms.len(), "{stats:?}");
+}
+
+#[test]
+fn permutation_memoization_never_changes_the_answer_without_memoization() {
+    // Control experiment: with memoization off, the permuted copy runs the
+    // full decision procedure and still produces the identical complexity —
+    // i.e. the cache is an optimization, not the source of the agreement.
+    let mut rng = SplitMix64::seed_from_u64(777);
+    let mut engine = ClassificationEngine::new();
+    engine.set_memoization(false);
+    for _ in 0..15 {
+        let spec = RandomProblemSpec {
+            delta: 2,
+            num_labels: 3,
+            density: 0.35,
+        };
+        let problem = random_problem(&spec, rng.next_u64());
+        let perm = random_permutation(problem.alphabet().len(), &mut rng);
+        let renamed = permuted_copy(&problem, &perm);
+        assert_eq!(engine.classify(&problem), engine.classify(&renamed));
+    }
+    assert_eq!(engine.stats().cache_hits, 0);
+}
