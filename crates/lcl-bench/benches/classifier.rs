@@ -2,22 +2,26 @@
 //! "classifies the sample problems in a matter of milliseconds" claim), plus a
 //! scaling sweep over random problems and the Π_k family.
 
-use lcl_bench::harness::{black_box, Bench};
+use lcl_bench::harness::{black_box, Bench, BenchReport};
 use lcl_core::classify;
 use lcl_problems::random::{random_problem, RandomProblemSpec};
 use lcl_problems::{catalog, pi_k};
 
 fn main() {
+    let mut report = BenchReport::new("classifier");
+
     let mut bench = Bench::new("classify_catalog");
     for entry in catalog() {
         bench.case(entry.name, || classify(black_box(&entry.problem)));
     }
+    report.add_group(bench);
 
     let mut bench = Bench::new("classify_pi_k");
     for k in 1..=6 {
         let problem = pi_k::pi_k(k);
         bench.case(&format!("k={k}"), || classify(black_box(&problem)));
     }
+    report.add_group(bench);
 
     let mut bench = Bench::new("classify_random (16 problems per case)");
     for num_labels in [2usize, 3, 4, 5] {
@@ -33,4 +37,6 @@ fn main() {
             }
         });
     }
+    report.add_group(bench);
+    report.write().expect("bench report written");
 }

@@ -17,11 +17,17 @@
 //! families report their speedup without gating, so a noisy CI runner cannot
 //! flake an unrelated PR.
 
-use lcl_bench::harness::{black_box, Bench};
+use lcl_bench::harness::{black_box, Bench, BenchReport};
 use lcl_core::{classify, ClassificationEngine};
 use lcl_problems::random::{random_family, RandomProblemSpec};
 
-fn run_family(label: &str, problems: &[lcl_core::LclProblem], assert_win: bool) {
+fn run_family(
+    report: &mut BenchReport,
+    ratio_name: &str,
+    label: &str,
+    problems: &[lcl_core::LclProblem],
+    assert_win: bool,
+) {
     let mut bench = Bench::new(label);
 
     bench.case("naive sequential classify()", || {
@@ -50,7 +56,7 @@ fn run_family(label: &str, problems: &[lcl_core::LclProblem], assert_win: bool) 
         .median_of("naive sequential classify()")
         .expect("case ran");
     let best = bench.median_of("engine parallel + memo").expect("case ran");
-    let speedup = naive.as_secs_f64() / best.as_secs_f64().max(1e-12);
+    let speedup = report.add_ratio(ratio_name, naive, best);
     println!("parallel+memo speedup over naive sequential: {speedup:.2}x\n");
     if assert_win {
         assert!(
@@ -58,9 +64,11 @@ fn run_family(label: &str, problems: &[lcl_core::LclProblem], assert_win: bool) 
             "parallel+memoized engine ({best:?}) should beat the naive loop ({naive:?}) on {label}"
         );
     }
+    report.add_group(bench);
 }
 
 fn main() {
+    let mut report = BenchReport::new("engine");
     let three_labels = RandomProblemSpec {
         delta: 2,
         num_labels: 3,
@@ -69,6 +77,8 @@ fn main() {
     for count in [128usize, 512] {
         let problems = random_family(&three_labels, 42, count);
         run_family(
+            &mut report,
+            &format!("engine_speedup_random_3l_{count}"),
             &format!("classify_batch ({count} random δ=2 problems, 3 labels)"),
             &problems,
             false,
@@ -84,8 +94,11 @@ fn main() {
     };
     let problems = random_family(&two_labels, 7, 512);
     run_family(
+        &mut report,
+        "engine_speedup_heavy_duplication",
         "classify_batch (512 random δ=2 problems, 2 labels, heavy duplication)",
         &problems,
         true,
     );
+    report.write().expect("bench report written");
 }

@@ -1,10 +1,12 @@
 //! Experiment E9 support: rake-and-compress partition cost and layer counts
 //! (Definition 5.8, Lemma 5.9).
 
-use lcl_bench::harness::Bench;
+use lcl_bench::harness::{Bench, BenchReport};
 use lcl_trees::{generators, rcp_partition};
 
 fn main() {
+    let mut report = BenchReport::new("rcp");
+
     let mut bench = Bench::new("rcp_partition");
     for &n in &[1usize << 10, 1 << 13, 1 << 16] {
         for p in [2usize, 4, 8] {
@@ -12,6 +14,7 @@ fn main() {
             bench.case(&format!("n={n} p={p}"), || rcp_partition(&tree, p));
         }
     }
+    report.add_group(bench);
 
     let mut bench = Bench::new("rcp_partition_shapes");
     let n = 1 << 14;
@@ -24,4 +27,6 @@ fn main() {
     for (name, tree) in shapes {
         bench.case(name, || rcp_partition(&tree, 4));
     }
+    report.add_group(bench);
+    report.write().expect("bench report written");
 }

@@ -3,7 +3,7 @@
 //! binaries).
 
 use lcl_algorithms::{constant_solver, log_solver, log_star_solver, mis_four_rounds, poly_solver};
-use lcl_bench::harness::Bench;
+use lcl_bench::harness::{Bench, BenchReport};
 use lcl_core::classify;
 use lcl_problems::{coloring, mis, pi_k};
 use lcl_sim::IdAssignment;
@@ -12,6 +12,7 @@ use lcl_trees::generators;
 const SIZES: [usize; 3] = [1 << 10, 1 << 13, 1 << 16];
 
 fn main() {
+    let mut report = BenchReport::new("solvers");
     let mis_problem = mis::mis_binary();
     let mut bench = Bench::new("solve_mis_four_rounds");
     for &n in &SIZES {
@@ -20,6 +21,8 @@ fn main() {
             mis_four_rounds::solve_mis_four_rounds(&mis_problem, &tree)
         });
     }
+
+    report.add_group(bench);
 
     let cert = classify(&mis_problem)
         .constant_certificate()
@@ -32,6 +35,8 @@ fn main() {
             constant_solver::solve_constant(&mis_problem, &cert, &tree)
         });
     }
+
+    report.add_group(bench);
 
     let coloring_problem = coloring::three_coloring_binary();
     let cert = classify(&coloring_problem)
@@ -51,6 +56,8 @@ fn main() {
         });
     }
 
+    report.add_group(bench);
+
     let branch_problem = coloring::branch_two_coloring();
     let cert = classify(&branch_problem).log_certificate().unwrap().clone();
     let mut bench = Bench::new("solve_log");
@@ -61,6 +68,8 @@ fn main() {
         });
     }
 
+    report.add_group(bench);
+
     let pi2 = pi_k::pi_k(2);
     let mut bench = Bench::new("solve_pi_2");
     for &n in &SIZES {
@@ -69,4 +78,6 @@ fn main() {
             poly_solver::solve_pi_k(&pi2, 2, &tree)
         });
     }
+    report.add_group(bench);
+    report.write().expect("bench report written");
 }

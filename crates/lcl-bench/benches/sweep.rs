@@ -1,0 +1,105 @@
+//! Exhaustive-universe classification: canonical-first sweep vs the
+//! enumerate-everything + `classify_batch` baseline.
+//!
+//! The workload is the one the sweep subsystem exists for: classify *every*
+//! problem of a (δ, Σ) family. The baseline materializes all `2^u` problems
+//! and pushes them through the memoized engine, which still pays one
+//! `LclProblem` construction and one `canonical_form` per member before the
+//! memo can collapse the orbit. The canonical-first sweep filters the
+//! configuration-mask space down to one representative per label-permutation
+//! orbit first (cheap `u64` permutation tests, up to a |Σ|! reduction), builds
+//! and classifies only those, and reconstructs the whole-universe histogram
+//! through the orbit sizes — a structural win that holds on a single-core
+//! runner.
+//!
+//! The bench asserts, on the full (δ=2, 3-label) universe of 2^18 problems:
+//!
+//! 1. the canonical-first sweep is faster than enumerate + `classify_batch`;
+//! 2. its orbit-weighted histogram **exactly** matches the baseline's
+//!    post-hoc-dedup histogram.
+
+use lcl_bench::harness::{black_box, Bench, BenchReport};
+use lcl_core::engine::ComplexityHistogram;
+use lcl_core::ClassificationEngine;
+use lcl_problems::canonical::CanonicalFamily;
+use lcl_problems::random::enumerate_problems;
+
+fn baseline_histogram(delta: usize, labels: usize) -> ComplexityHistogram {
+    let problems: Vec<_> = enumerate_problems(delta, labels).collect();
+    let engine = ClassificationEngine::new();
+    let results = engine.classify_batch(&problems);
+    let mut histogram = ComplexityHistogram::default();
+    for c in results {
+        histogram.add(c, 1);
+    }
+    histogram
+}
+
+fn sweep_histogram(delta: usize, labels: usize, shards: usize) -> ComplexityHistogram {
+    let family = CanonicalFamily::new(delta, labels);
+    let engine = ClassificationEngine::new();
+    engine
+        .sweep_sharded(shards, |s| family.shard(s, shards))
+        .problems
+}
+
+fn run_universe(
+    report: &mut BenchReport,
+    delta: usize,
+    labels: usize,
+    samples: usize,
+    assert_win: bool,
+) {
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Correctness first: the histograms must agree exactly before any timing
+    // matters (acceptance criterion of the sweep subsystem).
+    let baseline = baseline_histogram(delta, labels);
+    let swept = sweep_histogram(delta, labels, shards);
+    assert_eq!(
+        swept, baseline,
+        "sweep histogram must exactly match the enumerate+dedup baseline on (δ={delta}, {labels} labels)"
+    );
+
+    let mut bench = Bench::new(&format!(
+        "exhaustive (δ={delta}, {labels}-label) universe ({} problems)",
+        1u64 << lcl_problems::random::universe_size(delta, labels)
+    ));
+    let baseline_label = "enumerate_problems + classify_batch";
+    let sweep_label = "canonical-first sweep";
+    bench.case_samples(baseline_label, samples, || {
+        black_box(baseline_histogram(delta, labels))
+    });
+    bench.case_samples(sweep_label, samples, || {
+        black_box(sweep_histogram(delta, labels, shards))
+    });
+
+    let naive = bench.median_of(baseline_label).expect("case ran");
+    let sweep = bench.median_of(sweep_label).expect("case ran");
+    let speedup = report.add_ratio(
+        &format!("canonical_first_speedup_d{delta}_l{labels}"),
+        naive,
+        sweep,
+    );
+    println!("canonical-first speedup over enumerate+batch: {speedup:.2}x\n");
+    if assert_win {
+        assert!(
+            sweep < naive,
+            "canonical-first sweep ({sweep:?}) should beat enumerate+classify_batch \
+             ({naive:?}) on the full (δ={delta}, {labels}-label) universe"
+        );
+    }
+    report.add_group(bench);
+}
+
+fn main() {
+    let mut report = BenchReport::new("sweep");
+    // Small universe: quick signal, histogram equality asserted, timing not
+    // gated (64 problems classify in microseconds either way).
+    run_universe(&mut report, 2, 2, 11, false);
+    // The acceptance workload: the full 2^18-problem (δ=2, 3-label) universe.
+    run_universe(&mut report, 2, 3, 3, true);
+    report.write().expect("bench report written");
+}

@@ -1,10 +1,12 @@
 //! Experiment E12 support: generator and lower-bound-construction throughput
 //! (Section 5.4 bipolar trees).
 
-use lcl_bench::harness::Bench;
+use lcl_bench::harness::{Bench, BenchReport};
 use lcl_trees::{generators, lower_bound};
 
 fn main() {
+    let mut report = BenchReport::new("tree_generators");
+
     let mut bench = Bench::new("generators");
     for &n in &[1usize << 12, 1 << 16] {
         bench.case(&format!("random_full n={n}"), || {
@@ -15,6 +17,8 @@ fn main() {
         });
     }
 
+    report.add_group(bench);
+
     let mut bench = Bench::new("lower_bound_trees");
     for k in [2usize, 3] {
         for x in [8usize, 16] {
@@ -23,4 +27,6 @@ fn main() {
             });
         }
     }
+    report.add_group(bench);
+    report.write().expect("bench report written");
 }

@@ -11,7 +11,7 @@
 //! assertion holds even on a single-core runner where "parallel" degrades to
 //! the sequential CSR scan.
 
-use lcl_bench::harness::{black_box, Bench};
+use lcl_bench::harness::{black_box, Bench, BenchReport};
 use lcl_core::{Label, Labeling, LclProblem};
 use lcl_trees::FlatTree;
 use lcl_verify::LabelingValidator;
@@ -68,17 +68,16 @@ fn main() {
     let par = bench
         .median_of("CSR validator, parallel shards")
         .expect("case ran");
-    println!(
-        "CSR sequential speedup over naive walk: {:.2}x",
-        naive.as_secs_f64() / seq.as_secs_f64().max(1e-12)
-    );
-    println!(
-        "CSR parallel speedup over naive walk:   {:.2}x\n",
-        naive.as_secs_f64() / par.as_secs_f64().max(1e-12)
-    );
+    let mut report = BenchReport::new("validator");
+    let seq_speedup = report.add_ratio("csr_sequential_speedup", naive, seq);
+    let par_speedup = report.add_ratio("csr_parallel_speedup", naive, par);
+    println!("CSR sequential speedup over naive walk: {seq_speedup:.2}x");
+    println!("CSR parallel speedup over naive walk:   {par_speedup:.2}x\n");
     assert!(
         par < naive,
         "parallel CSR validator ({par:?}) should beat the naive RootedTree walk ({naive:?}) on {} nodes",
         tree.len()
     );
+    report.add_group(bench);
+    report.write().expect("bench report written");
 }

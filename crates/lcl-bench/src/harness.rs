@@ -7,6 +7,12 @@
 //! a fixed number of samples, and reports min/median/max per-iteration times on
 //! stdout. Re-exported [`black_box`] prevents the optimizer from deleting the
 //! benchmarked work.
+//!
+//! Besides the human-readable table, every bench binary funnels its groups into
+//! a [`BenchReport`], which writes a machine-readable `BENCH_<name>.json` at
+//! the workspace root (median nanoseconds, iteration count per case, plus any
+//! named ratios the bench asserts on). CI runs the benches on every push, so
+//! the sequence of those files tracks the performance trajectory across PRs.
 
 use std::time::{Duration, Instant};
 
@@ -14,13 +20,25 @@ pub use std::hint::black_box;
 
 /// Target wall-clock duration of one measurement sample.
 const SAMPLE_TARGET: Duration = Duration::from_millis(5);
-/// Number of measurement samples per benchmark.
+/// Default number of measurement samples per benchmark.
 const SAMPLES: usize = 11;
+
+/// One measured case: label, median per-iteration time, and how many
+/// iterations made up each sample.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case label passed to [`Bench::case`].
+    pub label: String,
+    /// Median per-iteration time over the samples.
+    pub median: Duration,
+    /// Iterations per sample chosen by the calibration loop.
+    pub iters: usize,
+}
 
 /// One benchmark group, printing a header on creation and one line per case.
 pub struct Bench {
-    /// Collected `(label, median)` pairs, for programmatic comparisons.
-    results: Vec<(String, Duration)>,
+    name: String,
+    results: Vec<CaseResult>,
 }
 
 impl Bench {
@@ -32,13 +50,32 @@ impl Bench {
             "case", "min", "median", "max"
         );
         Bench {
+            name: name.to_string(),
             results: Vec::new(),
         }
     }
 
+    /// The group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Runs one benchmark case and prints its timing line. Returns the median
     /// per-iteration time.
-    pub fn case<T>(&mut self, label: &str, mut f: impl FnMut() -> T) -> Duration {
+    pub fn case<T>(&mut self, label: &str, f: impl FnMut() -> T) -> Duration {
+        self.case_samples(label, SAMPLES, f)
+    }
+
+    /// [`Bench::case`] with an explicit sample count — heavyweight cases
+    /// (whole-universe sweeps, million-node walks) use fewer samples to keep
+    /// CI wall-clock bounded.
+    pub fn case_samples<T>(
+        &mut self,
+        label: &str,
+        samples: usize,
+        mut f: impl FnMut() -> T,
+    ) -> Duration {
+        let samples = samples.max(1);
         // Warm-up and calibration: find how many iterations fill SAMPLE_TARGET.
         let mut iters = 1usize;
         loop {
@@ -54,7 +91,7 @@ impl Bench {
             let scale = (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
             iters = (iters as f64 * scale.clamp(2.0, 100.0)) as usize;
         }
-        let mut samples: Vec<Duration> = (0..SAMPLES)
+        let mut measured: Vec<Duration> = (0..samples)
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..iters {
@@ -63,16 +100,20 @@ impl Bench {
                 start.elapsed() / iters as u32
             })
             .collect();
-        samples.sort_unstable();
-        let median = samples[samples.len() / 2];
+        measured.sort_unstable();
+        let median = measured[measured.len() / 2];
         println!(
             "{:<44} {:>12} {:>12} {:>12}",
             label,
-            format_duration(samples[0]),
+            format_duration(measured[0]),
             format_duration(median),
-            format_duration(*samples.last().expect("non-empty samples"))
+            format_duration(*measured.last().expect("non-empty samples"))
         );
-        self.results.push((label.to_string(), median));
+        self.results.push(CaseResult {
+            label: label.to_string(),
+            median,
+            iters,
+        });
         median
     }
 
@@ -80,9 +121,104 @@ impl Bench {
     pub fn median_of(&self, label: &str) -> Option<Duration> {
         self.results
             .iter()
-            .find(|(l, _)| l == label)
-            .map(|&(_, d)| d)
+            .find(|r| r.label == label)
+            .map(|r| r.median)
     }
+
+    /// All measured cases, in run order.
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+}
+
+/// Collects the finished groups and headline ratios of one bench binary and
+/// writes them as `BENCH_<name>.json` at the workspace root.
+pub struct BenchReport {
+    bench: String,
+    groups: Vec<Bench>,
+    ratios: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Starts a report for the bench binary `bench` (the `[[bench]]` name).
+    pub fn new(bench: &str) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            groups: Vec::new(),
+            ratios: Vec::new(),
+        }
+    }
+
+    /// Absorbs a finished group.
+    pub fn add_group(&mut self, group: Bench) {
+        self.groups.push(group);
+    }
+
+    /// Records a named headline ratio `baseline / candidate` (>1 means the
+    /// candidate is faster).
+    pub fn add_ratio(&mut self, name: &str, baseline: Duration, candidate: Duration) -> f64 {
+        let ratio = baseline.as_secs_f64() / candidate.as_secs_f64().max(1e-12);
+        self.ratios.push((name.to_string(), ratio));
+        ratio
+    }
+
+    /// Writes `BENCH_<name>.json` at the workspace root and returns its path.
+    /// Benches run with the package directory as CWD, so the root is resolved
+    /// relative to this crate's manifest.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()?
+            .join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        println!("bench report written to {}", path.display());
+        Ok(path)
+    }
+
+    /// The report as a JSON document (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str("  \"groups\": [\n");
+        for (gi, group) in self.groups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"cases\": [\n",
+                escape(&group.name)
+            ));
+            for (ci, case) in group.results.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"name\": \"{}\", \"median_ns\": {}, \"iters\": {}}}{}\n",
+                    escape(&case.label),
+                    case.median.as_nanos(),
+                    case.iters,
+                    if ci + 1 < group.results.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            out.push_str(&format!(
+                "    ]}}{}\n",
+                if gi + 1 < self.groups.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"ratios\": {");
+        for (i, (name, ratio)) in self.ratios.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {:.4}", escape(name), ratio));
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Renders a duration with an adaptive unit (`ns`, `µs`, `ms`, `s`).
@@ -116,6 +252,8 @@ mod tests {
         assert!(median > Duration::ZERO);
         assert_eq!(b.median_of("spin"), Some(median));
         assert_eq!(b.median_of("missing"), None);
+        assert_eq!(b.results().len(), 1);
+        assert!(b.results()[0].iters >= 1);
     }
 
     #[test]
@@ -124,5 +262,22 @@ mod tests {
         assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
         assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
         assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut group = Bench::new("g \"quoted\"");
+        group.case_samples("fast", 1, || black_box(1 + 1));
+        let mut report = BenchReport::new("selftest");
+        let d = group.median_of("fast").unwrap();
+        report.add_group(group);
+        let ratio = report.add_ratio("speedup", d * 2, d.max(Duration::from_nanos(1)));
+        assert!(ratio > 1.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"selftest\""));
+        assert!(json.contains("\"median_ns\":"));
+        assert!(json.contains("\"iters\":"));
+        assert!(json.contains("\"speedup\":"));
+        assert!(json.contains("g \\\"quoted\\\""));
     }
 }

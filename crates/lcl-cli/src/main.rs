@@ -8,6 +8,7 @@
 //! rtlcl solve    <file|name> <n>      # classify, solve on a random n-node tree, verify
 //!                                     # (--emit-labeling <path> writes the solution)
 //! rtlcl classify-batch [options]      # sweep a whole problem family through the engine
+//! rtlcl sweep    [options]            # canonical-first exhaustive sweep of a (δ, Σ) universe
 //! rtlcl verify   <file|name> <labeling-file> [options]
 //!                                     # validate a labeling file on a generated tree
 //! rtlcl fuzz     [options]            # run the classifier-vs-solver differential oracle
@@ -47,6 +48,18 @@
 //! --no-memo        disable canonical-form memoization
 //! --json           emit the full per-problem results as JSON
 //! ```
+//!
+//! `sweep` options (exhaustive canonical-first classification of the *entire*
+//! (δ, Σ) universe — one decision per label-permutation orbit, whole-universe
+//! histograms reconstructed through orbit sizes):
+//!
+//! ```text
+//! --delta <d>      children per internal node (default 2)
+//! --labels <k>     labels of the universe (default 2; the universe must fit
+//!                  63 configurations, so δ=2 caps at 4 labels, δ=1 at 7)
+//! --shards <n>     shard count for the parallel driver (default: available cores)
+//! --json           emit the histograms as JSON
+//! ```
 
 mod json;
 
@@ -56,6 +69,7 @@ use std::time::Instant;
 use json::Json;
 use lcl_algorithms::solve;
 use lcl_core::{classify, ClassificationEngine, Complexity, LclProblem};
+use lcl_problems::canonical::CanonicalFamily;
 use lcl_problems::catalog;
 use lcl_problems::random::{enumerate_problems, random_family, RandomProblemSpec};
 use lcl_sim::IdAssignment;
@@ -720,6 +734,147 @@ fn cmd_classify_batch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+#[derive(Debug)]
+struct SweepOptions {
+    delta: usize,
+    labels: usize,
+    shards: usize,
+    json: bool,
+}
+
+fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
+    let mut opts = SweepOptions {
+        delta: 2,
+        labels: 2,
+        shards: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        json: false,
+    };
+    let mut cur = FlagCursor::new(args);
+    while let Some(arg) = cur.next_arg() {
+        match arg.as_str() {
+            "--delta" => opts.delta = cur.parse_value("--delta")?,
+            "--labels" => opts.labels = cur.parse_value("--labels")?,
+            "--shards" => opts.shards = cur.parse_value("--shards")?,
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown sweep option `{other}`")),
+        }
+    }
+    if opts.labels == 0 || opts.delta == 0 || opts.shards == 0 {
+        return Err("--labels, --delta, and --shards must be positive".into());
+    }
+    if opts.labels > lcl_problems::canonical::MAX_CANONICAL_ENUM_LABELS {
+        return Err(format!(
+            "--labels {} exceeds the canonical enumeration limit of {}",
+            opts.labels,
+            lcl_problems::canonical::MAX_CANONICAL_ENUM_LABELS
+        ));
+    }
+    // Universe size computed arithmetically (k · C(k+δ−1, δ), saturating), NOT
+    // by materializing the universe: a huge --delta must fail fast, not OOM.
+    let universe = sweep_universe_size(opts.delta, opts.labels);
+    if universe > 63 {
+        return Err(format!(
+            "the (δ={}, {} labels) universe has {universe} possible configurations; \
+             at most 63 fit an exhaustive sweep",
+            opts.delta, opts.labels
+        ));
+    }
+    debug_assert_eq!(
+        universe as usize,
+        lcl_problems::random::universe_size(opts.delta, opts.labels)
+    );
+    Ok(opts)
+}
+
+/// `labels · C(labels + delta − 1, delta)` with saturation — the number of
+/// possible configurations of a (δ, Σ) universe, without building it.
+fn sweep_universe_size(delta: usize, labels: usize) -> u128 {
+    // Multisets of size δ over `labels` symbols: C(labels + δ − 1, δ), built
+    // multiplicatively as prod_{i=1..m-1} (δ + i) / i with m = labels − 1
+    // factors (exact at every step since prefixes are binomials).
+    let mut multisets: u128 = 1;
+    for i in 1..labels as u128 {
+        multisets = multisets.saturating_mul(delta as u128 + i) / i;
+        if multisets > u64::MAX as u128 {
+            return u128::MAX;
+        }
+    }
+    multisets.saturating_mul(labels as u128)
+}
+
+fn histogram_json(histogram: &lcl_core::ComplexityHistogram) -> Json {
+    Json::Obj(
+        histogram
+            .entries()
+            .iter()
+            .map(|&(name, n)| (name.to_string(), Json::int(n as usize)))
+            .collect(),
+    )
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let opts = match parse_sweep_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let family = CanonicalFamily::new(opts.delta, opts.labels);
+    let engine = ClassificationEngine::new();
+    let start = Instant::now();
+    let outcome = engine.sweep_sharded(opts.shards, |s| family.shard(s, opts.shards));
+    let elapsed = start.elapsed();
+
+    let orbit_count = outcome.orbits.total();
+    let family_size = family.family_size();
+    debug_assert_eq!(outcome.problems.total(), family_size);
+
+    if opts.json {
+        let out = Json::Obj(vec![
+            ("delta".into(), Json::int(opts.delta)),
+            ("labels".into(), Json::int(opts.labels)),
+            ("shards".into(), Json::int(opts.shards)),
+            (
+                "universe_configurations".into(),
+                Json::int(family.universe_len()),
+            ),
+            ("family_size".into(), Json::int(family_size as usize)),
+            ("canonical_orbits".into(), Json::int(orbit_count as usize)),
+            ("elapsed_ms".into(), Json::Num(elapsed.as_secs_f64() * 1e3)),
+            ("orbits".into(), histogram_json(&outcome.orbits)),
+            ("problems".into(), histogram_json(&outcome.problems)),
+        ]);
+        println!("{}", out.to_pretty());
+    } else {
+        println!(
+            "swept the complete (δ={}, {}-label) universe: {} problems in {} orbits, \
+             {} decisions in {:.1} ms ({} shards)",
+            opts.delta,
+            opts.labels,
+            family_size,
+            orbit_count,
+            engine.stats().cache_misses,
+            elapsed.as_secs_f64() * 1e3,
+            opts.shards
+        );
+        println!("{:<12} {:>12} {:>12}", "class", "orbits", "problems");
+        for (&(name, orbits), &(_, problems)) in outcome
+            .orbits
+            .entries()
+            .iter()
+            .zip(outcome.problems.entries().iter())
+        {
+            if orbits > 0 || problems > 0 {
+                println!("{name:<12} {orbits:>12} {problems:>12}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse_solve_options(args: &[String]) -> Result<(String, usize, Option<String>), String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut emit = None;
@@ -744,7 +899,7 @@ fn parse_solve_options(args: &[String]) -> Result<(String, usize, Option<String>
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size> [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size> [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -769,6 +924,7 @@ fn main() -> ExitCode {
             }
         },
         Some("classify-batch") => cmd_classify_batch(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => usage(),

@@ -94,13 +94,16 @@ impl CertificateTree {
         self.labels[index]
     }
 
-    /// The level-order indices of the children of node `index` (empty for leaves).
-    pub fn children_of(&self, index: usize) -> Vec<usize> {
+    /// The level-order indices of the children of node `index` (an empty range
+    /// for leaves). In the implicit complete-tree layout the children of `i`
+    /// occupy the contiguous range `δ·i + 1 .. δ·i + 1 + δ`, so this is pure
+    /// index arithmetic — no allocation.
+    pub fn children_of(&self, index: usize) -> std::ops::Range<usize> {
         let first = self.delta * index + 1;
         if first >= self.labels.len() {
-            Vec::new()
+            0..0
         } else {
-            (first..first + self.delta).collect()
+            first..first + self.delta
         }
     }
 
@@ -116,6 +119,10 @@ impl CertificateTree {
 
     /// Checks that every internal node of the tree forms an allowed configuration of
     /// `problem` with its children.
+    ///
+    /// The children of a level-order node are a contiguous slice of the label
+    /// vector, so the success path performs no allocation per node (the error
+    /// message on failure is the only allocating path).
     pub fn verify_configurations(&self, problem: &LclProblem) -> Result<(), String> {
         if self.delta != problem.delta() {
             return Err(format!(
@@ -129,9 +136,9 @@ impl CertificateTree {
             if children.is_empty() {
                 continue;
             }
-            let child_labels: Vec<Label> = children.iter().map(|&c| self.labels[c]).collect();
-            let config = Configuration::new(self.labels[index], child_labels);
-            if !problem.allows(&config) {
+            let child_labels = &self.labels[children];
+            if !problem.allows_multiset(self.labels[index], child_labels) {
+                let config = Configuration::new(self.labels[index], child_labels.to_vec());
                 return Err(format!(
                     "node {index} uses forbidden configuration {}",
                     config.display(problem.alphabet())
@@ -314,9 +321,10 @@ mod tests {
     #[test]
     fn children_indices() {
         let t = CertificateTree::new(2, 2, vec![label(0); 7]);
-        assert_eq!(t.children_of(0), vec![1, 2]);
-        assert_eq!(t.children_of(2), vec![5, 6]);
+        assert_eq!(t.children_of(0), 1..3);
+        assert_eq!(t.children_of(2), 5..7);
         assert!(t.children_of(3).is_empty());
+        assert_eq!(t.children_of(1).collect::<Vec<usize>>(), vec![3, 4]);
         assert_eq!(t.leaf_labels().len(), 4);
     }
 

@@ -17,10 +17,10 @@ use std::fmt;
 
 use crate::builder::CertificateBuildError;
 use crate::certificate::{ConstantCertificate, LogStarCertificate};
-use crate::constant::{find_constant_certificate, ConstantSearchResult};
+use crate::constant::ConstantSearchResult;
 use crate::label_set::LabelSet;
 use crate::log_certificate::{find_log_certificate, LogCertificate, LogCertificateAnalysis};
-use crate::log_star::{find_log_star_certificate, LogStarSearchResult};
+use crate::log_star::LogStarSearchResult;
 use crate::problem::LclProblem;
 use crate::solvability::solvable_labels;
 
@@ -214,20 +214,38 @@ pub fn classify(problem: &LclProblem) -> ClassificationReport {
 /// building a [`LogCertificate`] runs). This is the batch hot path used by
 /// [`crate::engine::ClassificationEngine`]; it always agrees with
 /// [`classify`]`(problem).complexity`.
+///
+/// Runs on the calling thread's [`crate::scratch::ClassifyScratch`]; batch
+/// workers that want explicit buffer ownership use
+/// [`classify_complexity_with`].
 pub fn classify_complexity(problem: &LclProblem) -> Complexity {
-    if solvable_labels(problem).is_empty() {
+    crate::scratch::with_thread_scratch(|scratch| classify_complexity_with(problem, scratch))
+}
+
+/// [`classify_complexity`] with an explicit scratch: the zero-allocation hot
+/// path. Every stage works on the parent problem's dense tables under a
+/// [`LabelSet`] mask — no `LclProblem` is cloned and no restriction is
+/// materialized, for any candidate subset or pruning iteration (see the
+/// `scratch` module docs for the contract, and `tests/zero_alloc.rs` for the
+/// allocation-counter proof).
+pub fn classify_complexity_with(
+    problem: &LclProblem,
+    scratch: &mut crate::scratch::ClassifyScratch,
+) -> Complexity {
+    let sustaining = solvable_labels(problem);
+    if sustaining.is_empty() {
         return Complexity::Unsolvable;
     }
-    let (fixpoint, pruned_sets) = crate::log_certificate::prune_to_fixpoint(problem);
+    let (fixpoint, iterations) = crate::scratch::prune_fixpoint_masked(problem, scratch);
     if fixpoint.is_empty() {
         return Complexity::Polynomial {
-            lower_bound_exponent: pruned_sets.len().max(1),
+            lower_bound_exponent: iterations.max(1),
         };
     }
-    if find_log_star_certificate(problem).is_none() {
+    if crate::log_star::decide_log_star_subset(problem, sustaining, scratch).is_none() {
         return Complexity::Log;
     }
-    if find_constant_certificate(problem).is_some() {
+    if crate::constant::decide_constant_subset(problem, sustaining, scratch).is_some() {
         Complexity::Constant
     } else {
         Complexity::LogStar
@@ -236,6 +254,12 @@ pub fn classify_complexity(problem: &LclProblem) -> Complexity {
 
 /// Classifies a problem. The configuration is threaded into the report, where it
 /// bounds certificate materialization; it cannot change the resulting class.
+///
+/// Each stage runs exactly once: the solvability fixed point is computed once
+/// and threaded into the certificate searches
+/// ([`crate::log_star::find_log_star_certificate_within`],
+/// [`crate::constant::find_constant_certificate_within`]), and the problem is
+/// stored into the report through a single clone at the end.
 pub fn classify_with_config(
     problem: &LclProblem,
     config: &ClassifierConfig,
@@ -243,53 +267,29 @@ pub fn classify_with_config(
     let config = *config;
     let solvable = solvable_labels(problem);
     let log_analysis = find_log_certificate(problem);
+    let mut log_star = None;
+    let mut constant = None;
 
-    if solvable.is_empty() {
-        return ClassificationReport {
-            problem: problem.clone(),
-            config,
-            complexity: Complexity::Unsolvable,
-            solvable_labels: solvable,
-            log_analysis,
-            log_star: None,
-            constant: None,
-        };
-    }
-
-    if !log_analysis.has_certificate() {
-        let k = log_analysis.iterations().max(1);
-        return ClassificationReport {
-            problem: problem.clone(),
-            config,
-            complexity: Complexity::Polynomial {
-                lower_bound_exponent: k,
-            },
-            solvable_labels: solvable,
-            log_analysis,
-            log_star: None,
-            constant: None,
-        };
-    }
-
-    let log_star = find_log_star_certificate(problem);
-    if log_star.is_none() {
-        return ClassificationReport {
-            problem: problem.clone(),
-            config,
-            complexity: Complexity::Log,
-            solvable_labels: solvable,
-            log_analysis,
-            log_star: None,
-            constant: None,
-        };
-    }
-
-    let constant = find_constant_certificate(problem);
-    let complexity = if constant.is_some() {
-        Complexity::Constant
+    let complexity = if solvable.is_empty() {
+        Complexity::Unsolvable
+    } else if !log_analysis.has_certificate() {
+        Complexity::Polynomial {
+            lower_bound_exponent: log_analysis.iterations().max(1),
+        }
     } else {
-        Complexity::LogStar
+        log_star = crate::log_star::find_log_star_certificate_within(problem, solvable);
+        if log_star.is_none() {
+            Complexity::Log
+        } else {
+            constant = crate::constant::find_constant_certificate_within(problem, solvable);
+            if constant.is_some() {
+                Complexity::Constant
+            } else {
+                Complexity::LogStar
+            }
+        }
     };
+
     ClassificationReport {
         problem: problem.clone(),
         config,

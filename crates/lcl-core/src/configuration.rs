@@ -79,38 +79,84 @@ impl Configuration {
     }
 }
 
+/// `true` if `sorted` (non-decreasing, the canonical child order of a
+/// [`Configuration`]) and `observed` (any order) are equal as multisets.
+/// Allocation-free: equal lengths plus matching multiplicity of every group of
+/// `sorted` already implies multiset equality, so a run-length walk with an
+/// O(δ) count per group suffices.
+pub fn multiset_eq_sorted(sorted: &[Label], observed: &[Label]) -> bool {
+    if sorted.len() != observed.len() {
+        return false;
+    }
+    let mut i = 0;
+    while i < sorted.len() {
+        let value = sorted[i];
+        let mut run = 0usize;
+        while i < sorted.len() && sorted[i] == value {
+            run += 1;
+            i += 1;
+        }
+        if observed.iter().filter(|&&l| l == value).count() != run {
+            return false;
+        }
+    }
+    true
+}
+
 /// Checks whether the multiset of `children` of a configuration can be assigned to
 /// the `slots` (one child per slot) such that every child label is a member of the
 /// set placed in its slot. This is the matching step of Algorithm 3: a configuration
 /// `(σ : c₁, …, c_δ)` is compatible with a δ-tuple of root-label sets
 /// `(r₁, …, r_δ)` iff such an assignment exists.
+///
+/// The used-slot state is a `u128` bitmask (δ ≤ 128 always holds for problems over
+/// a 128-label alphabet's configuration tables; a slice-based fallback covers the
+/// theoretical δ > 128 case), so the backtracking allocates nothing — this runs in
+/// the innermost loop of the classifier's subset searches.
 pub fn children_match_slots(children: &[Label], slots: &[LabelSet]) -> bool {
     debug_assert_eq!(children.len(), slots.len());
-    let n = children.len();
-    let mut used = vec![false; n];
-    fn backtrack(
-        children: &[Label],
-        slots: &[LabelSet],
-        used: &mut [bool],
-        child_idx: usize,
-    ) -> bool {
-        if child_idx == children.len() {
+    if slots.len() <= 128 {
+        return backtrack_mask(children, slots, 0, 0);
+    }
+    let mut used = vec![false; children.len()];
+    backtrack_slice(children, slots, &mut used, 0)
+}
+
+fn backtrack_mask(children: &[Label], slots: &[LabelSet], used: u128, child_idx: usize) -> bool {
+    if child_idx == children.len() {
+        return true;
+    }
+    for (slot, set) in slots.iter().enumerate() {
+        if used & (1u128 << slot) != 0 || !set.contains(children[child_idx]) {
+            continue;
+        }
+        if backtrack_mask(children, slots, used | (1u128 << slot), child_idx + 1) {
             return true;
         }
-        for slot in 0..slots.len() {
-            if used[slot] || !slots[slot].contains(children[child_idx]) {
-                continue;
-            }
-            used[slot] = true;
-            if backtrack(children, slots, used, child_idx + 1) {
-                used[slot] = false;
-                return true;
-            }
-            used[slot] = false;
-        }
-        false
     }
-    backtrack(children, slots, &mut used, 0)
+    false
+}
+
+fn backtrack_slice(
+    children: &[Label],
+    slots: &[LabelSet],
+    used: &mut [bool],
+    child_idx: usize,
+) -> bool {
+    if child_idx == children.len() {
+        return true;
+    }
+    for slot in 0..slots.len() {
+        if used[slot] || !slots[slot].contains(children[child_idx]) {
+            continue;
+        }
+        used[slot] = true;
+        if backtrack_slice(children, slots, used, child_idx + 1) {
+            return true;
+        }
+        used[slot] = false;
+    }
+    false
 }
 
 /// Finds one concrete assignment of `children` to `slots` (see
@@ -186,6 +232,28 @@ mod tests {
         let alpha = Alphabet::new(["1", "a", "b"]);
         let c = Configuration::new(Label(1), vec![Label(2), Label(0)]);
         assert_eq!(c.display(&alpha), "a : 1 b");
+    }
+
+    #[test]
+    fn multiset_eq_sorted_matches_sorting() {
+        let cases: &[(&[u16], &[u16], bool)] = &[
+            (&[1, 1, 2], &[2, 1, 1], true),
+            (&[1, 1, 2], &[1, 2, 2], false),
+            (&[1, 2], &[1, 2, 2], false),
+            (&[], &[], true),
+            (&[3], &[3], true),
+            (&[3], &[4], false),
+            (&[0, 0, 0], &[0, 0, 0], true),
+        ];
+        for &(sorted, observed, expected) in cases {
+            let s: Vec<Label> = sorted.iter().map(|&i| Label(i)).collect();
+            let o: Vec<Label> = observed.iter().map(|&i| Label(i)).collect();
+            assert_eq!(
+                multiset_eq_sorted(&s, &o),
+                expected,
+                "{sorted:?} vs {observed:?}"
+            );
+        }
     }
 
     #[test]

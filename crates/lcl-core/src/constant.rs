@@ -60,6 +60,57 @@ impl ConstantSearchResult {
 /// Algorithm 5: searches for a certificate for O(1) solvability. Returns `None` if
 /// none exists (the problem then requires Ω(log* n) rounds by Theorem 7.7).
 pub fn find_constant_certificate(problem: &LclProblem) -> Option<ConstantSearchResult> {
+    find_constant_certificate_within(problem, solvable_labels(problem))
+}
+
+/// [`find_constant_certificate`] with a precomputed greatest self-sustaining
+/// set: `sustaining` must be `solvable_labels(problem)`. The classifier
+/// computes that fixed point once per problem and threads it through, so the
+/// certificate stages never re-run it.
+pub fn find_constant_certificate_within(
+    problem: &LclProblem,
+    sustaining: LabelSet,
+) -> Option<ConstantSearchResult> {
+    let subset = crate::scratch::with_thread_scratch(|scratch| {
+        decide_constant_subset(problem, sustaining, scratch)
+    })?;
+    // Only the winning subset is materialized; the candidate subsets and their
+    // special configurations were searched by masking. Re-running the special
+    // loop on this one subset reproduces the historical choice of special
+    // configuration (first in sorted configuration order whose parent admits a
+    // builder).
+    let restricted = problem.restrict_to(subset);
+    let specials: Vec<Configuration> = restricted
+        .configurations()
+        .iter()
+        .filter(|c| c.parent_repeats_in_children())
+        .cloned()
+        .collect();
+    let mut found = None;
+    for special in specials {
+        if let Some(builder) = find_unrestricted_certificate(&restricted, Some(special.parent())) {
+            found = Some((special, builder));
+            break;
+        }
+    }
+    let (special, builder) =
+        found.expect("the masked decision found a special configuration with a builder");
+    Some(ConstantSearchResult {
+        certificate_labels: subset,
+        restricted,
+        special,
+        builder,
+    })
+}
+
+/// Decision core of Algorithm 5: the first subset of `sustaining` (smallest,
+/// then lexicographic) that is self-sustaining and admits a builder with some
+/// special configuration's parent on a leaf — found purely by masking.
+pub(crate) fn decide_constant_subset(
+    problem: &LclProblem,
+    sustaining: LabelSet,
+    scratch: &mut crate::scratch::ClassifyScratch,
+) -> Option<LabelSet> {
     // The problem must contain at least one special configuration at all; otherwise
     // every solution is a proper coloring and the problem is Ω(log* n)
     // (Theorem 7.7).
@@ -70,7 +121,6 @@ pub fn find_constant_certificate(problem: &LclProblem) -> Option<ConstantSearchR
     {
         return None;
     }
-    let sustaining = solvable_labels(problem);
     if sustaining.is_empty() {
         return None;
     }
@@ -83,22 +133,21 @@ pub fn find_constant_certificate(problem: &LclProblem) -> Option<ConstantSearchR
         if !is_self_sustaining(problem, subset) {
             continue;
         }
-        let restricted = problem.restrict_to(subset);
-        let specials: Vec<Configuration> = restricted
-            .configurations()
-            .iter()
-            .filter(|c| c.parent_repeats_in_children())
-            .cloned()
-            .collect();
-        for special in specials {
-            let a = special.parent();
-            if let Some(builder) = find_unrestricted_certificate(&restricted, Some(a)) {
-                return Some(ConstantSearchResult {
-                    certificate_labels: subset,
-                    restricted,
-                    special,
-                    builder,
-                });
+        // Builder existence depends only on (subset, special parent), so each
+        // distinct parent is tried once even when several special
+        // configurations share it.
+        let mut tried = LabelSet::EMPTY;
+        for (i, c) in problem.configurations().iter().enumerate() {
+            if !c.parent_repeats_in_children()
+                || !problem.configuration_label_set(i).is_subset(subset)
+            {
+                continue;
+            }
+            if !tried.insert(c.parent()) {
+                continue;
+            }
+            if crate::scratch::exists_builder_masked(problem, subset, Some(c.parent()), scratch) {
+                return Some(subset);
             }
         }
     }

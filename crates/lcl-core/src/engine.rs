@@ -24,8 +24,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::classifier::{classify_complexity, classify_with_config, ClassifierConfig, Complexity};
+use crate::classifier::{
+    classify_complexity_with, classify_with_config, ClassifierConfig, Complexity,
+};
 use crate::problem::LclProblem;
+use crate::scratch::ClassifyScratch;
 
 /// A label-permutation-invariant fingerprint of a problem.
 ///
@@ -234,18 +237,26 @@ impl ClassificationEngine {
     }
 
     /// Classifies one problem, answering from the canonical-form cache when a
-    /// renaming-equivalent problem has been classified before.
+    /// renaming-equivalent problem has been classified before. Cache misses run
+    /// the zero-allocation decision path on the calling thread's scratch.
     pub fn classify(&self, problem: &LclProblem) -> Complexity {
+        crate::scratch::with_thread_scratch(|scratch| self.classify_with(problem, scratch))
+    }
+
+    /// [`Self::classify`] with an explicit [`ClassifyScratch`]: what the batch
+    /// workers and the sweep driver use (one scratch per worker thread, so
+    /// cache misses never contend on anything but the memo map).
+    pub fn classify_with(&self, problem: &LclProblem, scratch: &mut ClassifyScratch) -> Complexity {
         if !self.canonicalize {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return classify_complexity(problem);
+            return classify_complexity_with(problem, scratch);
         }
         let key = canonical_form(problem);
         if let Some(&hit) = self.cache.lock().expect("engine cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
-        let complexity = classify_complexity(problem);
+        let complexity = classify_complexity_with(problem, scratch);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.cache
             .lock()
@@ -257,15 +268,19 @@ impl ClassificationEngine {
     /// Classifies one problem and returns the full report (certificates, pruning
     /// trace). Full reports are label-specific, so they are never cached; the
     /// complexity verdict still populates the cache for later [`Self::classify`]
-    /// calls.
+    /// calls (and a verdict already in the cache counts as a hit).
     pub fn classify_full(&self, problem: &LclProblem) -> crate::ClassificationReport {
         let report = classify_with_config(problem, &self.config);
-        self.misses.fetch_add(1, Ordering::Relaxed);
         if self.canonicalize {
-            self.cache
-                .lock()
-                .expect("engine cache poisoned")
-                .insert(canonical_form(problem), report.complexity);
+            let key = canonical_form(problem);
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            if cache.insert(key, report.complexity).is_some() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
         }
         report
     }
@@ -278,6 +293,8 @@ impl ClassificationEngine {
     /// Classifies every problem using all available cores, sharing the memo
     /// cache across workers. The result at index `i` is the classification of
     /// `problems[i]`, identical to what [`crate::classify`] returns for it.
+    /// Each worker owns a private [`ClassifyScratch`], so cache misses allocate
+    /// nothing once the buffers are warm.
     pub fn classify_batch(&self, problems: &[LclProblem]) -> Vec<Complexity> {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -291,13 +308,16 @@ impl ClassificationEngine {
             problems.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= problems.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut scratch = ClassifyScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= problems.len() {
+                            break;
+                        }
+                        let complexity = self.classify_with(&problems[i], &mut scratch);
+                        *slots[i].lock().expect("result slot poisoned") = Some(complexity);
                     }
-                    let complexity = self.classify(&problems[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(complexity);
                 });
             }
         });
@@ -309,6 +329,157 @@ impl ClassificationEngine {
                     .expect("every index was processed")
             })
             .collect()
+    }
+
+    /// Sharded sweep over a canonical-first problem stream: the backbone of the
+    /// `rtlcl sweep` workload ("classify the entire (δ, Σ) universe").
+    ///
+    /// `shard(s)` must yield the `s`-th shard of the canonical stream — exactly
+    /// one representative per label-permutation orbit, each with its orbit
+    /// size; `lcl-problems`' `CanonicalFamily::shard` produces such streams by
+    /// partitioning the configuration-mask space. Shards are pulled by up to
+    /// `available_parallelism` workers over `std::thread::scope`.
+    ///
+    /// Canonical representatives are pairwise *non*-equivalent, so the shared
+    /// memo could never hit during the sweep; workers therefore classify with a
+    /// private scratch and record verdicts into a **private** memo map (no lock
+    /// contention on the hot path), merged into the engine cache once per
+    /// worker at the end. After a sweep the cache is warm for the whole family:
+    /// any later [`Self::classify`] of any member of the family is a hit.
+    pub fn sweep_sharded<I, F>(&self, shards: usize, shard: F) -> SweepOutcome
+    where
+        I: Iterator<Item = OrbitProblem>,
+        F: Fn(usize) -> I + Sync,
+    {
+        let shards = shards.max(1);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(shards);
+        let next = AtomicUsize::new(0);
+        let merged: Mutex<SweepOutcome> = Mutex::new(SweepOutcome::default());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = ClassifyScratch::new();
+                    let mut local_memo: HashMap<CanonicalKey, Complexity> = HashMap::new();
+                    let mut outcome = SweepOutcome::default();
+                    let mut classified = 0usize;
+                    loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        if s >= shards {
+                            break;
+                        }
+                        for item in shard(s) {
+                            let complexity = classify_complexity_with(&item.problem, &mut scratch);
+                            classified += 1;
+                            if self.canonicalize {
+                                local_memo.insert(canonical_form(&item.problem), complexity);
+                            }
+                            outcome.orbits.add(complexity, 1);
+                            outcome.problems.add(complexity, item.orbit_size);
+                        }
+                    }
+                    self.misses.fetch_add(classified, Ordering::Relaxed);
+                    if !local_memo.is_empty() {
+                        self.cache
+                            .lock()
+                            .expect("engine cache poisoned")
+                            .extend(local_memo);
+                    }
+                    merged
+                        .lock()
+                        .expect("sweep outcome poisoned")
+                        .merge(&outcome);
+                });
+            }
+        });
+        merged.into_inner().expect("sweep outcome poisoned")
+    }
+}
+
+/// One item of a canonical-first sweep: a representative problem together with
+/// the size of its label-permutation orbit (how many members of the full
+/// universe it stands for).
+#[derive(Debug, Clone)]
+pub struct OrbitProblem {
+    /// The orbit's representative.
+    pub problem: LclProblem,
+    /// Number of distinct problems in the orbit.
+    pub orbit_size: u64,
+}
+
+/// Counts per complexity class (the four classes of the paper plus
+/// unsolvable). `Polynomial` verdicts are pooled regardless of their
+/// lower-bound exponent, matching [`Complexity::short_name`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComplexityHistogram {
+    /// O(1) problems.
+    pub constant: u64,
+    /// Θ(log* n) problems.
+    pub log_star: u64,
+    /// Θ(log n) problems.
+    pub log: u64,
+    /// n^Θ(1) problems.
+    pub polynomial: u64,
+    /// Unsolvable problems.
+    pub unsolvable: u64,
+}
+
+impl ComplexityHistogram {
+    /// Adds `weight` problems of the given class.
+    pub fn add(&mut self, complexity: Complexity, weight: u64) {
+        match complexity {
+            Complexity::Constant => self.constant += weight,
+            Complexity::LogStar => self.log_star += weight,
+            Complexity::Log => self.log += weight,
+            Complexity::Polynomial { .. } => self.polynomial += weight,
+            Complexity::Unsolvable => self.unsolvable += weight,
+        }
+    }
+
+    /// Adds every count of `other`.
+    pub fn merge(&mut self, other: &ComplexityHistogram) {
+        self.constant += other.constant;
+        self.log_star += other.log_star;
+        self.log += other.log;
+        self.polynomial += other.polynomial;
+        self.unsolvable += other.unsolvable;
+    }
+
+    /// Total count over all classes.
+    pub fn total(&self) -> u64 {
+        self.constant + self.log_star + self.log + self.polynomial + self.unsolvable
+    }
+
+    /// The counts keyed by [`Complexity::short_name`], in complexity order.
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("O(1)", self.constant),
+            ("log*", self.log_star),
+            ("log", self.log),
+            ("poly", self.polynomial),
+            ("unsolvable", self.unsolvable),
+        ]
+    }
+}
+
+/// The result of [`ClassificationEngine::sweep_sharded`]: per-class counts of
+/// the canonical representatives (`orbits`) and of the full universe they
+/// stand for (`problems`, each orbit weighted by its size).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// One count per canonical representative (= per label-permutation orbit).
+    pub orbits: ComplexityHistogram,
+    /// Counts over the whole universe: each orbit contributes its size.
+    pub problems: ComplexityHistogram,
+}
+
+impl SweepOutcome {
+    /// Merges another outcome (shard results are disjoint, so addition).
+    pub fn merge(&mut self, other: &SweepOutcome) {
+        self.orbits.merge(&other.orbits);
+        self.problems.merge(&other.problems);
     }
 }
 

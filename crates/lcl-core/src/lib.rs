@@ -31,13 +31,25 @@
 //! tests. Conversion shims (`*_btree` methods) are kept wherever external code
 //! wants ordered `BTreeSet`s.
 //!
-//! # Batch classification: [`engine`]
+//! # Zero-allocation decisions: [`scratch`]
+//!
+//! The decision-only path ([`classify_complexity`] /
+//! [`classify_complexity_with`]) runs every stage — pruning fixed point, subset
+//! searches, Algorithm 3 — on the parent problem's dense tables under a
+//! [`LabelSet`] mask, with all mutable state in a reusable
+//! [`scratch::ClassifyScratch`]. A cache-miss classification clones no problem
+//! and materializes no restriction; see the [`scratch`] module docs for the
+//! buffer contract.
+//!
+//! # Batch classification and sweeps: [`engine`]
 //!
 //! The [`engine::ClassificationEngine`] layers canonical-form memoization
-//! (label-permutation-invariant keys) and a parallel `classify_batch` on top of
-//! the classifier, opening the "sweep a whole problem family" workload: see
-//! `lcl-problems::random` for family generators and the `rtlcl classify-batch`
-//! subcommand for the CLI entry point.
+//! (label-permutation-invariant keys), a parallel `classify_batch`, and a
+//! sharded canonical-first [`engine::ClassificationEngine::sweep_sharded`]
+//! driver on top of the classifier, opening the "sweep a whole problem family"
+//! workload: see `lcl-problems::random` / `lcl-problems::canonical` for family
+//! generators and the `rtlcl classify-batch` / `rtlcl sweep` subcommands for
+//! the CLI entry points.
 //!
 //! # Quick example
 //!
@@ -73,23 +85,30 @@ pub mod log_certificate;
 pub mod log_star;
 pub mod parser;
 pub mod problem;
+pub mod scratch;
 pub mod solvability;
 
 pub use automaton::Automaton;
 pub use builder::{find_unrestricted_certificate, CertificateBuilder};
 pub use certificate::{CertificateTree, ConstantCertificate, LogStarCertificate};
 pub use classifier::{
-    classify, classify_complexity, classify_with_config, ClassificationReport, ClassifierConfig,
-    Complexity,
+    classify, classify_complexity, classify_complexity_with, classify_with_config,
+    ClassificationReport, ClassifierConfig, Complexity,
 };
 pub use configuration::Configuration;
-pub use constant::find_constant_certificate;
-pub use engine::{canonical_form, CanonicalKey, ClassificationEngine, EngineStats};
+pub use constant::{find_constant_certificate, find_constant_certificate_within};
+pub use engine::{
+    canonical_form, CanonicalKey, ClassificationEngine, ComplexityHistogram, EngineStats,
+    OrbitProblem, SweepOutcome,
+};
 pub use label::{Alphabet, Label};
 pub use label_set::LabelSet;
 pub use labeling::{Labeling, SolutionError};
 pub use log_certificate::{find_log_certificate, LogCertificate, LogCertificateAnalysis};
-pub use log_star::{find_log_star_certificate, MAX_SEARCH_LABELS};
+pub use log_star::{
+    find_log_star_certificate, find_log_star_certificate_within, MAX_SEARCH_LABELS,
+};
 pub use parser::ParseError;
 pub use problem::LclProblem;
+pub use scratch::ClassifyScratch;
 pub use solvability::solvable_labels;

@@ -120,10 +120,12 @@ impl LogCertificateAnalysis {
 }
 
 /// Iterates Algorithm 1 to its fixed point, returning the fixed point and the
-/// non-empty label sets removed along the way (Σ₁, …, Σ_k). Shared by
-/// [`find_log_certificate`] and the decision-only fast path
-/// [`crate::classifier::classify_complexity`], so the two can never disagree on
-/// the iteration count `k`.
+/// non-empty label sets removed along the way (Σ₁, …, Σ_k). This is the
+/// report-building form that materializes each restriction; the decision-only
+/// fast path [`crate::classifier::classify_complexity`] runs the allocation-free
+/// masked twin [`crate::scratch::prune_fixpoint_masked`] instead, and the
+/// `scratch` module's differential tests assert the two agree on both the
+/// fixpoint labels and the iteration count `k`.
 pub(crate) fn prune_to_fixpoint(problem: &LclProblem) -> (LclProblem, Vec<LabelSet>) {
     let mut current = problem.clone();
     let mut pruned_sets = Vec::new();

@@ -303,6 +303,25 @@ impl LclProblem {
         self.allows(&Configuration::new(parent, children.to_vec()))
     }
 
+    /// Allocation-free twin of [`Self::allows_parts`]: checks the unordered
+    /// multiset `children` against the configurations with this `parent` without
+    /// building a [`Configuration`]. Used by verification hot paths (certificate
+    /// trees check one node per call).
+    pub fn allows_multiset(&self, parent: Label, children: &[Label]) -> bool {
+        self.configurations[self.parent_range(parent)]
+            .iter()
+            .any(|c| crate::configuration::multiset_eq_sorted(c.children(), children))
+    }
+
+    /// The index range of [`Self::configurations`] whose parent is `label`.
+    /// Together with [`Self::configuration_label_set`] this supports *masked*
+    /// iteration over a restriction's configurations without materializing the
+    /// restricted problem (see the `scratch` module).
+    #[inline]
+    pub fn parent_config_range(&self, label: Label) -> std::ops::Range<usize> {
+        self.parent_range(label)
+    }
+
     /// Checks that another problem is a *restriction* of this one: same δ, same
     /// alphabet, labels and configurations are subsets.
     pub fn is_restriction_of(&self, other: &LclProblem) -> bool {
@@ -527,6 +546,26 @@ mod tests {
         assert!(p.allows_parts(one, &[b, a]));
         assert!(p.allows_parts(one, &[a, b]));
         assert!(!p.allows_parts(a, &[b, one]));
+    }
+
+    #[test]
+    fn allows_multiset_agrees_with_allows_parts() {
+        let p = mis();
+        let labels: Vec<Label> = p.labels().iter().collect();
+        for &parent in &labels {
+            for &c1 in &labels {
+                for &c2 in &labels {
+                    assert_eq!(
+                        p.allows_multiset(parent, &[c1, c2]),
+                        p.allows_parts(parent, &[c1, c2]),
+                        "parent {parent}, children ({c1}, {c2})"
+                    );
+                }
+            }
+        }
+        // Wrong arity is simply not allowed.
+        let one = p.label_by_name("1").unwrap();
+        assert!(!p.allows_multiset(one, &[one]));
     }
 
     #[test]

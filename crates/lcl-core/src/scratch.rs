@@ -1,0 +1,456 @@
+//! Reusable scratch buffers and masked decision kernels — the zero-allocation
+//! classification hot path.
+//!
+//! # The scratch-buffer contract
+//!
+//! A cache-miss classification through [`crate::classifier::classify_complexity_with`]
+//! performs **no `LclProblem` clone and no per-subset problem reconstruction**:
+//! every stage of the decision procedure (the solvability fixed point, Algorithm
+//! 2's pruning loop, and the subset searches of Algorithms 4–5) operates on the
+//! *parent* problem's dense configuration tables, restricted by **masking** with a
+//! [`LabelSet`] instead of materializing a restricted [`LclProblem`]. The only
+//! mutable state the kernels need — dense successor/predecessor tables for the
+//! masked path-form automaton, BFS queues, and the entry list of Algorithm 3's
+//! fixed point — lives in a [`ClassifyScratch`] that callers thread through the
+//! stages.
+//!
+//! The contract is *amortized* zero allocation: the buffers grow to a
+//! high-water mark on the first classifications and are then reused (`clear()`
+//! retains capacity), so a warmed-up scratch serves every further cache-miss
+//! classification without touching the allocator. The
+//! `crates/lcl-core/tests/zero_alloc.rs` integration test pins this down with a
+//! counting global allocator.
+//!
+//! Three ways to get a scratch:
+//!
+//! * [`ClassifyScratch::new`] — own one explicitly and pass it to
+//!   [`crate::classifier::classify_complexity_with`] (what the engine's batch
+//!   workers and the sweep driver do: one scratch per worker thread, no sharing,
+//!   no locks);
+//! * [`with_thread_scratch`] — borrow the calling thread's lazily initialized
+//!   scratch (what the plain [`crate::classify_complexity`] wrapper and the
+//!   full-report certificate searches use);
+//! * implicitly via [`crate::classify`] / [`crate::classify_complexity`], which
+//!   route through the thread-local.
+//!
+//! # Masked kernels
+//!
+//! * [`flexible_states_masked`] — Algorithm 1 (path-flexible states of the
+//!   restriction to `allowed`) without building the restriction or an
+//!   [`crate::automaton::Automaton`];
+//! * [`prune_fixpoint_masked`] — Algorithm 2's pruning loop as a pure
+//!   [`LabelSet`] iteration; agrees with
+//!   [`crate::log_certificate::find_log_certificate`] on the fixpoint labels and
+//!   the iteration count `k` (asserted by differential tests below);
+//! * [`exists_builder_masked`] — the decision form of Algorithm 3: does the
+//!   restriction to `subset` admit a certificate builder (optionally producing
+//!   the special label on a leaf)? No entries are kept beyond the producible
+//!   root-set list, and no derivations are recorded.
+
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+
+use crate::configuration::children_match_slots;
+use crate::label::Label;
+use crate::label_set::LabelSet;
+use crate::problem::LclProblem;
+
+/// Reusable buffers for the masked decision kernels. See the module
+/// documentation for the ownership contract.
+#[derive(Debug, Default)]
+pub struct ClassifyScratch {
+    /// Masked-automaton successors, indexed by `allowed.rank(state)`.
+    succ: Vec<LabelSet>,
+    /// Masked-automaton predecessors, same indexing.
+    pred: Vec<LabelSet>,
+    /// BFS levels for the period computation (`i64::MIN` = unvisited).
+    level: Vec<i64>,
+    /// BFS queue for the period computation.
+    queue: VecDeque<Label>,
+    /// Algorithm 3's entry list: producible root-label sets plus the
+    /// special-leaf flag.
+    entries: Vec<(LabelSet, bool)>,
+    /// Dedup set over `entries` (bitmask + flag).
+    seen: HashSet<(u128, bool)>,
+    /// Odometer over entry indices (one digit per child slot).
+    tuple: Vec<usize>,
+    /// The root-label sets selected by the current odometer state.
+    slot_sets: Vec<LabelSet>,
+}
+
+impl ClassifyScratch {
+    /// Creates an empty scratch. Buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<ClassifyScratch> = RefCell::new(ClassifyScratch::new());
+}
+
+/// Runs `f` with the calling thread's scratch. The closure must not re-enter
+/// `with_thread_scratch` (the kernels never do; they take the scratch as an
+/// explicit parameter).
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut ClassifyScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Reflexive-transitive closure of `start` under `adj` (dense over `allowed`),
+/// staying inside `allowed`. Pure bitset frontier expansion, no allocation.
+fn reach(start: Label, adj: &[LabelSet], allowed: LabelSet) -> LabelSet {
+    let mut seen = LabelSet::singleton(start);
+    let mut frontier = seen;
+    while !frontier.is_empty() {
+        let mut next = LabelSet::EMPTY;
+        for u in frontier {
+            next |= adj[allowed.rank(u)];
+        }
+        next &= allowed;
+        frontier = next - seen;
+        seen |= frontier;
+    }
+    seen
+}
+
+fn gcd_i64(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd_i64(b, a % b)
+    }
+}
+
+/// The period (gcd of cycle lengths) of the strongly connected component `comp`
+/// of the masked automaton, via BFS layering — the masked twin of
+/// [`crate::automaton::Automaton`]'s period computation.
+fn component_period(comp: LabelSet, allowed: LabelSet, scratch: &mut ClassifyScratch) -> usize {
+    let start = comp.first().expect("non-empty component");
+    for u in comp {
+        scratch.level[allowed.rank(u)] = i64::MIN;
+    }
+    scratch.level[allowed.rank(start)] = 0;
+    scratch.queue.clear();
+    scratch.queue.push_back(start);
+    let mut gcd: i64 = 0;
+    while let Some(u) = scratch.queue.pop_front() {
+        let lu = scratch.level[allowed.rank(u)];
+        for v in scratch.succ[allowed.rank(u)] & comp {
+            let lv = scratch.level[allowed.rank(v)];
+            if lv == i64::MIN {
+                scratch.level[allowed.rank(v)] = lu + 1;
+                scratch.queue.push_back(v);
+            } else {
+                gcd = gcd_i64(gcd, (lu + 1 - lv).abs());
+            }
+        }
+    }
+    gcd.max(0) as usize
+}
+
+/// Algorithm 1, masked: the path-flexible states of the restriction of
+/// `problem` to `allowed`, computed directly on the parent problem's dense
+/// tables. Equivalent to
+/// `Automaton::of(&problem.restrict_to(allowed)).flexible_states()` without
+/// building either the restriction or the automaton.
+pub fn flexible_states_masked(
+    problem: &LclProblem,
+    allowed: LabelSet,
+    scratch: &mut ClassifyScratch,
+) -> LabelSet {
+    let n = allowed.len();
+    if n == 0 {
+        return LabelSet::EMPTY;
+    }
+    scratch.succ.clear();
+    scratch.succ.resize(n, LabelSet::EMPTY);
+    scratch.pred.clear();
+    scratch.pred.resize(n, LabelSet::EMPTY);
+    scratch.level.clear();
+    scratch.level.resize(n, i64::MIN);
+    for (i, c) in problem.configurations().iter().enumerate() {
+        if !problem.configuration_label_set(i).is_subset(allowed) {
+            continue;
+        }
+        let from = allowed.rank(c.parent());
+        for &child in c.children() {
+            scratch.succ[from].insert(child);
+            scratch.pred[allowed.rank(child)].insert(c.parent());
+        }
+    }
+
+    let mut assigned = LabelSet::EMPTY;
+    let mut flexible = LabelSet::EMPTY;
+    for v in allowed {
+        if assigned.contains(v) {
+            continue;
+        }
+        let fwd = reach(v, &scratch.succ, allowed);
+        let bwd = reach(v, &scratch.pred, allowed);
+        let comp = fwd & bwd;
+        assigned |= comp;
+        let has_cycle = comp.len() > 1 || scratch.succ[allowed.rank(v)].contains(v);
+        if has_cycle && component_period(comp, allowed, scratch) == 1 {
+            flexible |= comp;
+        }
+    }
+    flexible
+}
+
+/// Algorithm 2's pruning loop, masked: iterates [`flexible_states_masked`] to a
+/// fixed point and returns `(fixpoint labels, number of non-empty pruning
+/// iterations)`. Agrees with [`crate::log_certificate::find_log_certificate`]
+/// on both components (the restriction of a problem is fully determined by the
+/// surviving label set, so comparing label sets is equivalent to comparing
+/// restricted problems).
+pub fn prune_fixpoint_masked(
+    problem: &LclProblem,
+    scratch: &mut ClassifyScratch,
+) -> (LabelSet, usize) {
+    let mut allowed = problem.labels();
+    let mut iterations = 0usize;
+    loop {
+        let flexible = flexible_states_masked(problem, allowed, scratch);
+        if flexible == allowed {
+            return (allowed, iterations);
+        }
+        if !(allowed - flexible).is_empty() {
+            iterations += 1;
+        }
+        allowed = flexible;
+    }
+}
+
+/// The decision form of Algorithm 3, masked: `true` iff the restriction of
+/// `problem` to `subset` admits a certificate builder — with the special label
+/// `target` producible on a certificate leaf when one is given. Mirrors
+/// [`crate::builder::find_unrestricted_certificate`] on
+/// `problem.restrict_to(subset)` exactly (same entry insertion order, hence the
+/// same answer), but iterates the parent problem's configurations under a
+/// subset mask and records no derivations.
+pub fn exists_builder_masked(
+    problem: &LclProblem,
+    subset: LabelSet,
+    target: Option<Label>,
+    scratch: &mut ClassifyScratch,
+) -> bool {
+    // `restrict_to` intersects with the active label set; mirror that here so
+    // the equivalence holds for any subset, not just subsets of Σ(Π).
+    let subset = subset & problem.labels();
+    if subset.is_empty() {
+        return false;
+    }
+    if let Some(t) = target {
+        if !subset.contains(t) {
+            return false;
+        }
+    }
+    // The restricted problem must have at least one configuration (Algorithm 3
+    // on an empty configuration set finds nothing).
+    let any_config = problem
+        .configurations()
+        .iter()
+        .enumerate()
+        .any(|(i, _)| problem.configuration_label_set(i).is_subset(subset));
+    if !any_config {
+        return false;
+    }
+
+    let delta = problem.delta();
+    let wanted = (subset, target.is_some());
+    let ClassifyScratch {
+        entries,
+        seen,
+        tuple,
+        slot_sets,
+        ..
+    } = scratch;
+    entries.clear();
+    seen.clear();
+    for label in subset {
+        let entry = (LabelSet::singleton(label), Some(label) == target);
+        if entry == wanted {
+            return true;
+        }
+        seen.insert((entry.0.bits(), entry.1));
+        entries.push(entry);
+    }
+
+    // Fixed-point loop: repeatedly try every δ-tuple of existing entries.
+    loop {
+        let mut added = false;
+        let snapshot_len = entries.len();
+        tuple.clear();
+        tuple.resize(delta, 0);
+        'tuples: loop {
+            slot_sets.clear();
+            for &i in tuple.iter() {
+                slot_sets.push(entries[i].0);
+            }
+            let mut produced = LabelSet::EMPTY;
+            for (ci, config) in problem.configurations().iter().enumerate() {
+                if !problem.configuration_label_set(ci).is_subset(subset) {
+                    continue;
+                }
+                if produced.contains(config.parent()) {
+                    continue;
+                }
+                if children_match_slots(config.children(), slot_sets) {
+                    produced.insert(config.parent());
+                }
+            }
+            if !produced.is_empty() {
+                let flag = tuple.iter().any(|&i| entries[i].1);
+                if seen.insert((produced.bits(), flag)) {
+                    if (produced, flag) == wanted {
+                        return true;
+                    }
+                    entries.push((produced, flag));
+                    added = true;
+                }
+            }
+            // Advance the tuple (odometer over `snapshot_len` symbols).
+            let mut pos = 0;
+            loop {
+                if pos == delta {
+                    break 'tuples;
+                }
+                tuple[pos] += 1;
+                if tuple[pos] < snapshot_len {
+                    break;
+                }
+                tuple[pos] = 0;
+                pos += 1;
+            }
+        }
+        if !added {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Automaton;
+    use crate::builder::find_unrestricted_certificate;
+    use crate::classifier::{classify, classify_complexity_with};
+    use crate::log_certificate::find_log_certificate;
+    use crate::problem::ProblemBuilder;
+
+    fn problem(text: &str) -> LclProblem {
+        text.parse().unwrap()
+    }
+
+    /// Every problem over δ = 2 and two labels: the exhaustive differential
+    /// workload for the masked kernels.
+    fn full_two_label_family() -> Vec<LclProblem> {
+        let names = ["a", "b"];
+        // All (parent, sorted child pair) configurations: 2 × 3 = 6.
+        let universe: Vec<(usize, [usize; 2])> = (0..2)
+            .flat_map(|p| [(p, [0, 0]), (p, [0, 1]), (p, [1, 1])])
+            .collect();
+        (0u32..1 << universe.len())
+            .map(|mask| {
+                let mut b = ProblemBuilder::new(2);
+                b.label("a");
+                b.label("b");
+                for (i, (p, cs)) in universe.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        b.configuration(names[*p], &[names[cs[0]], names[cs[1]]]);
+                    }
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn masked_flexible_states_match_automaton_on_restrictions() {
+        let mut scratch = ClassifyScratch::new();
+        for p in full_two_label_family() {
+            for allowed in p.labels().subsets() {
+                let masked = flexible_states_masked(&p, allowed, &mut scratch);
+                let rebuilt = Automaton::of(&p.restrict_to(allowed)).flexible_states();
+                assert_eq!(
+                    masked,
+                    rebuilt,
+                    "problem {:?}, allowed {allowed}",
+                    p.to_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_prune_matches_find_log_certificate() {
+        let mut scratch = ClassifyScratch::new();
+        let extra = [
+            "a : b b\nb : a a\n1 : 1 2\n2 : 1 1\n",
+            "a1 : b1 b1\nb1 : a1 a1\n\
+             a2 : b2 b2\na2 : a1 b1\na2 : a1 x1\na2 : b1 x1\na2 : a1 a1\na2 : b1 b1\na2 : x1 x1\n\
+             b2 : a2 a2\nb2 : a1 b1\nb2 : a1 x1\nb2 : b1 x1\nb2 : a1 a1\nb2 : b1 b1\nb2 : x1 x1\n\
+             x1 : a1 a1\nx1 : a1 b1\nx1 : b1 b1\nx1 : a2 a1\nx1 : a2 b1\nx1 : b2 a1\nx1 : b2 b1\nx1 : x1 a1\nx1 : x1 b1\n",
+            "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n",
+        ];
+        let mut all = full_two_label_family();
+        all.extend(extra.iter().map(|t| problem(t)));
+        for p in all {
+            let (fixpoint, iterations) = prune_fixpoint_masked(&p, &mut scratch);
+            let analysis = find_log_certificate(&p);
+            assert_eq!(fixpoint, analysis.fixpoint.labels(), "{}", p.to_text());
+            assert_eq!(iterations, analysis.iterations(), "{}", p.to_text());
+        }
+    }
+
+    #[test]
+    fn masked_builder_decision_matches_restricted_search() {
+        let mut scratch = ClassifyScratch::new();
+        for p in full_two_label_family() {
+            for subset in p.labels().subsets() {
+                let restricted = p.restrict_to(subset);
+                // Without a target.
+                let expected = find_unrestricted_certificate(&restricted, None).is_some();
+                assert_eq!(
+                    exists_builder_masked(&p, subset, None, &mut scratch),
+                    expected,
+                    "problem {:?}, subset {subset}",
+                    p.to_text()
+                );
+                // With every possible target.
+                for t in subset {
+                    let expected = find_unrestricted_certificate(&restricted, Some(t)).is_some();
+                    assert_eq!(
+                        exists_builder_masked(&p, subset, Some(t), &mut scratch),
+                        expected,
+                        "problem {:?}, subset {subset}, target {t}",
+                        p.to_text()
+                    );
+                }
+            }
+            // Subsets reaching outside Σ(Π) behave like their intersection
+            // with Σ(Π), mirroring `restrict_to`.
+            let widened = p.labels() | LabelSet::singleton(Label(100));
+            assert_eq!(
+                exists_builder_masked(&p, widened, None, &mut scratch),
+                find_unrestricted_certificate(&p.restrict_to(widened), None).is_some(),
+                "problem {:?}, widened subset",
+                p.to_text()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_classification_matches_full_classifier_exhaustively() {
+        let mut scratch = ClassifyScratch::new();
+        for p in full_two_label_family() {
+            assert_eq!(
+                classify_complexity_with(&p, &mut scratch),
+                classify(&p).complexity,
+                "{}",
+                p.to_text()
+            );
+        }
+    }
+}

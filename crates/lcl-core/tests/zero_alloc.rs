@@ -1,0 +1,86 @@
+//! Allocation-counter proof of the scratch-buffer contract (see the `scratch`
+//! module docs): once a `ClassifyScratch`'s buffers are warm, a cache-miss
+//! decision-only classification performs **zero** heap allocations — hence in
+//! particular zero `LclProblem` clones and zero per-subset problem
+//! reconstructions.
+//!
+//! The file contains exactly one test so no sibling test thread can allocate
+//! concurrently and pollute the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lcl_core::{classify, classify_complexity_with, ClassifyScratch, Complexity, LclProblem};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_scratch_classification_performs_zero_allocations() {
+    // One representative per complexity class, plus the Figure 2 combination
+    // and an iterated-pruning problem, so every decision stage (solvability
+    // fixed point, masked pruning, Algorithm 4 subset search, Algorithm 5
+    // special search) runs on the measured pass.
+    let texts = [
+        // O(1): MIS (Section 1.3).
+        "1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n",
+        // Θ(log* n): 3-coloring (Section 1.2).
+        "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n",
+        // Θ(log n): branch 2-coloring (Section 1.4).
+        "1 : 1 2\n2 : 1 1\n",
+        // Θ(log n) after one pruning iteration: Figure 2's Π₀.
+        "a : b b\nb : a a\n1 : 1 2\n2 : 1 1\n",
+        // n^Θ(1): 2-coloring.
+        "1:22\n2:11\n",
+        // Unsolvable: a chain of dead ends.
+        "a : b b\nb : c c\n",
+    ];
+    let problems: Vec<LclProblem> = texts.iter().map(|t| t.parse().unwrap()).collect();
+    let expected: Vec<Complexity> = problems.iter().map(|p| classify(p).complexity).collect();
+
+    let mut scratch = ClassifyScratch::new();
+    // Warm-up: grows every scratch buffer to its high-water mark for this
+    // problem set.
+    for problem in &problems {
+        classify_complexity_with(problem, &mut scratch);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for (problem, want) in problems.iter().zip(expected.iter()) {
+        let got = classify_complexity_with(problem, &mut scratch);
+        assert_eq!(got, *want);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "a warmed-up cache-miss classification must not touch the allocator \
+         (no problem clones, no per-subset restrictions, no buffer growth)"
+    );
+}

@@ -1,0 +1,314 @@
+//! Canonical-first enumeration of complete (δ, Σ) problem families: exactly one
+//! representative per label-permutation orbit, generated *before* any problem
+//! is built or classified.
+//!
+//! [`crate::random::enumerate_problems`] walks the full universe — one problem
+//! per subset of the configuration universe, `2^u` of them — and leaves
+//! deduplication to the classification engine's canonical-form memo, which
+//! still pays one `LclProblem` construction and one `canonical_form` per
+//! member. The [`CanonicalFamily`] here works at the level of packed
+//! configuration **masks** instead: a label permutation π induces a permutation
+//! of universe indices, so the orbit of a problem is the orbit of its `u64`
+//! mask under at most `|Σ|! − 1` precomputed index permutations. A mask is the
+//! orbit's *canonical representative* iff it is the numeric minimum of its
+//! orbit (the standard orderly-generation / lex-min canonicity test), which
+//! costs a few word operations per permutation with early exit — so the whole
+//! non-canonical bulk of the universe (up to a `|Σ|!` fraction) is discarded
+//! without ever constructing a problem, let alone classifying one.
+//!
+//! Orbit sizes come for free from the orbit–stabilizer theorem: `|orbit| =
+//! |Σ|! / #{π : π(M) = M}`. They let a sweep reconstruct exact whole-universe
+//! histograms from the representatives alone, which the differential tests
+//! (`tests/canonical_sweep.rs`) pin against brute-force
+//! `canonical_form`-dedup of [`crate::random::enumerate_problems`].
+//!
+//! Sharding for the parallel sweep driver
+//! (`lcl_core::engine::ClassificationEngine::sweep_sharded`) partitions the
+//! mask space into contiguous ranges ([`CanonicalFamily::shard`]); the
+//! canonicity filter runs inside each shard, so no pass over the universe is
+//! needed up front.
+
+use std::collections::HashMap;
+
+use lcl_core::engine::OrbitProblem;
+use lcl_core::LclProblem;
+
+use crate::random::{configuration_universe, problem_from_universe};
+
+/// Number of labels up to which all `|Σ|!` permutations are enumerated. The
+/// configuration-mask limit of 63 keeps realistic families far below this
+/// (δ = 2 caps at 4 labels, δ = 1 at 7), but the bound makes the permutation
+/// table construction's cost explicit.
+pub const MAX_CANONICAL_ENUM_LABELS: usize = 8;
+
+/// A complete (δ, Σ) problem family viewed through its label-permutation
+/// orbits. See the module documentation.
+#[derive(Debug, Clone)]
+pub struct CanonicalFamily {
+    delta: usize,
+    num_labels: usize,
+    universe: Vec<(usize, Vec<usize>)>,
+    /// For every non-identity label permutation, the induced permutation of
+    /// universe indices: `table[i]` is the image of configuration `i`.
+    perm_tables: Vec<Vec<u32>>,
+}
+
+impl CanonicalFamily {
+    /// Builds the orbit view of the (δ, `num_labels`) family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration universe exceeds 63 entries (the family
+    /// would not fit a `u64` mask; same bound as
+    /// [`crate::random::enumerate_problems`]) or if `num_labels` exceeds
+    /// [`MAX_CANONICAL_ENUM_LABELS`].
+    pub fn new(delta: usize, num_labels: usize) -> Self {
+        assert!(delta >= 1 && num_labels >= 1);
+        assert!(
+            num_labels <= MAX_CANONICAL_ENUM_LABELS,
+            "canonical enumeration tries all {num_labels}! label permutations; \
+             {MAX_CANONICAL_ENUM_LABELS} labels is the supported limit"
+        );
+        let universe = configuration_universe(delta, num_labels);
+        assert!(
+            universe.len() <= 63,
+            "family over {} possible configurations is too large to enumerate",
+            universe.len()
+        );
+        let index_of: HashMap<&(usize, Vec<usize>), u32> = universe
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c, i as u32))
+            .collect();
+
+        let mut perm_tables = Vec::new();
+        let mut perm: Vec<usize> = (0..num_labels).collect();
+        permute(&mut perm, 0, &mut |perm| {
+            if perm.iter().enumerate().all(|(i, &p)| i == p) {
+                return; // identity fixes every mask; skip it
+            }
+            let table: Vec<u32> = universe
+                .iter()
+                .map(|(parent, children)| {
+                    let mut image_children: Vec<usize> =
+                        children.iter().map(|&c| perm[c]).collect();
+                    image_children.sort_unstable();
+                    index_of[&(perm[*parent], image_children)]
+                })
+                .collect();
+            perm_tables.push(table);
+        });
+
+        CanonicalFamily {
+            delta,
+            num_labels,
+            universe,
+            perm_tables,
+        }
+    }
+
+    /// The family's δ.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The family's |Σ|.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Number of possible configurations (mask bits).
+    pub fn universe_len(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Total number of problems in the family, `2^universe_len`.
+    pub fn family_size(&self) -> u64 {
+        1u64 << self.universe.len()
+    }
+
+    /// The image of a configuration mask under one precomputed permutation.
+    fn apply(table: &[u32], mask: u64) -> u64 {
+        let mut out = 0u64;
+        let mut bits = mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            out |= 1u64 << table[i];
+            bits &= bits - 1;
+        }
+        out
+    }
+
+    /// `true` iff `mask` is its orbit's canonical representative (the numeric
+    /// minimum over all label permutations). A few word operations per
+    /// permutation, early exit on the first smaller image.
+    pub fn is_canonical(&self, mask: u64) -> bool {
+        self.perm_tables
+            .iter()
+            .all(|table| Self::apply(table, mask) >= mask)
+    }
+
+    /// The number of distinct problems in the orbit of `mask`, via
+    /// orbit–stabilizer: `|Σ|!` divided by the number of permutations fixing
+    /// the mask.
+    pub fn orbit_size(&self, mask: u64) -> u64 {
+        let stabilizer = 1 + self
+            .perm_tables
+            .iter()
+            .filter(|table| Self::apply(table, mask) == mask)
+            .count();
+        ((self.perm_tables.len() + 1) / stabilizer) as u64
+    }
+
+    /// Materializes the problem with the given configuration mask (identical
+    /// mask semantics to [`crate::random::FamilyIter::problem_at`]).
+    pub fn problem_at(&self, mask: u64) -> LclProblem {
+        problem_from_universe(self.delta, self.num_labels, &self.universe, |i| {
+            mask & (1u64 << i) != 0
+        })
+    }
+
+    /// The canonical representative masks, ascending.
+    pub fn canonical_masks(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.family_size()).filter(|&m| self.is_canonical(m))
+    }
+
+    /// Enumerates one [`OrbitProblem`] per orbit (ascending representative
+    /// mask). Only canonical masks are materialized into problems.
+    pub fn enumerate(&self) -> impl Iterator<Item = OrbitProblem> + '_ {
+        self.canonical_masks().map(move |m| OrbitProblem {
+            problem: self.problem_at(m),
+            orbit_size: self.orbit_size(m),
+        })
+    }
+
+    /// The `shard`-th of `shards` contiguous mask-range partitions of
+    /// [`Self::enumerate`]'s stream — the input the parallel sweep driver
+    /// (`ClassificationEngine::sweep_sharded`) fans out over worker threads.
+    /// The union over all shards is exactly [`Self::enumerate`]; shards may be
+    /// uneven (canonical masks cluster towards small values).
+    pub fn shard(&self, shard: usize, shards: usize) -> impl Iterator<Item = OrbitProblem> + '_ {
+        let shards = shards.max(1) as u64;
+        let per_shard = self.family_size().div_ceil(shards);
+        let lo = per_shard
+            .saturating_mul(shard as u64)
+            .min(self.family_size());
+        let hi = lo.saturating_add(per_shard).min(self.family_size());
+        (lo..hi)
+            .filter(|&m| self.is_canonical(m))
+            .map(move |m| OrbitProblem {
+                problem: self.problem_at(m),
+                orbit_size: self.orbit_size(m),
+            })
+    }
+}
+
+/// Calls `visit` with every permutation of `items[at..]` (Heap-style recursion).
+fn permute(items: &mut [usize], at: usize, visit: &mut impl FnMut(&[usize])) {
+    if at == items.len() {
+        visit(items);
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permute(items, at + 1, visit);
+        items.swap(at, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_tables_are_permutations() {
+        let family = CanonicalFamily::new(2, 3);
+        assert_eq!(family.perm_tables.len(), 5); // 3! − 1
+        for table in &family.perm_tables {
+            let mut seen = vec![false; family.universe_len()];
+            for &i in table {
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn orbit_sizes_sum_to_the_family_size() {
+        for (delta, labels) in [(1, 2), (2, 2), (1, 3), (2, 3)] {
+            let family = CanonicalFamily::new(delta, labels);
+            let total: u64 = family.canonical_masks().map(|m| family.orbit_size(m)).sum();
+            assert_eq!(total, family.family_size(), "(δ={delta}, k={labels})");
+        }
+    }
+
+    #[test]
+    fn empty_and_full_masks_are_canonical_fixed_points() {
+        let family = CanonicalFamily::new(2, 2);
+        assert!(family.is_canonical(0));
+        assert_eq!(family.orbit_size(0), 1);
+        let full = family.family_size() - 1;
+        assert!(family.is_canonical(full));
+        assert_eq!(family.orbit_size(full), 1);
+    }
+
+    #[test]
+    fn orbit_members_share_the_representative() {
+        // For every mask of the (2, 2) family, the minimum over its permuted
+        // images is canonical, and exactly one member of each orbit is.
+        let family = CanonicalFamily::new(2, 2);
+        let mut canonical_members = 0u64;
+        for mask in 0..family.family_size() {
+            let min = family
+                .perm_tables
+                .iter()
+                .map(|t| CanonicalFamily::apply(t, mask))
+                .chain(std::iter::once(mask))
+                .min()
+                .unwrap();
+            assert!(family.is_canonical(min), "mask {mask}");
+            if family.is_canonical(mask) {
+                canonical_members += 1;
+            }
+        }
+        assert_eq!(canonical_members, family.canonical_masks().count() as u64);
+    }
+
+    #[test]
+    fn single_label_family_is_all_canonical() {
+        let family = CanonicalFamily::new(2, 1);
+        assert_eq!(family.universe_len(), 1);
+        assert_eq!(
+            family.canonical_masks().count() as u64,
+            family.family_size()
+        );
+        assert!(family.enumerate().all(|o| o.orbit_size == 1));
+    }
+
+    #[test]
+    fn shards_partition_the_stream() {
+        // Drive `shard()` itself and compare its concatenated output against
+        // `enumerate()`, so a regression in the range arithmetic cannot hide.
+        let family = CanonicalFamily::new(2, 3);
+        let all: Vec<(String, u64)> = family
+            .enumerate()
+            .map(|o| (o.problem.to_text(), o.orbit_size))
+            .collect();
+        assert!(!all.is_empty());
+        for shards in [1usize, 2, 3, 7] {
+            let sharded: Vec<(String, u64)> = (0..shards)
+                .flat_map(|s| family.shard(s, shards))
+                .map(|o| (o.problem.to_text(), o.orbit_size))
+                .collect();
+            assert_eq!(sharded, all, "{shards} shards");
+        }
+        // Out-of-range shard indices yield nothing rather than wrapping.
+        assert_eq!(family.shard(7, 7).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large to enumerate")]
+    fn oversized_universe_panics() {
+        CanonicalFamily::new(2, 5); // 5 · C(6,2) = 75 > 63 configurations
+    }
+}

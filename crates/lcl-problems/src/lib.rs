@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod catalog;
 pub mod coloring;
 pub mod extras;
@@ -22,4 +23,5 @@ pub mod mis;
 pub mod pi_k;
 pub mod random;
 
+pub use canonical::CanonicalFamily;
 pub use catalog::{catalog, CatalogEntry, ExpectedComplexity};

@@ -38,7 +38,8 @@ impl Default for RandomProblemSpec {
 
 /// All (parent, non-decreasing child tuple) pairs over `num_labels` labels — the
 /// universe a (δ, Σ) family draws its configurations from, in a fixed order.
-fn configuration_universe(delta: usize, num_labels: usize) -> Vec<(usize, Vec<usize>)> {
+/// Shared with the canonical-first enumeration in [`crate::canonical`].
+pub(crate) fn configuration_universe(delta: usize, num_labels: usize) -> Vec<(usize, Vec<usize>)> {
     let mut universe = Vec::new();
     let mut children = vec![0usize; delta];
     loop {
@@ -72,7 +73,7 @@ pub fn universe_size(delta: usize, num_labels: usize) -> usize {
     configuration_universe(delta, num_labels).len()
 }
 
-fn problem_from_universe(
+pub(crate) fn problem_from_universe(
     delta: usize,
     num_labels: usize,
     universe: &[(usize, Vec<usize>)],

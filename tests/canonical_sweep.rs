@@ -1,0 +1,163 @@
+//! Differential acceptance tests for the canonical-first sweep subsystem:
+//!
+//! * orbit counts and orbit sizes of `CanonicalFamily` must match brute-force
+//!   `canonical_form` dedup of the fully enumerated universe;
+//! * sweep histograms (orbit-weighted) must match `classify_batch` over the
+//!   full universe, and the orbit histogram must match dedup-then-classify;
+//! * the sweep leaves the engine cache warm for every member of the family.
+
+use std::collections::HashMap;
+
+use rooted_tree_lcl::core::engine::{ComplexityHistogram, SweepOutcome};
+use rooted_tree_lcl::core::{canonical_form, classify, CanonicalKey, ClassificationEngine};
+use rooted_tree_lcl::problems::canonical::CanonicalFamily;
+use rooted_tree_lcl::problems::random::enumerate_problems;
+
+/// Universes small enough to brute-force in a debug test run.
+const TINY_UNIVERSES: [(usize, usize); 3] = [(1, 2), (2, 2), (1, 3)];
+
+/// Brute force: enumerate the whole family, key every member by its canonical
+/// form, count members per orbit.
+fn brute_force_orbits(delta: usize, labels: usize) -> HashMap<CanonicalKey, u64> {
+    let mut orbits: HashMap<CanonicalKey, u64> = HashMap::new();
+    for p in enumerate_problems(delta, labels) {
+        *orbits.entry(canonical_form(&p)).or_insert(0) += 1;
+    }
+    orbits
+}
+
+#[test]
+fn canonical_enumeration_matches_brute_force_dedup() {
+    for (delta, labels) in TINY_UNIVERSES {
+        let family = CanonicalFamily::new(delta, labels);
+        let brute = brute_force_orbits(delta, labels);
+
+        let mut seen_keys: HashMap<CanonicalKey, u64> = HashMap::new();
+        let mut total = 0u64;
+        for orbit in family.enumerate() {
+            let key = canonical_form(&orbit.problem);
+            let previous = seen_keys.insert(key, orbit.orbit_size);
+            assert!(
+                previous.is_none(),
+                "two representatives share a canonical form (δ={delta}, k={labels})"
+            );
+            total += orbit.orbit_size;
+        }
+        assert_eq!(
+            seen_keys.len(),
+            brute.len(),
+            "orbit count mismatch (δ={delta}, k={labels})"
+        );
+        assert_eq!(
+            total,
+            family.family_size(),
+            "orbit sizes must cover the universe (δ={delta}, k={labels})"
+        );
+        for (key, size) in &seen_keys {
+            assert_eq!(
+                brute.get(key),
+                Some(size),
+                "orbit size mismatch (δ={delta}, k={labels})"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta2_three_label_orbit_count_matches_brute_force() {
+    // The full (δ=2, 3-label) universe of 2^18 problems — the sweep benchmark's
+    // workload. Counting-only here; the per-orbit histogram equality is covered
+    // by the sweep tests below and by `benches/sweep.rs` on the full universe.
+    let family = CanonicalFamily::new(2, 3);
+    let brute = brute_force_orbits(2, 3);
+    let mut reps = 0usize;
+    let mut covered = 0u64;
+    for mask in family.canonical_masks() {
+        reps += 1;
+        covered += family.orbit_size(mask);
+    }
+    assert_eq!(reps, brute.len());
+    assert_eq!(covered, family.family_size());
+    assert_eq!(brute.values().sum::<u64>(), family.family_size());
+}
+
+fn baseline_histogram(delta: usize, labels: usize) -> ComplexityHistogram {
+    let problems: Vec<_> = enumerate_problems(delta, labels).collect();
+    let engine = ClassificationEngine::new();
+    let mut histogram = ComplexityHistogram::default();
+    for c in engine.classify_batch(&problems) {
+        histogram.add(c, 1);
+    }
+    histogram
+}
+
+fn sweep(delta: usize, labels: usize, shards: usize) -> (ClassificationEngine, SweepOutcome) {
+    let family = CanonicalFamily::new(delta, labels);
+    let engine = ClassificationEngine::new();
+    let outcome = engine.sweep_sharded(shards, |s| family.shard(s, shards));
+    (engine, outcome)
+}
+
+#[test]
+fn sweep_histograms_match_classify_batch_over_the_full_universe() {
+    for (delta, labels) in TINY_UNIVERSES {
+        let baseline = baseline_histogram(delta, labels);
+        let (_, outcome) = sweep(delta, labels, 3);
+        assert_eq!(
+            outcome.problems, baseline,
+            "universe histogram mismatch (δ={delta}, k={labels})"
+        );
+        assert_eq!(
+            outcome.problems.total(),
+            1u64 << rooted_tree_lcl::problems::random::universe_size(delta, labels)
+        );
+
+        // Orbit histogram: classify one member per canonical form.
+        let mut dedup: HashMap<CanonicalKey, rooted_tree_lcl::core::Complexity> = HashMap::new();
+        for p in enumerate_problems(delta, labels) {
+            dedup
+                .entry(canonical_form(&p))
+                .or_insert_with(|| classify(&p).complexity);
+        }
+        let mut orbit_histogram = ComplexityHistogram::default();
+        for &c in dedup.values() {
+            orbit_histogram.add(c, 1);
+        }
+        assert_eq!(
+            outcome.orbits, orbit_histogram,
+            "orbit histogram mismatch (δ={delta}, k={labels})"
+        );
+    }
+}
+
+#[test]
+fn sweep_outcome_is_independent_of_shard_count() {
+    let (_, one) = sweep(2, 2, 1);
+    for shards in [2usize, 4, 9] {
+        let (_, many) = sweep(2, 2, shards);
+        assert_eq!(one, many, "{shards} shards");
+    }
+}
+
+#[test]
+fn sweep_leaves_the_engine_cache_warm_for_the_whole_family() {
+    let (engine, outcome) = sweep(2, 2, 2);
+    let swept = engine.stats();
+    assert_eq!(
+        swept.cache_hits, 0,
+        "a canonical stream never repeats an orbit"
+    );
+    assert_eq!(swept.cache_misses as u64, outcome.orbits.total());
+
+    // Every member of the full universe — canonical or not — now hits.
+    let problems: Vec<_> = enumerate_problems(2, 2).collect();
+    for p in &problems {
+        engine.classify(p);
+    }
+    let after = engine.stats();
+    assert_eq!(
+        after.cache_misses, swept.cache_misses,
+        "no new decision runs"
+    );
+    assert_eq!(after.cache_hits, problems.len());
+}
