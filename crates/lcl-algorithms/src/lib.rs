@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod constant_solver;
+pub mod flat;
 pub mod log_solver;
 pub mod log_star_solver;
 pub mod mis_four_rounds;
@@ -35,4 +36,5 @@ pub mod poly_solver;
 pub mod primitives;
 pub mod solve;
 
-pub use solve::{solve, RoundReport, SolverOutcome};
+pub use flat::{solve_flat, FlatOutcome, SolveScratch};
+pub use solve::{solve, RoundReport, SolveError, SolverOutcome};

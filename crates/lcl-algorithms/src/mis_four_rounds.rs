@@ -48,10 +48,11 @@ impl NodeProgram for MisFourRounds {
     fn round(
         &self,
         round: usize,
-        info: &NodeInfo,
+        _info: &NodeInfo,
         state: &mut Self::State,
         from_parent: Option<&Self::Message>,
         _from_children: &[Option<Self::Message>],
+        to_children: &mut [Option<Self::Message>],
     ) -> RoundAction<Self::Message, Self::Output> {
         // Adopt the code received from the parent (rounds 2..=5); the root extends
         // its own code with a virtual port-0 ancestor instead.
@@ -65,11 +66,12 @@ impl NodeProgram for MisFourRounds {
         if state.len == 4 {
             return RoundAction::output(MIS_TABLE[state.code as usize]);
         }
-        // Send each child the code extended by its port direction (0 = left).
-        let messages: Vec<Option<u8>> = (0..info.num_children)
-            .map(|port| Some(((state.code << 1) | (port as u8 & 1)) & 0b1111))
-            .collect();
-        RoundAction::idle().with_children_messages(messages)
+        // Send each child the code extended by its port direction (0 = left),
+        // written into the simulator's reusable per-node buffer.
+        for (port, slot) in to_children.iter_mut().enumerate() {
+            *slot = Some(((state.code << 1) | (port as u8 & 1)) & 0b1111);
+        }
+        RoundAction::idle()
     }
 
     fn message_bits(&self, _message: &Self::Message) -> usize {

@@ -38,29 +38,38 @@ pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
     let mut part: Vec<Option<Part>> = vec![None; n];
     let mut iteration_depths = Vec::new();
     let subtree_heights = tree.subtree_heights();
+    let post_order = tree.post_order();
+
+    // One membership bitvec, one frontier, and one size array, allocated once
+    // and reused across the k iterations: the frontier is compacted in place
+    // (ascending id order is preserved) instead of being rebuilt from a fresh
+    // O(n) scan, and only frontier entries of `size` are ever reset.
+    let mut in_u = vec![true; n];
+    let mut frontier: Vec<NodeId> = tree.nodes().collect();
+    let mut size = vec![0usize; n];
 
     for i in 1..=k {
-        // U_i: the nodes still unassigned at the start of the iteration.
-        let in_u: Vec<bool> = part.iter().map(|p| p.is_none()).collect();
-        let u_i: Vec<NodeId> = tree.nodes().filter(|v| in_u[v.index()]).collect();
-        if u_i.is_empty() {
+        if frontier.is_empty() {
             break;
         }
-        // N_v: subtree sizes within the forest induced by U_i.
-        let mut size = vec![0usize; n];
-        for &v in tree.post_order().iter().filter(|v| in_u[v.index()]) {
-            size[v.index()] = 1 + tree
-                .children(v)
-                .iter()
-                .filter(|c| in_u[c.index()])
-                .map(|c| size[c.index()])
-                .sum::<usize>();
+        // N_v: subtree sizes within the forest induced by U_i, accumulated
+        // upwards (children precede parents in post-order).
+        for &v in &frontier {
+            size[v.index()] = 1;
+        }
+        for &v in post_order.iter().filter(|v| in_u[v.index()]) {
+            if let Some(p) = tree.parent(v) {
+                if in_u[p.index()] {
+                    size[p.index()] += size[v.index()];
+                }
+            }
         }
         // The number of levels a node explores to decide whether N_v exceeds the
         // threshold — the measured O(n^{1/k}) quantity of this iteration.
         iteration_depths.push(
             threshold.min(
-                u_i.iter()
+                frontier
+                    .iter()
                     .map(|v| subtree_heights[v.index()] + 1)
                     .max()
                     .unwrap_or(0),
@@ -68,13 +77,13 @@ pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
         );
 
         if i == k {
-            for &v in &u_i {
+            for &v in &frontier {
                 part[v.index()] = Some(Part::B(i));
             }
             break;
         }
         // B_i: small subtrees.
-        for &v in &u_i {
+        for &v in &frontier {
             if size[v.index()] <= threshold {
                 part[v.index()] = Some(Part::B(i));
             }
@@ -82,7 +91,7 @@ pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
         // X_i: large nodes with a small child, or with a child already removed in
         // an earlier iteration (the paper's "exactly one child in T_i" condition
         // for binary trees, stated degree-independently here).
-        for &v in &u_i {
+        for &v in &frontier {
             if size[v.index()] <= threshold {
                 continue;
             }
@@ -95,6 +104,11 @@ pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
                 part[v.index()] = Some(Part::X(i));
             }
         }
+        // Compact the frontier to U_{i+1}.
+        for &v in &frontier {
+            in_u[v.index()] = part[v.index()].is_none();
+        }
+        frontier.retain(|&v| in_u[v.index()]);
     }
 
     // Any node still unassigned (possible only when the loop exits early) joins B_k.
@@ -111,11 +125,7 @@ pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
 /// parity of its depth within the component.
 pub fn solve_pi_k(problem: &LclProblem, k: usize, tree: &RootedTree) -> SolverOutcome {
     let partition = pi_k_partition(tree, k);
-    let label = |name: &str| {
-        problem
-            .label_by_name(name)
-            .unwrap_or_else(|| panic!("Π_k problem is missing label {name}"))
-    };
+    let (x_labels, ab_labels) = pi_k_part_labels(problem, k);
     let mut labeling = Labeling::for_tree(tree);
     // Depth of each node within its B_i component (0 at component roots).
     let mut comp_depth = vec![0usize; tree.len()];
@@ -127,21 +137,18 @@ pub fn solve_pi_k(problem: &LclProblem, k: usize, tree: &RootedTree) -> SolverOu
             }
         }
         match my_part {
-            Part::X(i) => labeling.set(v, label(&format!("x{i}"))),
+            Part::X(i) => labeling.set(v, x_labels[i - 1]),
             Part::B(i) => {
-                let name = if comp_depth[v.index()].is_multiple_of(2) {
-                    format!("a{i}")
-                } else {
-                    format!("b{i}")
-                };
-                labeling.set(v, label(&name));
+                let (a, b) = ab_labels[i - 1];
+                let even = comp_depth[v.index()].is_multiple_of(2);
+                labeling.set(v, if even { a } else { b });
             }
         }
     }
     let mut rounds = RoundReport::new();
     for (i, depth) in partition.iteration_depths.iter().enumerate() {
         rounds.measured(
-            &format!("iteration {} subtree-size exploration", i + 1),
+            format!("iteration {} subtree-size exploration", i + 1),
             *depth,
         );
     }
@@ -154,6 +161,32 @@ pub fn solve_pi_k(problem: &LclProblem, k: usize, tree: &RootedTree) -> SolverOu
         rounds,
         algorithm: "Π_k partition (Lemma 8.1)",
     }
+}
+
+/// Resolves the Π_k part labels once per solve: `x_1 … x_{k−1}` (separators
+/// exist only below level k) and `(a_i, b_i)` for `i = 1 … k` — so the
+/// per-node labeling loop never formats a label name.
+///
+/// # Panics
+///
+/// Panics if `problem` is missing one of the Π_k labels.
+pub(crate) fn pi_k_part_labels(
+    problem: &LclProblem,
+    k: usize,
+) -> (
+    Vec<lcl_core::Label>,
+    Vec<(lcl_core::Label, lcl_core::Label)>,
+) {
+    let label = |name: &str| {
+        problem
+            .label_by_name(name)
+            .unwrap_or_else(|| panic!("Π_k problem is missing label {name}"))
+    };
+    let x_labels = (1..k).map(|i| label(&format!("x{i}"))).collect();
+    let ab_labels = (1..=k)
+        .map(|i| (label(&format!("a{i}")), label(&format!("b{i}"))))
+        .collect();
+    (x_labels, ab_labels)
 }
 
 /// The Θ(n)-round baseline for the global 2-coloring problem (2): every node learns

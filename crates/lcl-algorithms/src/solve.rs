@@ -1,5 +1,7 @@
 //! The unified solver entry point and round accounting.
 
+use std::borrow::Cow;
+
 use lcl_core::{ClassificationReport, Complexity, Labeling, LclProblem};
 use lcl_sim::IdAssignment;
 use lcl_trees::RootedTree;
@@ -8,9 +10,13 @@ use lcl_trees::RootedTree;
 /// records whether the count was obtained by actually running / measuring that phase
 /// (simulator rounds, rake-and-compress layer counts, recursion depths) or charged
 /// as the constant derived in the paper's analysis.
-#[derive(Debug, Clone, Default)]
+///
+/// Phase names are `Cow<'static, str>`: every fixed phase name is a borrowed
+/// `&'static str`, so recording a phase on the solve hot path allocates
+/// nothing (only the Π_k solver's per-iteration labels are owned strings).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundReport {
-    phases: Vec<(String, usize, bool)>,
+    phases: Vec<(Cow<'static, str>, usize, bool)>,
 }
 
 impl RoundReport {
@@ -20,14 +26,14 @@ impl RoundReport {
     }
 
     /// Adds a measured phase.
-    pub fn measured(&mut self, name: &str, rounds: usize) -> &mut Self {
-        self.phases.push((name.to_string(), rounds, true));
+    pub fn measured(&mut self, name: impl Into<Cow<'static, str>>, rounds: usize) -> &mut Self {
+        self.phases.push((name.into(), rounds, true));
         self
     }
 
     /// Adds a phase charged with the constant round cost from the paper's analysis.
-    pub fn charged(&mut self, name: &str, rounds: usize) -> &mut Self {
-        self.phases.push((name.to_string(), rounds, false));
+    pub fn charged(&mut self, name: impl Into<Cow<'static, str>>, rounds: usize) -> &mut Self {
+        self.phases.push((name.into(), rounds, false));
         self
     }
 
@@ -37,7 +43,7 @@ impl RoundReport {
     }
 
     /// The individual phases: `(name, rounds, measured)`.
-    pub fn phases(&self) -> &[(String, usize, bool)] {
+    pub fn phases(&self) -> &[(Cow<'static, str>, usize, bool)] {
         &self.phases
     }
 

@@ -1,0 +1,237 @@
+//! Flat-vs-arena solver agreement for all five solvers.
+//!
+//! For every solver and every seeded tree shape, the flat solver must produce
+//! a labeling the reference checker accepts, and its round accounting must be
+//! byte-identical to the arena solver's (all phases are deterministic given
+//! the tree and identifier assignment). Sharded (`workers = 4`) and
+//! sequential (`workers = 1`) scratches must agree exactly.
+
+use lcl_algorithms::flat::{
+    solve_flat, solve_log_flat, solve_log_star_flat, solve_mis_four_rounds_flat, solve_pi_k_flat,
+    FlatOutcome, SolveScratch,
+};
+use lcl_algorithms::{log_solver, log_star_solver, mis_four_rounds, poly_solver, solve};
+use lcl_core::{classify, Label, Labeling, LclProblem};
+use lcl_sim::IdAssignment;
+use lcl_trees::{FlatTree, NodeId};
+
+/// The seeded tree shapes every solver is exercised on.
+fn shapes(delta: usize) -> Vec<(&'static str, FlatTree)> {
+    vec![
+        ("random", FlatTree::random_full(delta, 501, 7)),
+        ("random2", FlatTree::random_full(delta, 301, 13)),
+        (
+            "balanced",
+            FlatTree::balanced(delta, if delta == 2 { 8 } else { 5 }),
+        ),
+        ("hairy", FlatTree::hairy_path(delta, 120)),
+        ("singleton", FlatTree::balanced(delta, 0)),
+    ]
+}
+
+/// Checks a flat outcome against the arena outcome on the same tree: valid
+/// labeling (reference checker) and byte-identical round accounting.
+fn check_agreement(
+    name: &str,
+    problem: &LclProblem,
+    flat_tree: &FlatTree,
+    arena_outcome: &lcl_algorithms::SolverOutcome,
+    flat_outcome: &FlatOutcome,
+) {
+    let arena = flat_tree.to_rooted();
+    let mut labeling = Labeling::for_tree(&arena);
+    assert_eq!(flat_outcome.labels.len(), flat_tree.len(), "{name}");
+    for (v, &l) in flat_outcome.labels.iter().enumerate() {
+        labeling.set(NodeId(v as u32), l);
+    }
+    labeling
+        .verify(&arena, problem)
+        .unwrap_or_else(|e| panic!("{name}: flat labeling invalid: {e}"));
+    assert_eq!(
+        flat_outcome.rounds.phases(),
+        arena_outcome.rounds.phases(),
+        "{name}: round accounting must be byte-identical"
+    );
+    assert_eq!(flat_outcome.algorithm, arena_outcome.algorithm, "{name}");
+}
+
+#[test]
+fn log_star_solver_agrees() {
+    let problem = lcl_problems::coloring::three_coloring_binary();
+    let cert = classify(&problem).log_star_certificate().unwrap().unwrap();
+    let mut seq = SolveScratch::with_workers(1);
+    let mut par = SolveScratch::with_workers(4);
+    for (name, tree) in shapes(2) {
+        let idx = tree.level_index();
+        let ids = IdAssignment::random_permutation_len(tree.len(), 3);
+        let arena = tree.to_rooted();
+        let arena_outcome = log_star_solver::solve_log_star(&problem, &cert, &arena, ids.clone());
+        let a = solve_log_star_flat(&problem, &cert, &tree, &idx, &ids, &mut seq);
+        let b = solve_log_star_flat(&problem, &cert, &tree, &idx, &ids, &mut par);
+        check_agreement(name, &problem, &tree, &arena_outcome, &a);
+        assert_eq!(a.labels, b.labels, "{name}: workers must not change labels");
+        assert_eq!(a.rounds, b.rounds, "{name}");
+    }
+}
+
+#[test]
+fn log_star_solver_agrees_on_delta_three() {
+    let problem = lcl_problems::coloring::coloring(3, 4);
+    let cert = classify(&problem).log_star_certificate().unwrap().unwrap();
+    let mut scratch = SolveScratch::with_workers(2);
+    for (name, tree) in shapes(3) {
+        let idx = tree.level_index();
+        let ids = IdAssignment::sequential_len(tree.len());
+        let arena = tree.to_rooted();
+        let arena_outcome = log_star_solver::solve_log_star(&problem, &cert, &arena, ids.clone());
+        let flat = solve_log_star_flat(&problem, &cert, &tree, &idx, &ids, &mut scratch);
+        check_agreement(name, &problem, &tree, &arena_outcome, &flat);
+    }
+}
+
+#[test]
+fn constant_solver_agrees() {
+    let problem = lcl_problems::mis::mis_binary();
+    let cert = classify(&problem).constant_certificate().unwrap().unwrap();
+    let mut scratch = SolveScratch::with_workers(4);
+    for (name, tree) in shapes(2) {
+        let idx = tree.level_index();
+        let arena = tree.to_rooted();
+        let arena_outcome =
+            lcl_algorithms::constant_solver::solve_constant(&problem, &cert, &arena);
+        let flat = lcl_algorithms::flat::solve_constant_flat(&problem, &cert, &idx, &mut scratch);
+        check_agreement(name, &problem, &tree, &arena_outcome, &flat);
+    }
+}
+
+#[test]
+fn log_solver_agrees() {
+    let problem = lcl_problems::coloring::branch_two_coloring();
+    let cert = classify(&problem).log_certificate().unwrap().clone();
+    let mut scratch = SolveScratch::with_workers(4);
+    for (name, tree) in shapes(2) {
+        let idx = tree.level_index();
+        let _ = &idx;
+        let arena = tree.to_rooted();
+        let arena_outcome = log_solver::solve_log(&problem, &cert, &arena).unwrap();
+        let flat = solve_log_flat(&problem, &cert, &tree, &mut scratch).unwrap();
+        check_agreement(name, &problem, &tree, &arena_outcome, &flat);
+    }
+}
+
+#[test]
+fn mis_four_rounds_agrees() {
+    let problem = lcl_problems::mis::mis_binary();
+    let mut scratch = SolveScratch::with_workers(4);
+    for (name, tree) in shapes(2) {
+        let idx = tree.level_index();
+        let arena = tree.to_rooted();
+        let arena_outcome = mis_four_rounds::solve_mis_four_rounds(&problem, &arena);
+        let flat = solve_mis_four_rounds_flat(&problem, &idx, &mut scratch);
+        check_agreement(name, &problem, &tree, &arena_outcome, &flat);
+        // The flat solver charges the constant simulator round count; it must
+        // equal what the simulator actually measures.
+        assert_eq!(
+            flat.rounds.total(),
+            mis_four_rounds::run_metrics(&arena).rounds,
+            "{name}"
+        );
+        // The MIS labeling is a pure function of port structure: flat and
+        // arena outputs are identical, not merely both valid.
+        let arena_labels: Vec<Label> = (0..tree.len() as u32)
+            .map(|v| arena_outcome.labeling.get(NodeId(v)).unwrap())
+            .collect();
+        assert_eq!(flat.labels, arena_labels, "{name}");
+    }
+}
+
+#[test]
+fn pi_k_solver_agrees() {
+    for k in [1usize, 2, 3] {
+        let problem = lcl_problems::pi_k::pi_k(k);
+        let mut scratch = SolveScratch::with_workers(4);
+        for (name, tree) in shapes(2) {
+            let idx = tree.level_index();
+            let arena = tree.to_rooted();
+            let arena_outcome = poly_solver::solve_pi_k(&problem, k, &arena);
+            let flat = solve_pi_k_flat(&problem, k, &tree, &idx, &mut scratch);
+            check_agreement(
+                &format!("pi_{k}/{name}"),
+                &problem,
+                &tree,
+                &arena_outcome,
+                &flat,
+            );
+            // The partition itself must match the arena partition exactly.
+            let arena_partition = poly_solver::pi_k_partition(&arena, k);
+            assert_eq!(
+                scratch.part(),
+                arena_partition.part.as_slice(),
+                "pi_{k}/{name}"
+            );
+            assert_eq!(
+                scratch.iteration_depths(),
+                arena_partition.iteration_depths.as_slice(),
+                "pi_{k}/{name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dispatcher_agrees_for_every_class() {
+    // One problem per solvable class, as in the arena dispatcher test.
+    let problems = [
+        (
+            "1 : a a\n1 : a b\n1 : b b\na : b b\nb : b 1\nb : 1 1\n",
+            "O(1)",
+        ),
+        (
+            "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n",
+            "log*",
+        ),
+        ("1 : 1 2\n2 : 1 1\n", "log"),
+        ("1:22\n2:11\n", "poly"),
+    ];
+    let tree = FlatTree::random_full(2, 301, 11);
+    let idx = tree.level_index();
+    let arena = tree.to_rooted();
+    let ids = IdAssignment::random_permutation_len(tree.len(), 5);
+    let mut scratch = SolveScratch::with_workers(2);
+    for (text, class) in problems {
+        let problem: LclProblem = text.parse().unwrap();
+        let report = classify(&problem);
+        assert_eq!(report.complexity.short_name(), class);
+        let arena_outcome = solve(&problem, &report, &arena, ids.clone()).unwrap();
+        let flat = solve_flat(&problem, &report, &tree, &idx, &ids, &mut scratch).unwrap();
+        check_agreement(class, &problem, &tree, &arena_outcome, &flat);
+    }
+}
+
+#[test]
+fn dispatcher_rejects_unsolvable_problems() {
+    let problem: LclProblem = "a : b b\nb : c c\n".parse().unwrap();
+    let report = classify(&problem);
+    let tree = FlatTree::balanced(2, 4);
+    let idx = tree.level_index();
+    let ids = IdAssignment::sequential_len(tree.len());
+    let mut scratch = SolveScratch::new();
+    let err = solve_flat(&problem, &report, &tree, &idx, &ids, &mut scratch).unwrap_err();
+    assert_eq!(err, lcl_algorithms::SolveError::Unsolvable);
+}
+
+#[test]
+fn greedy_fallback_produces_the_arena_greedy_labeling() {
+    // The poly-class fallback resolves one continuation per label up front;
+    // it must reproduce the arena greedy labeling bit-for-bit.
+    let problem: LclProblem = "1:22\n2:11\n".parse().unwrap();
+    let tree = FlatTree::random_full(2, 801, 3);
+    let idx = tree.level_index();
+    let arena = tree.to_rooted();
+    let expected = lcl_core::greedy::solve(&problem, &arena).unwrap();
+    let mut scratch = SolveScratch::with_workers(4);
+    let flat = lcl_algorithms::flat::solve_greedy_flat(&problem, &idx, &mut scratch).unwrap();
+    for v in 0..tree.len() as u32 {
+        assert_eq!(Some(flat.labels[v as usize]), expected.get(NodeId(v)));
+    }
+}

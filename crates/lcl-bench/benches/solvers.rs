@@ -1,83 +1,175 @@
-//! Wall-clock benchmarks of the four solvers (supporting experiments E6 and
-//! E8–E11; the round-count tables themselves are produced by the experiment
-//! binaries).
+//! Wall-clock benchmarks of the five solvers, arena vs flat (supporting
+//! experiments E6 and E8–E11; the round-count tables themselves are produced
+//! by the experiment binaries).
+//!
+//! Every solver is measured on the arena path (`RootedTree`, per-node `Vec`s)
+//! and on the flat path (`FlatTree` + `LevelIndex` level passes with a warm
+//! `SolveScratch`); the flat closure includes building the level index, so
+//! the comparison charges the flat engine its whole per-tree setup. The
+//! headline `*_flat_vs_arena_n1048576` ratios (arena median / flat median at
+//! a million nodes) are asserted `> 1.0` and written to `BENCH_solvers.json`;
+//! CI fails if the committed ratios ever regress below 1.0.
 
+use std::time::Duration;
+
+use lcl_algorithms::flat::{
+    solve_constant_flat, solve_log_flat, solve_log_star_flat, solve_mis_four_rounds_flat,
+    solve_pi_k_flat, SolveScratch,
+};
 use lcl_algorithms::{constant_solver, log_solver, log_star_solver, mis_four_rounds, poly_solver};
 use lcl_bench::harness::{Bench, BenchReport};
 use lcl_core::classify;
 use lcl_problems::{coloring, mis, pi_k};
 use lcl_sim::IdAssignment;
-use lcl_trees::generators;
+use lcl_trees::{generators, FlatTree};
 
 const SIZES: [usize; 3] = [1 << 10, 1 << 13, 1 << 16];
+const MILLION: usize = 1 << 20;
+/// Samples for the million-node cases (heavyweight; keeps CI wall-clock bounded).
+const BIG_SAMPLES: usize = 3;
+
+/// Runs one solver over the three standard sizes plus the million-node case.
+fn run_sizes(
+    bench: &mut Bench,
+    mut case: impl FnMut(&mut Bench, usize, usize) -> Duration,
+) -> Duration {
+    for &n in &SIZES {
+        case(bench, n, 11);
+    }
+    case(bench, MILLION, BIG_SAMPLES)
+}
 
 fn main() {
     let mut report = BenchReport::new("solvers");
+    let mut scratch = SolveScratch::new();
+    let mut ratios: Vec<(&'static str, Duration, Duration)> = Vec::new();
+
+    // -- 4-round MIS (Section 1.3, Figure 1) --------------------------------
     let mis_problem = mis::mis_binary();
     let mut bench = Bench::new("solve_mis_four_rounds");
-    for &n in &SIZES {
+    let arena_big = run_sizes(&mut bench, |b, n, samples| {
         let tree = generators::random_full(2, n, 1);
-        bench.case(&format!("n={n}"), || {
+        b.case_samples(&format!("n={n}"), samples, || {
             mis_four_rounds::solve_mis_four_rounds(&mis_problem, &tree)
-        });
-    }
-
+        })
+    });
     report.add_group(bench);
+    let mut bench = Bench::new("solve_mis_four_rounds_flat");
+    let flat_big = run_sizes(&mut bench, |b, n, samples| {
+        let tree = FlatTree::random_full(2, n, 1);
+        b.case_samples(&format!("n={n}"), samples, || {
+            let idx = tree.level_index();
+            solve_mis_four_rounds_flat(&mis_problem, &idx, &mut scratch)
+        })
+    });
+    report.add_group(bench);
+    ratios.push(("mis_flat_vs_arena_n1048576", arena_big, flat_big));
 
+    // -- Generic O(1) solver (Theorem 7.2) ----------------------------------
     let cert = classify(&mis_problem)
         .constant_certificate()
         .unwrap()
         .unwrap();
     let mut bench = Bench::new("solve_constant_generic");
-    for &n in &SIZES {
+    let arena_big = run_sizes(&mut bench, |b, n, samples| {
         let tree = generators::random_full(2, n, 2);
-        bench.case(&format!("n={n}"), || {
+        b.case_samples(&format!("n={n}"), samples, || {
             constant_solver::solve_constant(&mis_problem, &cert, &tree)
-        });
-    }
-
+        })
+    });
     report.add_group(bench);
+    let mut bench = Bench::new("solve_constant_generic_flat");
+    let flat_big = run_sizes(&mut bench, |b, n, samples| {
+        let tree = FlatTree::random_full(2, n, 2);
+        b.case_samples(&format!("n={n}"), samples, || {
+            let idx = tree.level_index();
+            solve_constant_flat(&mis_problem, &cert, &idx, &mut scratch)
+        })
+    });
+    report.add_group(bench);
+    ratios.push(("constant_flat_vs_arena_n1048576", arena_big, flat_big));
 
+    // -- O(log* n) solver (Theorem 6.3) -------------------------------------
     let coloring_problem = coloring::three_coloring_binary();
     let cert = classify(&coloring_problem)
         .log_star_certificate()
         .unwrap()
         .unwrap();
     let mut bench = Bench::new("solve_log_star");
-    for &n in &SIZES {
+    let arena_big = run_sizes(&mut bench, |b, n, samples| {
         let tree = generators::random_full(2, n, 3);
-        bench.case(&format!("n={n}"), || {
+        b.case_samples(&format!("n={n}"), samples, || {
             log_star_solver::solve_log_star(
                 &coloring_problem,
                 &cert,
                 &tree,
                 IdAssignment::sequential(&tree),
             )
-        });
-    }
-
+        })
+    });
     report.add_group(bench);
+    let mut bench = Bench::new("solve_log_star_flat");
+    let flat_big = run_sizes(&mut bench, |b, n, samples| {
+        let tree = FlatTree::random_full(2, n, 3);
+        b.case_samples(&format!("n={n}"), samples, || {
+            let idx = tree.level_index();
+            let ids = IdAssignment::sequential_len(tree.len());
+            solve_log_star_flat(&coloring_problem, &cert, &tree, &idx, &ids, &mut scratch)
+        })
+    });
+    report.add_group(bench);
+    ratios.push(("log_star_flat_vs_arena_n1048576", arena_big, flat_big));
 
+    // -- O(log n) solver (Theorem 5.1) --------------------------------------
     let branch_problem = coloring::branch_two_coloring();
     let cert = classify(&branch_problem).log_certificate().unwrap().clone();
     let mut bench = Bench::new("solve_log");
-    for &n in &SIZES {
+    let arena_big = run_sizes(&mut bench, |b, n, samples| {
         let tree = generators::random_full(2, n, 4);
-        bench.case(&format!("n={n}"), || {
+        b.case_samples(&format!("n={n}"), samples, || {
             log_solver::solve_log(&branch_problem, &cert, &tree).unwrap()
-        });
-    }
-
+        })
+    });
     report.add_group(bench);
+    let mut bench = Bench::new("solve_log_flat");
+    let flat_big = run_sizes(&mut bench, |b, n, samples| {
+        let tree = FlatTree::random_full(2, n, 4);
+        b.case_samples(&format!("n={n}"), samples, || {
+            solve_log_flat(&branch_problem, &cert, &tree, &mut scratch).unwrap()
+        })
+    });
+    report.add_group(bench);
+    ratios.push(("log_flat_vs_arena_n1048576", arena_big, flat_big));
 
+    // -- Π_2 partition solver (Lemma 8.1) -----------------------------------
     let pi2 = pi_k::pi_k(2);
     let mut bench = Bench::new("solve_pi_2");
-    for &n in &SIZES {
+    let arena_big = run_sizes(&mut bench, |b, n, samples| {
         let tree = generators::random_full(2, n, 5);
-        bench.case(&format!("n={n}"), || {
+        b.case_samples(&format!("n={n}"), samples, || {
             poly_solver::solve_pi_k(&pi2, 2, &tree)
-        });
-    }
+        })
+    });
     report.add_group(bench);
+    let mut bench = Bench::new("solve_pi_2_flat");
+    let flat_big = run_sizes(&mut bench, |b, n, samples| {
+        let tree = FlatTree::random_full(2, n, 5);
+        b.case_samples(&format!("n={n}"), samples, || {
+            let idx = tree.level_index();
+            solve_pi_k_flat(&pi2, 2, &tree, &idx, &mut scratch)
+        })
+    });
+    report.add_group(bench);
+    ratios.push(("pi_2_flat_vs_arena_n1048576", arena_big, flat_big));
+
+    for (name, arena, flat) in ratios {
+        let ratio = report.add_ratio(name, arena, flat);
+        println!("{name}: {ratio:.2}x");
+        assert!(
+            ratio > 1.0,
+            "{name}: the flat solver must beat the arena solver at a million nodes \
+             (arena {arena:?}, flat {flat:?})"
+        );
+    }
     report.write().expect("bench report written");
 }

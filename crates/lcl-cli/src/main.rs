@@ -6,7 +6,10 @@
 //!                                     # or a catalog name such as `mis`)
 //! rtlcl explain  <file|name>          # classification plus certificates
 //! rtlcl solve    <file|name> <n>      # classify, solve on a random n-node tree, verify
-//!                                     # (--emit-labeling <path> writes the solution)
+//!                                     # (--emit-labeling <path> writes the solution;
+//!                                     #  --flat [--nodes n] streams the tree into CSR
+//!                                     #  form and uses the flat level-synchronous
+//!                                     #  solver engine — the million-node path)
 //! rtlcl classify-batch [options]      # sweep a whole problem family through the engine
 //! rtlcl sweep    [options]            # canonical-first exhaustive sweep of a (δ, Σ) universe
 //! rtlcl verify   <file|name> <labeling-file> [options]
@@ -208,8 +211,9 @@ fn cmd_explain(spec: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_solve(spec: &str, n: usize, emit_labeling: Option<&str>) -> ExitCode {
-    let problem = match load_problem(spec) {
+fn cmd_solve(opts: &SolveOptions) -> ExitCode {
+    let (n, emit_labeling) = (opts.nodes, opts.emit.as_deref());
+    let problem = match load_problem(&opts.spec) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -227,6 +231,9 @@ fn cmd_solve(spec: &str, n: usize, emit_labeling: Option<&str>) -> ExitCode {
             return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
+    }
+    if opts.flat {
+        return cmd_solve_flat(&problem, &report, n, emit_labeling);
     }
     let tree = generators::random_full(problem.delta(), n.max(1), 1);
     match solve(
@@ -254,6 +261,57 @@ fn cmd_solve(spec: &str, n: usize, emit_labeling: Option<&str>) -> ExitCode {
                         .labeling
                         .get(v)
                         .expect("verified labeling is complete");
+                    out.push_str(problem.label_name(label));
+                    out.push('\n');
+                }
+                if let Err(e) = std::fs::write(path, out) {
+                    eprintln!("cannot write labeling to `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("labeling written to {path} (validate with `rtlcl verify`)");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("solver error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `solve --flat` path: streams the tree straight into CSR form (the
+/// arena tree is never built), solves with the flat level-synchronous engine,
+/// and validates with the parallel CSR validator — the million-node workflow.
+/// The tree and identifiers match the arena path bit-for-bit (same generator
+/// process, same seed), so `rtlcl verify` accepts the emitted labeling.
+fn cmd_solve_flat(
+    problem: &LclProblem,
+    report: &lcl_core::ClassificationReport,
+    n: usize,
+    emit_labeling: Option<&str>,
+) -> ExitCode {
+    let tree = FlatTree::random_full(problem.delta(), n.max(1), 1);
+    let idx = tree.level_index();
+    let ids = lcl_sim::IdAssignment::random_permutation_len(tree.len(), 1);
+    let mut scratch = lcl_algorithms::SolveScratch::new();
+    match lcl_algorithms::solve_flat(problem, report, &tree, &idx, &ids, &mut scratch) {
+        Ok(outcome) => {
+            if let Err(e) =
+                LabelingValidator::new(problem).validate_parallel(&tree, &outcome.labels)
+            {
+                eprintln!("internal error: produced an invalid solution: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "solved and verified on a {}-node random full {}-ary tree (flat engine)",
+                tree.len(),
+                problem.delta()
+            );
+            println!("algorithm: {}", outcome.algorithm);
+            println!("rounds: {}", outcome.rounds.summary());
+            if let Some(path) = emit_labeling {
+                let mut out = String::with_capacity(tree.len() * 2);
+                for &label in &outcome.labels {
                     out.push_str(problem.label_name(label));
                     out.push('\n');
                 }
@@ -875,31 +933,54 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn parse_solve_options(args: &[String]) -> Result<(String, usize, Option<String>), String> {
+struct SolveOptions {
+    spec: String,
+    nodes: usize,
+    emit: Option<String>,
+    flat: bool,
+}
+
+fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut emit = None;
+    let mut flat = false;
+    let mut nodes_flag: Option<usize> = None;
     let mut cur = FlagCursor::new(args);
     while let Some(arg) = cur.next_arg() {
         match arg.as_str() {
             "--emit-labeling" => emit = Some(cur.value("--emit-labeling")?.clone()),
+            "--flat" => flat = true,
+            "--nodes" => nodes_flag = Some(cur.parse_value("--nodes")?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown solve option `{other}`"))
             }
             _ => positional.push(arg),
         }
     }
-    match positional.as_slice() {
-        [spec, n] => {
+    let (spec, nodes) = match (positional.as_slice(), nodes_flag) {
+        ([spec, n], None) => {
             let n = n.parse().map_err(|e| format!("tree size `{n}`: {e}"))?;
-            Ok((spec.to_string(), n, emit))
+            (spec.to_string(), n)
         }
-        _ => Err("solve expects a problem and a tree size".into()),
-    }
+        ([spec], Some(n)) => (spec.to_string(), n),
+        ([_, n], Some(_)) => {
+            return Err(format!(
+                "tree size given both positionally (`{n}`) and via --nodes"
+            ))
+        }
+        _ => return Err("solve expects a problem and a tree size (positional or --nodes)".into()),
+    };
+    Ok(SolveOptions {
+        spec,
+        nodes,
+        emit,
+        flat,
+    })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size> [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -917,7 +998,7 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("solve") => match parse_solve_options(&args[1..]) {
-            Ok((spec, n, emit)) => cmd_solve(&spec, n, emit.as_deref()),
+            Ok(opts) => cmd_solve(&opts),
             Err(e) => {
                 eprintln!("{e}");
                 usage()

@@ -281,10 +281,34 @@ impl Automaton {
     /// Finds a walk of length exactly `len` from `from` to `to`, returned as the
     /// sequence of `len + 1` visited states, or `None` if no such walk exists.
     pub fn find_walk(&self, from: Label, to: Label, len: usize) -> Option<Vec<Label>> {
-        // can_reach[l] = states from which `to` is reachable in exactly l steps.
-        let mut can_reach: Vec<LabelSet> = Vec::with_capacity(len + 1);
+        let mut reach = Vec::new();
+        let mut walk = Vec::new();
+        if self.find_walk_into(from, to, len, &mut reach, &mut walk) {
+            Some(walk)
+        } else {
+            None
+        }
+    }
+
+    /// [`Self::find_walk`] with caller-provided buffers: `walk` receives the
+    /// `len + 1` visited states on success (it is cleared either way), `reach`
+    /// is reused scratch. Once both buffers have grown to the caller's largest
+    /// `len`, repeated calls perform no allocation — the shape the flat
+    /// rake-and-compress solver needs when completing thousands of compress
+    /// runs per tree.
+    pub fn find_walk_into(
+        &self,
+        from: Label,
+        to: Label,
+        len: usize,
+        reach: &mut Vec<LabelSet>,
+        walk: &mut Vec<Label>,
+    ) -> bool {
+        // reach[l] = states from which `to` is reachable in exactly l steps.
+        reach.clear();
+        walk.clear();
         let mut current = LabelSet::singleton(to);
-        can_reach.push(current);
+        reach.push(current);
         for _ in 0..len {
             let mut prev = LabelSet::EMPTY;
             for &s in &self.states {
@@ -292,24 +316,23 @@ impl Automaton {
                     prev.insert(s);
                 }
             }
-            can_reach.push(prev);
+            reach.push(prev);
             current = prev;
         }
-        if !can_reach[len].contains(from) {
-            return None;
+        if !reach[len].contains(from) {
+            return false;
         }
-        let mut walk = Vec::with_capacity(len + 1);
         let mut state = from;
         walk.push(state);
         for step in 0..len {
             let remaining = len - step - 1;
-            let next = (self.successors(state) & can_reach[remaining])
+            let next = (self.successors(state) & reach[remaining])
                 .first()
                 .expect("walk reconstruction follows reachability sets");
             walk.push(next);
             state = next;
         }
-        Some(walk)
+        true
     }
 
     /// Returns `true` if the automaton restricted to its states is strongly

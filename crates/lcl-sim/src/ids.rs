@@ -13,14 +13,27 @@ impl IdAssignment {
     /// Sequential identifiers `1, 2, …, n` in node-id order — the "adversarially
     /// boring" assignment.
     pub fn sequential(tree: &RootedTree) -> Self {
+        Self::sequential_len(tree.len())
+    }
+
+    /// [`Self::sequential`] for `n` nodes identified by id alone — the flat-tree
+    /// entry point (identifier assignments only depend on the node count).
+    pub fn sequential_len(n: usize) -> Self {
         IdAssignment {
-            ids: (1..=tree.len() as u64).collect(),
+            ids: (1..=n as u64).collect(),
         }
     }
 
     /// A uniformly random permutation of `1, …, n` (seeded).
     pub fn random_permutation(tree: &RootedTree, seed: u64) -> Self {
-        let mut ids: Vec<u64> = (1..=tree.len() as u64).collect();
+        Self::random_permutation_len(tree.len(), seed)
+    }
+
+    /// [`Self::random_permutation`] for `n` nodes identified by id alone;
+    /// produces the identifiers of the arena constructor bit-for-bit for equal
+    /// `(n, seed)`.
+    pub fn random_permutation_len(n: usize, seed: u64) -> Self {
+        let mut ids: Vec<u64> = (1..=n as u64).collect();
         SplitMix64::seed_from_u64(seed).shuffle(&mut ids);
         IdAssignment { ids }
     }
@@ -56,6 +69,11 @@ impl IdAssignment {
     /// The identifier of a node.
     pub fn id_of(&self, node: lcl_trees::NodeId) -> u64 {
         self.ids[node.index()]
+    }
+
+    /// The identifiers as a flat slice indexed by node id.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.ids
     }
 
     /// Number of nodes covered.

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flat;
 pub mod ids;
 pub mod metrics;
 pub mod node;
@@ -33,8 +34,9 @@ pub mod programs;
 pub mod runtime;
 pub mod views;
 
+pub use flat::{chain_color_reduction_flat, CvScratch};
 pub use ids::IdAssignment;
 pub use metrics::Metrics;
 pub use node::NodeInfo;
-pub use program::{NodeProgram, RoundAction};
+pub use program::{broadcast, NodeProgram, RoundAction};
 pub use runtime::Simulator;

@@ -2,15 +2,15 @@
 
 use crate::node::NodeInfo;
 
-/// What a node does at the end of one round: the messages it sends and, possibly,
-/// its final output.
+/// What a node does at the end of one round: the message it sends upwards and,
+/// possibly, its final output. Messages to the children are written into the
+/// reusable `to_children` slice passed to [`NodeProgram::round`] — the
+/// simulator owns that buffer and recycles it across nodes and rounds, so the
+/// per-node hot path allocates nothing.
 #[derive(Debug, Clone)]
 pub struct RoundAction<M, O> {
     /// Message to the parent (ignored at the root).
     pub to_parent: Option<M>,
-    /// Messages to the children, indexed by port; missing trailing entries mean no
-    /// message.
-    pub to_children: Vec<Option<M>>,
     /// The node's final output, once it has decided. Outputs are sticky: after the
     /// first `Some` the node keeps its output and later values are ignored.
     pub output: Option<O>,
@@ -21,7 +21,6 @@ impl<M, O> RoundAction<M, O> {
     pub fn idle() -> Self {
         RoundAction {
             to_parent: None,
-            to_children: Vec::new(),
             output: None,
         }
     }
@@ -30,7 +29,6 @@ impl<M, O> RoundAction<M, O> {
     pub fn output(output: O) -> Self {
         RoundAction {
             to_parent: None,
-            to_children: Vec::new(),
             output: Some(output),
         }
     }
@@ -40,20 +38,13 @@ impl<M, O> RoundAction<M, O> {
         self.to_parent = Some(message);
         self
     }
+}
 
-    /// Sets the messages to all children (same message broadcast to each port).
-    pub fn broadcast_to_children(mut self, message: M, num_children: usize) -> Self
-    where
-        M: Clone,
-    {
-        self.to_children = (0..num_children).map(|_| Some(message.clone())).collect();
-        self
-    }
-
-    /// Sets the per-port messages to the children.
-    pub fn with_children_messages(mut self, messages: Vec<Option<M>>) -> Self {
-        self.to_children = messages;
-        self
+/// Broadcasts one message to every child port: a convenience for the common
+/// "send the same value downwards" pattern over the reusable children buffer.
+pub fn broadcast<M: Clone>(to_children: &mut [Option<M>], message: M) {
+    for slot in to_children.iter_mut() {
+        *slot = Some(message.clone());
     }
 }
 
@@ -73,6 +64,11 @@ pub trait NodeProgram {
     /// Executes one round at one node. `from_parent` / `from_children` carry the
     /// messages sent towards this node in the previous round (`None` if the
     /// neighbour sent nothing, and `from_parent` is always `None` at the root).
+    ///
+    /// `to_children` has one slot per child port, all `None` on entry; writing
+    /// `Some(msg)` into slot `p` sends `msg` to the child at port `p`. The
+    /// slice is a view into a buffer the simulator reuses for every node and
+    /// round, so filling it never allocates.
     fn round(
         &self,
         round: usize,
@@ -80,6 +76,7 @@ pub trait NodeProgram {
         state: &mut Self::State,
         from_parent: Option<&Self::Message>,
         from_children: &[Option<Self::Message>],
+        to_children: &mut [Option<Self::Message>],
     ) -> RoundAction<Self::Message, Self::Output>;
 
     /// The size of a message in bits, used for CONGEST accounting. The default
@@ -102,13 +99,12 @@ mod tests {
         let action: RoundAction<u32, u32> = RoundAction::output(7).with_parent_message(3);
         assert_eq!(action.output, Some(7));
         assert_eq!(action.to_parent, Some(3));
+    }
 
-        let action: RoundAction<u32, u32> = RoundAction::idle().broadcast_to_children(9, 3);
-        assert_eq!(action.to_children.len(), 3);
-        assert!(action.to_children.iter().all(|m| *m == Some(9)));
-
-        let action: RoundAction<u32, u32> =
-            RoundAction::idle().with_children_messages(vec![Some(1), None]);
-        assert_eq!(action.to_children, vec![Some(1), None]);
+    #[test]
+    fn broadcast_fills_every_port() {
+        let mut slots: Vec<Option<u32>> = vec![None; 3];
+        broadcast(&mut slots, 9);
+        assert!(slots.iter().all(|m| *m == Some(9)));
     }
 }

@@ -2,7 +2,7 @@
 //! the solvers in `lcl-algorithms` and by the examples.
 
 use crate::node::NodeInfo;
-use crate::program::{NodeProgram, RoundAction};
+use crate::program::{broadcast, NodeProgram, RoundAction};
 
 /// Every node learns its depth (distance from the root). Takes `height + 1` rounds:
 /// the root outputs 0 immediately and each level learns its value one round after
@@ -25,10 +25,11 @@ impl NodeProgram for DepthComputation {
     fn round(
         &self,
         _round: usize,
-        info: &NodeInfo,
+        _info: &NodeInfo,
         state: &mut Self::State,
         from_parent: Option<&Self::Message>,
         _from_children: &[Option<Self::Message>],
+        to_children: &mut [Option<Self::Message>],
     ) -> RoundAction<Self::Message, Self::Output> {
         if state.is_none() {
             if let Some(&d) = from_parent {
@@ -37,7 +38,8 @@ impl NodeProgram for DepthComputation {
         }
         match *state {
             Some(depth) => {
-                RoundAction::output(depth).broadcast_to_children(depth, info.num_children)
+                broadcast(to_children, depth);
+                RoundAction::output(depth)
             }
             None => RoundAction::idle(),
         }
@@ -62,6 +64,7 @@ impl NodeProgram for SubtreeSize {
         _state: &mut Self::State,
         _from_parent: Option<&Self::Message>,
         from_children: &[Option<Self::Message>],
+        _to_children: &mut [Option<Self::Message>],
     ) -> RoundAction<Self::Message, Self::Output> {
         if from_children.iter().all(|m| m.is_some()) {
             let size = 1 + from_children
@@ -113,7 +116,7 @@ impl ChainColorReduction {
         steps + 1
     }
 
-    fn cv_step(own: u64, parent: u64) -> u64 {
+    pub(crate) fn cv_step(own: u64, parent: u64) -> u64 {
         let differing = own ^ parent;
         debug_assert!(differing != 0, "proper colouring is preserved by CV steps");
         let i = differing.trailing_zeros() as u64;
@@ -141,11 +144,13 @@ impl NodeProgram for ChainColorReduction {
         state: &mut Self::State,
         from_parent: Option<&Self::Message>,
         _from_children: &[Option<Self::Message>],
+        to_children: &mut [Option<Self::Message>],
     ) -> RoundAction<Self::Message, Self::Output> {
         // Round 1 only announces the initial colours so that all nodes perform
         // their reduction steps in lockstep from round 2 on.
         if round == 1 {
-            return RoundAction::idle().broadcast_to_children(state.color, info.num_children);
+            broadcast(to_children, state.color);
+            return RoundAction::idle();
         }
         if state.remaining > 0 {
             let parent_color = if info.is_root() {
@@ -156,7 +161,8 @@ impl NodeProgram for ChainColorReduction {
             state.color = Self::cv_step(state.color, parent_color);
             state.remaining -= 1;
         }
-        let mut action = RoundAction::idle().broadcast_to_children(state.color, info.num_children);
+        broadcast(to_children, state.color);
+        let mut action = RoundAction::idle();
         if state.remaining == 0 {
             debug_assert!(state.color < 6, "colour {} out of range", state.color);
             action.output = Some(state.color as u8);

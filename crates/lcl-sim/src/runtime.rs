@@ -63,6 +63,11 @@ impl<'a> Simulator<'a> {
     /// Runs `program` on every node until all nodes have produced an output.
     /// Returns the outputs indexed by node id and the collected metrics.
     ///
+    /// All message plumbing lives in flat, CSR-shaped buffers allocated once
+    /// and recycled across rounds: the per-round cost is O(n + edges) writes
+    /// with zero heap allocation (child messages are written into a reusable
+    /// port-indexed scratch slice and scattered to their receivers).
+    ///
     /// # Panics
     ///
     /// Panics if the program has not terminated after the safety limit on rounds —
@@ -74,63 +79,80 @@ impl<'a> Simulator<'a> {
         let mut states: Vec<P::State> = infos.iter().map(|i| program.init(i)).collect();
         let mut outputs: Vec<Option<P::Output>> = vec![None; n];
         let mut metrics = Metrics::default();
+        let mut pending = n;
 
-        // Messages in flight: indexed by receiver.
+        // Static topology tables, computed once: `child_off[v] .. child_off[v + 1]`
+        // are v's child-message slots (port-indexed), `port_of[v]` is v's port at
+        // its parent.
+        let mut child_off: Vec<usize> = Vec::with_capacity(n + 1);
+        child_off.push(0);
+        let mut total_edges = 0usize;
+        for v in self.tree.nodes() {
+            total_edges += self.tree.num_children(v);
+            child_off.push(total_edges);
+        }
+        let mut port_of: Vec<usize> = vec![0; n];
+        let mut max_children = 0usize;
+        for v in self.tree.nodes() {
+            max_children = max_children.max(self.tree.num_children(v));
+            for (port, &c) in self.tree.children(v).iter().enumerate() {
+                port_of[c.index()] = port;
+            }
+        }
+
+        // Double-buffered messages in flight, indexed by receiver; `to_children`
+        // is the reusable per-node scratch handed to the program each round.
         let mut from_parent: Vec<Option<P::Message>> = vec![None; n];
-        let mut from_children: Vec<Vec<Option<P::Message>>> = self
-            .tree
-            .nodes()
-            .map(|v| vec![None; self.tree.num_children(v)])
-            .collect();
+        let mut next_from_parent: Vec<Option<P::Message>> = vec![None; n];
+        let mut from_children: Vec<Option<P::Message>> = vec![None; total_edges];
+        let mut next_from_children: Vec<Option<P::Message>> = vec![None; total_edges];
+        let mut to_children: Vec<Option<P::Message>> = vec![None; max_children];
 
         let mut round = 0usize;
-        while outputs.iter().any(|o| o.is_none()) {
+        while pending > 0 {
             round += 1;
             assert!(
                 round <= self.max_rounds,
                 "node program did not terminate within {} rounds",
                 self.max_rounds
             );
-            let mut next_from_parent: Vec<Option<P::Message>> = vec![None; n];
-            let mut next_from_children: Vec<Vec<Option<P::Message>>> = self
-                .tree
-                .nodes()
-                .map(|v| vec![None; self.tree.num_children(v)])
-                .collect();
             for v in self.tree.nodes() {
                 let idx = v.index();
+                let slots = &mut to_children[..infos[idx].num_children];
                 let action = program.round(
                     round,
                     &infos[idx],
                     &mut states[idx],
                     from_parent[idx].as_ref(),
-                    &from_children[idx],
+                    &from_children[child_off[idx]..child_off[idx + 1]],
+                    slots,
                 );
                 if outputs[idx].is_none() {
                     if let Some(out) = action.output {
                         outputs[idx] = Some(out);
+                        pending -= 1;
                     }
                 }
                 if let (Some(msg), Some(parent)) = (action.to_parent, self.tree.parent(v)) {
                     metrics.record_message(program.message_bits(&msg));
-                    let port = self
-                        .tree
-                        .port_at_parent(v)
-                        .expect("non-root nodes have a port at their parent");
-                    next_from_children[parent.index()][port] = Some(msg);
+                    next_from_children[child_off[parent.index()] + port_of[idx]] = Some(msg);
                 }
-                for (port, msg) in action.to_children.into_iter().enumerate() {
-                    if let Some(msg) = msg {
-                        if port < self.tree.num_children(v) {
-                            metrics.record_message(program.message_bits(&msg));
-                            let child = self.tree.children(v)[port];
-                            next_from_parent[child.index()] = Some(msg);
-                        }
+                for (port, slot) in slots.iter_mut().enumerate() {
+                    if let Some(msg) = slot.take() {
+                        metrics.record_message(program.message_bits(&msg));
+                        let child = self.tree.children(v)[port];
+                        next_from_parent[child.index()] = Some(msg);
                     }
                 }
             }
-            from_parent = next_from_parent;
-            from_children = next_from_children;
+            std::mem::swap(&mut from_parent, &mut next_from_parent);
+            std::mem::swap(&mut from_children, &mut next_from_children);
+            for slot in next_from_parent.iter_mut() {
+                *slot = None;
+            }
+            for slot in next_from_children.iter_mut() {
+                *slot = None;
+            }
         }
         metrics.rounds = round;
         let outputs = outputs
@@ -161,6 +183,7 @@ mod tests {
             _state: &mut Self::State,
             _from_parent: Option<&Self::Message>,
             _from_children: &[Option<Self::Message>],
+            _to_children: &mut [Option<Self::Message>],
         ) -> RoundAction<Self::Message, Self::Output> {
             RoundAction::output(info.id)
         }
@@ -181,8 +204,10 @@ mod tests {
             _state: &mut Self::State,
             from_parent: Option<&Self::Message>,
             _from_children: &[Option<Self::Message>],
+            to_children: &mut [Option<Self::Message>],
         ) -> RoundAction<Self::Message, Self::Output> {
-            let mut action = RoundAction::idle().broadcast_to_children(info.id, info.num_children);
+            crate::program::broadcast(to_children, info.id);
+            let mut action = RoundAction::idle();
             if info.is_root() {
                 action.output = Some(info.id);
             } else if let Some(&pid) = from_parent {
@@ -236,6 +261,7 @@ mod tests {
                 _state: &mut Self::State,
                 _fp: Option<&Self::Message>,
                 _fc: &[Option<Self::Message>],
+                _tc: &mut [Option<Self::Message>],
             ) -> RoundAction<Self::Message, Self::Output> {
                 RoundAction::idle()
             }

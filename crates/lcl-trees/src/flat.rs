@@ -17,6 +17,30 @@
 //! [`FlatTree::balanced`], [`FlatTree::hairy_path`]), which construct
 //! million-node δ-ary trees from a parent array without ever touching a
 //! per-node `Vec`.
+//!
+//! # The level index
+//!
+//! The level-synchronous solvers in `lcl-algorithms` process the tree one
+//! depth level at a time. [`LevelIndex`] precomputes everything those passes
+//! need, in two allocation-free passes over the CSR arrays (one forward BFS,
+//! one reverse scan):
+//!
+//! * `order` — the nodes in BFS order ([`LevelIndex::bfs_order`]), identical
+//!   to [`RootedTree::bfs_order`]. Positions into `order` are called *BFS
+//!   positions*; the nodes of depth `d` occupy the contiguous slice
+//!   `order[level_start[d] .. level_start[d + 1]]` ([`LevelIndex::level`]).
+//! * `parent_pos[i]` — the BFS position of the parent of the node at BFS
+//!   position `i` (always `< level_start[d]` for a node at depth `d`), and
+//! * `first_child_pos[i] .. first_child_pos[i + 1]` — the BFS positions of
+//!   its children. Because BFS appends each node's children consecutively,
+//!   these offsets are *monotone*: the BFS view is itself a CSR tree indexed
+//!   by position. A per-level pass that walks parents in a contiguous
+//!   position range therefore writes a contiguous child range — which is what
+//!   lets the flat solvers shard a level across `std::thread::scope` workers
+//!   with nothing but `split_at_mut`.
+//! * `depth`, `subtree_size`, `subtree_height` — per-node (id-indexed)
+//!   aggregates; depths come out of the BFS pass, sizes and heights out of
+//!   the reverse scan (children precede parents in reverse BFS order).
 
 use lcl_rand::SplitMix64;
 
@@ -257,6 +281,13 @@ impl FlatTree {
         tree
     }
 
+    /// Builds the [`LevelIndex`] of this tree: BFS order, per-level slices,
+    /// depths, and subtree sizes/heights. See the module documentation for the
+    /// layout. O(n) time, two passes, no per-node allocation.
+    pub fn level_index(&self) -> LevelIndex {
+        LevelIndex::new(self)
+    }
+
     /// Checks internal CSR consistency (parent/child symmetry, single root,
     /// connectivity). Intended for tests and debug assertions.
     pub fn validate(&self) -> Result<(), String> {
@@ -304,6 +335,168 @@ impl FlatTree {
             ));
         }
         Ok(())
+    }
+}
+
+/// The precomputed level structure of a [`FlatTree`]. See the module
+/// documentation for the layout and the safe-sharding invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelIndex {
+    /// BFS positions → node ids.
+    order: Vec<u32>,
+    /// `level_start[d] .. level_start[d + 1]` is the position range of depth
+    /// `d`; `level_start.len() == height + 2`.
+    level_start: Vec<u32>,
+    /// Node id → depth.
+    depth: Vec<u32>,
+    /// Node id → size of its subtree (1 for leaves).
+    subtree_size: Vec<u32>,
+    /// Node id → height of its subtree (0 for leaves).
+    subtree_height: Vec<u32>,
+    /// BFS position → BFS position of the parent (`NO_POS` at the root).
+    parent_pos: Vec<u32>,
+    /// BFS position → first BFS position of its children; monotone, with a
+    /// trailing `n` entry, so children of position `i` are
+    /// `first_child_pos[i] .. first_child_pos[i + 1]`.
+    first_child_pos: Vec<u32>,
+}
+
+impl LevelIndex {
+    /// Sentinel stored in [`Self::parent_positions`] for the root.
+    pub const NO_POS: u32 = u32::MAX;
+
+    fn new(tree: &FlatTree) -> Self {
+        let n = tree.len();
+        let mut order = Vec::with_capacity(n);
+        let mut parent_pos = Vec::with_capacity(n);
+        let mut first_child_pos = Vec::with_capacity(n + 1);
+        let mut depth = vec![0u32; n];
+        let mut level_start = vec![0u32];
+
+        // Pass 1: BFS. `order` doubles as the queue; `head` is the cursor.
+        order.push(tree.root());
+        parent_pos.push(Self::NO_POS);
+        let mut head = 0usize;
+        let mut current_level = 0u32;
+        while head < order.len() {
+            let v = order[head];
+            if depth[v as usize] > current_level {
+                current_level = depth[v as usize];
+                level_start.push(head as u32);
+            }
+            first_child_pos.push(order.len() as u32);
+            for &c in tree.children(v) {
+                depth[c as usize] = depth[v as usize] + 1;
+                parent_pos.push(head as u32);
+                order.push(c);
+            }
+            head += 1;
+        }
+        level_start.push(n as u32);
+        first_child_pos.push(n as u32);
+
+        // Pass 2: reverse BFS accumulates subtree sizes and heights (every
+        // child is processed before its parent).
+        let mut subtree_size = vec![1u32; n];
+        let mut subtree_height = vec![0u32; n];
+        for pos in (1..n).rev() {
+            let v = order[pos] as usize;
+            let p = tree.parent_array()[v] as usize;
+            subtree_size[p] += subtree_size[v];
+            subtree_height[p] = subtree_height[p].max(subtree_height[v] + 1);
+        }
+
+        LevelIndex {
+            order,
+            level_start,
+            depth,
+            subtree_size,
+            subtree_height,
+            parent_pos,
+            first_child_pos,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the index covers no nodes (never produced by [`FlatTree`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The height of the tree (maximum depth).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.level_start.len() - 2
+    }
+
+    /// Number of levels (`height + 1`).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.level_start.len() - 1
+    }
+
+    /// The nodes of depth `d`, in BFS order.
+    #[inline]
+    pub fn level(&self, d: usize) -> &[u32] {
+        let lo = self.level_start[d] as usize;
+        let hi = self.level_start[d + 1] as usize;
+        &self.order[lo..hi]
+    }
+
+    /// The BFS-position range of depth `d`.
+    #[inline]
+    pub fn level_range(&self, d: usize) -> std::ops::Range<usize> {
+        self.level_start[d] as usize..self.level_start[d + 1] as usize
+    }
+
+    /// All nodes in BFS order (position → node id).
+    #[inline]
+    pub fn bfs_order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Depth of every node, indexed by node id.
+    #[inline]
+    pub fn depths(&self) -> &[u32] {
+        &self.depth
+    }
+
+    /// Subtree size of every node, indexed by node id.
+    #[inline]
+    pub fn subtree_sizes(&self) -> &[u32] {
+        &self.subtree_size
+    }
+
+    /// Subtree height of every node, indexed by node id (0 for leaves).
+    #[inline]
+    pub fn subtree_heights(&self) -> &[u32] {
+        &self.subtree_height
+    }
+
+    /// BFS position → BFS position of the parent ([`Self::NO_POS`] at the
+    /// root, which always sits at position 0).
+    #[inline]
+    pub fn parent_positions(&self) -> &[u32] {
+        &self.parent_pos
+    }
+
+    /// The monotone child offsets over BFS positions: children of the node at
+    /// position `i` occupy positions `offsets[i] .. offsets[i + 1]`.
+    #[inline]
+    pub fn child_pos_offsets(&self) -> &[u32] {
+        &self.first_child_pos
+    }
+
+    /// The BFS-position range of the children of the node at position `pos`.
+    #[inline]
+    pub fn children_pos(&self, pos: usize) -> std::ops::Range<usize> {
+        self.first_child_pos[pos] as usize..self.first_child_pos[pos + 1] as usize
     }
 }
 
@@ -406,5 +599,68 @@ mod tests {
         assert!(flat.is_leaf(0));
         assert_eq!(flat.height(), 0);
         flat.validate().unwrap();
+    }
+
+    #[test]
+    fn level_index_matches_arena_traversals() {
+        let arena = generators::random_skewed(2, 301, 0.7, 5);
+        let flat = FlatTree::from_tree(&arena);
+        let idx = flat.level_index();
+        let bfs: Vec<u32> = arena.bfs_order().iter().map(|v| v.0).collect();
+        assert_eq!(idx.bfs_order(), bfs.as_slice());
+        let depths: Vec<u32> = arena.depths().iter().map(|&d| d as u32).collect();
+        assert_eq!(idx.depths(), depths.as_slice());
+        let sizes: Vec<u32> = arena.subtree_sizes().iter().map(|&s| s as u32).collect();
+        assert_eq!(idx.subtree_sizes(), sizes.as_slice());
+        let heights: Vec<u32> = arena.subtree_heights().iter().map(|&h| h as u32).collect();
+        assert_eq!(idx.subtree_heights(), heights.as_slice());
+        assert_eq!(idx.height(), arena.height());
+    }
+
+    #[test]
+    fn level_index_level_slices_partition_the_bfs_order() {
+        let flat = FlatTree::random_full(3, 301, 9);
+        let idx = flat.level_index();
+        let mut seen = 0usize;
+        for d in 0..idx.num_levels() {
+            let level = idx.level(d);
+            assert!(!level.is_empty(), "level {d} empty");
+            for &v in level {
+                assert_eq!(idx.depths()[v as usize] as usize, d);
+            }
+            assert_eq!(idx.level_range(d).start, seen);
+            seen += level.len();
+        }
+        assert_eq!(seen, flat.len());
+    }
+
+    #[test]
+    fn level_index_bfs_view_is_a_csr_tree() {
+        let flat = FlatTree::random_full(2, 201, 4);
+        let idx = flat.level_index();
+        let order = idx.bfs_order();
+        let offsets = idx.child_pos_offsets();
+        // Monotone offsets; children ranges agree with the id-space CSR view.
+        for pos in 0..flat.len() {
+            assert!(offsets[pos] <= offsets[pos + 1]);
+            let children: Vec<u32> = idx.children_pos(pos).map(|q| order[q]).collect();
+            assert_eq!(children.as_slice(), flat.children(order[pos]));
+            for q in idx.children_pos(pos) {
+                assert_eq!(idx.parent_positions()[q] as usize, pos);
+            }
+        }
+        assert_eq!(idx.parent_positions()[0], LevelIndex::NO_POS);
+    }
+
+    #[test]
+    fn level_index_singleton() {
+        let idx = FlatTree::balanced(2, 0).level_index();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.num_levels(), 1);
+        assert_eq!(idx.height(), 0);
+        assert_eq!(idx.level(0), &[0]);
+        assert!(idx.children_pos(0).is_empty());
+        assert_eq!(idx.subtree_sizes(), &[1]);
+        assert_eq!(idx.subtree_heights(), &[0]);
     }
 }

@@ -6,7 +6,8 @@
 //!
 //! * an arena-based rooted tree type ([`RootedTree`], [`NodeId`]),
 //! * a flat compressed-sparse-row view with streaming million-node generators
-//!   ([`flat`]: [`FlatTree`]),
+//!   and a precomputed level index for level-synchronous passes
+//!   ([`flat`]: [`FlatTree`], [`LevelIndex`]),
 //! * traversal and measurement helpers ([`traversal`]),
 //! * generators for the tree families used throughout the paper
 //!   ([`generators`]: balanced and random full δ-ary trees, hairy paths),
@@ -36,6 +37,6 @@ pub mod rcp;
 pub mod traversal;
 pub mod tree;
 
-pub use flat::FlatTree;
-pub use rcp::{rcp_partition, RcpPartition};
+pub use flat::{FlatTree, LevelIndex};
+pub use rcp::{rcp_partition, rcp_partition_flat, FlatRcp, RcpPartition};
 pub use tree::{NodeId, RootedTree, TreeBuilder};

@@ -10,6 +10,7 @@
 //! provides the sequential reference implementation used by tests, the classifier's
 //! solvers, and the experiment harness.
 
+use crate::flat::FlatTree;
 use crate::tree::{NodeId, RootedTree};
 
 /// How a node was removed by `RCP(p)`.
@@ -200,6 +201,188 @@ pub fn rcp_partition(tree: &RootedTree, p: usize) -> RcpPartition {
     }
 }
 
+/// The result of running `RCP(p)` on a [`FlatTree`]: the same partition as
+/// [`rcp_partition`], stored in flat CSR arrays with the compress runs recorded
+/// during construction (so the O(log n) solver never re-walks the tree to find
+/// them).
+///
+/// Unlike the arena version — which rescans *all* nodes on every layer,
+/// O(n log n) total — the flat version keeps a compacted worklist of the alive
+/// nodes; because each `RCP(p)` step removes at least a `1/(6p)` fraction
+/// (Lemma 5.9) the total work is O(p·n) with no per-layer allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatRcp {
+    /// The parameter `p` the partition was computed with.
+    pub p: usize,
+    /// Layer of each node (1-based, indexed by node id).
+    pub layer: Vec<u32>,
+    /// How each node was removed, indexed by node id.
+    pub kind: Vec<RemovalKind>,
+    /// CSR offsets over [`Self::layer_nodes`]: layer `i` (1-based) holds the
+    /// nodes `layer_nodes[layer_start[i - 1] .. layer_start[i]]`.
+    layer_start: Vec<u32>,
+    layer_nodes: Vec<u32>,
+    /// CSR offsets over [`Self::run_nodes`], one run per entry pair.
+    run_start: Vec<u32>,
+    /// The compress runs, each top-down, grouped by layer.
+    run_nodes: Vec<u32>,
+    /// CSR offsets over runs: layer `i` owns the runs
+    /// `runs_by_layer_start[i - 1] .. runs_by_layer_start[i]`.
+    runs_by_layer_start: Vec<u32>,
+}
+
+impl FlatRcp {
+    /// Number of layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.layer_start.len() - 1
+    }
+
+    /// Layer of a node (1-based).
+    pub fn layer_of(&self, v: u32) -> usize {
+        self.layer[v as usize] as usize
+    }
+
+    /// The nodes of layer `i` (1-based), rakes first (ascending id), then the
+    /// compress components in discovery order, each top-down — the same order
+    /// as the arena partition's `layers[i - 1]`.
+    pub fn nodes_of_layer(&self, i: usize) -> &[u32] {
+        let lo = self.layer_start[i - 1] as usize;
+        let hi = self.layer_start[i] as usize;
+        &self.layer_nodes[lo..hi]
+    }
+
+    /// The maximal vertical compress runs of layer `i` (1-based), each
+    /// top-down.
+    pub fn runs_of_layer(&self, i: usize) -> impl Iterator<Item = &[u32]> {
+        let lo = self.runs_by_layer_start[i - 1] as usize;
+        let hi = self.runs_by_layer_start[i] as usize;
+        (lo..hi).map(move |r| {
+            &self.run_nodes[self.run_start[r] as usize..self.run_start[r + 1] as usize]
+        })
+    }
+
+    /// All compress runs across all layers, in layer order.
+    pub fn runs(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.run_start.len() - 1).map(move |r| {
+            &self.run_nodes[self.run_start[r] as usize..self.run_start[r + 1] as usize]
+        })
+    }
+}
+
+/// Runs `RCP(p)` (Definition 5.8) on a [`FlatTree`] — the CSR counterpart of
+/// [`rcp_partition`], producing the identical partition (same layer and kind
+/// per node, same per-layer node order). See [`FlatRcp`] for the complexity
+/// difference.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn rcp_partition_flat(tree: &FlatTree, p: usize) -> FlatRcp {
+    assert!(p >= 1, "RCP parameter p must be at least 1");
+    let n = tree.len();
+    let mut removed = vec![false; n];
+    let mut layer = vec![0u32; n];
+    let mut kind = vec![RemovalKind::Rake; n];
+    let mut indegree: Vec<u32> = (0..n as u32).map(|v| tree.num_children(v) as u32).collect();
+    // Per-layer visit stamps for component walks (epoch = layer number, so the
+    // array is never cleared).
+    let mut visited = vec![0u32; n];
+    let mut alive: Vec<u32> = (0..n as u32).collect();
+    let mut component: Vec<u32> = Vec::new();
+
+    let mut layer_nodes: Vec<u32> = Vec::with_capacity(n);
+    let mut layer_start: Vec<u32> = vec![0];
+    let mut run_nodes: Vec<u32> = Vec::new();
+    let mut run_start: Vec<u32> = vec![0];
+    let mut runs_by_layer_start: Vec<u32> = vec![0];
+
+    let mut current_layer = 0u32;
+    while !alive.is_empty() {
+        current_layer += 1;
+        let layer_begin = layer_nodes.len();
+
+        // Rake: current leaves, in ascending id order (`alive` stays sorted).
+        for &v in &alive {
+            if indegree[v as usize] == 0 {
+                layer_nodes.push(v);
+                kind[v as usize] = RemovalKind::Rake;
+                layer[v as usize] = current_layer;
+            }
+        }
+
+        // Compress: indegree-1 components (vertical paths) of size >= p.
+        for &v in &alive {
+            if indegree[v as usize] != 1 || visited[v as usize] == current_layer {
+                continue;
+            }
+            // Walk to the top of the component.
+            let mut top = v;
+            while let Some(pp) = tree.parent(top) {
+                if !removed[pp as usize] && indegree[pp as usize] == 1 {
+                    top = pp;
+                } else {
+                    break;
+                }
+            }
+            // Walk down, stamping and collecting the component.
+            component.clear();
+            let mut cur = top;
+            loop {
+                visited[cur as usize] = current_layer;
+                component.push(cur);
+                let next = tree
+                    .children(cur)
+                    .iter()
+                    .copied()
+                    .find(|&c| !removed[c as usize] && indegree[c as usize] == 1);
+                match next {
+                    Some(c) if visited[c as usize] != current_layer => cur = c,
+                    _ => break,
+                }
+            }
+            if component.len() >= p {
+                for &u in &component {
+                    layer_nodes.push(u);
+                    kind[u as usize] = RemovalKind::Compress;
+                    layer[u as usize] = current_layer;
+                }
+                run_nodes.extend_from_slice(&component);
+                run_start.push(run_nodes.len() as u32);
+            }
+        }
+
+        assert!(
+            layer_nodes.len() > layer_begin,
+            "RCP must remove at least one node per step on a non-empty tree"
+        );
+
+        for &v in &layer_nodes[layer_begin..] {
+            removed[v as usize] = true;
+        }
+        for &v in &layer_nodes[layer_begin..] {
+            if let Some(pp) = tree.parent(v) {
+                if !removed[pp as usize] {
+                    indegree[pp as usize] -= 1;
+                }
+            }
+        }
+        alive.retain(|&v| !removed[v as usize]);
+        layer_start.push(layer_nodes.len() as u32);
+        runs_by_layer_start.push(run_start.len() as u32 - 1);
+    }
+
+    FlatRcp {
+        p,
+        layer,
+        kind,
+        layer_start,
+        layer_nodes,
+        run_start,
+        run_nodes,
+        runs_by_layer_start,
+    }
+}
+
 /// Checks the defining properties of an `RCP(p)` partition. Used by tests and by
 /// the property-based suite; returns a description of the first violation found.
 pub fn validate_partition(tree: &RootedTree, part: &RcpPartition) -> Result<(), String> {
@@ -349,5 +532,46 @@ mod tests {
         let part = rcp_partition(&t, 10);
         assert!(part.kind.iter().all(|&k| k == RemovalKind::Rake));
         assert_eq!(part.num_layers(), 5);
+    }
+
+    /// Asserts that the flat partition matches the arena partition exactly:
+    /// same layer/kind per node, same per-layer node order, same runs.
+    fn assert_flat_matches_arena(t: &RootedTree, p: usize) {
+        let arena = rcp_partition(t, p);
+        let flat = rcp_partition_flat(&FlatTree::from_tree(t), p);
+        assert_eq!(flat.p, arena.p);
+        assert_eq!(flat.num_layers(), arena.num_layers());
+        let arena_layer: Vec<u32> = arena.layer.iter().map(|&l| l as u32).collect();
+        assert_eq!(flat.layer, arena_layer);
+        assert_eq!(flat.kind, arena.kind);
+        for (i, nodes) in arena.layers.iter().enumerate() {
+            let expected: Vec<u32> = nodes.iter().map(|v| v.0).collect();
+            assert_eq!(flat.nodes_of_layer(i + 1), expected.as_slice(), "layer {i}");
+        }
+        let arena_runs: Vec<Vec<u32>> = arena
+            .compress_runs(t)
+            .into_iter()
+            .map(|run| run.into_iter().map(|v| v.0).collect())
+            .collect();
+        let flat_runs: Vec<Vec<u32>> = flat.runs().map(|r| r.to_vec()).collect();
+        assert_eq!(flat_runs, arena_runs);
+        // Per-layer run grouping is consistent with the global run list.
+        let regrouped: Vec<Vec<u32>> = (1..=flat.num_layers())
+            .flat_map(|i| flat.runs_of_layer(i).map(|r| r.to_vec()))
+            .collect();
+        assert_eq!(regrouped, flat_runs);
+    }
+
+    #[test]
+    fn flat_partition_matches_arena_on_all_shapes() {
+        for seed in 0..3 {
+            assert_flat_matches_arena(&generators::random_full(2, 501, seed), 3);
+        }
+        assert_flat_matches_arena(&generators::balanced(2, 6), 4);
+        assert_flat_matches_arena(&generators::hairy_path(2, 100), 3);
+        assert_flat_matches_arena(&generators::path(64), 2);
+        assert_flat_matches_arena(&generators::random_skewed(2, 801, 0.9, 5), 4);
+        assert_flat_matches_arena(&generators::random_full(3, 301, 7), 5);
+        assert_flat_matches_arena(&RootedTree::singleton(), 3);
     }
 }

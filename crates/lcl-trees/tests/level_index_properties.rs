@@ -1,0 +1,118 @@
+//! Seeded property tests for the [`LevelIndex`]: across the random /
+//! balanced / hairy-path generators, the level slices must partition `0..n`
+//! in depth order, and the BFS order, depths, and subtree aggregates must
+//! match the arena traversals bit-for-bit per seed.
+
+use lcl_trees::{generators, FlatTree, LevelIndex, RootedTree};
+
+/// One full property check of `flat`'s level index against its arena twin.
+fn check_index(arena: &RootedTree, flat: &FlatTree, context: &str) {
+    let idx = flat.level_index();
+    let n = flat.len();
+    assert_eq!(idx.len(), n, "{context}");
+
+    // Bit-for-bit agreement with the arena traversals.
+    let bfs: Vec<u32> = arena.bfs_order().iter().map(|v| v.0).collect();
+    assert_eq!(idx.bfs_order(), bfs.as_slice(), "{context}: bfs order");
+    let depths: Vec<u32> = arena.depths().iter().map(|&d| d as u32).collect();
+    assert_eq!(idx.depths(), depths.as_slice(), "{context}: depths");
+    let sizes: Vec<u32> = arena.subtree_sizes().iter().map(|&s| s as u32).collect();
+    assert_eq!(idx.subtree_sizes(), sizes.as_slice(), "{context}: sizes");
+    let heights: Vec<u32> = arena.subtree_heights().iter().map(|&h| h as u32).collect();
+    assert_eq!(
+        idx.subtree_heights(),
+        heights.as_slice(),
+        "{context}: heights"
+    );
+    assert_eq!(idx.height(), arena.height(), "{context}: height");
+    assert_eq!(idx.num_levels(), arena.height() + 1, "{context}");
+
+    // The level slices partition 0..n: every position appears exactly once,
+    // in depth order, and every node of depth d sits in slice d.
+    let mut covered = 0usize;
+    let mut seen = vec![false; n];
+    for d in 0..idx.num_levels() {
+        let range = idx.level_range(d);
+        assert_eq!(range.start, covered, "{context}: level {d} not contiguous");
+        assert!(!range.is_empty(), "{context}: level {d} empty");
+        for &v in idx.level(d) {
+            assert!(!seen[v as usize], "{context}: node {v} in two levels");
+            seen[v as usize] = true;
+            assert_eq!(idx.depths()[v as usize] as usize, d, "{context}");
+        }
+        covered = range.end;
+    }
+    assert_eq!(covered, n, "{context}: levels must cover every position");
+    assert!(seen.into_iter().all(|s| s), "{context}: node missing");
+
+    // The BFS-view CSR invariant: monotone child offsets whose ranges list
+    // exactly the CSR children, with consistent parent positions.
+    let order = idx.bfs_order();
+    for pos in 0..n {
+        let children: Vec<u32> = idx.children_pos(pos).map(|q| order[q]).collect();
+        assert_eq!(
+            children.as_slice(),
+            flat.children(order[pos]),
+            "{context}: children of position {pos}"
+        );
+        for q in idx.children_pos(pos) {
+            assert_eq!(idx.parent_positions()[q] as usize, pos, "{context}");
+        }
+    }
+    assert_eq!(idx.parent_positions()[0], LevelIndex::NO_POS, "{context}");
+}
+
+#[test]
+fn random_full_trees_index_correctly_per_seed() {
+    for delta in [1usize, 2, 3] {
+        for seed in 0..6 {
+            let arena = generators::random_full(delta, 301, seed);
+            let flat = FlatTree::from_tree(&arena);
+            // The streaming generator builds the identical tree, so its index
+            // is the same object.
+            assert_eq!(flat, FlatTree::random_full(delta, 301, seed));
+            check_index(&arena, &flat, &format!("random δ={delta} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn balanced_trees_index_correctly() {
+    for (delta, depth) in [(1usize, 7usize), (2, 6), (3, 4)] {
+        let arena = generators::balanced(delta, depth);
+        let flat = FlatTree::balanced(delta, depth);
+        check_index(&arena, &flat, &format!("balanced δ={delta} depth={depth}"));
+        // A balanced tree's level d holds exactly delta^d nodes.
+        let idx = flat.level_index();
+        let mut expected = 1usize;
+        for d in 0..=depth {
+            assert_eq!(idx.level(d).len(), expected);
+            expected *= delta;
+        }
+    }
+}
+
+#[test]
+fn hairy_paths_index_correctly() {
+    for (delta, spine) in [(1usize, 9usize), (2, 40), (3, 25)] {
+        let arena = generators::hairy_path(delta, spine);
+        let flat = FlatTree::hairy_path(delta, spine);
+        check_index(&arena, &flat, &format!("hairy δ={delta} spine={spine}"));
+        // Every spine level below the root holds δ nodes (one spine
+        // continuation plus δ−1 leaves), except the deepest.
+        let idx = flat.level_index();
+        assert_eq!(idx.height(), spine);
+        for d in 1..spine {
+            assert_eq!(idx.level(d).len(), delta);
+        }
+    }
+}
+
+#[test]
+fn skewed_trees_index_correctly_per_seed() {
+    for seed in 0..4 {
+        let arena = generators::random_skewed(2, 401, 0.8, seed);
+        let flat = FlatTree::from_tree(&arena);
+        check_index(&arena, &flat, &format!("skewed seed={seed}"));
+    }
+}

@@ -14,12 +14,17 @@
 //!   solver must fail to find any labeling on a deep tree (and if it ever
 //!   returns one that verifies, the classifier is wrong);
 //! * the engine's memoized decision-only path must agree with the full
-//!   report's complexity (canonicalization soundness).
+//!   report's complexity (canonicalization soundness);
+//! * the **flat solver engine** must agree with the arena path — its labeling
+//!   must pass both checkers too, and its round accounting must be
+//!   byte-identical to the arena solver's (every phase is deterministic given
+//!   the tree and identifier assignment).
 //!
 //! Any violated expectation is recorded as a [`Discrepancy`]; a healthy
 //! repository reports none over arbitrarily many iterations. The oracle is
 //! fully deterministic per `(seed, iters)` pair.
 
+use lcl_algorithms::flat::{solve_flat, SolveScratch};
 use lcl_algorithms::solve::{solve, SolveError};
 use lcl_core::{greedy, ClassificationEngine, Complexity, Label};
 use lcl_problems::random::{random_problem, RandomProblemSpec};
@@ -110,6 +115,7 @@ fn tree_shapes(delta: usize, rng: &mut SplitMix64) -> Vec<(&'static str, FlatTre
 pub fn fuzz_classifier_vs_solvers(seed: u64, iters: usize) -> FuzzReport {
     let mut rng = SplitMix64::seed_from_u64(seed);
     let engine = ClassificationEngine::new();
+    let mut scratch = SolveScratch::new();
     let mut report = FuzzReport {
         seed,
         iterations: iters,
@@ -190,7 +196,7 @@ pub fn fuzz_classifier_vs_solvers(seed: u64, iters: usize) -> FuzzReport {
         for (shape, flat) in tree_shapes(problem.delta(), &mut rng) {
             let arena = flat.to_rooted();
             let ids = IdAssignment::random_permutation(&arena, rng.next_u64());
-            let outcome = match solve(&problem, &full, &arena, ids) {
+            let outcome = match solve(&problem, &full, &arena, ids.clone()) {
                 Ok(outcome) => outcome,
                 Err(SolveError::CertificateTooLarge(_)) => {
                     report.skipped_certificates += 1;
@@ -203,6 +209,40 @@ pub fn fuzz_classifier_vs_solvers(seed: u64, iters: usize) -> FuzzReport {
             };
             report.solver_runs += 1;
             report.validated_nodes += flat.len();
+
+            // Flat-vs-arena agreement: the flat engine must also solve the
+            // instance, produce a labeling both checkers accept, and report
+            // byte-identical round accounting.
+            let idx = flat.level_index();
+            match solve_flat(&problem, &full, &flat, &idx, &ids, &mut scratch) {
+                Ok(flat_outcome) => {
+                    if flat_outcome.rounds.phases() != outcome.rounds.phases() {
+                        record(
+                            shape,
+                            format!(
+                                "flat round accounting {:?} differs from arena {:?}",
+                                flat_outcome.rounds.phases(),
+                                outcome.rounds.phases()
+                            ),
+                        );
+                    }
+                    let fast = validator.validate_parallel(&flat, &flat_outcome.labels);
+                    let mut labeling = lcl_core::Labeling::new(flat.len());
+                    for (v, &l) in flat_outcome.labels.iter().enumerate() {
+                        labeling.set(lcl_trees::NodeId(v as u32), l);
+                    }
+                    let reference = labeling.verify(&arena, &problem);
+                    if let Err(e) = reference {
+                        record(shape, format!("flat solver labeling invalid: {e}"));
+                    } else if let Err(e) = fast {
+                        record(
+                            shape,
+                            format!("CSR validator rejected a valid flat labeling: {e}"),
+                        );
+                    }
+                }
+                Err(e) => record(shape, format!("flat solver failed where arena solved: {e}")),
+            }
 
             let reference = outcome.labeling.verify(&arena, &problem);
             let labels: Vec<Label> = (0..flat.len() as u32)
