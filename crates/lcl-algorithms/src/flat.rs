@@ -33,7 +33,7 @@ use std::ops::Range;
 use lcl_core::automaton::Automaton;
 use lcl_core::{
     solvable_labels, ClassificationReport, Complexity, Configuration, ConstantCertificate, Label,
-    LabelSet, LclProblem, LogCertificate, LogStarCertificate,
+    LabelSet, LclProblem, LogCertificate, LogStarCertificate, PolyCertificate,
 };
 use lcl_sim::flat::{chain_color_reduction_flat, CvScratch};
 use lcl_sim::IdAssignment;
@@ -41,7 +41,8 @@ use lcl_trees::rcp::{rcp_partition_flat, RemovalKind};
 use lcl_trees::{FlatTree, LevelIndex};
 
 use crate::mis_four_rounds::MIS_TABLE;
-use crate::poly_solver::{pi_k_part_labels, Part};
+use crate::poly_solver::{pi_k_part_labels, poly_rounds, Part, PolyPart, POLY_ALGORITHM};
+use crate::primitives::ceil_nth_root;
 use crate::solve::{RoundReport, SolveError};
 
 /// Sentinel for "no label assigned yet" in flat label arrays.
@@ -718,7 +719,7 @@ pub fn pi_k_partition_pass(
 ) {
     assert!(k >= 1);
     let n = idx.len();
-    let threshold = (n as f64).powf(1.0 / k as f64).ceil() as usize;
+    let threshold = ceil_nth_root(n, k);
     reset(&mut scratch.part, n, Part::B(k));
     reset(&mut scratch.in_u, n, true);
     reset(&mut scratch.done, n, false);
@@ -868,13 +869,270 @@ pub fn solve_pi_k_flat(
         );
     }
     rounds.charged("component 2-colouring (within-component depth)", {
-        (idx.len() as f64).powf(1.0 / k as f64).ceil() as usize
+        ceil_nth_root(idx.len(), k)
     });
     FlatOutcome {
         labels,
         rounds,
         algorithm: "Π_k partition (Lemma 8.1)",
     }
+}
+
+// ---------------------------------------------------------------------------
+// The generalized B/X partition (exact exponent certificate)
+// ---------------------------------------------------------------------------
+
+/// The flat generalized partition: per-node parts, per-iteration chain runs,
+/// and the measured exploration depths — the CSR mirror of
+/// [`crate::poly_solver::poly_partition`], producing the identical partition
+/// (subtree sizes are accumulated in reverse BFS order instead of post-order,
+/// which visits children before parents all the same).
+struct FlatPolyPartition {
+    part: Vec<PolyPart>,
+    runs_by_iteration: Vec<Vec<Vec<u32>>>,
+    iteration_depths: Vec<usize>,
+}
+
+fn poly_partition_flat(
+    tree: &FlatTree,
+    idx: &LevelIndex,
+    cert: &PolyCertificate,
+) -> FlatPolyPartition {
+    let k = cert.exponent();
+    let n = idx.len();
+    let threshold = ceil_nth_root(n, k);
+    let mut part: Vec<PolyPart> = vec![PolyPart::Core; n];
+    let mut runs_by_iteration: Vec<Vec<Vec<u32>>> = Vec::new();
+    let mut iteration_depths = Vec::new();
+    let subtree_heights = idx.subtree_heights();
+    let order = idx.bfs_order();
+    let parents = tree.parent_array();
+
+    let mut in_u = vec![true; n];
+    let mut frontier: Vec<u32> = (0..n as u32).collect();
+    let mut size = vec![0usize; n];
+    let mut live_children = vec![0usize; n];
+
+    for i in 1..k {
+        let mut runs: Vec<Vec<u32>> = Vec::new();
+        if frontier.is_empty() {
+            runs_by_iteration.push(runs);
+            iteration_depths.push(0);
+            continue;
+        }
+        for &v in &frontier {
+            size[v as usize] = 1;
+        }
+        for pos in (1..n).rev() {
+            let v = order[pos] as usize;
+            if !in_u[v] {
+                continue;
+            }
+            let p = parents[v] as usize;
+            if in_u[p] {
+                size[p] += size[v];
+            }
+        }
+        iteration_depths.push(
+            threshold.min(
+                frontier
+                    .iter()
+                    .map(|&v| subtree_heights[v as usize] as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            ),
+        );
+        for &v in &frontier {
+            if size[v as usize] <= threshold {
+                part[v as usize] = PolyPart::Rake(i);
+                in_u[v as usize] = false;
+            }
+        }
+        frontier.retain(|&v| in_u[v as usize]);
+        for &v in &frontier {
+            live_children[v as usize] = tree
+                .children(v)
+                .iter()
+                .filter(|&&c| in_u[c as usize])
+                .count();
+        }
+        let is_candidate =
+            |v: u32, in_u: &[bool], live: &[usize]| in_u[v as usize] && live[v as usize] == 1;
+        let min_run = cert.levels[i - 1].chain_threshold.max(1);
+        for &v in &frontier {
+            if !is_candidate(v, &in_u, &live_children) {
+                continue;
+            }
+            let parent_is_candidate = tree
+                .parent(v)
+                .is_some_and(|p| is_candidate(p, &in_u, &live_children));
+            if parent_is_candidate {
+                continue;
+            }
+            let mut run = vec![v];
+            let mut cur = v;
+            loop {
+                let next = tree
+                    .children(cur)
+                    .iter()
+                    .copied()
+                    .find(|&c| in_u[c as usize])
+                    .expect("candidates have exactly one remaining child");
+                if !is_candidate(next, &in_u, &live_children) {
+                    break;
+                }
+                run.push(next);
+                cur = next;
+            }
+            if run.len() >= min_run {
+                runs.push(run);
+            }
+        }
+        for run in &runs {
+            for &v in run {
+                part[v as usize] = PolyPart::Chain(i);
+                in_u[v as usize] = false;
+            }
+        }
+        frontier.retain(|&v| in_u[v as usize]);
+        runs_by_iteration.push(runs);
+    }
+
+    FlatPolyPartition {
+        part,
+        runs_by_iteration,
+        iteration_depths,
+    }
+}
+
+/// Flat counterpart of [`crate::poly_solver::solve_poly`]: the generalized
+/// certificate-driven B/X-partition solver over CSR arrays, with the reusable
+/// automaton-walk buffers of the scratch so chain completion allocates only
+/// for the partition itself. Round accounting is byte-identical to the arena
+/// solver (same measured depths, same charged constants).
+pub fn solve_poly_flat(
+    problem: &LclProblem,
+    cert: &PolyCertificate,
+    tree: &FlatTree,
+    idx: &LevelIndex,
+    scratch: &mut SolveScratch,
+) -> Result<FlatOutcome, String> {
+    let k = cert.exponent();
+    let partition = poly_partition_flat(tree, idx, cert);
+    let restrictions: Vec<LclProblem> = cert
+        .levels
+        .iter()
+        .map(|level| problem.restrict_to(level.labels))
+        .collect();
+    let automata: Vec<Automaton> = restrictions.iter().map(Automaton::of).collect();
+    let n = idx.len();
+    let order = idx.bfs_order();
+    reset(&mut scratch.labels_id, n, NO_LABEL);
+    let labels = &mut scratch.labels_id;
+    let walk = &mut scratch.walk;
+    let reach = &mut scratch.reach;
+
+    for layer in (1..=k).rev() {
+        if layer < k {
+            let restricted = &restrictions[layer - 1];
+            let automaton = &automata[layer - 1];
+            let scc = cert.levels[layer - 1].scc;
+            for run in &partition.runs_by_iteration[layer - 1] {
+                let top = run[0];
+                if labels[top as usize] == NO_LABEL {
+                    // Top with a lower-layer parent (global root or the
+                    // attachment below an earlier iteration's chain): free
+                    // choice in C_i, like the arena solver.
+                    labels[top as usize] = scc.first().expect("flexible SCCs are non-empty");
+                }
+                let start = labels[top as usize];
+                let bottom = *run.last().expect("runs are non-empty");
+                let below = tree
+                    .children(bottom)
+                    .iter()
+                    .copied()
+                    .find(|&c| labels[c as usize] != NO_LABEL);
+                let found = match below {
+                    Some(c) => {
+                        automaton.find_walk_into(start, labels[c as usize], run.len(), reach, walk)
+                    }
+                    None => scc
+                        .iter()
+                        .any(|t| automaton.find_walk_into(start, t, run.len(), reach, walk)),
+                };
+                if !found {
+                    return Err(format!(
+                        "no walk of length {} from {} in the level-{layer} automaton \
+                         (run shorter than the chain threshold?)",
+                        run.len(),
+                        restricted.label_name(start)
+                    ));
+                }
+                for (j, &node) in run.iter().enumerate() {
+                    labels[node as usize] = walk[j];
+                    let required = if j + 1 < run.len() {
+                        Some((run[j + 1], walk[j + 1]))
+                    } else {
+                        below.map(|c| (c, labels[c as usize]))
+                    };
+                    assign_children_flat(restricted, labels, tree, node, required)?;
+                }
+            }
+        }
+        let restricted = &restrictions[layer - 1];
+        let wanted = |p: PolyPart| match p {
+            PolyPart::Rake(i) => i == layer,
+            PolyPart::Core => layer == k,
+            PolyPart::Chain(_) => false,
+        };
+        for &v in order.iter() {
+            if !wanted(partition.part[v as usize]) {
+                continue;
+            }
+            if labels[v as usize] == NO_LABEL {
+                labels[v as usize] = restricted.labels().first().expect("non-empty level");
+            }
+            assign_children_flat(restricted, labels, tree, v, None)?;
+        }
+    }
+
+    if labels.contains(&NO_LABEL) {
+        return Err("generalized partition completion left unlabeled nodes".into());
+    }
+    let labels = labels.clone();
+
+    let rounds = poly_rounds(&partition.iteration_depths, cert, |kind| {
+        flat_piece_depths(tree, order, &partition.part, kind)
+    });
+    Ok(FlatOutcome {
+        labels,
+        rounds,
+        algorithm: POLY_ALGORITHM,
+    })
+}
+
+/// The maximal within-piece depth over all pieces of the selected kind — the
+/// flat twin of the arena solver's measured completion phases.
+fn flat_piece_depths(
+    tree: &FlatTree,
+    order: &[u32],
+    part: &[PolyPart],
+    kind: fn(PolyPart) -> bool,
+) -> usize {
+    let mut depth = vec![0usize; part.len()];
+    let mut max_depth = 0usize;
+    for &v in order {
+        if !kind(part[v as usize]) {
+            continue;
+        }
+        let d = match tree.parent(v) {
+            Some(p) if part[p as usize] == part[v as usize] => depth[p as usize] + 1,
+            _ => 1,
+        };
+        depth[v as usize] = d;
+        max_depth = max_depth.max(d);
+    }
+    max_depth
 }
 
 // ---------------------------------------------------------------------------
@@ -972,7 +1230,10 @@ pub fn solve_flat(
             solve_log_flat(problem, cert, tree, scratch).map_err(SolveError::Internal)
         }
         Complexity::Polynomial { .. } => {
-            solve_greedy_flat(problem, idx, scratch).ok_or(SolveError::Unsolvable)
+            let cert = report
+                .poly_certificate()
+                .expect("polynomial class implies an exponent certificate");
+            solve_poly_flat(problem, cert, tree, idx, scratch).map_err(SolveError::Internal)
         }
     }
 }

@@ -8,8 +8,8 @@
 //! | O(1) | [`mis_four_rounds`] (the explicit 4-round MIS algorithm), [`constant_solver`] (generic, from a certificate for O(1) solvability) | Section 1.3, Theorem 7.2 |
 //! | Θ(log* n) | [`log_star_solver`] (tree splitting driven by a uniform certificate) | Theorem 6.3 |
 //! | Θ(log n) | [`log_solver`] (rake-and-compress driven by a certificate for O(log n) solvability) | Theorem 5.1 |
-//! | Θ(n^{1/k}) | [`poly_solver`] (the partition algorithm for Π_k) | Lemma 8.1 |
-//! | Θ(n) | [`poly_solver::solve_by_depth_parity`] and the greedy baseline in `lcl-core` | Section 2.1.1 |
+//! | Θ(n^{1/k}) | [`poly_solver::solve_poly`] (generalized B/X partition driven by the exact-exponent certificate), [`poly_solver::solve_pi_k`] (the Π_k special case) | Section 5, Lemma 8.1 |
+//! | Θ(n) | [`solve::solve_baseline`] (global greedy sweep, the `--baseline` fallback) and [`poly_solver::solve_by_depth_parity`] | Section 2.1.1 |
 //!
 //! ## Round accounting
 //!
@@ -37,4 +37,6 @@ pub mod primitives;
 pub mod solve;
 
 pub use flat::{solve_flat, FlatOutcome, SolveScratch};
-pub use solve::{solve, RoundReport, SolveError, SolverOutcome};
+pub use poly_solver::{poly_partition, solve_poly, PolyPart, PolyPartition};
+pub use primitives::ceil_nth_root;
+pub use solve::{solve, solve_baseline, RoundReport, SolveError, SolverOutcome};

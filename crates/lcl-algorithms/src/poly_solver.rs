@@ -1,9 +1,12 @@
-//! The polynomial region (Section 8): the O(n^{1/k}) CONGEST algorithm for Π_k
-//! (Lemma 8.1) and the Θ(n) depth-parity baseline for 2-coloring.
+//! The polynomial region: the generalized B/X-partition solver driven by the
+//! exact-exponent certificate (Section 5), the O(n^{1/k}) CONGEST algorithm
+//! for Π_k (Lemma 8.1), and the Θ(n) depth-parity baseline for 2-coloring.
 
-use lcl_core::{Labeling, LclProblem};
+use lcl_core::automaton::Automaton;
+use lcl_core::{Label, Labeling, LclProblem, PolyCertificate};
 use lcl_trees::{NodeId, RootedTree};
 
+use crate::primitives::ceil_nth_root;
 use crate::solve::{RoundReport, SolverOutcome};
 
 /// The partition computed by the algorithm of Lemma 8.1:
@@ -34,7 +37,7 @@ pub enum Part {
 pub fn pi_k_partition(tree: &RootedTree, k: usize) -> PiKPartition {
     assert!(k >= 1);
     let n = tree.len();
-    let threshold = (n as f64).powf(1.0 / k as f64).ceil() as usize;
+    let threshold = ceil_nth_root(n, k);
     let mut part: Vec<Option<Part>> = vec![None; n];
     let mut iteration_depths = Vec::new();
     let subtree_heights = tree.subtree_heights();
@@ -154,7 +157,7 @@ pub fn solve_pi_k(problem: &LclProblem, k: usize, tree: &RootedTree) -> SolverOu
     }
     rounds.charged("component 2-colouring (within-component depth)", {
         // Components have at most n^{1/k} nodes, hence at most that depth.
-        (tree.len() as f64).powf(1.0 / k as f64).ceil() as usize
+        ceil_nth_root(tree.len(), k)
     });
     SolverOutcome {
         labeling,
@@ -187,6 +190,403 @@ pub(crate) fn pi_k_part_labels(
         .map(|i| (label(&format!("a{i}")), label(&format!("b{i}"))))
         .collect();
     (x_labels, ab_labels)
+}
+
+/// Membership in the generalized certificate-driven partition: `Rake(i)` holds
+/// the ≤ n^{1/k}-node subtrees peeled off at iteration `i` (labeled within the
+/// certificate's level-`i` set `S_i`), `Chain(i)` the long one-child runs
+/// completed by flexibility walks inside the level's flexible SCC `C_i`, and
+/// `Core` the remainder after `k − 1` iterations (labeled within `S_k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolyPart {
+    /// A small-subtree node removed at iteration `i` (1-based).
+    Rake(usize),
+    /// A long-run node removed at iteration `i` (1-based).
+    Chain(usize),
+    /// A survivor of all `k − 1` iterations.
+    Core,
+}
+
+/// The generalized B/X partition: per-node parts, the chain runs of each
+/// iteration (top-down within each run), and the measured per-iteration
+/// exploration depths.
+#[derive(Debug, Clone)]
+pub struct PolyPartition {
+    /// The exponent `k` the partition was computed for.
+    pub k: usize,
+    /// The subtree-size threshold `⌈n^{1/k}⌉`.
+    pub threshold: usize,
+    /// For every node, the part it belongs to.
+    pub part: Vec<PolyPart>,
+    /// The compressed runs of iteration `i` are `runs_by_iteration[i − 1]`,
+    /// each a vertical path listed top-down.
+    pub runs_by_iteration: Vec<Vec<Vec<NodeId>>>,
+    /// The measured per-iteration exploration depths (the O(n^{1/k}) terms).
+    pub iteration_depths: Vec<usize>,
+}
+
+/// Computes the generalized partition for the certificate's exponent `k`:
+/// iteration `i < k` removes every node whose remaining subtree has at most
+/// `⌈n^{1/k}⌉` nodes (`Rake(i)`, downward closed), then every maximal run of
+/// remaining nodes with exactly one remaining child whose length reaches the
+/// level's `chain_threshold` (`Chain(i)`); survivors of all iterations form
+/// the `Core`. Compare Lemma 8.1's B/X partition, which this generalizes: the
+/// rakes play the role of the `B_i` blocks and the chains the role of the
+/// `x_i` separators, with the chain threshold guaranteeing the flexibility
+/// walks of the labeling pass always exist.
+pub fn poly_partition(tree: &RootedTree, cert: &PolyCertificate) -> PolyPartition {
+    let k = cert.exponent();
+    assert!(k >= 1);
+    let n = tree.len();
+    let threshold = ceil_nth_root(n, k);
+    let mut part: Vec<PolyPart> = vec![PolyPart::Core; n];
+    let mut runs_by_iteration: Vec<Vec<Vec<NodeId>>> = Vec::new();
+    let mut iteration_depths = Vec::new();
+    let subtree_heights = tree.subtree_heights();
+    let post_order = tree.post_order();
+
+    let mut in_u = vec![true; n];
+    let mut frontier: Vec<NodeId> = tree.nodes().collect();
+    let mut size = vec![0usize; n];
+    // Number of children still in U (after rake removal: in U').
+    let mut live_children = vec![0usize; n];
+
+    for i in 1..k {
+        let mut runs: Vec<Vec<NodeId>> = Vec::new();
+        if frontier.is_empty() {
+            runs_by_iteration.push(runs);
+            iteration_depths.push(0);
+            continue;
+        }
+        // N_v: subtree sizes within the forest induced by U_i (children precede
+        // parents in post-order).
+        for &v in &frontier {
+            size[v.index()] = 1;
+        }
+        for &v in post_order.iter().filter(|v| in_u[v.index()]) {
+            if let Some(p) = tree.parent(v) {
+                if in_u[p.index()] {
+                    size[p.index()] += size[v.index()];
+                }
+            }
+        }
+        iteration_depths.push(
+            threshold.min(
+                frontier
+                    .iter()
+                    .map(|v| subtree_heights[v.index()] + 1)
+                    .max()
+                    .unwrap_or(0),
+            ),
+        );
+        // Rake: small subtrees (downward closed within U_i).
+        for &v in &frontier {
+            if size[v.index()] <= threshold {
+                part[v.index()] = PolyPart::Rake(i);
+                in_u[v.index()] = false;
+            }
+        }
+        frontier.retain(|&v| in_u[v.index()]);
+        // Chain candidates: U'-nodes with exactly one U'-child.
+        for &v in &frontier {
+            live_children[v.index()] = tree.children(v).iter().filter(|c| in_u[c.index()]).count();
+        }
+        let is_candidate = |v: NodeId, in_u: &[bool], live: &[usize]| -> bool {
+            in_u[v.index()] && live[v.index()] == 1
+        };
+        let min_run = cert.levels[i - 1].chain_threshold.max(1);
+        for &v in &frontier {
+            if !is_candidate(v, &in_u, &live_children) {
+                continue;
+            }
+            // Only start at run tops: the parent is not a candidate.
+            let parent_is_candidate = tree
+                .parent(v)
+                .is_some_and(|p| is_candidate(p, &in_u, &live_children));
+            if parent_is_candidate {
+                continue;
+            }
+            let mut run = vec![v];
+            let mut cur = v;
+            loop {
+                let next = tree
+                    .children(cur)
+                    .iter()
+                    .copied()
+                    .find(|c| in_u[c.index()])
+                    .expect("candidates have exactly one remaining child");
+                if !is_candidate(next, &in_u, &live_children) {
+                    break;
+                }
+                run.push(next);
+                cur = next;
+            }
+            if run.len() >= min_run {
+                runs.push(run);
+            }
+        }
+        for run in &runs {
+            for &v in run {
+                part[v.index()] = PolyPart::Chain(i);
+                in_u[v.index()] = false;
+            }
+        }
+        frontier.retain(|&v| in_u[v.index()]);
+        runs_by_iteration.push(runs);
+    }
+
+    PolyPartition {
+        k,
+        threshold,
+        part,
+        runs_by_iteration,
+        iteration_depths,
+    }
+}
+
+/// Assigns `node`'s children per a configuration of the restriction `within`
+/// that places `required` (if any) on the required child — the poly twin of
+/// the rake-and-compress solver's `assign_children`. Children whose label is
+/// already fixed from an earlier layer are left untouched *only* when they are
+/// the required child; the partition guarantees a node never has more than one
+/// pre-labeled child (the single below-chain attachment).
+fn assign_children_within(
+    within: &LclProblem,
+    labeling: &mut Labeling,
+    tree: &RootedTree,
+    node: NodeId,
+    required: Option<(NodeId, Label)>,
+) -> Result<(), String> {
+    if tree.is_leaf(node) {
+        return Ok(());
+    }
+    let parent_label = labeling
+        .get(node)
+        .expect("node labeled before its children");
+    if tree.num_children(node) != within.delta() {
+        // Unconstrained node (only possible on irregular trees).
+        let fallback = within.labels().first().expect("non-empty level");
+        for &c in tree.children(node) {
+            if !labeling.is_set(c) {
+                labeling.set(c, fallback);
+            }
+        }
+        return Ok(());
+    }
+    let config = match required {
+        Some((_, label)) => within
+            .configurations_with_parent(parent_label)
+            .find(|c| c.children().contains(&label)),
+        None => within.configurations_with_parent(parent_label).next(),
+    }
+    .ok_or_else(|| {
+        format!(
+            "no level configuration for {} with the required child",
+            within.label_name(parent_label)
+        )
+    })?;
+    let mut remaining: Vec<Label> = config.children().to_vec();
+    if let Some((child, label)) = required {
+        let pos = remaining
+            .iter()
+            .position(|&l| l == label)
+            .expect("configuration was chosen to contain the required label");
+        remaining.remove(pos);
+        labeling.set(child, label);
+    }
+    let mut rest = remaining.into_iter();
+    for &c in tree.children(node) {
+        if required.map(|(r, _)| r) == Some(c) {
+            continue;
+        }
+        let label = rest.next().expect("configuration has δ children");
+        labeling.set(c, label);
+    }
+    Ok(())
+}
+
+/// Solves any polynomial-region problem on `tree` with the generalized
+/// B/X-partition algorithm driven by its exact-exponent certificate.
+///
+/// Layers are processed from the core (level `k`) down to level 1. Every
+/// piece root whose parent lives in a *lower* layer picks its own starting
+/// label (within the level set for rakes and the core, within the flexible
+/// SCC for chain tops); every other node is prescribed by its parent's
+/// configuration choice. Chain runs are filled with an exact-length walk in
+/// the automaton of `Π|S_i` from the prescribed top label to the label the
+/// below-run attachment already chose — the walk exists because runs reach
+/// the certificate's `chain_threshold = |C_i| + flexibility` and `C_i` is a
+/// strongly connected flexible component containing both endpoints
+/// (`S_{i+1} = trim(C_i) ⊆ C_i`). Rake pieces and the core are completed
+/// downward inside their (trimmed) level sets.
+///
+/// Round accounting: `k − 1` measured subtree-size explorations of ≤ n^{1/k}
+/// levels each, measured maximal rake-piece and core-component depths
+/// (≤ n^{1/k} and O(n^{1/k}) respectively), and a charged constant per
+/// iteration for the ruling-set chain completion — in total O(n^{1/k}).
+pub fn solve_poly(
+    problem: &LclProblem,
+    cert: &PolyCertificate,
+    tree: &RootedTree,
+) -> Result<SolverOutcome, String> {
+    let k = cert.exponent();
+    let partition = poly_partition(tree, cert);
+    let restrictions: Vec<LclProblem> = cert
+        .levels
+        .iter()
+        .map(|level| problem.restrict_to(level.labels))
+        .collect();
+    let automata: Vec<Automaton> = restrictions.iter().map(Automaton::of).collect();
+    let mut labeling = Labeling::for_tree(tree);
+    let bfs = tree.bfs_order();
+
+    for layer in (1..=k).rev() {
+        // Chain runs of this layer first: they prescribe the rake roots
+        // hanging off them, and both their endpoints (the prescribed top, the
+        // already-labeled below-run attachment) are final.
+        if layer < k {
+            let restricted = &restrictions[layer - 1];
+            let automaton = &automata[layer - 1];
+            let scc = cert.levels[layer - 1].scc;
+            for run in &partition.runs_by_iteration[layer - 1] {
+                let top = run[0];
+                if !labeling.is_set(top) {
+                    // The top's parent lives in a *lower* layer (it is the
+                    // global root, or the below-run attachment of a chain from
+                    // an earlier iteration, processed after this layer): free
+                    // choice anywhere in C_i — the lower chain later walks to
+                    // whatever label we pick here (C_i ⊆ trim-closure of every
+                    // earlier level's SCC).
+                    labeling.set(top, scc.first().expect("flexible SCCs are non-empty"));
+                }
+                let start = labeling.get(top).expect("just set");
+                let bottom = *run.last().expect("runs are non-empty");
+                let below = tree
+                    .children(bottom)
+                    .iter()
+                    .copied()
+                    .find(|&c| labeling.is_set(c));
+                let walk = match below {
+                    Some(c) => {
+                        let target = labeling.get(c).expect("checked");
+                        automaton.find_walk(start, target, run.len())
+                    }
+                    None => scc
+                        .iter()
+                        .find_map(|t| automaton.find_walk(start, t, run.len())),
+                }
+                .ok_or_else(|| {
+                    format!(
+                        "no walk of length {} from {} in the level-{layer} automaton \
+                         (run shorter than the chain threshold?)",
+                        run.len(),
+                        restricted.label_name(start)
+                    )
+                })?;
+                for (j, &node) in run.iter().enumerate() {
+                    labeling.set(node, walk[j]);
+                    let required = if j + 1 < run.len() {
+                        Some((run[j + 1], walk[j + 1]))
+                    } else {
+                        below.map(|c| (c, labeling.get(c).expect("checked")))
+                    };
+                    assign_children_within(restricted, &mut labeling, tree, node, required)?;
+                }
+            }
+        }
+        // Rake pieces of this layer (for layer == k: the core components),
+        // completed downward inside the level set.
+        let restricted = &restrictions[layer - 1];
+        let wanted = |p: PolyPart| match p {
+            PolyPart::Rake(i) => i == layer,
+            PolyPart::Core => layer == k,
+            PolyPart::Chain(_) => false,
+        };
+        for &v in &bfs {
+            if !wanted(partition.part[v.index()]) {
+                continue;
+            }
+            if !labeling.is_set(v) {
+                // A piece root below a chain of a lower layer (or the global
+                // root): free choice within the level set.
+                labeling.set(v, restricted.labels().first().expect("non-empty level"));
+            }
+            assign_children_within(restricted, &mut labeling, tree, v, None)?;
+        }
+    }
+
+    if !labeling.is_complete() {
+        return Err("generalized partition completion left unlabeled nodes".into());
+    }
+
+    let rounds = poly_rounds(&partition.iteration_depths, cert, |p| {
+        piece_depths(tree, &bfs, &partition.part, p)
+    });
+    Ok(SolverOutcome {
+        labeling,
+        rounds,
+        algorithm: POLY_ALGORITHM,
+    })
+}
+
+/// The algorithm tag shared by the arena and flat generalized solvers.
+pub(crate) const POLY_ALGORITHM: &str = "generalized B/X partition (exact exponent certificate)";
+
+/// The maximal within-piece depth (in nodes) over all pieces of kind `kind` —
+/// the measured completion cost of that phase.
+fn piece_depths(
+    tree: &RootedTree,
+    bfs: &[NodeId],
+    part: &[PolyPart],
+    kind: fn(PolyPart) -> bool,
+) -> usize {
+    let mut depth = vec![0usize; tree.len()];
+    let mut max_depth = 0usize;
+    for &v in bfs {
+        if !kind(part[v.index()]) {
+            continue;
+        }
+        let d = match tree.parent(v) {
+            Some(p) if part[p.index()] == part[v.index()] => depth[p.index()] + 1,
+            _ => 1,
+        };
+        depth[v.index()] = d;
+        max_depth = max_depth.max(d);
+    }
+    max_depth
+}
+
+/// Builds the shared round report of the generalized solver; `depths(kind)`
+/// must return the maximal piece depth of the selected parts. Kept in one
+/// place so the flat port reports byte-identical phases.
+pub(crate) fn poly_rounds(
+    iteration_depths: &[usize],
+    cert: &PolyCertificate,
+    depths: impl Fn(fn(PolyPart) -> bool) -> usize,
+) -> RoundReport {
+    let mut rounds = RoundReport::new();
+    for (i, depth) in iteration_depths.iter().enumerate() {
+        rounds.measured(
+            format!("iteration {} subtree-size exploration", i + 1),
+            *depth,
+        );
+    }
+    if cert.exponent() > 1 {
+        let ruling: usize = cert.levels[..cert.exponent() - 1]
+            .iter()
+            .map(|level| 2 * level.chain_threshold + 2)
+            .sum();
+        rounds.charged("chain completion via ruling sets", ruling);
+        rounds.measured(
+            "rake completion (max rake piece depth)",
+            depths(|p| matches!(p, PolyPart::Rake(_))),
+        );
+    }
+    rounds.measured(
+        "core completion (max core component depth)",
+        depths(|p| matches!(p, PolyPart::Core)),
+    );
+    rounds
 }
 
 /// The Θ(n)-round baseline for the global 2-coloring problem (2): every node learns
@@ -263,6 +663,92 @@ mod tests {
         let r_large = solve_pi_k(&problem, 2, &large).rounds.total();
         // 64× more nodes: an O(√n) algorithm grows by ≈ 8×, far below 64×.
         assert!(r_large < 16 * r_small, "small {r_small}, large {r_large}");
+    }
+
+    fn poly_certificate_for(problem: &LclProblem) -> lcl_core::PolyCertificate {
+        lcl_core::find_poly_certificate(problem).expect("polynomial-region problem")
+    }
+
+    #[test]
+    fn generalized_solver_handles_pi_k_via_its_certificate() {
+        for k in 1..=3 {
+            let problem = pi_k::pi_k(k);
+            let cert = poly_certificate_for(&problem);
+            assert_eq!(cert.exponent(), k);
+            for tree in [
+                generators::balanced(2, 8),
+                generators::random_full(2, 2001, k as u64),
+                generators::hairy_path(2, 300),
+            ] {
+                let outcome = solve_poly(&problem, &cert, &tree).unwrap();
+                outcome
+                    .labeling
+                    .verify(&tree, &problem)
+                    .unwrap_or_else(|e| panic!("Π_{k}: {e}"));
+                assert_eq!(outcome.algorithm, POLY_ALGORITHM);
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_solver_handles_two_coloring_and_paths() {
+        // Exponent 1 (Θ(n)): the whole tree is the core, completed downward.
+        let problem = coloring::two_coloring_binary();
+        let cert = poly_certificate_for(&problem);
+        assert_eq!(cert.exponent(), 1);
+        let tree = generators::random_full(2, 801, 3);
+        let outcome = solve_poly(&problem, &cert, &tree).unwrap();
+        outcome.labeling.verify(&tree, &problem).unwrap();
+
+        // δ = 1: 2-coloring of directed paths.
+        let path_problem: LclProblem = "1:2\n2:1\n".parse().unwrap();
+        let cert = poly_certificate_for(&path_problem);
+        let tree = generators::path(257);
+        let outcome = solve_poly(&path_problem, &cert, &tree).unwrap();
+        outcome.labeling.verify(&tree, &path_problem).unwrap();
+    }
+
+    #[test]
+    fn generalized_solver_rounds_scale_sublinearly() {
+        let problem = pi_k::pi_k(2);
+        let cert = poly_certificate_for(&problem);
+        let small = generators::balanced(2, 8); // 511 nodes
+        let large = generators::balanced(2, 14); // 32767 nodes
+        let r_small = solve_poly(&problem, &cert, &small).unwrap().rounds.total();
+        let r_large = solve_poly(&problem, &cert, &large).unwrap().rounds.total();
+        // 64× more nodes: an O(√n) algorithm grows by ≈ 8×, far below 64×.
+        assert!(r_large < 16 * r_small, "small {r_small}, large {r_large}");
+    }
+
+    #[test]
+    fn generalized_partition_respects_the_chain_threshold() {
+        let problem = pi_k::pi_k(2);
+        let cert = poly_certificate_for(&problem);
+        let tree = generators::hairy_path(2, 400);
+        let partition = poly_partition(&tree, &cert);
+        for (i, runs) in partition.runs_by_iteration.iter().enumerate() {
+            let min_run = cert.levels[i].chain_threshold.max(1);
+            for run in runs {
+                assert!(run.len() >= min_run, "run shorter than the threshold");
+                for w in run.windows(2) {
+                    assert_eq!(tree.parent(w[1]), Some(w[0]), "runs must be vertical");
+                }
+            }
+        }
+        // Every rake piece fits the subtree-size threshold.
+        let mut rake_sizes = vec![0usize; tree.len()];
+        for v in tree.post_order() {
+            if let PolyPart::Rake(i) = partition.part[v.index()] {
+                rake_sizes[v.index()] += 1;
+                if let Some(p) = tree.parent(v) {
+                    if partition.part[p.index()] == PolyPart::Rake(i) {
+                        let s = rake_sizes[v.index()];
+                        rake_sizes[p.index()] += s;
+                    }
+                }
+            }
+        }
+        assert!(rake_sizes.iter().all(|&s| s <= partition.threshold));
     }
 
     #[test]

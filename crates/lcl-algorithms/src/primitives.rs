@@ -4,6 +4,47 @@
 use lcl_sim::{programs::ChainColorReduction, IdAssignment, Metrics, Simulator};
 use lcl_trees::{NodeId, RootedTree};
 
+/// The exact ceiling k-th root: the smallest `t ≥ 1` with `t^k ≥ n`.
+///
+/// The partition solvers use this as the subtree-size threshold `n^{1/k}`; a
+/// floating-point `(n as f64).powf(1.0 / k)` can round the wrong way near
+/// exact powers for large `n` (53-bit mantissa), which would shift every
+/// iteration's B/X boundary. Powers are computed in `u128` with saturation,
+/// so the binary search is exact for every `usize` input.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn ceil_nth_root(n: usize, k: usize) -> usize {
+    assert!(k >= 1, "k-th roots need k >= 1");
+    if n <= 1 {
+        return 1;
+    }
+    if k == 1 {
+        return n;
+    }
+    let pow_at_least = |t: u128| -> bool {
+        let mut acc: u128 = 1;
+        for _ in 0..k {
+            acc = acc.saturating_mul(t);
+            if acc >= n as u128 {
+                return true;
+            }
+        }
+        acc >= n as u128
+    };
+    let (mut lo, mut hi) = (1usize, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pow_at_least(mid as u128) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
 /// Runs the Cole–Vishkin chain colour reduction on the tree and returns the colours
 /// (proper along every parent edge, values `< 6`) together with the measured
 /// simulator metrics. This is the Θ(log* n) part of the O(log* n) algorithm of
@@ -90,5 +131,36 @@ mod tests {
         for w in splitting.block_roots.windows(2) {
             assert!(splitting.depths[w[0].index()] <= splitting.depths[w[1].index()]);
         }
+    }
+
+    #[test]
+    fn ceil_nth_root_boundary_values() {
+        // Exact powers map to their root; one more tips over to root + 1.
+        for t in [1usize, 2, 3, 10, 31, 1000, 65_536] {
+            for k in 1..=4 {
+                let n = (t as u128).pow(k as u32);
+                if n <= usize::MAX as u128 {
+                    let n = n as usize;
+                    assert_eq!(ceil_nth_root(n, k), t, "n = {n}, k = {k}");
+                    if t > 1 && k > 1 {
+                        assert_eq!(ceil_nth_root(n - 1, k), t, "n = {}, k = {k}", n - 1);
+                        assert_eq!(ceil_nth_root(n + 1, k), t + 1, "n = {}, k = {k}", n + 1);
+                    }
+                }
+            }
+        }
+        // Degenerate inputs.
+        assert_eq!(ceil_nth_root(0, 3), 1);
+        assert_eq!(ceil_nth_root(1, 7), 1);
+        assert_eq!(ceil_nth_root(usize::MAX, 1), usize::MAX);
+        // Large exact cubes near the f64 mantissa limit, where
+        // `(n as f64).powf(1.0 / 3.0)` rounding is untrustworthy.
+        for t in [1_000_003usize, 2_097_151, 2_642_245] {
+            let n = t * t * t;
+            assert_eq!(ceil_nth_root(n, 3), t);
+            assert_eq!(ceil_nth_root(n + 1, 3), t + 1);
+        }
+        // Huge k saturates cleanly.
+        assert_eq!(ceil_nth_root(usize::MAX, 200), 2);
     }
 }

@@ -104,9 +104,9 @@ impl std::error::Error for SolveError {}
 /// * O(1) and Θ(log* n) problems use the certificate-driven splitting solvers
 ///   (Theorems 7.2 and 6.3);
 /// * Θ(log n) problems use the rake-and-compress solver (Theorem 5.1);
-/// * n^{Θ(1)} problems fall back to the global greedy baseline (O(n) rounds, which
-///   is optimal up to the n^{1/k} fine structure; the dedicated Π_k algorithm of
-///   Lemma 8.1 lives in [`crate::poly_solver`]).
+/// * Θ(n^{1/k}) problems use the generalized B/X-partition solver driven by
+///   the exact-exponent certificate ([`crate::poly_solver::solve_poly`]);
+///   the O(n) greedy sweep stays available as [`solve_baseline`].
 pub fn solve(
     problem: &LclProblem,
     report: &ClassificationReport,
@@ -138,16 +138,30 @@ pub fn solve(
             crate::log_solver::solve_log(problem, cert, tree).map_err(SolveError::Internal)
         }
         Complexity::Polynomial { .. } => {
-            let labeling = lcl_core::greedy::solve(problem, tree).ok_or(SolveError::Unsolvable)?;
-            let mut rounds = RoundReport::new();
-            rounds.measured("global top-down sweep (tree height)", tree.height() + 1);
-            Ok(SolverOutcome {
-                labeling,
-                rounds,
-                algorithm: "global greedy (O(n) baseline)",
-            })
+            let cert = report
+                .poly_certificate()
+                .expect("polynomial class implies an exponent certificate");
+            crate::poly_solver::solve_poly(problem, cert, tree).map_err(SolveError::Internal)
         }
     }
+}
+
+/// The O(n) baseline for any solvable problem: the global greedy top-down
+/// sweep. This used to be the dispatcher's answer for the whole polynomial
+/// region; it is kept as an explicit fallback (`rtlcl solve --baseline`) and
+/// as a differential anchor for the certificate-driven solver.
+pub fn solve_baseline(
+    problem: &LclProblem,
+    tree: &RootedTree,
+) -> Result<SolverOutcome, SolveError> {
+    let labeling = lcl_core::greedy::solve(problem, tree).ok_or(SolveError::Unsolvable)?;
+    let mut rounds = RoundReport::new();
+    rounds.measured("global top-down sweep (tree height)", tree.height() + 1);
+    Ok(SolverOutcome {
+        labeling,
+        rounds,
+        algorithm: "global greedy (O(n) baseline)",
+    })
 }
 
 #[cfg(test)]
@@ -200,6 +214,36 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{class}: invalid solution: {e}"));
             assert!(outcome.rounds.total() > 0);
         }
+    }
+
+    #[test]
+    fn poly_dispatch_and_baseline_both_solve() {
+        // The dispatcher routes the polynomial class to the certificate-driven
+        // solver; the greedy O(n) sweep stays reachable through
+        // `solve_baseline` — both must produce valid labelings.
+        let problem: LclProblem = "1:22\n2:11\n".parse().unwrap();
+        let report = classify(&problem);
+        let tree = generators::random_full(2, 501, 3);
+        let optimal = solve(&problem, &report, &tree, IdAssignment::sequential(&tree)).unwrap();
+        assert_eq!(
+            optimal.algorithm,
+            "generalized B/X partition (exact exponent certificate)"
+        );
+        optimal.labeling.verify(&tree, &problem).unwrap();
+        let baseline = solve_baseline(&problem, &tree).unwrap();
+        assert_eq!(baseline.algorithm, "global greedy (O(n) baseline)");
+        baseline.labeling.verify(&tree, &problem).unwrap();
+        assert_eq!(baseline.rounds.total(), tree.height() + 1);
+    }
+
+    #[test]
+    fn baseline_rejects_unsolvable_problems() {
+        let problem: LclProblem = "a : b b\nb : c c\n".parse().unwrap();
+        let tree = generators::balanced(2, 4);
+        assert_eq!(
+            solve_baseline(&problem, &tree).unwrap_err(),
+            SolveError::Unsolvable
+        );
     }
 
     #[test]

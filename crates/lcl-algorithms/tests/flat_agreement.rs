@@ -179,6 +179,28 @@ fn pi_k_solver_agrees() {
 }
 
 #[test]
+fn poly_exact_solver_agrees() {
+    // The generalized certificate-driven solver: exponent 1 (2-coloring),
+    // exponent 2 and 3 (Π_k) across all shapes, arena vs flat.
+    let mut problems: Vec<LclProblem> = vec!["1:22\n2:11\n".parse().unwrap()];
+    problems.push(lcl_problems::pi_k::pi_k(2));
+    problems.push(lcl_problems::pi_k::pi_k(3));
+    let mut scratch = SolveScratch::with_workers(4);
+    for problem in &problems {
+        let cert = lcl_core::find_poly_certificate(problem).expect("polynomial problem");
+        for (name, tree) in shapes(2) {
+            let idx = tree.level_index();
+            let arena = tree.to_rooted();
+            let arena_outcome = poly_solver::solve_poly(problem, &cert, &arena).unwrap();
+            let flat =
+                lcl_algorithms::flat::solve_poly_flat(problem, &cert, &tree, &idx, &mut scratch)
+                    .unwrap();
+            check_agreement(name, problem, &tree, &arena_outcome, &flat);
+        }
+    }
+}
+
+#[test]
 fn dispatcher_agrees_for_every_class() {
     // One problem per solvable class, as in the arena dispatcher test.
     let problems = [

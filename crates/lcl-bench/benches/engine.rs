@@ -100,5 +100,30 @@ fn main() {
         &problems,
         true,
     );
+
+    // Poly-heavy family: random problems filtered down to polynomial verdicts
+    // (plus Π_1 and Π_2; deeper Π_k have ≥ 8 labels whose canonical-form
+    // permutation search would swamp the measurement), so the exact-exponent
+    // path — the trim/flexible-SCC DFS — is what the engine spends time on.
+    let mut poly_family: Vec<lcl_core::LclProblem> =
+        (1..=2).map(lcl_problems::pi_k::pi_k).collect();
+    let mut seed = 0u64;
+    while poly_family.len() < 128 {
+        let p = lcl_problems::random::random_problem(&three_labels, seed);
+        seed += 1;
+        if matches!(
+            lcl_core::classify_complexity(&p),
+            lcl_core::Complexity::Polynomial { .. }
+        ) {
+            poly_family.push(p);
+        }
+    }
+    run_family(
+        &mut report,
+        "engine_speedup_poly_heavy",
+        "classify_batch (126 random polynomial problems + Π_1, Π_2, exact exponents)",
+        &poly_family,
+        false,
+    );
     report.write().expect("bench report written");
 }

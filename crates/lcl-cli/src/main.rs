@@ -9,7 +9,9 @@
 //!                                     # (--emit-labeling <path> writes the solution;
 //!                                     #  --flat [--nodes n] streams the tree into CSR
 //!                                     #  form and uses the flat level-synchronous
-//!                                     #  solver engine — the million-node path)
+//!                                     #  solver engine — the million-node path;
+//!                                     #  --baseline forces the greedy O(n) sweep
+//!                                     #  instead of the class-optimal solver)
 //! rtlcl classify-batch [options]      # sweep a whole problem family through the engine
 //! rtlcl sweep    [options]            # canonical-first exhaustive sweep of a (δ, Σ) universe
 //! rtlcl verify   <file|name> <labeling-file> [options]
@@ -137,14 +139,36 @@ fn report_to_json(report: &lcl_core::ClassificationReport) -> Json {
             ),
         ),
     ];
-    if let Complexity::Polynomial {
-        lower_bound_exponent,
-    } = report.complexity
-    {
+    if let Complexity::Polynomial { exponent } = report.complexity {
+        obj.push(("exponent".into(), Json::int(exponent)));
         obj.push((
-            "lower_bound_exponent".into(),
-            Json::int(lower_bound_exponent),
+            "pruning_iterations".into(),
+            Json::int(report.log_analysis.iterations().max(1)),
         ));
+        if let Some(cert) = report.poly_certificate() {
+            obj.push((
+                "poly_certificate".into(),
+                Json::Arr(
+                    cert.levels
+                        .iter()
+                        .map(|level| {
+                            let mut entry = vec![
+                                ("labels".into(), names(level.labels)),
+                                ("scc".into(), names(level.scc)),
+                            ];
+                            if !level.scc.is_empty() {
+                                entry.push(("flexibility".into(), Json::int(level.flexibility)));
+                                entry.push((
+                                    "chain_threshold".into(),
+                                    Json::int(level.chain_threshold),
+                                ));
+                            }
+                            Json::Obj(entry)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
     }
     if let Some(cert) = report.log_certificate() {
         obj.push((
@@ -233,15 +257,20 @@ fn cmd_solve(opts: &SolveOptions) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if opts.flat {
-        return cmd_solve_flat(&problem, &report, n, emit_labeling);
+        return cmd_solve_flat(&problem, &report, n, opts.baseline, emit_labeling);
     }
     let tree = generators::random_full(problem.delta(), n.max(1), 1);
-    match solve(
-        &problem,
-        &report,
-        &tree,
-        IdAssignment::random_permutation(&tree, 1),
-    ) {
+    let solved = if opts.baseline {
+        lcl_algorithms::solve_baseline(&problem, &tree)
+    } else {
+        solve(
+            &problem,
+            &report,
+            &tree,
+            IdAssignment::random_permutation(&tree, 1),
+        )
+    };
+    match solved {
         Ok(outcome) => {
             if let Err(e) = outcome.labeling.verify(&tree, &problem) {
                 eprintln!("internal error: produced an invalid solution: {e}");
@@ -288,13 +317,20 @@ fn cmd_solve_flat(
     problem: &LclProblem,
     report: &lcl_core::ClassificationReport,
     n: usize,
+    baseline: bool,
     emit_labeling: Option<&str>,
 ) -> ExitCode {
     let tree = FlatTree::random_full(problem.delta(), n.max(1), 1);
     let idx = tree.level_index();
     let ids = lcl_sim::IdAssignment::random_permutation_len(tree.len(), 1);
     let mut scratch = lcl_algorithms::SolveScratch::new();
-    match lcl_algorithms::solve_flat(problem, report, &tree, &idx, &ids, &mut scratch) {
+    let solved = if baseline {
+        lcl_algorithms::flat::solve_greedy_flat(problem, &idx, &mut scratch)
+            .ok_or(lcl_algorithms::SolveError::Unsolvable)
+    } else {
+        lcl_algorithms::solve_flat(problem, report, &tree, &idx, &ids, &mut scratch)
+    };
+    match solved {
         Ok(outcome) => {
             if let Err(e) =
                 LabelingValidator::new(problem).validate_parallel(&tree, &outcome.labels)
@@ -862,14 +898,21 @@ fn sweep_universe_size(delta: usize, labels: usize) -> u128 {
     multisets.saturating_mul(labels as u128)
 }
 
+/// The histogram as JSON: the five pooled classes plus one `poly_k` bucket
+/// per non-empty exact exponent (pooled `poly` stays for compatibility and
+/// equals the sum of the `poly_k` buckets).
 fn histogram_json(histogram: &lcl_core::ComplexityHistogram) -> Json {
-    Json::Obj(
-        histogram
-            .entries()
-            .iter()
-            .map(|&(name, n)| (name.to_string(), Json::int(n as usize)))
-            .collect(),
-    )
+    let mut entries: Vec<(String, Json)> = histogram
+        .entries()
+        .iter()
+        .map(|&(name, n)| (name.to_string(), Json::int(n as usize)))
+        .collect();
+    for &(name, n) in histogram.poly_exponent_entries().iter() {
+        if n > 0 {
+            entries.push((name.to_string(), Json::int(n as usize)));
+        }
+    }
+    Json::Obj(entries)
 }
 
 fn cmd_sweep(args: &[String]) -> ExitCode {
@@ -929,6 +972,17 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                 println!("{name:<12} {orbits:>12} {problems:>12}");
             }
         }
+        // Per-exponent breakdown of the pooled `poly` row.
+        for (&(name, orbits), &(_, problems)) in outcome
+            .orbits
+            .poly_exponent_entries()
+            .iter()
+            .zip(outcome.problems.poly_exponent_entries().iter())
+        {
+            if orbits > 0 || problems > 0 {
+                println!("  {name:<10} {orbits:>12} {problems:>12}");
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -938,18 +992,21 @@ struct SolveOptions {
     nodes: usize,
     emit: Option<String>,
     flat: bool,
+    baseline: bool,
 }
 
 fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut emit = None;
     let mut flat = false;
+    let mut baseline = false;
     let mut nodes_flag: Option<usize> = None;
     let mut cur = FlagCursor::new(args);
     while let Some(arg) = cur.next_arg() {
         match arg.as_str() {
             "--emit-labeling" => emit = Some(cur.value("--emit-labeling")?.clone()),
             "--flat" => flat = true,
+            "--baseline" => baseline = true,
             "--nodes" => nodes_flag = Some(cur.parse_value("--nodes")?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown solve option `{other}`"))
@@ -975,12 +1032,13 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
         nodes,
         emit,
         flat,
+        baseline,
     })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }

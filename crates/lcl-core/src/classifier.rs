@@ -7,8 +7,10 @@
 //! be O(log n):
 //!
 //! 1. solvability (greatest fixed point of continuations) — otherwise `Unsolvable`;
-//! 2. Algorithm 2 — no certificate ⇒ `Polynomial` (n^{Ω(1)}, and the number of
-//!    pruning iterations `k` gives the Ω(n^{1/k}) lower bound of Theorem 5.2);
+//! 2. Algorithm 2 — no certificate ⇒ `Polynomial` with the *exact* exponent
+//!    computed by the trim/flexible-SCC descent of Lemmas 5.28–5.29 (see the
+//!    [`crate::poly`] module; the pruning iteration count of Theorem 5.2 is an
+//!    upper bound on the exponent and stays available through the report);
 //! 3. Algorithm 4 — no certificate ⇒ `Log` (Θ(log n), Theorem 5.1 + Lemma 6.7);
 //! 4. Algorithm 5 — no certificate ⇒ `LogStar` (Θ(log* n), Theorem 6.3 +
 //!    Theorem 7.7), otherwise `Constant` (Theorem 7.2).
@@ -21,6 +23,7 @@ use crate::constant::ConstantSearchResult;
 use crate::label_set::LabelSet;
 use crate::log_certificate::{find_log_certificate, LogCertificate, LogCertificateAnalysis};
 use crate::log_star::LogStarSearchResult;
+use crate::poly::{find_poly_certificate, PolyCertificate};
 use crate::problem::LclProblem;
 use crate::solvability::solvable_labels;
 
@@ -36,13 +39,12 @@ pub enum Complexity {
     LogStar,
     /// Θ(log n) rounds.
     Log,
-    /// n^{Θ(1)} rounds: Ω(n^{1/k}) for the recorded `lower_bound_exponent` k, and
-    /// O(n) always. The classifier does not determine the exact exponent
-    /// (see Section 3 of the paper).
+    /// Θ(n^{1/k}) rounds for the recorded exponent `k`: both the O(n^{1/k})
+    /// upper bound and the Ω(n^{1/k}) lower bound, witnessed by the maximal
+    /// trim/flexible-SCC chain of [`crate::poly::PolyCertificate`].
     Polynomial {
-        /// The number of pruning iterations of Algorithm 2, i.e. the `k` of the
-        /// Ω(n^{1/k}) lower bound of Theorem 5.2.
-        lower_bound_exponent: usize,
+        /// The exact exponent `k` of Θ(n^{1/k}); `k = 1` means Θ(n).
+        exponent: usize,
     },
 }
 
@@ -73,9 +75,8 @@ impl fmt::Display for Complexity {
             Complexity::Constant => write!(f, "O(1)"),
             Complexity::LogStar => write!(f, "Θ(log* n)"),
             Complexity::Log => write!(f, "Θ(log n)"),
-            Complexity::Polynomial {
-                lower_bound_exponent,
-            } => write!(f, "n^Θ(1) (Ω(n^(1/{lower_bound_exponent})), O(n))"),
+            Complexity::Polynomial { exponent: 1 } => write!(f, "Θ(n)"),
+            Complexity::Polynomial { exponent } => write!(f, "Θ(n^(1/{exponent}))"),
         }
     }
 }
@@ -116,12 +117,21 @@ pub struct ClassificationReport {
     pub log_star: Option<LogStarSearchResult>,
     /// Algorithm 5's result, when a certificate for O(1) solvability exists.
     pub constant: Option<ConstantSearchResult>,
+    /// The exact-exponent certificate, present exactly when the class is
+    /// [`Complexity::Polynomial`].
+    pub poly: Option<PolyCertificate>,
 }
 
 impl ClassificationReport {
     /// The certificate for O(log n) solvability, if any.
     pub fn log_certificate(&self) -> Option<&LogCertificate> {
         self.log_analysis.certificate.as_ref()
+    }
+
+    /// The Θ(n^{1/k}) certificate (the maximal trim/flexible-SCC chain), if
+    /// the problem is in the polynomial region.
+    pub fn poly_certificate(&self) -> Option<&PolyCertificate> {
+        self.poly.as_ref()
     }
 
     /// Materializes the uniform certificate for O(log* n) solvability, if any,
@@ -174,9 +184,33 @@ impl ClassificationReport {
                 cert.max_flexibility
             )),
             None => out.push_str(&format!(
-                "no certificate for O(log n): lower bound Ω(n^(1/{}))\n",
+                "no certificate for O(log n): pruning lower bound Ω(n^(1/{}))\n",
                 self.log_analysis.iterations().max(1)
             )),
+        }
+        if let Some(cert) = self.poly_certificate() {
+            out.push_str(&format!(
+                "exact exponent: Θ(n^(1/{})) via the trim/flexible-SCC chain\n",
+                cert.exponent()
+            ));
+            for (i, level) in cert.levels.iter().enumerate() {
+                if level.scc.is_empty() {
+                    out.push_str(&format!(
+                        "poly level {}: labels {} (no further flexible descent)\n",
+                        i + 1,
+                        alphabet.format_set(level.labels)
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "poly level {}: labels {}, flexible SCC {} (flexibility {}, chain threshold {})\n",
+                        i + 1,
+                        alphabet.format_set(level.labels),
+                        alphabet.format_set(level.scc),
+                        level.flexibility,
+                        level.chain_threshold
+                    ));
+                }
+            }
         }
         match &self.log_star {
             Some(r) => out.push_str(&format!(
@@ -238,9 +272,16 @@ pub fn classify_complexity_with(
     }
     let (fixpoint, iterations) = crate::scratch::prune_fixpoint_masked(problem, scratch);
     if fixpoint.is_empty() {
-        return Complexity::Polynomial {
-            lower_bound_exponent: iterations.max(1),
+        // The exponent never exceeds the pruning iteration count (every chain
+        // level survives one more pruning round than the next), so a problem
+        // whose labels all vanish in one iteration is exactly Θ(n) — the
+        // common case in random families, decided without the exponent DFS.
+        let exponent = if iterations <= 1 {
+            1
+        } else {
+            crate::scratch::poly_exponent_masked(problem, sustaining, scratch)
         };
+        return Complexity::Polynomial { exponent };
     }
     if crate::log_star::decide_log_star_subset(problem, sustaining, scratch).is_none() {
         return Complexity::Log;
@@ -269,13 +310,16 @@ pub fn classify_with_config(
     let log_analysis = find_log_certificate(problem);
     let mut log_star = None;
     let mut constant = None;
+    let mut poly = None;
 
     let complexity = if solvable.is_empty() {
         Complexity::Unsolvable
     } else if !log_analysis.has_certificate() {
-        Complexity::Polynomial {
-            lower_bound_exponent: log_analysis.iterations().max(1),
-        }
+        let cert = find_poly_certificate(problem)
+            .expect("solvable problems without a log certificate are polynomial");
+        let exponent = cert.exponent();
+        poly = Some(cert);
+        Complexity::Polynomial { exponent }
     } else {
         log_star = crate::log_star::find_log_star_certificate_within(problem, solvable);
         if log_star.is_none() {
@@ -298,6 +342,7 @@ pub fn classify_with_config(
         log_analysis,
         log_star,
         constant,
+        poly,
     }
 }
 
@@ -323,12 +368,9 @@ mod tests {
     fn paper_example_two_coloring_is_global() {
         // Section 1.2, configurations (2): Θ(n) = n^{Θ(1)} with k = 1.
         let report = classify_text("1:22\n2:11\n");
-        assert_eq!(
-            report.complexity,
-            Complexity::Polynomial {
-                lower_bound_exponent: 1
-            }
-        );
+        assert_eq!(report.complexity, Complexity::Polynomial { exponent: 1 });
+        let cert = report.poly_certificate().expect("polynomial certificate");
+        cert.verify(&report.problem).unwrap();
     }
 
     #[test]
@@ -410,12 +452,10 @@ mod tests {
         assert_eq!(Complexity::LogStar.to_string(), "Θ(log* n)");
         assert_eq!(Complexity::Log.to_string(), "Θ(log n)");
         assert_eq!(
-            Complexity::Polynomial {
-                lower_bound_exponent: 2
-            }
-            .to_string(),
-            "n^Θ(1) (Ω(n^(1/2)), O(n))"
+            Complexity::Polynomial { exponent: 2 }.to_string(),
+            "Θ(n^(1/2))"
         );
+        assert_eq!(Complexity::Polynomial { exponent: 1 }.to_string(), "Θ(n)");
         assert_eq!(Complexity::Unsolvable.to_string(), "unsolvable");
         assert_eq!(Complexity::Constant.short_name(), "O(1)");
         assert_eq!(Complexity::Log.short_name(), "log");
@@ -427,11 +467,6 @@ mod tests {
         let three = classify_text("1:2\n1:3\n2:1\n2:3\n3:1\n3:2\n");
         assert_eq!(three.complexity, Complexity::LogStar);
         let two = classify_text("1:2\n2:1\n");
-        assert_eq!(
-            two.complexity,
-            Complexity::Polynomial {
-                lower_bound_exponent: 1
-            }
-        );
+        assert_eq!(two.complexity, Complexity::Polynomial { exponent: 1 });
     }
 }

@@ -106,7 +106,9 @@ pub fn find_constant_certificate_within(
 /// Decision core of Algorithm 5: the first subset of `sustaining` (smallest,
 /// then lexicographic) that is self-sustaining and admits a builder with some
 /// special configuration's parent on a leaf — found purely by masking.
-pub(crate) fn decide_constant_subset(
+/// Public so external harnesses (the classifier bench's stage-by-stage
+/// decision twin) can replicate the hot path exactly.
+pub fn decide_constant_subset(
     problem: &LclProblem,
     sustaining: LabelSet,
     scratch: &mut crate::scratch::ClassifyScratch,

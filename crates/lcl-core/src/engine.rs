@@ -409,9 +409,23 @@ pub struct OrbitProblem {
     pub orbit_size: u64,
 }
 
+/// Number of per-exponent buckets kept for `Polynomial` verdicts: exponents
+/// `1..POLY_EXPONENT_BUCKETS` get their own bucket, everything at or above
+/// the last index is pooled into the final `poly_{POLY_EXPONENT_BUCKETS}+`
+/// bucket (a depth-8 chain needs at least 8 labels, beyond every family the
+/// sweeps enumerate).
+pub const POLY_EXPONENT_BUCKETS: usize = 8;
+
+/// Display names of the per-exponent buckets, aligned with
+/// [`ComplexityHistogram::poly_k`].
+const POLY_BUCKET_NAMES: [&str; POLY_EXPONENT_BUCKETS] = [
+    "poly_1", "poly_2", "poly_3", "poly_4", "poly_5", "poly_6", "poly_7", "poly_8+",
+];
+
 /// Counts per complexity class (the four classes of the paper plus
-/// unsolvable). `Polynomial` verdicts are pooled regardless of their
-/// lower-bound exponent, matching [`Complexity::short_name`].
+/// unsolvable). `Polynomial` verdicts are counted both in the pooled
+/// `polynomial` total (matching [`Complexity::short_name`]) and in the
+/// per-exponent `poly_k` buckets for their exact Θ(n^{1/k}) exponent.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ComplexityHistogram {
     /// O(1) problems.
@@ -420,8 +434,11 @@ pub struct ComplexityHistogram {
     pub log_star: u64,
     /// Θ(log n) problems.
     pub log: u64,
-    /// n^Θ(1) problems.
+    /// Θ(n^{1/k}) problems, pooled over every exponent.
     pub polynomial: u64,
+    /// Θ(n^{1/k}) problems by exact exponent: index `k − 1`, with every
+    /// exponent ≥ [`POLY_EXPONENT_BUCKETS`] pooled into the last bucket.
+    pub poly_k: [u64; POLY_EXPONENT_BUCKETS],
     /// Unsolvable problems.
     pub unsolvable: u64,
 }
@@ -433,7 +450,10 @@ impl ComplexityHistogram {
             Complexity::Constant => self.constant += weight,
             Complexity::LogStar => self.log_star += weight,
             Complexity::Log => self.log += weight,
-            Complexity::Polynomial { .. } => self.polynomial += weight,
+            Complexity::Polynomial { exponent } => {
+                self.polynomial += weight;
+                self.poly_k[exponent.clamp(1, POLY_EXPONENT_BUCKETS) - 1] += weight;
+            }
             Complexity::Unsolvable => self.unsolvable += weight,
         }
     }
@@ -444,6 +464,9 @@ impl ComplexityHistogram {
         self.log_star += other.log_star;
         self.log += other.log;
         self.polynomial += other.polynomial;
+        for (mine, theirs) in self.poly_k.iter_mut().zip(other.poly_k.iter()) {
+            *mine += theirs;
+        }
         self.unsolvable += other.unsolvable;
     }
 
@@ -453,6 +476,7 @@ impl ComplexityHistogram {
     }
 
     /// The counts keyed by [`Complexity::short_name`], in complexity order.
+    /// Per-exponent polynomial counts are in [`Self::poly_exponent_entries`].
     pub fn entries(&self) -> [(&'static str, u64); 5] {
         [
             ("O(1)", self.constant),
@@ -461,6 +485,19 @@ impl ComplexityHistogram {
             ("poly", self.polynomial),
             ("unsolvable", self.unsolvable),
         ]
+    }
+
+    /// The per-exponent polynomial buckets, `poly_1` (Θ(n)) through
+    /// `poly_8+`, in exponent order. Their sum equals `polynomial`.
+    pub fn poly_exponent_entries(&self) -> [(&'static str, u64); POLY_EXPONENT_BUCKETS] {
+        let mut out = [("", 0u64); POLY_EXPONENT_BUCKETS];
+        for (slot, (name, &count)) in out
+            .iter_mut()
+            .zip(POLY_BUCKET_NAMES.iter().zip(self.poly_k.iter()))
+        {
+            *slot = (name, count);
+        }
+        out
     }
 }
 
@@ -528,16 +565,14 @@ mod tests {
     #[test]
     fn engine_memoizes_renamed_problems() {
         let engine = ClassificationEngine::new();
-        assert_eq!(engine.classify(&problem("1:22\n2:11\n")), {
-            Complexity::Polynomial {
-                lower_bound_exponent: 1,
-            }
-        });
-        assert_eq!(engine.classify(&problem("a:bb\nb:aa\n")), {
-            Complexity::Polynomial {
-                lower_bound_exponent: 1,
-            }
-        });
+        assert_eq!(
+            engine.classify(&problem("1:22\n2:11\n")),
+            Complexity::Polynomial { exponent: 1 }
+        );
+        assert_eq!(
+            engine.classify(&problem("a:bb\nb:aa\n")),
+            Complexity::Polynomial { exponent: 1 }
+        );
         let stats = engine.stats();
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.cache_misses, 1);

@@ -15,8 +15,10 @@
 //!   - Algorithm 3, certificate builders, and uniform certificates for O(log* n)
 //!     solvability (Section 6, [`builder`], [`certificate`], [`log_star`]),
 //!   - Algorithm 5 and certificates for O(1) solvability (Section 7, [`constant`]),
-//! * the top-level classifier returning one of the four complexity classes
-//!   ([`classifier`]).
+//!   - the exact Θ(n^{1/k}) exponent of the polynomial region via the
+//!     trim/flexible-SCC descent of Lemmas 5.28–5.29 ([`poly`]),
+//! * the top-level classifier returning one of the four complexity classes,
+//!   with the polynomial class carrying its exact exponent ([`classifier`]).
 //!
 //! # Hot-path representation: [`label_set::LabelSet`]
 //!
@@ -84,6 +86,7 @@ pub mod labeling;
 pub mod log_certificate;
 pub mod log_star;
 pub mod parser;
+pub mod poly;
 pub mod problem;
 pub mod scratch;
 pub mod solvability;
@@ -109,6 +112,22 @@ pub use log_star::{
     find_log_star_certificate, find_log_star_certificate_within, MAX_SEARCH_LABELS,
 };
 pub use parser::ParseError;
+pub use poly::{find_poly_certificate, PolyCertificate, PolyLevel};
 pub use problem::LclProblem;
 pub use scratch::ClassifyScratch;
 pub use solvability::solvable_labels;
+
+/// Problem texts shared by the unit tests of several modules (the integration
+/// tests under `tests/` carry their own copies — `tests/zero_alloc.rs` must
+/// stay self-contained for its global-allocator isolation, and the workspace
+/// tests go through `lcl_problems::extras`).
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    /// The Section 8 construction with k = 2: an iterated 2-coloring whose
+    /// pruning takes two iterations and whose exact exponent is 2 (Θ(√n)).
+    /// The canonical constructor lives in `lcl_problems::extras::section_8_depth_two`.
+    pub(crate) const SECTION_8_DEPTH_TWO: &str = "a1 : b1 b1\nb1 : a1 a1\n\
+        a2 : b2 b2\na2 : a1 b1\na2 : a1 x1\na2 : b1 x1\na2 : a1 a1\na2 : b1 b1\na2 : x1 x1\n\
+        b2 : a2 a2\nb2 : a1 b1\nb2 : a1 x1\nb2 : b1 x1\nb2 : a1 a1\nb2 : b1 b1\nb2 : x1 x1\n\
+        x1 : a1 a1\nx1 : a1 b1\nx1 : b1 b1\nx1 : a2 a1\nx1 : a2 b1\nx1 : b2 a1\nx1 : b2 b1\nx1 : x1 a1\nx1 : x1 b1\n";
+}

@@ -260,12 +260,7 @@ mod tests {
     fn iterated_pruning_takes_multiple_steps() {
         // A problem engineered so that removing the first inflexible set makes a
         // second set inflexible: the Π₂ construction of Section 8 (k = 2).
-        let p = problem(
-            "a1 : b1 b1\nb1 : a1 a1\n\
-             a2 : b2 b2\na2 : a1 b1\na2 : a1 x1\na2 : b1 x1\na2 : a1 a1\na2 : b1 b1\na2 : x1 x1\n\
-             b2 : a2 a2\nb2 : a1 b1\nb2 : a1 x1\nb2 : b1 x1\nb2 : a1 a1\nb2 : b1 b1\nb2 : x1 x1\n\
-             x1 : a1 a1\nx1 : a1 b1\nx1 : b1 b1\nx1 : a2 a1\nx1 : a2 b1\nx1 : b2 a1\nx1 : b2 b1\nx1 : x1 a1\nx1 : x1 b1\n",
-        );
+        let p = problem(crate::test_fixtures::SECTION_8_DEPTH_TWO);
         let analysis = find_log_certificate(&p);
         assert!(!analysis.has_certificate());
         assert_eq!(analysis.iterations(), 2);

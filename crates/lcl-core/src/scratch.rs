@@ -46,9 +46,20 @@
 //!   restriction to `subset` admit a certificate builder (optionally producing
 //!   the special label on a leaf)? No entries are kept beyond the producible
 //!   root-set list, and no derivations are recorded.
+//! * [`trim_masked`] — Lemma 5.28's `trim`: the greatest subset of `allowed`
+//!   in which every label heads a configuration lying fully inside the subset
+//!   (equals `solvable_labels(problem.restrict_to(allowed))` without the
+//!   restriction);
+//! * [`poly_exponent_masked`] — the exact Θ(n^{1/k}) exponent of a
+//!   polynomial-region problem: the depth of the longest trim/flexible-SCC
+//!   descent (Lemma 5.29), run as an explicit DFS over [`LabelSet`] frames so
+//!   the batch hot path stays allocation-free. The report path's
+//!   [`crate::poly::find_poly_certificate`] materializes the witnessing chain;
+//!   differential tests assert the two agree on the exponent.
 
 use std::cell::RefCell;
 use std::collections::{HashSet, VecDeque};
+use std::ops::Range;
 
 use crate::configuration::children_match_slots;
 use crate::label::Label;
@@ -76,6 +87,27 @@ pub struct ClassifyScratch {
     tuple: Vec<usize>,
     /// The root-label sets selected by the current odometer state.
     slot_sets: Vec<LabelSet>,
+    /// Flexible SCCs collected by [`flexible_sccs_masked`] (arena-style: the
+    /// exponent DFS truncates back to each call's start index).
+    sccs: Vec<LabelSet>,
+    /// Open frames of the exponent DFS.
+    poly_frames: Vec<PolyFrame>,
+    /// Trimmed child sets of the open frames (arena-style, truncated on pop).
+    poly_children: Vec<LabelSet>,
+}
+
+/// One open frame of the exponent DFS: the trimmed child sets it still has to
+/// descend into, and the best depth found below it so far.
+#[derive(Debug, Clone, Copy)]
+struct PolyFrame {
+    /// Start of this frame's children in `poly_children`.
+    children_start: u32,
+    /// End of this frame's children in `poly_children`.
+    children_end: u32,
+    /// Next child to descend into.
+    next: u32,
+    /// `max(1, 1 + depth(child))` over the children processed so far.
+    best: u32,
 }
 
 impl ClassifyScratch {
@@ -149,6 +181,33 @@ fn component_period(comp: LabelSet, allowed: LabelSet, scratch: &mut ClassifyScr
     gcd.max(0) as usize
 }
 
+/// Fills the masked successor/predecessor tables (and sizes the BFS level
+/// buffer) for the path-form automaton of the restriction to `allowed`.
+fn build_masked_tables(problem: &LclProblem, allowed: LabelSet, scratch: &mut ClassifyScratch) {
+    let n = allowed.len();
+    scratch.succ.clear();
+    scratch.succ.resize(n, LabelSet::EMPTY);
+    scratch.pred.clear();
+    scratch.pred.resize(n, LabelSet::EMPTY);
+    scratch.level.clear();
+    scratch.level.resize(n, i64::MIN);
+    // Per-parent configuration ranges: configurations whose parent is already
+    // outside the mask are never touched (the exponent DFS calls this on
+    // ever-smaller sets, where most parents are masked out).
+    for parent in allowed {
+        let from = allowed.rank(parent);
+        for i in problem.parent_config_range(parent) {
+            if !problem.configuration_label_set(i).is_subset(allowed) {
+                continue;
+            }
+            for &child in problem.configurations()[i].children() {
+                scratch.succ[from].insert(child);
+                scratch.pred[allowed.rank(child)].insert(parent);
+            }
+        }
+    }
+}
+
 /// Algorithm 1, masked: the path-flexible states of the restriction of
 /// `problem` to `allowed`, computed directly on the parent problem's dense
 /// tables. Equivalent to
@@ -159,26 +218,10 @@ pub fn flexible_states_masked(
     allowed: LabelSet,
     scratch: &mut ClassifyScratch,
 ) -> LabelSet {
-    let n = allowed.len();
-    if n == 0 {
+    if allowed.is_empty() {
         return LabelSet::EMPTY;
     }
-    scratch.succ.clear();
-    scratch.succ.resize(n, LabelSet::EMPTY);
-    scratch.pred.clear();
-    scratch.pred.resize(n, LabelSet::EMPTY);
-    scratch.level.clear();
-    scratch.level.resize(n, i64::MIN);
-    for (i, c) in problem.configurations().iter().enumerate() {
-        if !problem.configuration_label_set(i).is_subset(allowed) {
-            continue;
-        }
-        let from = allowed.rank(c.parent());
-        for &child in c.children() {
-            scratch.succ[from].insert(child);
-            scratch.pred[allowed.rank(child)].insert(c.parent());
-        }
-    }
+    build_masked_tables(problem, allowed, scratch);
 
     let mut assigned = LabelSet::EMPTY;
     let mut flexible = LabelSet::EMPTY;
@@ -196,6 +239,142 @@ pub fn flexible_states_masked(
         }
     }
     flexible
+}
+
+/// Lemma 5.29's flexible-SCC enumeration, masked: appends every flexible
+/// (period-1, cycle-containing) strongly connected component of the masked
+/// automaton of the restriction to `allowed` onto `scratch.sccs` and returns
+/// the appended range. Callers truncate `scratch.sccs` back to `range.start`
+/// once done, so the buffer acts as a stack arena for the exponent DFS.
+fn flexible_sccs_masked(
+    problem: &LclProblem,
+    allowed: LabelSet,
+    scratch: &mut ClassifyScratch,
+) -> Range<usize> {
+    let start = scratch.sccs.len();
+    if allowed.is_empty() {
+        return start..start;
+    }
+    build_masked_tables(problem, allowed, scratch);
+    let mut assigned = LabelSet::EMPTY;
+    for v in allowed {
+        if assigned.contains(v) {
+            continue;
+        }
+        let fwd = reach(v, &scratch.succ, allowed);
+        let bwd = reach(v, &scratch.pred, allowed);
+        let comp = fwd & bwd;
+        assigned |= comp;
+        let has_cycle = comp.len() > 1 || scratch.succ[allowed.rank(v)].contains(v);
+        if has_cycle && component_period(comp, allowed, scratch) == 1 {
+            scratch.sccs.push(comp);
+        }
+    }
+    start..scratch.sccs.len()
+}
+
+/// Lemma 5.28's `trim`, masked: the greatest subset `T ⊆ allowed` such that
+/// every label of `T` heads a configuration whose labels all lie in `T`.
+/// Equals `solvable_labels(&problem.restrict_to(allowed))` without
+/// materializing the restriction; a pure [`LabelSet`] iteration, no scratch.
+pub fn trim_masked(problem: &LclProblem, allowed: LabelSet) -> LabelSet {
+    let mut cur = allowed & problem.labels();
+    loop {
+        // Per-parent configuration ranges with first-match early exit — the
+        // same shape as `solvable_labels`, restricted to the mask.
+        let next: LabelSet = cur
+            .iter()
+            .filter(|&l| problem.has_continuation_within(l, cur))
+            .collect();
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+/// The exact Θ(n^{1/k}) exponent of a polynomial-region problem — the depth of
+/// the longest trim/flexible-SCC descent starting from the self-sustaining
+/// label set (the `max_depth` recursion over Lemmas 5.28–5.29):
+///
+/// * `depth(S) = max(1, max over flexible SCCs C of M(Π|S) with trim(C) ≠ ∅
+///   of 1 + depth(trim(C)))` for trimmed non-empty `S`;
+/// * the exponent is `depth(trim(Σ))`.
+///
+/// The caller guarantees the problem is in the polynomial region (solvable,
+/// Algorithm 2 fixpoint empty); `sustaining` is the precomputed
+/// [`crate::solvable_labels`] set. In that region every flexible SCC is a
+/// *proper* subset of its level (a full-set flexible SCC would be a
+/// certificate for O(log n)), so the descent strictly shrinks and terminates.
+///
+/// Runs as an explicit DFS over scratch frames: no recursion, no allocation
+/// once the arenas are warm. Agrees with the chain materialized by
+/// [`crate::poly::find_poly_certificate`].
+pub fn poly_exponent_masked(
+    problem: &LclProblem,
+    sustaining: LabelSet,
+    scratch: &mut ClassifyScratch,
+) -> usize {
+    debug_assert!(!sustaining.is_empty(), "polynomial problems are solvable");
+    debug_assert_eq!(sustaining, trim_masked(problem, problem.labels()));
+    scratch.poly_frames.clear();
+    scratch.poly_children.clear();
+    scratch.sccs.clear();
+    push_poly_frame(problem, sustaining, scratch);
+    loop {
+        let frame = *scratch.poly_frames.last().expect("frame stack non-empty");
+        if frame.next < frame.children_end {
+            scratch.poly_frames.last_mut().expect("checked").next += 1;
+            let child = scratch.poly_children[frame.next as usize];
+            push_poly_frame(problem, child, scratch);
+            continue;
+        }
+        scratch.poly_frames.pop();
+        scratch
+            .poly_children
+            .truncate(frame.children_start as usize);
+        match scratch.poly_frames.last_mut() {
+            Some(parent) => parent.best = parent.best.max(1 + frame.best),
+            None => return frame.best as usize,
+        }
+    }
+}
+
+/// Opens a DFS frame for the trimmed non-empty set `set`: enumerates the
+/// flexible SCCs of its masked automaton and stores the non-empty trims of the
+/// proper ones as the frame's children.
+fn push_poly_frame(problem: &LclProblem, set: LabelSet, scratch: &mut ClassifyScratch) {
+    let scc_range = flexible_sccs_masked(problem, set, scratch);
+    let children_start = scratch.poly_children.len();
+    for i in scc_range.clone() {
+        let comp = scratch.sccs[i];
+        if comp == set {
+            // A trimmed set that is one flexible SCC is a certificate for
+            // O(log n) solvability — unreachable in the polynomial region.
+            debug_assert!(false, "log-certificate restriction inside the poly descent");
+            continue;
+        }
+        if comp.len() == 1 {
+            // A flexible singleton has a self-loop; a non-empty trim would
+            // need the all-self configuration, making Π|{l} a certificate for
+            // O(log n) — impossible in the polynomial region. Skipping the
+            // trim here is the hot-path shortcut for the (common) problems
+            // whose flexible SCCs are all singletons.
+            debug_assert!(trim_masked(problem, comp).is_empty());
+            continue;
+        }
+        let trimmed = trim_masked(problem, comp);
+        if !trimmed.is_empty() {
+            scratch.poly_children.push(trimmed);
+        }
+    }
+    scratch.sccs.truncate(scc_range.start);
+    scratch.poly_frames.push(PolyFrame {
+        children_start: children_start as u32,
+        children_end: scratch.poly_children.len() as u32,
+        next: children_start as u32,
+        best: 1,
+    });
 }
 
 /// Algorithm 2's pruning loop, masked: iterates [`flexible_states_masked`] to a
@@ -388,10 +567,7 @@ mod tests {
         let mut scratch = ClassifyScratch::new();
         let extra = [
             "a : b b\nb : a a\n1 : 1 2\n2 : 1 1\n",
-            "a1 : b1 b1\nb1 : a1 a1\n\
-             a2 : b2 b2\na2 : a1 b1\na2 : a1 x1\na2 : b1 x1\na2 : a1 a1\na2 : b1 b1\na2 : x1 x1\n\
-             b2 : a2 a2\nb2 : a1 b1\nb2 : a1 x1\nb2 : b1 x1\nb2 : a1 a1\nb2 : b1 b1\nb2 : x1 x1\n\
-             x1 : a1 a1\nx1 : a1 b1\nx1 : b1 b1\nx1 : a2 a1\nx1 : a2 b1\nx1 : b2 a1\nx1 : b2 b1\nx1 : x1 a1\nx1 : x1 b1\n",
+            crate::test_fixtures::SECTION_8_DEPTH_TWO,
             "1:22\n1:23\n1:33\n2:11\n2:13\n2:33\n3:11\n3:12\n3:22\n",
         ];
         let mut all = full_two_label_family();
@@ -450,6 +626,68 @@ mod tests {
                 classify(&p).complexity,
                 "{}",
                 p.to_text()
+            );
+        }
+    }
+
+    #[test]
+    fn trim_masked_matches_solvable_labels_of_restrictions() {
+        for p in full_two_label_family() {
+            for subset in p.labels().subsets() {
+                assert_eq!(
+                    trim_masked(&p, subset),
+                    crate::solvability::solvable_labels(&p.restrict_to(subset)),
+                    "problem {:?}, subset {subset}",
+                    p.to_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_flexible_sccs_match_automaton_components() {
+        let mut scratch = ClassifyScratch::new();
+        for p in full_two_label_family() {
+            for allowed in p.labels().subsets() {
+                let range = flexible_sccs_masked(&p, allowed, &mut scratch);
+                let mut masked: Vec<LabelSet> = scratch.sccs[range.clone()].to_vec();
+                scratch.sccs.truncate(range.start);
+                masked.sort_by_key(|s| s.first());
+                let mut rebuilt: Vec<LabelSet> = Automaton::of(&p.restrict_to(allowed))
+                    .components()
+                    .into_iter()
+                    .filter(|c| c.has_cycle && c.period == 1)
+                    .map(|c| c.states)
+                    .collect();
+                rebuilt.sort_by_key(|s| s.first());
+                assert_eq!(
+                    masked,
+                    rebuilt,
+                    "problem {:?}, allowed {allowed}",
+                    p.to_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_exponent_matches_certificate_chain_on_deep_problems() {
+        let mut scratch = ClassifyScratch::new();
+        let deep = [
+            // Θ(n): 2-coloring on trees and paths.
+            "1:22\n2:11\n",
+            "1:2\n2:1\n",
+            // Θ(√n): the Section 8 construction with k = 2.
+            crate::test_fixtures::SECTION_8_DEPTH_TWO,
+        ];
+        for text in deep {
+            let p = problem(text);
+            let cert = crate::poly::find_poly_certificate(&p).expect("polynomial problem");
+            let sustaining = crate::solvability::solvable_labels(&p);
+            assert_eq!(
+                poly_exponent_masked(&p, sustaining, &mut scratch),
+                cert.exponent(),
+                "{text}"
             );
         }
     }

@@ -55,8 +55,14 @@ fn warm_scratch_classification_performs_zero_allocations() {
         "1 : 1 2\n2 : 1 1\n",
         // Θ(log n) after one pruning iteration: Figure 2's Π₀.
         "a : b b\nb : a a\n1 : 1 2\n2 : 1 1\n",
-        // n^Θ(1): 2-coloring.
+        // Θ(n): 2-coloring (exponent 1 — the poly descent with no flexible SCC).
         "1:22\n2:11\n",
+        // Θ(√n): the Section 8 construction with k = 2, so the exponent DFS
+        // actually descends through a flexible-SCC trim.
+        "a1 : b1 b1\nb1 : a1 a1\n\
+         a2 : b2 b2\na2 : a1 b1\na2 : a1 x1\na2 : b1 x1\na2 : a1 a1\na2 : b1 b1\na2 : x1 x1\n\
+         b2 : a2 a2\nb2 : a1 b1\nb2 : a1 x1\nb2 : b1 x1\nb2 : a1 a1\nb2 : b1 b1\nb2 : x1 x1\n\
+         x1 : a1 a1\nx1 : a1 b1\nx1 : b1 b1\nx1 : a2 a1\nx1 : a2 b1\nx1 : b2 a1\nx1 : b2 b1\nx1 : x1 a1\nx1 : x1 b1\n",
         // Unsolvable: a chain of dead ends.
         "a : b b\nb : c c\n",
     ];

@@ -28,12 +28,9 @@ impl ExpectedComplexity {
             (ExpectedComplexity::Constant, Complexity::Constant) => true,
             (ExpectedComplexity::LogStar, Complexity::LogStar) => true,
             (ExpectedComplexity::Log, Complexity::Log) => true,
-            (
-                ExpectedComplexity::Polynomial(k),
-                Complexity::Polynomial {
-                    lower_bound_exponent,
-                },
-            ) => k == lower_bound_exponent,
+            (ExpectedComplexity::Polynomial(k), Complexity::Polynomial { exponent }) => {
+                k == exponent
+            }
             (ExpectedComplexity::Unsolvable, Complexity::Unsolvable) => true,
             _ => false,
         }
@@ -221,16 +218,8 @@ mod tests {
     fn expected_complexity_matching() {
         assert!(ExpectedComplexity::Constant.matches(Complexity::Constant));
         assert!(!ExpectedComplexity::Constant.matches(Complexity::Log));
-        assert!(
-            ExpectedComplexity::Polynomial(2).matches(Complexity::Polynomial {
-                lower_bound_exponent: 2
-            })
-        );
-        assert!(
-            !ExpectedComplexity::Polynomial(2).matches(Complexity::Polynomial {
-                lower_bound_exponent: 1
-            })
-        );
+        assert!(ExpectedComplexity::Polynomial(2).matches(Complexity::Polynomial { exponent: 2 }));
+        assert!(!ExpectedComplexity::Polynomial(2).matches(Complexity::Polynomial { exponent: 1 }));
         assert!(ExpectedComplexity::Log.describe().contains("log"));
     }
 }

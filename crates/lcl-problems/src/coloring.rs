@@ -128,9 +128,7 @@ mod tests {
         );
         assert_eq!(
             classify(&two_coloring_binary()).complexity,
-            Complexity::Polynomial {
-                lower_bound_exponent: 1
-            }
+            Complexity::Polynomial { exponent: 1 }
         );
         assert_eq!(classify(&branch_two_coloring()).complexity, Complexity::Log);
         assert_eq!(
@@ -149,9 +147,7 @@ mod tests {
     fn two_coloring_on_higher_degree_is_still_global() {
         assert_eq!(
             classify(&coloring(3, 2)).complexity,
-            Complexity::Polynomial {
-                lower_bound_exponent: 1
-            }
+            Complexity::Polynomial { exponent: 1 }
         );
     }
 }

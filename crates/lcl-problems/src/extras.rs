@@ -33,6 +33,20 @@ pub fn copy_child(delta: usize) -> LclProblem {
     b.build()
 }
 
+/// The Section 8 construction with k = 2: the inner 2-coloring {a1, b1} is
+/// wrapped by a second 2-coloring {a2, b2} through the separator x1 (which
+/// requires one child of index 1). Pruning removes {a1, b1} and then
+/// everything else, and the exact exponent is 2 — complexity Θ(√n). The same
+/// pattern iterated k times is the Π_k family of [`crate::pi_k`].
+pub fn section_8_depth_two() -> LclProblem {
+    "a1 : b1 b1\nb1 : a1 a1\n\
+     a2 : b2 b2\na2 : a1 b1\na2 : a1 x1\na2 : b1 x1\na2 : a1 a1\na2 : b1 b1\na2 : x1 x1\n\
+     b2 : a2 a2\nb2 : a1 b1\nb2 : a1 x1\nb2 : b1 x1\nb2 : a1 a1\nb2 : b1 b1\nb2 : x1 x1\n\
+     x1 : a1 a1\nx1 : a1 b1\nx1 : b1 b1\nx1 : a2 a1\nx1 : a2 b1\nx1 : b2 a1\nx1 : b2 b1\nx1 : x1 a1\nx1 : x1 b1\n"
+        .parse()
+        .expect("the Section 8 text is well-formed")
+}
+
 /// A *heterochromatic child* problem: an internal node must have children of both
 /// colors among {1, 2} (δ ≥ 2), and may itself take either color. On binary trees
 /// this forces every internal node's children to be {1, 2}.

@@ -97,9 +97,7 @@ mod tests {
         assert_eq!(p.num_configurations(), 2);
         assert_eq!(
             classify(&p).complexity,
-            Complexity::Polynomial {
-                lower_bound_exponent: 1
-            }
+            Complexity::Polynomial { exponent: 1 }
         );
     }
 
@@ -115,12 +113,7 @@ mod tests {
             assert!(p.label_by_name(name).is_some(), "missing label {name}");
         }
         let report = classify(&p);
-        assert_eq!(
-            report.complexity,
-            Complexity::Polynomial {
-                lower_bound_exponent: 2
-            }
-        );
+        assert_eq!(report.complexity, Complexity::Polynomial { exponent: 2 });
     }
 
     #[test]
@@ -132,12 +125,14 @@ mod tests {
             let report = classify(&p);
             assert_eq!(
                 report.complexity,
-                Complexity::Polynomial {
-                    lower_bound_exponent: k
-                },
+                Complexity::Polynomial { exponent: k },
                 "Π_{k}"
             );
             assert_eq!(report.log_analysis.iterations(), k);
+            // The exact-exponent certificate descends level by level.
+            let cert = report.poly_certificate().expect("polynomial certificate");
+            assert_eq!(cert.exponent(), k);
+            cert.verify(&p).unwrap();
             // First removal is exactly {a1, b1}.
             let first: Vec<&str> = report.log_analysis.pruned_sets[0]
                 .iter()

@@ -18,7 +18,14 @@
 //! * the **flat solver engine** must agree with the arena path — its labeling
 //!   must pass both checkers too, and its round accounting must be
 //!   byte-identical to the arena solver's (every phase is deterministic given
-//!   the tree and identifier assignment).
+//!   the tree and identifier assignment);
+//! * **polynomial** verdicts must carry a verifiable exact-exponent
+//!   certificate whose exponent never exceeds Algorithm 2's pruning iteration
+//!   count (Theorem 5.2's lower-bound side), the greedy O(n) baseline must
+//!   still solve the instance (the certificate-driven solver is checked
+//!   through the dispatcher like every other class), and — once per run —
+//!   the classified exponent of the Π_k family must equal its ground-truth
+//!   k for k = 1..=3 (Theorem 8.3).
 //!
 //! Any violated expectation is recorded as a [`Discrepancy`]; a healthy
 //! repository reports none over arbitrarily many iterations. The oracle is
@@ -132,6 +139,22 @@ pub fn fuzz_classifier_vs_solvers(seed: u64, iters: usize) -> FuzzReport {
         discrepancies: Vec::new(),
     };
 
+    // Π_k ground truth (Theorem 8.3): the classified exponent must be exactly
+    // k. Checked once per run — the problems are fixed, not fuzzed.
+    for k in 1..=3usize {
+        let problem = lcl_problems::pi_k::pi_k(k);
+        let verdict = engine.classify(&problem);
+        if verdict != (Complexity::Polynomial { exponent: k }) {
+            report.discrepancies.push(Discrepancy {
+                iteration: 0,
+                problem: problem.to_text(),
+                complexity: verdict.to_string(),
+                context: "pi_k oracle".into(),
+                detail: format!("Π_{k} must classify to exponent exactly {k}, got {verdict}"),
+            });
+        }
+    }
+
     for iteration in 0..iters {
         let spec = RandomProblemSpec {
             delta: 1 + rng.gen_index(3),
@@ -167,6 +190,46 @@ pub fn fuzz_classifier_vs_solvers(seed: u64, iters: usize) -> FuzzReport {
                 format!("memoized verdict {memoized} differs from full report {complexity}"),
             );
             continue;
+        }
+
+        if let Complexity::Polynomial { exponent } = complexity {
+            // The exact exponent must be witnessed by a verifiable chain and
+            // bounded by the pruning iteration count (Theorem 5.2).
+            match full.poly_certificate() {
+                None => record("poly", "polynomial verdict without a certificate".into()),
+                Some(cert) => {
+                    if cert.exponent() != exponent {
+                        record(
+                            "poly",
+                            format!(
+                                "certificate exponent {} differs from verdict {exponent}",
+                                cert.exponent()
+                            ),
+                        );
+                    }
+                    if let Err(e) = cert.verify(&problem) {
+                        record("poly", format!("exponent certificate fails to verify: {e}"));
+                    }
+                }
+            }
+            let iterations = full.log_analysis.iterations().max(1);
+            if exponent < 1 || exponent > iterations {
+                record(
+                    "poly",
+                    format!("exponent {exponent} outside [1, pruning iterations {iterations}]"),
+                );
+            }
+            // The greedy O(n) baseline must still solve polynomial instances
+            // (it is no longer on the dispatcher path).
+            let arena = lcl_trees::generators::random_full(problem.delta(), 80, rng.next_u64());
+            match greedy::solve(&problem, &arena) {
+                None => record("baseline", "greedy failed on a solvable problem".into()),
+                Some(labeling) => {
+                    if let Err(e) = labeling.verify(&arena, &problem) {
+                        record("baseline", format!("greedy labeling invalid: {e}"));
+                    }
+                }
+            }
         }
 
         if complexity == Complexity::Unsolvable {

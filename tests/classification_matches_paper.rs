@@ -71,16 +71,165 @@ fn class_nesting_is_respected() {
 }
 
 #[test]
-fn pi_k_lower_bound_exponent_matches_k() {
+fn pi_k_exact_exponent_matches_k() {
+    // Theorem 8.3: Π_k has complexity exactly Θ(n^{1/k}) — the built-in
+    // differential oracle of the exponent decision procedure.
     for k in 1..=5 {
         let problem = pi_k::pi_k(k);
         let report = classify(&problem);
         assert_eq!(
             report.complexity,
-            Complexity::Polynomial {
-                lower_bound_exponent: k
-            },
+            Complexity::Polynomial { exponent: k },
             "Π_{k}"
         );
+        let cert = report.poly_certificate().expect("polynomial certificate");
+        assert_eq!(cert.exponent(), k);
+        cert.verify(&problem).unwrap();
+        // The exponent never exceeds the pruning iteration count (the
+        // Ω(n^{1/iterations}) side of Theorem 5.2); on Π_k they coincide.
+        assert_eq!(report.log_analysis.iterations(), k);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force reference for the exact exponent: the same trim/flexible-SCC
+// recursion, but over *materialized* restrictions (`restrict_to` +
+// `solvable_labels` + `Automaton::components`) instead of the masked kernels.
+// ---------------------------------------------------------------------------
+
+use rooted_tree_lcl::core::automaton::Automaton;
+use rooted_tree_lcl::core::{solvable_labels, LabelSet, LclProblem};
+
+fn reference_depth(problem: &LclProblem, s: LabelSet) -> usize {
+    // `s` is trimmed and non-empty.
+    let restricted = problem.restrict_to(s);
+    let automaton = Automaton::of(&restricted);
+    let mut best = 1;
+    for comp in automaton.components() {
+        if !comp.has_cycle || comp.period != 1 || comp.states == s {
+            continue;
+        }
+        let trimmed = solvable_labels(&problem.restrict_to(comp.states));
+        if !trimmed.is_empty() {
+            best = best.max(1 + reference_depth(problem, trimmed));
+        }
+    }
+    best
+}
+
+/// `Some(k)` iff the problem is in the polynomial region, decided and
+/// recursed entirely through materialized restrictions.
+fn reference_exponent(problem: &LclProblem) -> Option<usize> {
+    let sustaining = solvable_labels(problem);
+    if sustaining.is_empty() {
+        return None;
+    }
+    // Algorithm 2 via materialized restrictions.
+    let mut current = problem.clone();
+    loop {
+        let flexible = Automaton::of(&current).flexible_states();
+        if flexible == current.labels() {
+            break;
+        }
+        current = current.restrict_to(flexible);
+    }
+    if !current.labels().is_empty() {
+        return None; // a log certificate exists
+    }
+    Some(reference_depth(problem, sustaining))
+}
+
+fn assert_exponent_matches_reference(problem: &LclProblem, context: &str) {
+    let complexity = classify(problem).complexity;
+    match (reference_exponent(problem), complexity) {
+        (Some(k), Complexity::Polynomial { exponent }) => {
+            assert_eq!(exponent, k, "{context}: {}", problem.to_text());
+        }
+        (None, Complexity::Polynomial { .. }) => {
+            panic!(
+                "{context}: classifier says polynomial, reference disagrees: {}",
+                problem.to_text()
+            );
+        }
+        (Some(k), other) => {
+            panic!(
+                "{context}: reference says Θ(n^(1/{k})), classifier says {other}: {}",
+                problem.to_text()
+            );
+        }
+        (None, _) => {}
+    }
+}
+
+#[test]
+fn exponent_procedure_matches_brute_force_reference_exhaustively() {
+    // Every problem over δ = 2 and two labels: 2 × 3 = 6 possible
+    // configurations, 64 problems — the full universe the sweep golden covers.
+    let names = ["a", "b"];
+    let universe: Vec<(usize, [usize; 2])> = (0..2)
+        .flat_map(|p| [(p, [0, 0]), (p, [0, 1]), (p, [1, 1])])
+        .collect();
+    for mask in 0u32..1 << universe.len() {
+        let mut b = LclProblem::builder(2);
+        b.label("a");
+        b.label("b");
+        for (i, (p, cs)) in universe.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                b.configuration(names[*p], &[names[cs[0]], names[cs[1]]]);
+            }
+        }
+        let problem = b.build();
+        assert_exponent_matches_reference(&problem, "exhaustive δ=2 2-label");
+    }
+}
+
+#[test]
+fn exponent_procedure_matches_reference_on_deep_and_random_problems() {
+    use rooted_tree_lcl::problems::random::{random_problem, RandomProblemSpec};
+    // Deep chains: Π_1..Π_4 plus the Section 8 k = 2 construction.
+    for k in 1..=4 {
+        assert_exponent_matches_reference(&pi_k::pi_k(k), "pi_k");
+    }
+    let section8 = rooted_tree_lcl::problems::extras::section_8_depth_two();
+    assert_exponent_matches_reference(&section8, "section 8 (k = 2)");
+    // Random 3- and 4-label problems, and sparse δ=1 path problems.
+    for seed in 0..120 {
+        for (delta, labels, density) in [(2, 3, 0.25), (2, 4, 0.2), (1, 3, 0.3)] {
+            let spec = RandomProblemSpec {
+                delta,
+                num_labels: labels,
+                density,
+            };
+            let problem = random_problem(&spec, seed);
+            assert_exponent_matches_reference(&problem, "random");
+        }
+    }
+}
+
+#[test]
+fn exponent_is_bounded_by_pruning_iterations() {
+    use rooted_tree_lcl::problems::random::{random_problem, RandomProblemSpec};
+    for seed in 0..200 {
+        let spec = RandomProblemSpec {
+            delta: 2,
+            num_labels: 3,
+            density: 0.3,
+        };
+        let problem = random_problem(&spec, seed);
+        let report = classify(&problem);
+        if let Complexity::Polynomial { exponent } = report.complexity {
+            assert!(exponent >= 1);
+            assert!(
+                exponent <= report.log_analysis.iterations().max(1),
+                "exponent {exponent} exceeds pruning iterations {} on {}",
+                report.log_analysis.iterations(),
+                problem.to_text()
+            );
+            report
+                .poly_certificate()
+                .expect("polynomial certificate")
+                .verify(&problem)
+                .unwrap();
+        }
     }
 }

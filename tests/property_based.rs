@@ -128,11 +128,11 @@ fn classifier_and_solver_agree_on_random_problems() {
             Complexity::Log => {
                 assert!(report.log_certificate().is_some() && report.log_star.is_none())
             }
-            Complexity::Polynomial {
-                lower_bound_exponent,
-            } => {
-                assert!(lower_bound_exponent >= 1);
+            Complexity::Polynomial { exponent } => {
+                assert!(exponent >= 1);
                 assert!(report.log_certificate().is_none());
+                let cert = report.poly_certificate().expect("polynomial certificate");
+                assert_eq!(cert.exponent(), exponent);
             }
             Complexity::Unsolvable => {}
         }
