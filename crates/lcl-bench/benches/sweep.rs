@@ -12,11 +12,18 @@
 //! through the orbit sizes — a structural win that holds on a single-core
 //! runner.
 //!
+//! The bit-sliced engine goes one level further: same canonical stream, but
+//! 64 orbit representatives per block run the decision fixed points in
+//! lockstep as `u64` lane words (`lcl_core::bitslice`), with mask-direct
+//! canonical memo keys — no `LclProblem` is even built except for the rare
+//! scalar polynomial-exponent fallback.
+//!
 //! The bench asserts, on the full (δ=2, 3-label) universe of 2^18 problems:
 //!
 //! 1. the canonical-first sweep is faster than enumerate + `classify_batch`;
-//! 2. its orbit-weighted histogram **exactly** matches the baseline's
-//!    post-hoc-dedup histogram.
+//! 2. the bit-sliced sweep is faster than the scalar canonical-first sweep
+//!    (ratio recorded as `bitsliced_vs_canonical_first`);
+//! 3. all three orbit-weighted histograms **exactly** match.
 
 use lcl_bench::harness::{black_box, Bench, BenchReport};
 use lcl_core::engine::ComplexityHistogram;
@@ -43,6 +50,21 @@ fn sweep_histogram(delta: usize, labels: usize, shards: usize) -> ComplexityHist
         .problems
 }
 
+fn bitsliced_histogram(delta: usize, labels: usize, shards: usize) -> ComplexityHistogram {
+    let family = CanonicalFamily::new(delta, labels);
+    let universe = family.sliced_universe();
+    let engine = ClassificationEngine::new();
+    engine
+        .sweep_sharded_bitsliced(
+            &universe,
+            shards,
+            |s| family.blocks(s, shards),
+            |mask| family.problem_at(mask),
+            |mask| family.canonical_key_of(mask),
+        )
+        .problems
+}
+
 fn run_universe(
     report: &mut BenchReport,
     delta: usize,
@@ -62,6 +84,11 @@ fn run_universe(
         swept, baseline,
         "sweep histogram must exactly match the enumerate+dedup baseline on (δ={delta}, {labels} labels)"
     );
+    let bitsliced = bitsliced_histogram(delta, labels, shards);
+    assert_eq!(
+        bitsliced, baseline,
+        "bit-sliced histogram must exactly match the enumerate+dedup baseline on (δ={delta}, {labels} labels)"
+    );
 
     let mut bench = Bench::new(&format!(
         "exhaustive (δ={delta}, {labels}-label) universe ({} problems)",
@@ -69,28 +96,43 @@ fn run_universe(
     ));
     let baseline_label = "enumerate_problems + classify_batch";
     let sweep_label = "canonical-first sweep";
+    let bitsliced_label = "bit-sliced sweep";
     bench.case_samples(baseline_label, samples, || {
         black_box(baseline_histogram(delta, labels))
     });
     bench.case_samples(sweep_label, samples, || {
         black_box(sweep_histogram(delta, labels, shards))
     });
+    bench.case_samples(bitsliced_label, samples, || {
+        black_box(bitsliced_histogram(delta, labels, shards))
+    });
 
     let naive = bench.median_of(baseline_label).expect("case ran");
     let sweep = bench.median_of(sweep_label).expect("case ran");
+    let sliced = bench.median_of(bitsliced_label).expect("case ran");
     let speedup = report.add_ratio(
         &format!("canonical_first_speedup_d{delta}_l{labels}"),
         naive,
         sweep,
     );
-    println!("canonical-first speedup over enumerate+batch: {speedup:.2}x\n");
+    println!("canonical-first speedup over enumerate+batch: {speedup:.2}x");
     if assert_win {
         assert!(
             sweep < naive,
             "canonical-first sweep ({sweep:?}) should beat enumerate+classify_batch \
              ({naive:?}) on the full (δ={delta}, {labels}-label) universe"
         );
+        // The headline ratio of the bit-sliced engine, against the scalar
+        // canonical-first sweep on the acceptance workload.
+        let lane_speedup = report.add_ratio("bitsliced_vs_canonical_first", sweep, sliced);
+        println!("bit-sliced speedup over the scalar sweep: {lane_speedup:.2}x");
+        assert!(
+            sliced < sweep,
+            "bit-sliced sweep ({sliced:?}) should beat the scalar canonical-first \
+             sweep ({sweep:?}) on the full (δ={delta}, {labels}-label) universe"
+        );
     }
+    println!();
     report.add_group(bench);
 }
 

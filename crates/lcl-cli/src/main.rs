@@ -63,6 +63,9 @@
 //! --labels <k>     labels of the universe (default 2; the universe must fit
 //!                  63 configurations, so δ=2 caps at 4 labels, δ=1 at 7)
 //! --shards <n>     shard count for the parallel driver (default: available cores)
+//! --engine <e>     `bitsliced` (default: classify 64 orbit representatives per
+//!                  block in bit-parallel lockstep) or `scalar` (one decision
+//!                  at a time); histograms are identical either way
 //! --json           emit the histograms as JSON
 //! ```
 
@@ -828,11 +831,27 @@ fn cmd_classify_batch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepEngine {
+    Bitsliced,
+    Scalar,
+}
+
+impl SweepEngine {
+    fn name(self) -> &'static str {
+        match self {
+            SweepEngine::Bitsliced => "bitsliced",
+            SweepEngine::Scalar => "scalar",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct SweepOptions {
     delta: usize,
     labels: usize,
     shards: usize,
+    engine: SweepEngine,
     json: bool,
 }
 
@@ -843,6 +862,7 @@ fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
         shards: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        engine: SweepEngine::Bitsliced,
         json: false,
     };
     let mut cur = FlagCursor::new(args);
@@ -851,6 +871,17 @@ fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
             "--delta" => opts.delta = cur.parse_value("--delta")?,
             "--labels" => opts.labels = cur.parse_value("--labels")?,
             "--shards" => opts.shards = cur.parse_value("--shards")?,
+            "--engine" => {
+                opts.engine = match cur.value("--engine")?.as_str() {
+                    "bitsliced" => SweepEngine::Bitsliced,
+                    "scalar" => SweepEngine::Scalar,
+                    other => {
+                        return Err(format!(
+                            "unknown sweep engine `{other}` (expected `bitsliced` or `scalar`)"
+                        ))
+                    }
+                }
+            }
             "--json" => opts.json = true,
             other => return Err(format!("unknown sweep option `{other}`")),
         }
@@ -926,7 +957,19 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     let family = CanonicalFamily::new(opts.delta, opts.labels);
     let engine = ClassificationEngine::new();
     let start = Instant::now();
-    let outcome = engine.sweep_sharded(opts.shards, |s| family.shard(s, opts.shards));
+    let outcome = match opts.engine {
+        SweepEngine::Scalar => engine.sweep_sharded(opts.shards, |s| family.shard(s, opts.shards)),
+        SweepEngine::Bitsliced => {
+            let universe = family.sliced_universe();
+            engine.sweep_sharded_bitsliced(
+                &universe,
+                opts.shards,
+                |s| family.blocks(s, opts.shards),
+                |mask| family.problem_at(mask),
+                |mask| family.canonical_key_of(mask),
+            )
+        }
+    };
     let elapsed = start.elapsed();
 
     let orbit_count = outcome.orbits.total();
@@ -934,10 +977,11 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     debug_assert_eq!(outcome.problems.total(), family_size);
 
     if opts.json {
-        let out = Json::Obj(vec![
+        let mut entries = vec![
             ("delta".into(), Json::int(opts.delta)),
             ("labels".into(), Json::int(opts.labels)),
             ("shards".into(), Json::int(opts.shards)),
+            ("engine".into(), Json::str(opts.engine.name())),
             (
                 "universe_configurations".into(),
                 Json::int(family.universe_len()),
@@ -945,22 +989,45 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             ("family_size".into(), Json::int(family_size as usize)),
             ("canonical_orbits".into(), Json::int(orbit_count as usize)),
             ("elapsed_ms".into(), Json::Num(elapsed.as_secs_f64() * 1e3)),
-            ("orbits".into(), histogram_json(&outcome.orbits)),
-            ("problems".into(), histogram_json(&outcome.problems)),
-        ]);
-        println!("{}", out.to_pretty());
+        ];
+        if opts.engine == SweepEngine::Bitsliced {
+            entries.push((
+                "lane_blocks".into(),
+                Json::int(outcome.lanes.blocks as usize),
+            ));
+            entries.push((
+                "lane_avg_live".into(),
+                Json::Num(outcome.lanes.avg_live_lanes()),
+            ));
+            entries.push((
+                "lane_scalar_fallbacks".into(),
+                Json::int(outcome.lanes.scalar_fallbacks as usize),
+            ));
+        }
+        entries.push(("orbits".into(), histogram_json(&outcome.orbits)));
+        entries.push(("problems".into(), histogram_json(&outcome.problems)));
+        println!("{}", Json::Obj(entries).to_pretty());
     } else {
         println!(
             "swept the complete (δ={}, {}-label) universe: {} problems in {} orbits, \
-             {} decisions in {:.1} ms ({} shards)",
+             {} decisions in {:.1} ms ({} shards, {} engine)",
             opts.delta,
             opts.labels,
             family_size,
             orbit_count,
             engine.stats().cache_misses,
             elapsed.as_secs_f64() * 1e3,
-            opts.shards
+            opts.shards,
+            opts.engine.name()
         );
+        if opts.engine == SweepEngine::Bitsliced {
+            println!(
+                "lanes: {} blocks, {:.1} live lanes/round avg, {} scalar fallbacks",
+                outcome.lanes.blocks,
+                outcome.lanes.avg_live_lanes(),
+                outcome.lanes.scalar_fallbacks
+            );
+        }
         println!("{:<12} {:>12} {:>12}", "class", "orbits", "problems");
         for (&(name, orbits), &(_, problems)) in outcome
             .orbits
@@ -1038,7 +1105,7 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }

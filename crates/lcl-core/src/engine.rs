@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::bitslice::{classify_block_sliced, BitSliceScratch, LaneVerdict, SlicedUniverse};
 use crate::classifier::{
     classify_complexity_with, classify_with_config, ClassifierConfig, Complexity,
 };
@@ -127,11 +128,26 @@ pub fn canonical_form(problem: &LclProblem) -> CanonicalKey {
         return CanonicalKey(flat);
     }
 
-    // Unpack the winning packed encoding into the flat key.
-    let mut flat: Vec<u16> = Vec::with_capacity(2 + best.len() * slots);
+    canonical_key_from_packed_rows(delta, k, &best)
+}
+
+/// Builds a [`CanonicalKey`] directly from the winning packed-row encoding: the
+/// sorted `u128` rows of the minimizing relabeling, each packing `delta + 1`
+/// 16-bit slots (parent highest, children ascending) as [`canonical_form`]'s
+/// permutation search produces them. This is the key's *definition* unpacked —
+/// callers that find the minimizing relabeling by other means (the mask-direct
+/// fast path in `lcl-problems`' `CanonicalFamily`) get a key identical to
+/// `canonical_form`'s for the same problem.
+pub fn canonical_key_from_packed_rows(
+    delta: usize,
+    num_used: usize,
+    sorted_packed: &[u128],
+) -> CanonicalKey {
+    let slots = delta + 1;
+    let mut flat: Vec<u16> = Vec::with_capacity(2 + sorted_packed.len() * slots);
     flat.push(delta as u16);
-    flat.push(k as u16);
-    for &packed in &best {
+    flat.push(num_used as u16);
+    for &packed in sorted_packed {
         for slot in (0..slots).rev() {
             flat.push((packed >> (16 * slot)) as u16);
         }
@@ -396,6 +412,122 @@ impl ClassificationEngine {
         });
         merged.into_inner().expect("sweep outcome poisoned")
     }
+
+    /// Bit-sliced variant of [`Self::sweep_sharded`]: the canonical stream
+    /// arrives as [`MaskBlock`]s of ≤ 64 configuration masks over one shared
+    /// [`SlicedUniverse`], and every block runs
+    /// [`crate::bitslice::classify_block_sliced`] — all lanes in lockstep —
+    /// instead of 64 scalar decisions.
+    ///
+    /// `blocks(s)` yields the `s`-th shard's blocks (`CanonicalFamily::blocks`
+    /// produces them). `problem_of(mask)` materializes one lane's problem —
+    /// only called for the rare scalar-fallback lanes
+    /// ([`LaneVerdict::NeedsPolyExponent`], the exact polynomial-exponent
+    /// descent). `key_of(mask)` is the lane's canonical memo key, identical to
+    /// [`canonical_form`] of the materialized problem (`CanonicalFamily`
+    /// computes it mask-directly); it is only called when memoization is on.
+    /// Memo merge and worker structure match the scalar sweep: private scratch
+    /// and memo per worker, one merge at the end, cache warm for the whole
+    /// family afterwards.
+    pub fn sweep_sharded_bitsliced<I, F, P, K>(
+        &self,
+        universe: &SlicedUniverse,
+        shards: usize,
+        blocks: F,
+        problem_of: P,
+        key_of: K,
+    ) -> SweepOutcome
+    where
+        I: Iterator<Item = MaskBlock>,
+        F: Fn(usize) -> I + Sync,
+        P: Fn(u64) -> LclProblem + Sync,
+        K: Fn(u64) -> CanonicalKey + Sync,
+    {
+        let shards = shards.max(1);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(shards);
+        let next = AtomicUsize::new(0);
+        let merged: Mutex<SweepOutcome> = Mutex::new(SweepOutcome::default());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = ClassifyScratch::new();
+                    let mut sliced = BitSliceScratch::new();
+                    let mut verdicts = Vec::new();
+                    let mut local_memo: HashMap<CanonicalKey, Complexity> = HashMap::new();
+                    let mut outcome = SweepOutcome::default();
+                    let mut classified = 0usize;
+                    loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        if s >= shards {
+                            break;
+                        }
+                        for block in blocks(s) {
+                            debug_assert_eq!(block.masks.len(), block.orbit_sizes.len());
+                            let stats = classify_block_sliced(
+                                universe,
+                                &block.masks,
+                                &mut sliced,
+                                &mut verdicts,
+                            );
+                            outcome.lanes.blocks += 1;
+                            outcome.lanes.fixpoint_rounds += stats.fixpoint_rounds;
+                            outcome.lanes.live_lane_rounds += stats.live_lane_rounds;
+                            classified += block.masks.len();
+                            for (j, &mask) in block.masks.iter().enumerate() {
+                                let complexity = match verdicts[j] {
+                                    LaneVerdict::Decided(c) => c,
+                                    LaneVerdict::NeedsPolyExponent => {
+                                        outcome.lanes.scalar_fallbacks += 1;
+                                        let problem = problem_of(mask);
+                                        let sustaining =
+                                            crate::solvability::solvable_labels(&problem);
+                                        Complexity::Polynomial {
+                                            exponent: crate::scratch::poly_exponent_masked(
+                                                &problem,
+                                                sustaining,
+                                                &mut scratch,
+                                            ),
+                                        }
+                                    }
+                                };
+                                if self.canonicalize {
+                                    local_memo.insert(key_of(mask), complexity);
+                                }
+                                outcome.orbits.add(complexity, 1);
+                                outcome.problems.add(complexity, block.orbit_sizes[j]);
+                            }
+                        }
+                    }
+                    self.misses.fetch_add(classified, Ordering::Relaxed);
+                    if !local_memo.is_empty() {
+                        self.cache
+                            .lock()
+                            .expect("engine cache poisoned")
+                            .extend(local_memo);
+                    }
+                    merged
+                        .lock()
+                        .expect("sweep outcome poisoned")
+                        .merge(&outcome);
+                });
+            }
+        });
+        merged.into_inner().expect("sweep outcome poisoned")
+    }
+}
+
+/// One unit of a bit-sliced sweep: up to 64 canonical configuration masks over
+/// one shared [`SlicedUniverse`], with the orbit size of each mask's
+/// representative (parallel arrays, one lane per mask).
+#[derive(Debug, Clone, Default)]
+pub struct MaskBlock {
+    /// The configuration masks, one lane each.
+    pub masks: Vec<u64>,
+    /// `orbit_sizes[j]` is the label-permutation orbit size of `masks[j]`.
+    pub orbit_sizes: Vec<u64>,
 }
 
 /// One item of a canonical-first sweep: a representative problem together with
@@ -501,6 +633,42 @@ impl ComplexityHistogram {
     }
 }
 
+/// Lane-utilization statistics of a bit-sliced sweep
+/// ([`ClassificationEngine::sweep_sharded_bitsliced`]); all-zero for scalar
+/// sweeps. Watched so lane-packing regressions (sparser blocks, more scalar
+/// fallbacks) show up in `rtlcl sweep` output instead of only in wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepLaneStats {
+    /// Number of ≤64-lane blocks classified.
+    pub blocks: u64,
+    /// Total fixed-point rounds (trim + pruning) across all blocks.
+    pub fixpoint_rounds: u64,
+    /// Sum over those rounds of the live lanes entering each round.
+    pub live_lane_rounds: u64,
+    /// Lanes that fell back to the scalar polynomial-exponent descent.
+    pub scalar_fallbacks: u64,
+}
+
+impl SweepLaneStats {
+    /// Average number of live lanes per fixed-point round (0.0 when no
+    /// rounds ran — e.g. a scalar sweep).
+    pub fn avg_live_lanes(&self) -> f64 {
+        if self.fixpoint_rounds == 0 {
+            0.0
+        } else {
+            self.live_lane_rounds as f64 / self.fixpoint_rounds as f64
+        }
+    }
+
+    /// Adds every count of `other`.
+    pub fn merge(&mut self, other: &SweepLaneStats) {
+        self.blocks += other.blocks;
+        self.fixpoint_rounds += other.fixpoint_rounds;
+        self.live_lane_rounds += other.live_lane_rounds;
+        self.scalar_fallbacks += other.scalar_fallbacks;
+    }
+}
+
 /// The result of [`ClassificationEngine::sweep_sharded`]: per-class counts of
 /// the canonical representatives (`orbits`) and of the full universe they
 /// stand for (`problems`, each orbit weighted by its size).
@@ -510,6 +678,8 @@ pub struct SweepOutcome {
     pub orbits: ComplexityHistogram,
     /// Counts over the whole universe: each orbit contributes its size.
     pub problems: ComplexityHistogram,
+    /// Lane utilization (zero unless the sweep ran bit-sliced).
+    pub lanes: SweepLaneStats,
 }
 
 impl SweepOutcome {
@@ -517,6 +687,7 @@ impl SweepOutcome {
     pub fn merge(&mut self, other: &SweepOutcome) {
         self.orbits.merge(&other.orbits);
         self.problems.merge(&other.problems);
+        self.lanes.merge(&other.lanes);
     }
 }
 
@@ -622,5 +793,24 @@ mod tests {
     fn empty_batch() {
         let engine = ClassificationEngine::new();
         assert!(engine.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn histogram_pools_large_poly_exponents_into_the_last_bucket() {
+        // Exponents at or above POLY_EXPONENT_BUCKETS are clamped into the
+        // final bucket, which therefore reads "poly_8+" — not "poly_8".
+        let mut h = ComplexityHistogram::default();
+        h.add(Complexity::Polynomial { exponent: 1 }, 2);
+        h.add(Complexity::Polynomial { exponent: 8 }, 3);
+        h.add(Complexity::Polynomial { exponent: 9 }, 5);
+        h.add(Complexity::Polynomial { exponent: 100 }, 7);
+        assert_eq!(h.polynomial, 17);
+        assert_eq!(h.poly_k[0], 2);
+        assert_eq!(h.poly_k[POLY_EXPONENT_BUCKETS - 1], 15);
+        assert_eq!(h.poly_k[1..POLY_EXPONENT_BUCKETS - 1], [0; 6]);
+        let entries = h.poly_exponent_entries();
+        assert_eq!(entries[0], ("poly_1", 2));
+        assert_eq!(entries[POLY_EXPONENT_BUCKETS - 1], ("poly_8+", 15));
+        assert_eq!(h.poly_k.iter().sum::<u64>(), h.polynomial);
     }
 }

@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod automaton;
+pub mod bitslice;
 pub mod builder;
 pub mod certificate;
 pub mod classifier;
@@ -92,6 +93,9 @@ pub mod scratch;
 pub mod solvability;
 
 pub use automaton::Automaton;
+pub use bitslice::{
+    classify_block_sliced, BitSliceScratch, BlockStats, LaneVerdict, SlicedUniverse, LANES,
+};
 pub use builder::{find_unrestricted_certificate, CertificateBuilder};
 pub use certificate::{CertificateTree, ConstantCertificate, LogStarCertificate};
 pub use classifier::{
@@ -101,8 +105,8 @@ pub use classifier::{
 pub use configuration::Configuration;
 pub use constant::{find_constant_certificate, find_constant_certificate_within};
 pub use engine::{
-    canonical_form, CanonicalKey, ClassificationEngine, ComplexityHistogram, EngineStats,
-    OrbitProblem, SweepOutcome,
+    canonical_form, canonical_key_from_packed_rows, CanonicalKey, ClassificationEngine,
+    ComplexityHistogram, EngineStats, MaskBlock, OrbitProblem, SweepLaneStats, SweepOutcome,
 };
 pub use label::{Alphabet, Label};
 pub use label_set::LabelSet;

@@ -10,6 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use lcl_core::bitslice::{classify_block_sliced, BitSliceScratch, SlicedUniverse};
 use lcl_core::{classify, classify_complexity_with, ClassifyScratch, Complexity, LclProblem};
 
 struct CountingAllocator;
@@ -88,5 +89,34 @@ fn warm_scratch_classification_performs_zero_allocations() {
         0,
         "a warmed-up cache-miss classification must not touch the allocator \
          (no problem clones, no per-subset restrictions, no buffer growth)"
+    );
+
+    // Same contract for the bit-sliced block path: once a `BitSliceScratch`
+    // (and the verdict vector) is warm, classifying a full 64-lane block
+    // allocates nothing. Same test fn so no sibling test thread can pollute
+    // the global counter. The (δ=2, 2-label) universe in family mask order.
+    let mut universe = SlicedUniverse::new(2, 2);
+    for children in [[0usize, 0], [0, 1], [1, 1]] {
+        for parent in 0..2 {
+            universe.push_config(parent, &children);
+        }
+    }
+    let masks: Vec<u64> = (0..64).collect();
+    let mut sliced = BitSliceScratch::new();
+    let mut verdicts = Vec::new();
+    classify_block_sliced(&universe, &masks, &mut sliced, &mut verdicts); // warm-up
+    let warm = verdicts.clone();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    classify_block_sliced(&universe, &masks, &mut sliced, &mut verdicts);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(verdicts, warm);
+    assert_eq!(
+        after - before,
+        0,
+        "a warmed-up bit-sliced block classification must not touch the \
+         allocator (transposition, fixed points, and subset searches all run \
+         in the reusable scratch)"
     );
 }

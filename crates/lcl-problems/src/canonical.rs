@@ -30,7 +30,10 @@
 
 use std::collections::HashMap;
 
-use lcl_core::engine::OrbitProblem;
+use lcl_core::bitslice::SlicedUniverse;
+use lcl_core::engine::{
+    canonical_form, canonical_key_from_packed_rows, CanonicalKey, MaskBlock, OrbitProblem,
+};
 use lcl_core::LclProblem;
 
 use crate::random::{configuration_universe, problem_from_universe};
@@ -51,6 +54,19 @@ pub struct CanonicalFamily {
     /// For every non-identity label permutation, the induced permutation of
     /// universe indices: `table[i]` is the image of configuration `i`.
     perm_tables: Vec<Vec<u32>>,
+    /// Per configuration, the set of labels it mentions (bit per label).
+    config_label_bits: Vec<u16>,
+    /// Per configuration, its identity-relabeling packed row — parent in the
+    /// high 16-bit slot, children ascending — as `canonical_form` packs rows.
+    /// Empty when δ + 1 > 8 slots (rows don't fit a `u128`).
+    packed_id: Vec<u128>,
+    /// Configuration indices ascending by packed row (empty iff `packed_id`
+    /// is).
+    packed_order: Vec<u32>,
+    /// Per configuration, the bit `1 << (63 − rank)` of its packed row in the
+    /// ascending packed order; the OR over a mask's configurations orders
+    /// masks by their *sorted packed-row lists* (see [`Self::canonical_key_of`]).
+    ord_bit: Vec<u64>,
 }
 
 impl CanonicalFamily {
@@ -99,11 +115,48 @@ impl CanonicalFamily {
             perm_tables.push(table);
         });
 
+        let config_label_bits: Vec<u16> = universe
+            .iter()
+            .map(|(parent, children)| {
+                children
+                    .iter()
+                    .fold(1u16 << parent, |bits, &c| bits | 1 << c)
+            })
+            .collect();
+        // Identity packed rows + their rank order, for the mask-direct
+        // canonical key (only when rows fit a u128: δ + 1 ≤ 8 slots).
+        let packed_id: Vec<u128> = if delta < 8 {
+            universe
+                .iter()
+                .map(|(parent, children)| {
+                    // Universe children are already non-decreasing.
+                    children
+                        .iter()
+                        .fold(*parent as u128, |packed, &c| (packed << 16) | c as u128)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut ord_bit = vec![0u64; universe.len()];
+        let mut packed_order = Vec::new();
+        if !packed_id.is_empty() {
+            packed_order = (0..universe.len() as u32).collect();
+            packed_order.sort_unstable_by_key(|&i| packed_id[i as usize]);
+            for (rank, &i) in packed_order.iter().enumerate() {
+                ord_bit[i as usize] = 1u64 << (63 - rank);
+            }
+        }
+
         CanonicalFamily {
             delta,
             num_labels,
             universe,
             perm_tables,
+            config_label_bits,
+            packed_id,
+            packed_order,
+            ord_bit,
         }
     }
 
@@ -188,18 +241,139 @@ impl CanonicalFamily {
     /// The union over all shards is exactly [`Self::enumerate`]; shards may be
     /// uneven (canonical masks cluster towards small values).
     pub fn shard(&self, shard: usize, shards: usize) -> impl Iterator<Item = OrbitProblem> + '_ {
-        let shards = shards.max(1) as u64;
-        let per_shard = self.family_size().div_ceil(shards);
-        let lo = per_shard
-            .saturating_mul(shard as u64)
-            .min(self.family_size());
-        let hi = lo.saturating_add(per_shard).min(self.family_size());
+        let (lo, hi) = self.shard_range(shard, shards);
         (lo..hi)
             .filter(|&m| self.is_canonical(m))
             .map(move |m| OrbitProblem {
                 problem: self.problem_at(m),
                 orbit_size: self.orbit_size(m),
             })
+    }
+
+    /// The `shard`-th of `shards` contiguous mask ranges covering the family.
+    fn shard_range(&self, shard: usize, shards: usize) -> (u64, u64) {
+        let shards = shards.max(1) as u64;
+        let per_shard = self.family_size().div_ceil(shards);
+        let lo = per_shard
+            .saturating_mul(shard as u64)
+            .min(self.family_size());
+        let hi = lo.saturating_add(per_shard).min(self.family_size());
+        (lo, hi)
+    }
+
+    /// The family's dense configuration table as a
+    /// [`SlicedUniverse`] for the bit-sliced sweep path: entry `i` is the
+    /// configuration behind mask bit `i`, so a family mask is directly a lane
+    /// mask for `lcl_core::bitslice`.
+    pub fn sliced_universe(&self) -> SlicedUniverse {
+        let mut sliced = SlicedUniverse::new(self.delta, self.num_labels);
+        for (parent, children) in &self.universe {
+            sliced.push_config(*parent, children);
+        }
+        sliced
+    }
+
+    /// [`Self::shard`]'s stream as [`MaskBlock`]s of up to 64 canonical masks —
+    /// the input of `ClassificationEngine::sweep_sharded_bitsliced`. No problem
+    /// is materialized; lanes carry only the mask and its orbit size.
+    pub fn blocks(&self, shard: usize, shards: usize) -> impl Iterator<Item = MaskBlock> + '_ {
+        let (lo, hi) = self.shard_range(shard, shards);
+        BlockIter {
+            family: self,
+            next: lo,
+            hi,
+        }
+    }
+
+    /// The canonical-form memo key of the problem at `mask`, identical to
+    /// `canonical_form(&self.problem_at(mask))` but computed mask-directly on
+    /// the fast path — no problem construction and no per-permutation row
+    /// re-sort.
+    ///
+    /// The fast path applies when rows pack (δ + 1 ≤ 8 slots) and the mask
+    /// *uses every label* (then `canonical_form`'s dense re-ranking is the
+    /// identity, and its permutation search over used labels is exactly the
+    /// family's permutation group — including the trivial k = 1 group). The
+    /// minimizing relabeling is found by comparing masks, not sorted row
+    /// lists: order each configuration by its packed row, give it the bit
+    /// `1 << (63 − rank)`, and the OR of a mask's bits compares masks exactly
+    /// as their ascending packed-row lists compare lexicographically — the
+    /// list whose first differing row is *smaller* owns the *higher* bit, so
+    /// lex-smallest list ⟺ numerically greatest ordered mask. The key is then
+    /// unpacked from the winning mask's rows in packed order. Masks that leave
+    /// some label unused (rare: their configurations all avoid one label) fall
+    /// back to materializing the problem.
+    pub fn canonical_key_of(&self, mask: u64) -> CanonicalKey {
+        let used = {
+            let mut bits = mask;
+            let mut used = 0u16;
+            while bits != 0 {
+                used |= self.config_label_bits[bits.trailing_zeros() as usize];
+                bits &= bits - 1;
+            }
+            used
+        };
+        let full_used = (1u16 << self.num_labels) - 1;
+        if self.packed_id.is_empty() || used != full_used {
+            return canonical_form(&self.problem_at(mask));
+        }
+        let ordkey = |m: u64| {
+            let mut bits = m;
+            let mut key = 0u64;
+            while bits != 0 {
+                key |= self.ord_bit[bits.trailing_zeros() as usize];
+                bits &= bits - 1;
+            }
+            key
+        };
+        let mut best_mask = mask;
+        let mut best_key = ordkey(mask);
+        for table in &self.perm_tables {
+            let image = Self::apply(table, mask);
+            let key = ordkey(image);
+            if key > best_key {
+                best_key = key;
+                best_mask = image;
+            }
+        }
+        // Ascending packed rows of the winning mask: walk the configurations
+        // in packed order, keeping the ones the mask contains.
+        let mut rows: Vec<u128> = Vec::with_capacity(best_mask.count_ones() as usize);
+        for &i in &self.packed_order {
+            if best_mask & (1u64 << i) != 0 {
+                rows.push(self.packed_id[i as usize]);
+            }
+        }
+        canonical_key_from_packed_rows(self.delta, self.num_labels, &rows)
+    }
+}
+
+/// Iterator of [`MaskBlock`]s over one shard's canonical masks; see
+/// [`CanonicalFamily::blocks`].
+struct BlockIter<'a> {
+    family: &'a CanonicalFamily,
+    next: u64,
+    hi: u64,
+}
+
+impl Iterator for BlockIter<'_> {
+    type Item = MaskBlock;
+
+    fn next(&mut self) -> Option<MaskBlock> {
+        let mut block = MaskBlock::default();
+        while self.next < self.hi && block.masks.len() < lcl_core::bitslice::LANES {
+            let mask = self.next;
+            self.next += 1;
+            if self.family.is_canonical(mask) {
+                block.masks.push(mask);
+                block.orbit_sizes.push(self.family.orbit_size(mask));
+            }
+        }
+        if block.masks.is_empty() {
+            None
+        } else {
+            Some(block)
+        }
     }
 }
 
@@ -310,5 +484,63 @@ mod tests {
     #[should_panic(expected = "too large to enumerate")]
     fn oversized_universe_panics() {
         CanonicalFamily::new(2, 5); // 5 · C(6,2) = 75 > 63 configurations
+    }
+
+    #[test]
+    fn blocks_partition_the_canonical_stream() {
+        let family = CanonicalFamily::new(2, 3);
+        let all: Vec<(u64, u64)> = family
+            .canonical_masks()
+            .map(|m| (m, family.orbit_size(m)))
+            .collect();
+        for shards in [1usize, 2, 3, 7] {
+            let mut blocked: Vec<(u64, u64)> = Vec::new();
+            for s in 0..shards {
+                for block in family.blocks(s, shards) {
+                    assert!(!block.masks.is_empty());
+                    assert!(block.masks.len() <= lcl_core::bitslice::LANES);
+                    assert_eq!(block.masks.len(), block.orbit_sizes.len());
+                    blocked.extend(block.masks.iter().copied().zip(block.orbit_sizes));
+                }
+            }
+            assert_eq!(blocked, all, "{shards} shards");
+        }
+        assert_eq!(family.blocks(7, 7).count(), 0);
+    }
+
+    #[test]
+    fn sliced_universe_mirrors_the_mask_bits() {
+        let family = CanonicalFamily::new(2, 3);
+        let sliced = family.sliced_universe();
+        assert_eq!(sliced.len(), family.universe_len());
+        assert_eq!(sliced.delta(), 2);
+        assert_eq!(sliced.num_labels(), 3);
+    }
+
+    #[test]
+    fn mask_direct_canonical_keys_match_canonical_form() {
+        // Every mask of small full families — exercises both the full-used
+        // fast path and the unused-label fallback.
+        for (delta, labels) in [(2, 2), (1, 3)] {
+            let family = CanonicalFamily::new(delta, labels);
+            for mask in 0..family.family_size() {
+                assert_eq!(
+                    family.canonical_key_of(mask),
+                    canonical_form(&family.problem_at(mask)),
+                    "(δ={delta}, k={labels}) mask {mask}"
+                );
+            }
+        }
+        // Random masks of the sweep benchmark's (2, 3) universe.
+        let family = CanonicalFamily::new(2, 3);
+        let mut rng = lcl_rand::SplitMix64::seed_from_u64(0xC0FFEE);
+        for _ in 0..2000 {
+            let mask = rng.next_u64() & (family.family_size() - 1);
+            assert_eq!(
+                family.canonical_key_of(mask),
+                canonical_form(&family.problem_at(mask)),
+                "mask {mask}"
+            );
+        }
     }
 }
