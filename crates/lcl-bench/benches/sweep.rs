@@ -27,7 +27,9 @@
 
 use lcl_bench::harness::{black_box, Bench, BenchReport};
 use lcl_core::engine::ComplexityHistogram;
-use lcl_core::ClassificationEngine;
+use lcl_core::{
+    CanonicalKey, ClassificationEngine, Complexity, EngineKind, SweepCheckpoint, SweepSnapshot,
+};
 use lcl_problems::canonical::CanonicalFamily;
 use lcl_problems::random::enumerate_problems;
 
@@ -63,6 +65,74 @@ fn bitsliced_histogram(delta: usize, labels: usize, shards: usize) -> Complexity
             |mask| family.canonical_key_of(mask),
         )
         .problems
+}
+
+/// One full resumable scalar campaign over the family, booted from the given
+/// memo (empty = cold boot, a completed campaign's memo = warm boot). The
+/// scalar engine is where the memo pays: a hit skips a whole scalar decision,
+/// whereas the bit-sliced lanes classify 64 orbits for less than the lookups
+/// would cost. No checkpoint file is attached; this isolates the in-memory
+/// warm-boot path.
+fn resumable_campaign(
+    family: &CanonicalFamily,
+    delta: usize,
+    labels: usize,
+    shards: usize,
+    memo: Vec<(CanonicalKey, Complexity)>,
+) -> SweepSnapshot {
+    let engine = ClassificationEngine::new();
+    let mut state = SweepSnapshot::fresh(
+        delta as u16,
+        labels as u16,
+        EngineKind::Scalar,
+        family.ranges(shards),
+    );
+    state.memo = memo;
+    let (snap, completed) = engine
+        .sweep_resumable(state, |r| family.orbits_in(r), &SweepCheckpoint::default())
+        .expect("in-memory campaign cannot hit snapshot I/O errors");
+    assert!(completed, "an unlimited campaign runs to completion");
+    snap
+}
+
+/// Warm-boot acceptance: re-sweeping a universe with the memo of a finished
+/// campaign must beat sweeping it cold, and produce the identical histogram.
+fn run_warm_boot(report: &mut BenchReport, delta: usize, labels: usize, samples: usize) {
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let family = CanonicalFamily::new(delta, labels);
+
+    let cold_snap = resumable_campaign(&family, delta, labels, shards, Vec::new());
+    let warm_snap = resumable_campaign(&family, delta, labels, shards, cold_snap.memo.clone());
+    assert_eq!(
+        warm_snap.outcome.problems, cold_snap.outcome.problems,
+        "warm-booted re-sweep must reproduce the cold histogram exactly"
+    );
+    let memo = cold_snap.memo;
+
+    let mut bench = Bench::new(&format!(
+        "resumable re-sweep (δ={delta}, {labels}-label) universe"
+    ));
+    let cold_label = "cold boot (empty memo)";
+    let warm_label = "warm boot (completed campaign's memo)";
+    bench.case_samples(cold_label, samples, || {
+        black_box(resumable_campaign(&family, delta, labels, shards, Vec::new()).outcome)
+    });
+    bench.case_samples(warm_label, samples, || {
+        black_box(resumable_campaign(&family, delta, labels, shards, memo.clone()).outcome)
+    });
+    let cold = bench.median_of(cold_label).expect("case ran");
+    let warm = bench.median_of(warm_label).expect("case ran");
+    let speedup = report.add_ratio(&format!("warm_vs_cold_d{delta}_l{labels}"), cold, warm);
+    println!("warm-boot speedup over a cold re-sweep: {speedup:.2}x");
+    assert!(
+        warm < cold,
+        "warm-booted re-sweep ({warm:?}) should beat the cold sweep ({cold:?}) \
+         on the full (δ={delta}, {labels}-label) universe"
+    );
+    println!();
+    report.add_group(bench);
 }
 
 fn run_universe(
@@ -143,5 +213,7 @@ fn main() {
     run_universe(&mut report, 2, 2, 11, false);
     // The acceptance workload: the full 2^18-problem (δ=2, 3-label) universe.
     run_universe(&mut report, 2, 3, 3, true);
+    // Warm boot: the persistent-memo payoff on the same acceptance workload.
+    run_warm_boot(&mut report, 2, 3, 3);
     report.write().expect("bench report written");
 }

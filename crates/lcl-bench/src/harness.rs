@@ -101,7 +101,7 @@ impl Bench {
             })
             .collect();
         measured.sort_unstable();
-        let median = measured[measured.len() / 2];
+        let median = true_median(&measured);
         println!(
             "{:<44} {:>12} {:>12} {:>12}",
             label,
@@ -221,6 +221,18 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// True median of a sorted, non-empty sample list: the middle element for odd
+/// lengths, the midpoint of the two middle elements for even lengths (the
+/// upper-mid element alone would bias even-sample medians upward).
+fn true_median(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
 /// Renders a duration with an adaptive unit (`ns`, `µs`, `ms`, `s`).
 pub fn format_duration(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -254,6 +266,17 @@ mod tests {
         assert_eq!(b.median_of("missing"), None);
         assert_eq!(b.results().len(), 1);
         assert!(b.results()[0].iters >= 1);
+    }
+
+    #[test]
+    fn median_is_the_midpoint_for_even_sample_counts() {
+        let ms = |n: u64| Duration::from_millis(n);
+        // Odd length: exact middle element.
+        assert_eq!(true_median(&[ms(1), ms(2), ms(9)]), ms(2));
+        assert_eq!(true_median(&[ms(5)]), ms(5));
+        // Even length: midpoint of the two middle elements, NOT the upper one.
+        assert_eq!(true_median(&[ms(1), ms(3)]), ms(2));
+        assert_eq!(true_median(&[ms(1), ms(2), ms(4), ms(100)]), ms(3));
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub enum Json {
     Bool(bool),
     /// A number rendered without a fractional part when integral.
     Num(f64),
+    /// An unsigned integer, rendered exactly. `Num` goes through `f64` and
+    /// loses integers above 2^53 — counters, ids, and seeds use this variant
+    /// so a `u64::MAX` seed survives the round trip digit for digit.
+    Uint(u64),
     /// A string (escaped on output).
     Str(String),
     /// An array.
@@ -30,9 +34,14 @@ impl Json {
         Json::Str(s.into())
     }
 
-    /// Shorthand for an integer value.
+    /// Shorthand for an integer value (exact: routed through [`Json::Uint`]).
     pub fn int(n: usize) -> Json {
-        Json::Num(n as f64)
+        Json::Uint(n as u64)
+    }
+
+    /// Shorthand for an exact unsigned 64-bit value (seeds, counters).
+    pub fn uint(n: u64) -> Json {
+        Json::Uint(n)
     }
 
     /// Renders compactly (no whitespace).
@@ -60,6 +69,7 @@ impl Json {
                     out.push_str(&format!("{n}"));
                 }
             }
+            Json::Uint(n) => out.push_str(&format!("{n}")),
             Json::Str(s) => {
                 out.push('"');
                 for c in s.chars() {
@@ -160,5 +170,23 @@ mod tests {
     fn float_rendering() {
         assert_eq!(Json::Num(1.5).to_compact(), "1.5");
         assert_eq!(Json::Num(3.0).to_compact(), "3");
+    }
+
+    #[test]
+    fn uints_render_exactly_beyond_the_f64_integer_range() {
+        // u64::MAX: the seed-corruption regression. Through Num this would
+        // come out as 18446744073709552000 (or float notation); Uint is exact.
+        assert_eq!(Json::uint(u64::MAX).to_compact(), "18446744073709551615");
+        // First integer f64 cannot represent: 2^53 + 1.
+        assert_eq!(Json::uint((1 << 53) + 1).to_compact(), "9007199254740993");
+        assert_ne!(
+            Json::Num(((1u64 << 53) + 1) as f64).to_compact(),
+            "9007199254740993"
+        );
+        // int() now routes through Uint, so large usizes are exact too.
+        assert_eq!(Json::int(usize::MAX).to_compact(), u64::MAX.to_string());
+        // Small values render identically to the old Num path.
+        assert_eq!(Json::int(0).to_compact(), "0");
+        assert_eq!(Json::int(42).to_compact(), "42");
     }
 }

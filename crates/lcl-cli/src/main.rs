@@ -14,6 +14,7 @@
 //!                                     #  instead of the class-optimal solver)
 //! rtlcl classify-batch [options]      # sweep a whole problem family through the engine
 //! rtlcl sweep    [options]            # canonical-first exhaustive sweep of a (δ, Σ) universe
+//! rtlcl snapshot info <file> [--json] # inspect a sweep checkpoint file
 //! rtlcl verify   <file|name> <labeling-file> [options]
 //!                                     # validate a labeling file on a generated tree
 //! rtlcl fuzz     [options]            # run the classifier-vs-solver differential oracle
@@ -62,21 +63,37 @@
 //! --delta <d>      children per internal node (default 2)
 //! --labels <k>     labels of the universe (default 2; the universe must fit
 //!                  63 configurations, so δ=2 caps at 4 labels, δ=1 at 7)
-//! --shards <n>     shard count for the parallel driver (default: available cores)
+//! --shards <n>     shard count for the parallel driver (default: available
+//!                  cores; clamped to the orbit-bearing mask ranges, so tiny
+//!                  families never spawn empty shards)
 //! --engine <e>     `bitsliced` (default: classify 64 orbit representatives per
 //!                  block in bit-parallel lockstep) or `scalar` (one decision
 //!                  at a time); histograms are identical either way
+//! --checkpoint <file>      write resumable snapshots of the campaign here
+//!                          (atomic temp-file + rename, plus a final write)
+//! --checkpoint-every <n>   orbits between snapshot writes (default 4096)
+//! --resume                 continue the campaign stored in --checkpoint; the
+//!                          snapshot's δ/labels/engine/shard split are
+//!                          authoritative, conflicting flags are rejected
 //! --json           emit the histograms as JSON
 //! ```
+//!
+//! `rtlcl snapshot info <file> [--json]` prints a checkpoint's header and
+//! progress (format version, family, engine, watermarks, histograms so far,
+//! memo size) without touching the classifier.
 
 mod json;
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use json::Json;
 use lcl_algorithms::solve;
-use lcl_core::{classify, ClassificationEngine, Complexity, LclProblem};
+use lcl_core::{
+    classify, ClassificationEngine, Complexity, EngineKind, LclProblem, MaskRange, SweepCheckpoint,
+    SweepOutcome, SweepSnapshot,
+};
 use lcl_problems::canonical::CanonicalFamily;
 use lcl_problems::catalog;
 use lcl_problems::random::{enumerate_problems, random_family, RandomProblemSpec};
@@ -518,7 +535,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         // fully determined by (delta, nodes), so reporting a seed for them
         // would suggest a distinction that does not exist.
         if shape == "random" {
-            obj.push(("seed".into(), Json::int(seed as usize)));
+            obj.push(("seed".into(), Json::uint(seed)));
         }
         obj.push(("valid".into(), Json::Bool(verdict.is_ok())));
         if let Err(e) = &verdict {
@@ -573,7 +590,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let elapsed = start.elapsed();
     if json {
         let out = Json::Obj(vec![
-            ("seed".into(), Json::int(seed as usize)),
+            ("seed".into(), Json::uint(seed)),
             ("iterations".into(), Json::int(report.iterations)),
             ("elapsed_ms".into(), Json::Num(elapsed.as_secs_f64() * 1e3)),
             (
@@ -831,86 +848,90 @@ fn cmd_classify_batch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SweepEngine {
-    Bitsliced,
-    Scalar,
-}
-
-impl SweepEngine {
-    fn name(self) -> &'static str {
-        match self {
-            SweepEngine::Bitsliced => "bitsliced",
-            SweepEngine::Scalar => "scalar",
-        }
-    }
-}
-
-#[derive(Debug)]
+/// Sweep options as given on the command line. `delta`/`labels`/`shards`/
+/// `engine` stay `None` unless the flag was actually passed, so `--resume`
+/// can tell "defaulted" apart from "explicitly conflicting with the snapshot".
+#[derive(Debug, Default)]
 struct SweepOptions {
-    delta: usize,
-    labels: usize,
-    shards: usize,
-    engine: SweepEngine,
+    delta: Option<usize>,
+    labels: Option<usize>,
+    shards: Option<usize>,
+    engine: Option<EngineKind>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    resume: bool,
     json: bool,
 }
 
 fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
-    let mut opts = SweepOptions {
-        delta: 2,
-        labels: 2,
-        shards: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        engine: SweepEngine::Bitsliced,
-        json: false,
-    };
+    let mut opts = SweepOptions::default();
     let mut cur = FlagCursor::new(args);
     while let Some(arg) = cur.next_arg() {
         match arg.as_str() {
-            "--delta" => opts.delta = cur.parse_value("--delta")?,
-            "--labels" => opts.labels = cur.parse_value("--labels")?,
-            "--shards" => opts.shards = cur.parse_value("--shards")?,
+            "--delta" => opts.delta = Some(cur.parse_value("--delta")?),
+            "--labels" => opts.labels = Some(cur.parse_value("--labels")?),
+            "--shards" => opts.shards = Some(cur.parse_value("--shards")?),
             "--engine" => {
-                opts.engine = match cur.value("--engine")?.as_str() {
-                    "bitsliced" => SweepEngine::Bitsliced,
-                    "scalar" => SweepEngine::Scalar,
+                opts.engine = Some(match cur.value("--engine")?.as_str() {
+                    "bitsliced" => EngineKind::Bitsliced,
+                    "scalar" => EngineKind::Scalar,
                     other => {
                         return Err(format!(
                             "unknown sweep engine `{other}` (expected `bitsliced` or `scalar`)"
                         ))
                     }
-                }
+                })
             }
+            "--checkpoint" => opts.checkpoint = Some(cur.value("--checkpoint")?.clone()),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(cur.parse_value("--checkpoint-every")?)
+            }
+            "--resume" => opts.resume = true,
             "--json" => opts.json = true,
             other => return Err(format!("unknown sweep option `{other}`")),
         }
     }
-    if opts.labels == 0 || opts.delta == 0 || opts.shards == 0 {
+    if opts.labels == Some(0) || opts.delta == Some(0) || opts.shards == Some(0) {
         return Err("--labels, --delta, and --shards must be positive".into());
     }
-    if opts.labels > lcl_problems::canonical::MAX_CANONICAL_ENUM_LABELS {
+    if opts.checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be positive".into());
+    }
+    if opts.checkpoint_every.is_some() && opts.checkpoint.is_none() {
+        return Err("--checkpoint-every requires --checkpoint".into());
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <file> to resume from".into());
+    }
+    Ok(opts)
+}
+
+/// Validates resolved (δ, labels) sweep parameters — after `--resume` has had
+/// a chance to pull them out of the snapshot instead of the flags.
+fn validate_sweep_family(delta: usize, labels: usize) -> Result<(), String> {
+    if labels == 0 || delta == 0 {
+        return Err("the sweep family needs positive δ and label count".into());
+    }
+    if labels > lcl_problems::canonical::MAX_CANONICAL_ENUM_LABELS {
         return Err(format!(
-            "--labels {} exceeds the canonical enumeration limit of {}",
-            opts.labels,
+            "{labels} labels exceeds the canonical enumeration limit of {}",
             lcl_problems::canonical::MAX_CANONICAL_ENUM_LABELS
         ));
     }
     // Universe size computed arithmetically (k · C(k+δ−1, δ), saturating), NOT
     // by materializing the universe: a huge --delta must fail fast, not OOM.
-    let universe = sweep_universe_size(opts.delta, opts.labels);
+    let universe = sweep_universe_size(delta, labels);
     if universe > 63 {
         return Err(format!(
-            "the (δ={}, {} labels) universe has {universe} possible configurations; \
-             at most 63 fit an exhaustive sweep",
-            opts.delta, opts.labels
+            "the (δ={delta}, {labels} labels) universe has {universe} possible configurations; \
+             at most 63 fit an exhaustive sweep"
         ));
     }
     debug_assert_eq!(
         universe as usize,
-        lcl_problems::random::universe_size(opts.delta, opts.labels)
+        lcl_problems::random::universe_size(delta, labels)
     );
-    Ok(opts)
+    Ok(())
 }
 
 /// `labels · C(labels + delta − 1, delta)` with saturation — the number of
@@ -954,20 +975,137 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             return usage();
         }
     };
-    let family = CanonicalFamily::new(opts.delta, opts.labels);
+    match run_sweep(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Rejects a flag that was passed explicitly alongside `--resume` but
+/// disagrees with what the snapshot recorded.
+fn check_resume_conflict(flag: &str, given: Option<usize>, stored: usize) -> Result<(), String> {
+    match given {
+        Some(v) if v != stored => Err(format!(
+            "{flag} {v} conflicts with the checkpoint's recorded value {stored}; \
+             drop the flag or start a fresh campaign"
+        )),
+        _ => Ok(()),
+    }
+}
+
+fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
+    let ckpt_path = opts.checkpoint.as_deref().map(Path::new);
+
+    // With --resume the snapshot is authoritative for δ/labels/engine and the
+    // shard split; explicitly conflicting flags are errors, omitted flags
+    // inherit the stored values.
+    let mut loaded: Option<SweepSnapshot> = None;
+    if opts.resume {
+        let path = ckpt_path.expect("parse_sweep_options guarantees --checkpoint");
+        let snap = SweepSnapshot::load(path)
+            .map_err(|e| format!("cannot resume from `{}`: {e}", path.display()))?;
+        check_resume_conflict("--delta", opts.delta, snap.cursor.delta as usize)?;
+        check_resume_conflict("--labels", opts.labels, snap.cursor.num_labels as usize)?;
+        if let Some(engine) = opts.engine {
+            if engine != snap.cursor.engine {
+                return Err(format!(
+                    "--engine {} conflicts with the checkpoint's `{}` engine; \
+                     drop the flag or start a fresh campaign",
+                    engine.name(),
+                    snap.cursor.engine.name()
+                ));
+            }
+        }
+        if opts.shards.is_some() {
+            return Err(
+                "--shards conflicts with --resume: the checkpoint's shard split is \
+                 authoritative"
+                    .into(),
+            );
+        }
+        loaded = Some(snap);
+    }
+    let delta = loaded
+        .as_ref()
+        .map(|s| s.cursor.delta as usize)
+        .or(opts.delta)
+        .unwrap_or(2);
+    let labels = loaded
+        .as_ref()
+        .map(|s| s.cursor.num_labels as usize)
+        .or(opts.labels)
+        .unwrap_or(2);
+    let engine_kind = loaded
+        .as_ref()
+        .map(|s| s.cursor.engine)
+        .or(opts.engine)
+        .unwrap_or(EngineKind::Bitsliced);
+    validate_sweep_family(delta, labels)?;
+
+    let family = CanonicalFamily::new(delta, labels);
     let engine = ClassificationEngine::new();
+
+    // Empty shards are clamped away up front: the family only has
+    // `family_size` masks, so more shards than mask ranges would leave
+    // workers with nothing to do while still being reported as real shards.
+    let requested_shards = opts.shards.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let ranges: Vec<MaskRange> = match &loaded {
+        Some(snap) => snap.cursor.ranges.clone(),
+        None => family.ranges(requested_shards),
+    };
+    let effective_shards = ranges.len();
+    let clamped = !opts.resume && effective_shards != requested_shards;
+
+    let resumed = loaded.is_some();
     let start = Instant::now();
-    let outcome = match opts.engine {
-        SweepEngine::Scalar => engine.sweep_sharded(opts.shards, |s| family.shard(s, opts.shards)),
-        SweepEngine::Bitsliced => {
-            let universe = family.sliced_universe();
-            engine.sweep_sharded_bitsliced(
-                &universe,
-                opts.shards,
-                |s| family.blocks(s, opts.shards),
-                |mask| family.problem_at(mask),
-                |mask| family.canonical_key_of(mask),
-            )
+    let outcome: SweepOutcome = if let Some(path) = ckpt_path {
+        let state = loaded.unwrap_or_else(|| {
+            SweepSnapshot::fresh(delta as u16, labels as u16, engine_kind, ranges.clone())
+        });
+        let ckpt = SweepCheckpoint {
+            path: Some(path),
+            every_orbits: opts.checkpoint_every.unwrap_or(4096),
+            orbit_limit: None,
+        };
+        let (snap, completed) = match engine_kind {
+            EngineKind::Scalar => engine.sweep_resumable(state, |r| family.orbits_in(r), &ckpt),
+            EngineKind::Bitsliced => {
+                let universe = family.sliced_universe();
+                engine.sweep_resumable_bitsliced(
+                    &universe,
+                    state,
+                    |r| family.blocks_in(r),
+                    |mask| family.problem_at(mask),
+                    |mask| family.canonical_key_of(mask),
+                    &ckpt,
+                )
+            }
+        }
+        .map_err(|e| format!("sweep checkpointing failed: {e}"))?;
+        debug_assert!(completed, "an unlimited sweep always runs to completion");
+        snap.outcome
+    } else {
+        match engine_kind {
+            EngineKind::Scalar => {
+                engine.sweep_sharded(effective_shards, |s| family.orbits_in(ranges[s]))
+            }
+            EngineKind::Bitsliced => {
+                let universe = family.sliced_universe();
+                engine.sweep_sharded_bitsliced(
+                    &universe,
+                    effective_shards,
+                    |s| family.blocks_in(ranges[s]),
+                    |mask| family.problem_at(mask),
+                    |mask| family.canonical_key_of(mask),
+                )
+            }
         }
     };
     let elapsed = start.elapsed();
@@ -978,10 +1116,23 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
 
     if opts.json {
         let mut entries = vec![
-            ("delta".into(), Json::int(opts.delta)),
-            ("labels".into(), Json::int(opts.labels)),
-            ("shards".into(), Json::int(opts.shards)),
-            ("engine".into(), Json::str(opts.engine.name())),
+            ("delta".into(), Json::int(delta)),
+            ("labels".into(), Json::int(labels)),
+            ("shards".into(), Json::int(effective_shards)),
+        ];
+        if clamped {
+            entries.push(("shards_requested".into(), Json::int(requested_shards)));
+        }
+        entries.push(("engine".into(), Json::str(engine_kind.name())));
+        if let Some(path) = &opts.checkpoint {
+            entries.push(("checkpoint".into(), Json::str(path.as_str())));
+            entries.push((
+                "checkpoint_every".into(),
+                Json::uint(opts.checkpoint_every.unwrap_or(4096)),
+            ));
+            entries.push(("resumed".into(), Json::Bool(resumed)));
+        }
+        entries.extend([
             (
                 "universe_configurations".into(),
                 Json::int(family.universe_len()),
@@ -989,8 +1140,8 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             ("family_size".into(), Json::int(family_size as usize)),
             ("canonical_orbits".into(), Json::int(orbit_count as usize)),
             ("elapsed_ms".into(), Json::Num(elapsed.as_secs_f64() * 1e3)),
-        ];
-        if opts.engine == SweepEngine::Bitsliced {
+        ]);
+        if engine_kind == EngineKind::Bitsliced {
             entries.push((
                 "lane_blocks".into(),
                 Json::int(outcome.lanes.blocks as usize),
@@ -1010,17 +1161,29 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     } else {
         println!(
             "swept the complete (δ={}, {}-label) universe: {} problems in {} orbits, \
-             {} decisions in {:.1} ms ({} shards, {} engine)",
-            opts.delta,
-            opts.labels,
+             {} decisions in {:.1} ms ({} shards{}, {} engine)",
+            delta,
+            labels,
             family_size,
             orbit_count,
             engine.stats().cache_misses,
             elapsed.as_secs_f64() * 1e3,
-            opts.shards,
-            opts.engine.name()
+            effective_shards,
+            if clamped {
+                format!(" — clamped from {requested_shards}")
+            } else {
+                String::new()
+            },
+            engine_kind.name()
         );
-        if opts.engine == SweepEngine::Bitsliced {
+        if let Some(path) = &opts.checkpoint {
+            println!(
+                "checkpoint: {path} (every {} orbits{})",
+                opts.checkpoint_every.unwrap_or(4096),
+                if resumed { ", resumed" } else { "" }
+            );
+        }
+        if engine_kind == EngineKind::Bitsliced {
             println!(
                 "lanes: {} blocks, {:.1} live lanes/round avg, {} scalar fallbacks",
                 outcome.lanes.blocks,
@@ -1048,6 +1211,114 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         {
             if orbits > 0 || problems > 0 {
                 println!("  {name:<10} {orbits:>12} {problems:>12}");
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `rtlcl snapshot info <file> [--json]`: header and progress of a checkpoint
+/// file, validated exactly like a `--resume` load (magic, digest, version).
+fn cmd_snapshot(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) != Some("info") {
+        eprintln!("snapshot expects the `info` subcommand");
+        return usage();
+    }
+    let mut json = false;
+    let mut path: Option<&String> = None;
+    for arg in &args[1..] {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown snapshot option `{other}`");
+                return usage();
+            }
+            _ if path.is_some() => {
+                eprintln!("snapshot info expects exactly one file");
+                return usage();
+            }
+            _ => path = Some(arg),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("snapshot info expects a snapshot file");
+        return usage();
+    };
+    let snap = match SweepSnapshot::load(Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read snapshot `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let delta = snap.cursor.delta as usize;
+    let labels = snap.cursor.num_labels as usize;
+    // Family size recomputed from the header, not stored: the universe size is
+    // a pure function of (δ, labels) and any valid snapshot fits 63 bits.
+    let universe = sweep_universe_size(delta, labels);
+    let family_size = if universe <= 63 { 1u64 << universe } else { 0 };
+    let remaining = snap.cursor.remaining_masks();
+    let done = family_size.saturating_sub(remaining);
+    let complete = snap.cursor.is_complete();
+
+    if json {
+        let out = Json::Obj(vec![
+            (
+                "format_version".into(),
+                Json::uint(lcl_core::snapshot::SNAPSHOT_VERSION as u64),
+            ),
+            ("delta".into(), Json::int(delta)),
+            ("labels".into(), Json::int(labels)),
+            ("engine".into(), Json::str(snap.cursor.engine.name())),
+            ("shards".into(), Json::int(snap.cursor.ranges.len())),
+            ("family_size".into(), Json::uint(family_size)),
+            ("masks_done".into(), Json::uint(done)),
+            ("masks_remaining".into(), Json::uint(remaining)),
+            ("complete".into(), Json::Bool(complete)),
+            ("memo_entries".into(), Json::int(snap.memo.len())),
+            (
+                "orbits_classified".into(),
+                Json::uint(snap.outcome.orbits.total()),
+            ),
+            (
+                "problems_accounted".into(),
+                Json::uint(snap.outcome.problems.total()),
+            ),
+            ("orbits".into(), histogram_json(&snap.outcome.orbits)),
+            ("problems".into(), histogram_json(&snap.outcome.problems)),
+        ]);
+        println!("{}", out.to_pretty());
+    } else {
+        println!(
+            "sweep snapshot v{}: (δ={delta}, {labels}-label) universe, {} engine",
+            lcl_core::snapshot::SNAPSHOT_VERSION,
+            snap.cursor.engine.name()
+        );
+        println!(
+            "progress: {done}/{family_size} masks across {} shards{}",
+            snap.cursor.ranges.len(),
+            if complete {
+                " (complete)".to_string()
+            } else {
+                format!(" ({remaining} remaining)")
+            }
+        );
+        println!(
+            "memo: {} canonical forms; {} orbits classified covering {} problems",
+            snap.memo.len(),
+            snap.outcome.orbits.total(),
+            snap.outcome.problems.total()
+        );
+        println!("{:<12} {:>12} {:>12}", "class", "orbits", "problems");
+        for (&(name, orbits), &(_, problems)) in snap
+            .outcome
+            .orbits
+            .entries()
+            .iter()
+            .zip(snap.outcome.problems.entries().iter())
+        {
+            if orbits > 0 || problems > 0 {
+                println!("{name:<12} {orbits:>12} {problems:>12}");
             }
         }
     }
@@ -1105,7 +1376,7 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--checkpoint file] [--checkpoint-every n] [--resume] [--json]\n  rtlcl snapshot info <file> [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -1131,6 +1402,7 @@ fn main() -> ExitCode {
         },
         Some("classify-batch") => cmd_classify_batch(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => usage(),

@@ -21,7 +21,8 @@
 //! and over large random families.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::bitslice::{classify_block_sliced, BitSliceScratch, LaneVerdict, SlicedUniverse};
@@ -30,6 +31,7 @@ use crate::classifier::{
 };
 use crate::problem::LclProblem;
 use crate::scratch::ClassifyScratch;
+use crate::snapshot::{self, MaskRange, SnapshotError, SweepCursor, SweepSnapshot};
 
 /// A label-permutation-invariant fingerprint of a problem.
 ///
@@ -40,8 +42,24 @@ use crate::scratch::ClassifyScratch;
 /// self-sustaining and never enter a certificate), so they are excluded; two
 /// problems with the same configurations but different orphan labels share a
 /// key on purpose.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CanonicalKey(Vec<u16>);
+
+impl CanonicalKey {
+    /// The raw 16-bit words of the key — the flat `[delta, k, rows…]`
+    /// encoding. Opaque outside serialization: the snapshot layer writes
+    /// these verbatim and rebuilds the key with [`Self::from_words`].
+    pub fn as_words(&self) -> &[u16] {
+        &self.0
+    }
+
+    /// Rebuilds a key from [`Self::as_words`] output. The words are trusted —
+    /// keys only meet other keys, so a mangled word vector can only fail to
+    /// match, never misclassify.
+    pub fn from_words(words: Vec<u16>) -> Self {
+        CanonicalKey(words)
+    }
+}
 
 /// Number of used labels up to which the canonicalizer tries every permutation.
 /// Beyond this, it falls back to the identity relabeling (still dense), which
@@ -517,6 +535,470 @@ impl ClassificationEngine {
         });
         merged.into_inner().expect("sweep outcome poisoned")
     }
+
+    /// Snapshot view of the canonical-form memo: every cached
+    /// `key → Complexity`, sorted by key so exports are deterministic
+    /// regardless of hash-map iteration order.
+    pub fn export_memo(&self) -> Vec<(CanonicalKey, Complexity)> {
+        let cache = self.cache.lock().expect("engine cache poisoned");
+        let mut entries: Vec<(CanonicalKey, Complexity)> =
+            cache.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Merges memo entries (e.g. a loaded [`SweepSnapshot`]'s memo) into the
+    /// cache: the warm-boot path. Every later classification of a covered
+    /// problem — under any label renaming — is answered as a cache hit.
+    pub fn import_memo<E>(&self, entries: E)
+    where
+        E: IntoIterator<Item = (CanonicalKey, Complexity)>,
+    {
+        self.cache
+            .lock()
+            .expect("engine cache poisoned")
+            .extend(entries);
+    }
+
+    /// Number of canonical forms currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").len()
+    }
+
+    /// Resumable, checkpointing variant of [`Self::sweep_sharded`].
+    ///
+    /// `state` is where the campaign stands — [`SweepSnapshot::fresh`] for a
+    /// new sweep, or a loaded checkpoint to continue one. The snapshot's
+    /// cursor is authoritative: `shard_of(range)` must yield the canonical
+    /// orbit stream of the masks `range.next..range.hi`
+    /// (`CanonicalFamily::orbits_in`), and the stored ranges — not a new
+    /// shard split — define the work, so a campaign can be resumed under any
+    /// worker count and still commit the exact same chunks.
+    ///
+    /// Workers classify privately and fold finished chunks into the shared
+    /// state under one lock: histograms, new memo entries, and the range's
+    /// watermark advance together, so every intermediate checkpoint is a
+    /// consistent prefix of the sweep. With [`SweepCheckpoint::path`] set,
+    /// the state is written atomically (temp file + rename) every
+    /// [`SweepCheckpoint::every_orbits`] processed orbits and once more at
+    /// the end — killing the process at any instant loses at most the
+    /// uncommitted tail, and `state = SweepSnapshot::load(path)?` continues
+    /// to histograms identical to an uninterrupted run.
+    ///
+    /// Orbits whose canonical key is already in `state.memo` are answered
+    /// from it without running the decision procedure (the warm-boot
+    /// re-sweep path; they count as engine cache hits). Returns the final
+    /// snapshot and whether the cursor completed —
+    /// [`SweepCheckpoint::orbit_limit`] stops early with a valid, resumable
+    /// snapshot. The engine cache is warm for everything in the returned
+    /// snapshot's memo afterwards.
+    pub fn sweep_resumable<I, F>(
+        &self,
+        state: SweepSnapshot,
+        shard_of: F,
+        ckpt: &SweepCheckpoint<'_>,
+    ) -> Result<(SweepSnapshot, bool), SnapshotError>
+    where
+        I: Iterator<Item = OrbitProblem>,
+        F: Fn(MaskRange) -> I + Sync,
+    {
+        let baseline_map: HashMap<CanonicalKey, Complexity> = if self.canonicalize {
+            state.memo.iter().cloned().collect()
+        } else {
+            HashMap::new()
+        };
+        let (shared, ranges) = ResumeShared::start(state);
+        let pending = ranges.iter().filter(|r| !r.is_done()).count();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(pending.max(1));
+        // Commit granularity: small enough that an orbit limit stops promptly,
+        // large enough that the shared lock stays cold.
+        let chunk_cap = ckpt.orbit_limit.map_or(64, |limit| limit.clamp(1, 64));
+        if pending > 0 {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut scratch = ClassifyScratch::new();
+                        let mut hits = 0usize;
+                        let mut misses = 0usize;
+                        'ranges: loop {
+                            if shared.stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let ri = shared.next_range.fetch_add(1, Ordering::Relaxed);
+                            if ri >= ranges.len() {
+                                break;
+                            }
+                            let range = ranges[ri];
+                            if range.is_done() {
+                                continue;
+                            }
+                            let mut chunk = SweepOutcome::default();
+                            let mut chunk_memo = Vec::new();
+                            let mut orbits = 0u64;
+                            for item in shard_of(range) {
+                                let key = self.canonicalize.then(|| canonical_form(&item.problem));
+                                let complexity = match key
+                                    .as_ref()
+                                    .and_then(|k| baseline_map.get(k))
+                                {
+                                    Some(&hit) => {
+                                        hits += 1;
+                                        hit
+                                    }
+                                    None => {
+                                        let c =
+                                            classify_complexity_with(&item.problem, &mut scratch);
+                                        misses += 1;
+                                        if let Some(k) = key {
+                                            chunk_memo.push((k, c));
+                                        }
+                                        c
+                                    }
+                                };
+                                chunk.orbits.add(complexity, 1);
+                                chunk.problems.add(complexity, item.orbit_size);
+                                orbits += 1;
+                                if orbits >= chunk_cap {
+                                    shared.commit(
+                                        ckpt,
+                                        ri,
+                                        item.mask + 1,
+                                        &chunk,
+                                        &mut chunk_memo,
+                                        orbits,
+                                    );
+                                    chunk = SweepOutcome::default();
+                                    orbits = 0;
+                                    if shared.stop.load(Ordering::Relaxed) {
+                                        // Watermark committed; the rest of
+                                        // this range stays pending.
+                                        break 'ranges;
+                                    }
+                                }
+                            }
+                            // Stream exhausted: trailing non-canonical masks
+                            // are accounted by advancing to the range's end.
+                            shared.commit(ckpt, ri, range.hi, &chunk, &mut chunk_memo, orbits);
+                        }
+                        self.hits.fetch_add(hits, Ordering::Relaxed);
+                        self.misses.fetch_add(misses, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        self.finish_resumable(shared, ckpt)
+    }
+
+    /// Resumable, checkpointing variant of [`Self::sweep_sharded_bitsliced`];
+    /// the bit-sliced sibling of [`Self::sweep_resumable`] (see there for the
+    /// cursor/checkpoint/warm-boot contract). `blocks_of(range)` must yield
+    /// the [`MaskBlock`]s of `range.next..range.hi`
+    /// (`CanonicalFamily::blocks_in`); commits happen at block boundaries
+    /// using each block's [`MaskBlock::next_mask`] watermark. Block formation
+    /// depends only on the starting mask, so an interrupted-and-resumed
+    /// campaign classifies the exact same block sequence as an uninterrupted
+    /// one — lane statistics included. Blocks whose lanes are all covered by
+    /// `state.memo` are answered from it without classification (such blocks
+    /// add nothing to the lane statistics).
+    pub fn sweep_resumable_bitsliced<I, F, P, K>(
+        &self,
+        universe: &SlicedUniverse,
+        state: SweepSnapshot,
+        blocks_of: F,
+        problem_of: P,
+        key_of: K,
+        ckpt: &SweepCheckpoint<'_>,
+    ) -> Result<(SweepSnapshot, bool), SnapshotError>
+    where
+        I: Iterator<Item = MaskBlock>,
+        F: Fn(MaskRange) -> I + Sync,
+        P: Fn(u64) -> LclProblem + Sync,
+        K: Fn(u64) -> CanonicalKey + Sync,
+    {
+        let baseline_map: HashMap<CanonicalKey, Complexity> = if self.canonicalize {
+            state.memo.iter().cloned().collect()
+        } else {
+            HashMap::new()
+        };
+        let (shared, ranges) = ResumeShared::start(state);
+        let pending = ranges.iter().filter(|r| !r.is_done()).count();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(pending.max(1));
+        if pending > 0 {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut scratch = ClassifyScratch::new();
+                        let mut sliced = BitSliceScratch::new();
+                        let mut verdicts = Vec::new();
+                        let mut keys: Vec<CanonicalKey> = Vec::new();
+                        let mut hits = 0usize;
+                        let mut misses = 0usize;
+                        'ranges: loop {
+                            if shared.stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let ri = shared.next_range.fetch_add(1, Ordering::Relaxed);
+                            if ri >= ranges.len() {
+                                break;
+                            }
+                            let range = ranges[ri];
+                            if range.is_done() {
+                                continue;
+                            }
+                            for block in blocks_of(range) {
+                                debug_assert_eq!(block.masks.len(), block.orbit_sizes.len());
+                                let mut chunk = SweepOutcome::default();
+                                let mut chunk_memo = Vec::new();
+                                keys.clear();
+                                if self.canonicalize {
+                                    keys.extend(block.masks.iter().map(|&m| key_of(m)));
+                                }
+                                let all_hit = !keys.is_empty()
+                                    && !baseline_map.is_empty()
+                                    && keys.iter().all(|k| baseline_map.contains_key(k));
+                                if all_hit {
+                                    for (j, key) in keys.iter().enumerate() {
+                                        let complexity = baseline_map[key];
+                                        hits += 1;
+                                        chunk.orbits.add(complexity, 1);
+                                        chunk.problems.add(complexity, block.orbit_sizes[j]);
+                                    }
+                                } else {
+                                    let stats = classify_block_sliced(
+                                        universe,
+                                        &block.masks,
+                                        &mut sliced,
+                                        &mut verdicts,
+                                    );
+                                    chunk.lanes.blocks += 1;
+                                    chunk.lanes.fixpoint_rounds += stats.fixpoint_rounds;
+                                    chunk.lanes.live_lane_rounds += stats.live_lane_rounds;
+                                    for (j, &mask) in block.masks.iter().enumerate() {
+                                        let computed = match verdicts[j] {
+                                            LaneVerdict::Decided(c) => c,
+                                            LaneVerdict::NeedsPolyExponent => {
+                                                chunk.lanes.scalar_fallbacks += 1;
+                                                let problem = problem_of(mask);
+                                                let sustaining =
+                                                    crate::solvability::solvable_labels(&problem);
+                                                Complexity::Polynomial {
+                                                    exponent: crate::scratch::poly_exponent_masked(
+                                                        &problem,
+                                                        sustaining,
+                                                        &mut scratch,
+                                                    ),
+                                                }
+                                            }
+                                        };
+                                        let mut complexity = computed;
+                                        if self.canonicalize {
+                                            match baseline_map.get(&keys[j]) {
+                                                Some(&known) => {
+                                                    hits += 1;
+                                                    complexity = known;
+                                                }
+                                                None => {
+                                                    misses += 1;
+                                                    chunk_memo.push((keys[j].clone(), computed));
+                                                }
+                                            }
+                                        } else {
+                                            misses += 1;
+                                        }
+                                        chunk.orbits.add(complexity, 1);
+                                        chunk.problems.add(complexity, block.orbit_sizes[j]);
+                                    }
+                                }
+                                shared.commit(
+                                    ckpt,
+                                    ri,
+                                    block.next_mask,
+                                    &chunk,
+                                    &mut chunk_memo,
+                                    block.masks.len() as u64,
+                                );
+                                if shared.stop.load(Ordering::Relaxed) {
+                                    break 'ranges;
+                                }
+                            }
+                            shared.commit(
+                                ckpt,
+                                ri,
+                                range.hi,
+                                &SweepOutcome::default(),
+                                &mut Vec::new(),
+                                0,
+                            );
+                        }
+                        self.hits.fetch_add(hits, Ordering::Relaxed);
+                        self.misses.fetch_add(misses, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        self.finish_resumable(shared, ckpt)
+    }
+
+    /// Drains the shared state of a resumable sweep: surfaces deferred write
+    /// errors, warms the engine cache with everything the snapshot knows, and
+    /// writes the final checkpoint.
+    fn finish_resumable(
+        &self,
+        shared: ResumeShared,
+        ckpt: &SweepCheckpoint<'_>,
+    ) -> Result<(SweepSnapshot, bool), SnapshotError> {
+        let mut committed = shared
+            .committed
+            .into_inner()
+            .expect("resumable sweep state poisoned");
+        if let Some(e) = committed.write_error.take() {
+            return Err(SnapshotError::Io(e));
+        }
+        if self.canonicalize {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            cache.extend(committed.baseline.iter().cloned());
+            cache.extend(committed.new_memo.iter().cloned());
+        }
+        let ResumeCommitted {
+            cursor,
+            outcome,
+            baseline: mut memo,
+            mut new_memo,
+            ..
+        } = committed;
+        memo.append(&mut new_memo);
+        let completed = cursor.is_complete();
+        let snapshot = SweepSnapshot {
+            cursor,
+            outcome,
+            memo,
+        };
+        if let Some(path) = ckpt.path {
+            snapshot.save(path)?;
+        }
+        Ok((snapshot, completed))
+    }
+}
+
+/// Checkpoint policy of a resumable sweep ([`ClassificationEngine::sweep_resumable`],
+/// [`ClassificationEngine::sweep_resumable_bitsliced`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCheckpoint<'a> {
+    /// Snapshot file, written atomically (temp file + rename) during the sweep
+    /// and once at the end. `None` keeps the campaign in memory only.
+    pub path: Option<&'a Path>,
+    /// Processed orbits between two checkpoint writes (clamped to ≥ 1).
+    pub every_orbits: u64,
+    /// Stop pulling work after this many processed orbits, leaving a valid,
+    /// resumable snapshot — the hook behind bounded-budget campaigns and the
+    /// resume-equivalence tests. Workers stop at the next commit boundary, so
+    /// slightly more orbits than the limit may be processed.
+    pub orbit_limit: Option<u64>,
+}
+
+impl Default for SweepCheckpoint<'_> {
+    fn default() -> Self {
+        SweepCheckpoint {
+            path: None,
+            every_orbits: 4096,
+            orbit_limit: None,
+        }
+    }
+}
+
+/// Shared state of one resumable sweep call.
+struct ResumeShared {
+    committed: Mutex<ResumeCommitted>,
+    stop: AtomicBool,
+    next_range: AtomicUsize,
+}
+
+/// Everything committed so far, guarded by one lock so histograms, memo, and
+/// watermarks only ever advance together (each checkpoint is a consistent
+/// prefix of the sweep).
+struct ResumeCommitted {
+    cursor: SweepCursor,
+    outcome: SweepOutcome,
+    /// Memo loaded with the starting snapshot; immutable during the sweep
+    /// (lookups go through a hash map built before the workers start).
+    baseline: Vec<(CanonicalKey, Complexity)>,
+    /// Entries classified by this call, in commit order.
+    new_memo: Vec<(CanonicalKey, Complexity)>,
+    /// Orbits processed by this call (classified or answered from the memo).
+    processed: u64,
+    /// Orbits processed since the last checkpoint write.
+    since_write: u64,
+    /// First checkpoint-write failure; stops the sweep and is surfaced at the
+    /// end (the in-memory result is still consistent).
+    write_error: Option<std::io::Error>,
+}
+
+impl ResumeShared {
+    fn start(state: SweepSnapshot) -> (Self, Vec<MaskRange>) {
+        let ranges = state.cursor.ranges.clone();
+        (
+            ResumeShared {
+                committed: Mutex::new(ResumeCommitted {
+                    cursor: state.cursor,
+                    outcome: state.outcome,
+                    baseline: state.memo,
+                    new_memo: Vec::new(),
+                    processed: 0,
+                    since_write: 0,
+                    write_error: None,
+                }),
+                stop: AtomicBool::new(false),
+                next_range: AtomicUsize::new(0),
+            },
+            ranges,
+        )
+    }
+
+    /// Folds one finished chunk into the shared state under the lock:
+    /// histograms, memo entries, and the range's watermark advance together;
+    /// then applies the orbit-limit stop and the periodic checkpoint write.
+    fn commit(
+        &self,
+        ckpt: &SweepCheckpoint<'_>,
+        range: usize,
+        watermark: u64,
+        chunk: &SweepOutcome,
+        chunk_memo: &mut Vec<(CanonicalKey, Complexity)>,
+        orbits: u64,
+    ) {
+        let mut c = self
+            .committed
+            .lock()
+            .expect("resumable sweep state poisoned");
+        c.outcome.merge(chunk);
+        c.new_memo.append(chunk_memo);
+        let slot = &mut c.cursor.ranges[range];
+        if watermark > slot.next {
+            slot.next = watermark;
+        }
+        c.processed += orbits;
+        c.since_write += orbits;
+        if ckpt.orbit_limit.is_some_and(|limit| c.processed >= limit) {
+            self.stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(path) = ckpt.path {
+            if c.write_error.is_none() && c.since_write >= ckpt.every_orbits.max(1) {
+                c.since_write = 0;
+                let bytes =
+                    snapshot::to_bytes_parts(&c.cursor, &c.outcome, &[&c.baseline, &c.new_memo]);
+                if let Err(e) = snapshot::save_bytes(path, &bytes) {
+                    c.write_error = Some(e);
+                    self.stop.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }
 
 /// One unit of a bit-sliced sweep: up to 64 canonical configuration masks over
@@ -528,6 +1010,10 @@ pub struct MaskBlock {
     pub masks: Vec<u64>,
     /// `orbit_sizes[j]` is the label-permutation orbit size of `masks[j]`.
     pub orbit_sizes: Vec<u64>,
+    /// Resume watermark once this block is committed: the first mask of the
+    /// enumeration *after* this block (resuming from it reproduces the
+    /// remaining block sequence exactly).
+    pub next_mask: u64,
 }
 
 /// One item of a canonical-first sweep: a representative problem together with
@@ -535,6 +1021,9 @@ pub struct MaskBlock {
 /// universe it stands for).
 #[derive(Debug, Clone)]
 pub struct OrbitProblem {
+    /// The representative's configuration mask in its family's enumeration —
+    /// the resume watermark is `mask + 1` once the orbit is committed.
+    pub mask: u64,
     /// The orbit's representative.
     pub problem: LclProblem,
     /// Number of distinct problems in the orbit.

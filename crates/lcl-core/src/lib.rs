@@ -90,6 +90,7 @@ pub mod parser;
 pub mod poly;
 pub mod problem;
 pub mod scratch;
+pub mod snapshot;
 pub mod solvability;
 
 pub use automaton::Automaton;
@@ -106,7 +107,8 @@ pub use configuration::Configuration;
 pub use constant::{find_constant_certificate, find_constant_certificate_within};
 pub use engine::{
     canonical_form, canonical_key_from_packed_rows, CanonicalKey, ClassificationEngine,
-    ComplexityHistogram, EngineStats, MaskBlock, OrbitProblem, SweepLaneStats, SweepOutcome,
+    ComplexityHistogram, EngineStats, MaskBlock, OrbitProblem, SweepCheckpoint, SweepLaneStats,
+    SweepOutcome,
 };
 pub use label::{Alphabet, Label};
 pub use label_set::LabelSet;
@@ -119,6 +121,7 @@ pub use parser::ParseError;
 pub use poly::{find_poly_certificate, PolyCertificate, PolyLevel};
 pub use problem::LclProblem;
 pub use scratch::ClassifyScratch;
+pub use snapshot::{EngineKind, MaskRange, SnapshotError, SweepCursor, SweepSnapshot};
 pub use solvability::solvable_labels;
 
 /// Problem texts shared by the unit tests of several modules (the integration

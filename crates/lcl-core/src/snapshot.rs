@@ -1,0 +1,675 @@
+//! Versioned binary snapshots of classification state: the canonical-form
+//! memo, the accumulated sweep histograms, and a resumable sweep cursor.
+//!
+//! A sweep campaign larger than one process lifetime needs its state to
+//! survive the process. A [`SweepSnapshot`] captures everything a sweep has
+//! learned — every `canonical key → Complexity` verdict, the orbit and
+//! whole-universe histograms, the bit-sliced lane statistics, and a per-shard
+//! *watermark* (the next configuration mask each shard has yet to visit) — in
+//! one dense little-endian byte stream:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "RTLCLSNP"
+//! 8       4     format version (u32, currently 1)
+//! 12      2     δ                       ┐
+//! 14      2     |Σ|                     │ sweep cursor
+//! 16      1     engine kind (0 scalar,  │
+//!               1 bit-sliced)           │
+//! 17      4     shard-range count r     │
+//! 21      16·r  per range: next, hi     ┘  (u64 each; next == hi ⇒ done)
+//! …       8·13  orbit histogram         ┐
+//! …       8·13  universe histogram      │ SweepOutcome (13 = 5 classes
+//! …       8·4   lane statistics         ┘  + 8 poly-exponent buckets)
+//! …       8     memo entry count        ┐
+//! …       …     per entry: key length   │ canonical-form memo
+//!               (u16), key words (u16   │
+//!               each), tag (u8), and    │
+//!               for Polynomial the      │
+//!               exponent (u32)          ┘
+//! last    8     FNV-1a 64 digest of every preceding byte
+//! ```
+//!
+//! The digest makes truncated or bit-flipped files a clean
+//! [`SnapshotError`], never a silently wrong histogram; writes go through a
+//! temp file plus `rename` ([`SweepSnapshot::save`]), so a reader — or a
+//! resumed sweep — observes either the previous checkpoint or the new one,
+//! never a torn mix, even if the writer is SIGKILLed mid-write. Everything is
+//! hand-rolled over `std::fs`/`std::io`, mirroring the CLI's hand-rolled JSON:
+//! the workspace stays dependency-free.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::classifier::Complexity;
+use crate::engine::{
+    CanonicalKey, ComplexityHistogram, SweepLaneStats, SweepOutcome, POLY_EXPONENT_BUCKETS,
+};
+
+/// First eight bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RTLCLSNP";
+
+/// Current on-disk format version. Readers reject anything else.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Which sweep engine produced (and should resume) a snapshot. Stored in the
+/// cursor so `--resume` never mixes block-boundary watermarks of one engine
+/// with the commit granularity of the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// One scalar decision per canonical representative.
+    Scalar,
+    /// 64 configuration masks per block over a `SlicedUniverse`.
+    Bitsliced,
+}
+
+impl EngineKind {
+    /// Stable CLI / JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Bitsliced => "bitsliced",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            EngineKind::Scalar => 0,
+            EngineKind::Bitsliced => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(EngineKind::Scalar),
+            1 => Some(EngineKind::Bitsliced),
+            _ => None,
+        }
+    }
+}
+
+/// One shard's remaining work: the configuration masks `next..hi`. `next` is
+/// the shard's *watermark* — everything below it is already folded into the
+/// snapshot's histograms and memo. `next == hi` means the shard is done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskRange {
+    /// First mask not yet accounted for.
+    pub next: u64,
+    /// One past the shard's last mask.
+    pub hi: u64,
+}
+
+impl MaskRange {
+    /// Number of masks still to visit.
+    pub fn remaining(&self) -> u64 {
+        self.hi.saturating_sub(self.next)
+    }
+
+    /// `true` once the watermark has reached the range's end.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.hi
+    }
+}
+
+/// Where a sweep campaign stands: which family, which engine, and each
+/// shard's watermark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCursor {
+    /// The family's δ.
+    pub delta: u16,
+    /// The family's |Σ|.
+    pub num_labels: u16,
+    /// Engine the campaign runs on.
+    pub engine: EngineKind,
+    /// Per-shard watermarked mask ranges. Completed ranges stay in the list
+    /// (with `next == hi`), so the shard count is stable across restarts.
+    pub ranges: Vec<MaskRange>,
+}
+
+impl SweepCursor {
+    /// Total masks not yet accounted for, over all shards.
+    pub fn remaining_masks(&self) -> u64 {
+        self.ranges.iter().map(MaskRange::remaining).sum()
+    }
+
+    /// `true` once every shard's watermark has reached its end.
+    pub fn is_complete(&self) -> bool {
+        self.ranges.iter().all(MaskRange::is_done)
+    }
+}
+
+/// A checkpoint of a sweep campaign: cursor, accumulated outcome, and the
+/// canonical-form memo of everything classified so far. See the module
+/// documentation for the byte layout.
+#[derive(Debug, Clone)]
+pub struct SweepSnapshot {
+    /// Family parameters, engine, and per-shard watermarks.
+    pub cursor: SweepCursor,
+    /// Histograms and lane statistics accumulated below the watermarks.
+    pub outcome: SweepOutcome,
+    /// `canonical key → Complexity` for every orbit accounted so far.
+    pub memo: Vec<(CanonicalKey, Complexity)>,
+}
+
+/// Why a snapshot could not be read or written.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The file ends before a complete record (no digest to check against).
+    Truncated,
+    /// The trailing digest does not match the content — truncation or
+    /// corruption after the header.
+    ChecksumMismatch,
+    /// The digest matches but a field is out of range (a writer bug).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::ChecksumMismatch => {
+                write!(f, "snapshot digest mismatch (truncated or corrupted file)")
+            }
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over `bytes` — the digest in a snapshot's trailer. Public so
+/// tests (and external tooling) can craft or verify files.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Complexity → on-disk tag. `Polynomial` is followed by its `u32` exponent.
+fn complexity_tag(c: Complexity) -> u8 {
+    match c {
+        Complexity::Unsolvable => 0,
+        Complexity::Constant => 1,
+        Complexity::LogStar => 2,
+        Complexity::Log => 3,
+        Complexity::Polynomial { .. } => 4,
+    }
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_histogram(out: &mut Vec<u8>, h: &ComplexityHistogram) {
+    push_u64(out, h.constant);
+    push_u64(out, h.log_star);
+    push_u64(out, h.log);
+    push_u64(out, h.polynomial);
+    for &k in &h.poly_k {
+        push_u64(out, k);
+    }
+    push_u64(out, h.unsolvable);
+}
+
+/// Little-endian reader over a byte slice; every read checks bounds so a
+/// short file surfaces as [`SnapshotError::Truncated`], never a panic.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.at.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    fn histogram(&mut self) -> Result<ComplexityHistogram, SnapshotError> {
+        let mut h = ComplexityHistogram {
+            constant: self.u64()?,
+            log_star: self.u64()?,
+            log: self.u64()?,
+            polynomial: self.u64()?,
+            ..ComplexityHistogram::default()
+        };
+        for k in &mut h.poly_k {
+            *k = self.u64()?;
+        }
+        h.unsolvable = self.u64()?;
+        Ok(h)
+    }
+}
+
+impl SweepSnapshot {
+    /// A fresh campaign over the given family/engine: empty histograms, empty
+    /// memo, every watermark at its range's start.
+    pub fn fresh(delta: u16, num_labels: u16, engine: EngineKind, ranges: Vec<MaskRange>) -> Self {
+        SweepSnapshot {
+            cursor: SweepCursor {
+                delta,
+                num_labels,
+                engine,
+                ranges,
+            },
+            outcome: SweepOutcome::default(),
+            memo: Vec::new(),
+        }
+    }
+
+    /// Serializes to the on-disk byte layout, digest included.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        to_bytes_parts(&self.cursor, &self.outcome, &[&self.memo])
+    }
+
+    /// Parses and validates a snapshot: magic, digest, version, then fields.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv1a64(body) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let mut r = Reader {
+            bytes: body,
+            at: SNAPSHOT_MAGIC.len(),
+        };
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let delta = r.u16()?;
+        let num_labels = r.u16()?;
+        let engine = EngineKind::from_u8(r.u8()?).ok_or(SnapshotError::Malformed("engine kind"))?;
+        let range_count = r.u32()? as usize;
+        if range_count > r.remaining() / 16 {
+            return Err(SnapshotError::Malformed("range count"));
+        }
+        let mut ranges = Vec::with_capacity(range_count);
+        for _ in 0..range_count {
+            let next = r.u64()?;
+            let hi = r.u64()?;
+            if next > hi {
+                return Err(SnapshotError::Malformed("range watermark past end"));
+            }
+            ranges.push(MaskRange { next, hi });
+        }
+        let outcome = SweepOutcome {
+            orbits: r.histogram()?,
+            problems: r.histogram()?,
+            lanes: SweepLaneStats {
+                blocks: r.u64()?,
+                fixpoint_rounds: r.u64()?,
+                live_lane_rounds: r.u64()?,
+                scalar_fallbacks: r.u64()?,
+            },
+        };
+        let memo_count = r.u64()?;
+        // Each entry is at least 3 bytes (empty key + tag); a count beyond
+        // that bound cannot be real even with a valid digest.
+        if memo_count > (r.remaining() / 3) as u64 {
+            return Err(SnapshotError::Malformed("memo count"));
+        }
+        let mut memo = Vec::with_capacity(memo_count as usize);
+        for _ in 0..memo_count {
+            let key_len = r.u16()? as usize;
+            let mut words = Vec::with_capacity(key_len);
+            for _ in 0..key_len {
+                words.push(r.u16()?);
+            }
+            let complexity = match r.u8()? {
+                0 => Complexity::Unsolvable,
+                1 => Complexity::Constant,
+                2 => Complexity::LogStar,
+                3 => Complexity::Log,
+                4 => Complexity::Polynomial {
+                    exponent: r.u32()? as usize,
+                },
+                _ => return Err(SnapshotError::Malformed("complexity tag")),
+            };
+            memo.push((CanonicalKey::from_words(words), complexity));
+        }
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Malformed("trailing bytes"));
+        }
+        Ok(SweepSnapshot {
+            cursor: SweepCursor {
+                delta,
+                num_labels,
+                engine,
+                ranges,
+            },
+            outcome,
+            memo,
+        })
+    }
+
+    /// Writes the snapshot atomically: serialize to `<path>.tmp` in the same
+    /// directory, then `rename` over `path`. A reader never observes a
+    /// partial file.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        save_bytes(path, &self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot file.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Serializes cursor + outcome + memo chunks (concatenated in order) to the
+/// on-disk layout. The sweep drivers keep the baseline memo (loaded from a
+/// prior snapshot) and the newly classified entries in separate buffers; this
+/// writes both without gluing them into one allocation first.
+pub(crate) fn to_bytes_parts(
+    cursor: &SweepCursor,
+    outcome: &SweepOutcome,
+    memos: &[&[(CanonicalKey, Complexity)]],
+) -> Vec<u8> {
+    let memo_count: usize = memos.iter().map(|m| m.len()).sum();
+    let memo_bytes: usize = memos
+        .iter()
+        .flat_map(|m| m.iter())
+        .map(|(k, c)| 2 + 2 * k.as_words().len() + if complexity_tag(*c) == 4 { 5 } else { 1 })
+        .sum();
+    let mut out = Vec::with_capacity(
+        SNAPSHOT_MAGIC.len()
+            + 4
+            + 5
+            + 4
+            + 16 * cursor.ranges.len()
+            + 8 * (2 * (5 + POLY_EXPONENT_BUCKETS) + 4)
+            + 8
+            + memo_bytes
+            + 8,
+    );
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    push_u32(&mut out, SNAPSHOT_VERSION);
+    push_u16(&mut out, cursor.delta);
+    push_u16(&mut out, cursor.num_labels);
+    out.push(cursor.engine.to_u8());
+    push_u32(&mut out, cursor.ranges.len() as u32);
+    for range in &cursor.ranges {
+        push_u64(&mut out, range.next);
+        push_u64(&mut out, range.hi);
+    }
+    push_histogram(&mut out, &outcome.orbits);
+    push_histogram(&mut out, &outcome.problems);
+    push_u64(&mut out, outcome.lanes.blocks);
+    push_u64(&mut out, outcome.lanes.fixpoint_rounds);
+    push_u64(&mut out, outcome.lanes.live_lane_rounds);
+    push_u64(&mut out, outcome.lanes.scalar_fallbacks);
+    push_u64(&mut out, memo_count as u64);
+    for (key, complexity) in memos.iter().flat_map(|m| m.iter()) {
+        let words = key.as_words();
+        push_u16(&mut out, words.len() as u16);
+        for &w in words {
+            push_u16(&mut out, w);
+        }
+        out.push(complexity_tag(*complexity));
+        if let Complexity::Polynomial { exponent } = *complexity {
+            push_u32(&mut out, exponent as u32);
+        }
+    }
+    let digest = fnv1a64(&out);
+    push_u64(&mut out, digest);
+    out
+}
+
+/// Atomic file write: `<path>.tmp` in the same directory, then `rename`.
+pub(crate) fn save_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepSnapshot {
+        let mut outcome = SweepOutcome::default();
+        outcome.orbits.add(Complexity::Constant, 3);
+        outcome
+            .orbits
+            .add(Complexity::Polynomial { exponent: 2 }, 1);
+        outcome.problems.add(Complexity::Constant, 11);
+        outcome
+            .problems
+            .add(Complexity::Polynomial { exponent: 2 }, 6);
+        outcome.lanes.blocks = 2;
+        outcome.lanes.fixpoint_rounds = 9;
+        outcome.lanes.live_lane_rounds = 77;
+        outcome.lanes.scalar_fallbacks = 1;
+        SweepSnapshot {
+            cursor: SweepCursor {
+                delta: 2,
+                num_labels: 3,
+                engine: EngineKind::Bitsliced,
+                ranges: vec![
+                    MaskRange { next: 40, hi: 40 },
+                    MaskRange { next: 55, hi: 64 },
+                ],
+            },
+            outcome,
+            memo: vec![
+                (
+                    CanonicalKey::from_words(vec![2, 2, 0, 1, 1]),
+                    Complexity::Constant,
+                ),
+                (
+                    CanonicalKey::from_words(vec![2, 3, 1, 0, 2]),
+                    Complexity::Polynomial { exponent: 2 },
+                ),
+                (
+                    CanonicalKey::from_words(vec![2, 1, 0]),
+                    Complexity::Unsolvable,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = SweepSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.cursor, snap.cursor);
+        assert_eq!(back.outcome, snap.outcome);
+        assert_eq!(back.memo, snap.memo);
+        // Serialization is deterministic.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = SweepSnapshot::fresh(1, 2, EngineKind::Scalar, vec![]);
+        let back = SweepSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert!(back.cursor.is_complete());
+        assert_eq!(back.cursor.remaining_masks(), 0);
+        assert!(back.memo.is_empty());
+        assert_eq!(back.outcome, SweepOutcome::default());
+    }
+
+    #[test]
+    fn cursor_progress_accounting() {
+        let snap = sample();
+        assert_eq!(snap.cursor.remaining_masks(), 9);
+        assert!(!snap.cursor.is_complete());
+        assert!(snap.cursor.ranges[0].is_done());
+        assert_eq!(snap.cursor.ranges[1].remaining(), 9);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[2] ^= 0x40;
+        assert!(matches!(
+            SweepSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_bit_flips_anywhere_past_the_magic() {
+        let good = sample().to_bytes();
+        // Header, cursor, histogram, memo, digest: one flipped bit each.
+        for &at in &[9usize, 13, 30, good.len() / 2, good.len() - 3] {
+            let mut bytes = good.clone();
+            bytes[at] ^= 1;
+            assert!(
+                matches!(
+                    SweepSnapshot::from_bytes(&bytes),
+                    Err(SnapshotError::ChecksumMismatch)
+                ),
+                "flip at {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = sample().to_bytes();
+        // Too short to even carry magic + digest.
+        assert!(matches!(
+            SweepSnapshot::from_bytes(&bytes[..10]),
+            Err(SnapshotError::Truncated)
+        ));
+        // Any strict prefix long enough to parse headers still fails the
+        // digest (the trailing 8 bytes are now content, not the digest).
+        for cut in [bytes.len() - 1, bytes.len() - 9, bytes.len() / 2] {
+            assert!(
+                matches!(
+                    SweepSnapshot::from_bytes(&bytes[..cut]),
+                    Err(SnapshotError::ChecksumMismatch)
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_version_with_a_valid_digest() {
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let digest = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&digest.to_le_bytes());
+        assert!(matches!(
+            SweepSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_fields_behind_a_recomputed_digest() {
+        // Engine kind 7 with a freshly valid digest: Malformed, not a panic.
+        let mut bytes = sample().to_bytes();
+        bytes[16] = 7;
+        let body_len = bytes.len() - 8;
+        let digest = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&digest.to_le_bytes());
+        assert!(matches!(
+            SweepSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::Malformed("engine kind"))
+        ));
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("rtlcl-snapshot-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.rtlcl");
+        let snap = sample();
+        snap.save(&path).unwrap();
+        // The temp file is gone; only the renamed target remains.
+        assert!(!dir.join("state.rtlcl.tmp").exists());
+        let back = SweepSnapshot::load(&path).unwrap();
+        assert_eq!(back.memo, snap.memo);
+        // Overwriting is atomic too: the second save replaces the first.
+        let fresh = SweepSnapshot::fresh(2, 3, EngineKind::Bitsliced, vec![]);
+        fresh.save(&path).unwrap();
+        assert!(SweepSnapshot::load(&path).unwrap().memo.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

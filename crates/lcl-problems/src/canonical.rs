@@ -34,6 +34,7 @@ use lcl_core::bitslice::SlicedUniverse;
 use lcl_core::engine::{
     canonical_form, canonical_key_from_packed_rows, CanonicalKey, MaskBlock, OrbitProblem,
 };
+use lcl_core::snapshot::MaskRange;
 use lcl_core::LclProblem;
 
 use crate::random::{configuration_universe, problem_from_universe};
@@ -230,6 +231,7 @@ impl CanonicalFamily {
     /// mask). Only canonical masks are materialized into problems.
     pub fn enumerate(&self) -> impl Iterator<Item = OrbitProblem> + '_ {
         self.canonical_masks().map(move |m| OrbitProblem {
+            mask: m,
             problem: self.problem_at(m),
             orbit_size: self.orbit_size(m),
         })
@@ -242,9 +244,32 @@ impl CanonicalFamily {
     /// uneven (canonical masks cluster towards small values).
     pub fn shard(&self, shard: usize, shards: usize) -> impl Iterator<Item = OrbitProblem> + '_ {
         let (lo, hi) = self.shard_range(shard, shards);
-        (lo..hi)
+        self.orbits_in(MaskRange { next: lo, hi })
+    }
+
+    /// The non-empty members of the `shards`-way contiguous mask partition of
+    /// the family, as watermarked [`MaskRange`]s with every watermark at its
+    /// range's start — the cursor of a fresh resumable sweep campaign
+    /// (`SweepSnapshot::fresh`). Requesting more shards than the family has
+    /// masks yields one range per mask and no empty ranges, so `len()` is the
+    /// *effective* shard count (≤ `shards`, and ≤ the family size).
+    pub fn ranges(&self, shards: usize) -> Vec<MaskRange> {
+        (0..shards.max(1))
+            .map(|s| self.shard_range(s, shards))
+            .filter(|&(lo, hi)| lo < hi)
+            .map(|(lo, hi)| MaskRange { next: lo, hi })
+            .collect()
+    }
+
+    /// The canonical orbit stream of one watermarked mask range — what
+    /// [`Self::shard`] yields, but resumable from any watermark: the stream
+    /// of `MaskRange { next, hi }` is exactly the unvisited tail of the
+    /// stream of `MaskRange { lo, hi }` once masks below `next` are done.
+    pub fn orbits_in(&self, range: MaskRange) -> impl Iterator<Item = OrbitProblem> + '_ {
+        (range.next..range.hi)
             .filter(|&m| self.is_canonical(m))
             .map(move |m| OrbitProblem {
+                mask: m,
                 problem: self.problem_at(m),
                 orbit_size: self.orbit_size(m),
             })
@@ -278,10 +303,20 @@ impl CanonicalFamily {
     /// is materialized; lanes carry only the mask and its orbit size.
     pub fn blocks(&self, shard: usize, shards: usize) -> impl Iterator<Item = MaskBlock> + '_ {
         let (lo, hi) = self.shard_range(shard, shards);
+        self.blocks_in(MaskRange { next: lo, hi })
+    }
+
+    /// [`Self::orbits_in`]'s stream as [`MaskBlock`]s — the resumable input
+    /// of `ClassificationEngine::sweep_resumable_bitsliced`. Block formation
+    /// is a function of the starting mask alone (≤ 64 canonical masks are
+    /// taken in ascending order), so resuming from a committed block's
+    /// [`MaskBlock::next_mask`] reproduces the remaining block sequence of an
+    /// uninterrupted run exactly — lane statistics included.
+    pub fn blocks_in(&self, range: MaskRange) -> impl Iterator<Item = MaskBlock> + '_ {
         BlockIter {
             family: self,
-            next: lo,
-            hi,
+            next: range.next,
+            hi: range.hi,
         }
     }
 
@@ -369,6 +404,7 @@ impl Iterator for BlockIter<'_> {
                 block.orbit_sizes.push(self.family.orbit_size(mask));
             }
         }
+        block.next_mask = self.next;
         if block.masks.is_empty() {
             None
         } else {
@@ -506,6 +542,71 @@ mod tests {
             assert_eq!(blocked, all, "{shards} shards");
         }
         assert_eq!(family.blocks(7, 7).count(), 0);
+    }
+
+    #[test]
+    fn ranges_are_nonempty_and_tile_the_family() {
+        let family = CanonicalFamily::new(2, 3);
+        for shards in [1usize, 2, 7, 1000] {
+            let ranges = family.ranges(shards);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= shards);
+            assert_eq!(ranges[0].next, 0);
+            assert_eq!(ranges.last().unwrap().hi, family.family_size());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].hi, pair[1].next, "{shards} shards");
+            }
+            assert!(ranges.iter().all(|r| !r.is_done()));
+        }
+        // More shards than masks: one range per mask, never an empty range.
+        let tiny = CanonicalFamily::new(2, 1);
+        assert_eq!(tiny.family_size(), 2);
+        assert_eq!(tiny.ranges(64).len(), 2);
+        assert_eq!(tiny.ranges(0).len(), 1);
+    }
+
+    #[test]
+    fn orbit_streams_resume_as_the_tail_of_the_full_stream() {
+        let family = CanonicalFamily::new(2, 2);
+        let full: Vec<u64> = family.canonical_masks().collect();
+        let hi = family.family_size();
+        for watermark in [0u64, 1, 17, 1000, hi - 1, hi] {
+            let tail: Vec<u64> = family
+                .orbits_in(MaskRange {
+                    next: watermark,
+                    hi,
+                })
+                .map(|o| o.mask)
+                .collect();
+            let expected: Vec<u64> = full.iter().copied().filter(|&m| m >= watermark).collect();
+            assert_eq!(tail, expected, "watermark {watermark}");
+        }
+    }
+
+    #[test]
+    fn block_streams_resume_from_every_next_mask_watermark() {
+        let family = CanonicalFamily::new(2, 3);
+        let whole = MaskRange {
+            next: 0,
+            hi: family.family_size(),
+        };
+        let blocks: Vec<MaskBlock> = family.blocks_in(whole).collect();
+        assert!(blocks.len() > 2);
+        assert_eq!(blocks.last().unwrap().next_mask, whole.hi);
+        // Resuming from a committed block's watermark must reproduce the next
+        // block exactly (blocks_in is lazy, so taking one block is cheap).
+        for pair in blocks.windows(2) {
+            let mut resumed = family.blocks_in(MaskRange {
+                next: pair[0].next_mask,
+                hi: whole.hi,
+            });
+            assert_eq!(
+                resumed.next().map(|b| (b.masks, b.next_mask)),
+                Some((pair[1].masks.clone(), pair[1].next_mask)),
+                "resumed at watermark {}",
+                pair[0].next_mask
+            );
+        }
     }
 
     #[test]
