@@ -137,6 +137,7 @@ pub struct BenchReport {
     bench: String,
     groups: Vec<Bench>,
     ratios: Vec<(String, f64)>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl BenchReport {
@@ -146,6 +147,7 @@ impl BenchReport {
             bench: bench.to_string(),
             groups: Vec::new(),
             ratios: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -160,6 +162,13 @@ impl BenchReport {
         let ratio = baseline.as_secs_f64() / candidate.as_secs_f64().max(1e-12);
         self.ratios.push((name.to_string(), ratio));
         ratio
+    }
+
+    /// Records a named scalar metric that is not a time ratio — latency
+    /// percentiles, throughput, counts. Units go in the name
+    /// (`p99_cold_us`, `throughput_warm_rps`).
+    pub fn add_metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
     }
 
     /// Writes `BENCH_<name>.json` at the workspace root and returns its path.
@@ -205,6 +214,16 @@ impl BenchReport {
             ));
         }
         out.push_str("  ],\n");
+        if !self.metrics.is_empty() {
+            out.push_str("  \"metrics\": {");
+            for (i, (name, value)) in self.metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {:.4}", escape(name), value));
+            }
+            out.push_str("},\n");
+        }
         out.push_str("  \"ratios\": {");
         for (i, (name, ratio)) in self.ratios.iter().enumerate() {
             if i > 0 {
@@ -296,11 +315,19 @@ mod tests {
         report.add_group(group);
         let ratio = report.add_ratio("speedup", d * 2, d.max(Duration::from_nanos(1)));
         assert!(ratio > 1.0);
+        report.add_metric("p99_us", 123.456);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"selftest\""));
         assert!(json.contains("\"median_ns\":"));
         assert!(json.contains("\"iters\":"));
         assert!(json.contains("\"speedup\":"));
+        assert!(json.contains("\"metrics\": {\"p99_us\": 123.4560}"));
         assert!(json.contains("g \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn report_without_metrics_omits_the_key() {
+        let report = BenchReport::new("plain");
+        assert!(!report.to_json().contains("\"metrics\""));
     }
 }

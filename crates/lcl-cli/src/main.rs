@@ -14,6 +14,7 @@
 //!                                     #  instead of the class-optimal solver)
 //! rtlcl classify-batch [options]      # sweep a whole problem family through the engine
 //! rtlcl sweep    [options]            # canonical-first exhaustive sweep of a (δ, Σ) universe
+//! rtlcl serve    [options]            # run the resident classification daemon (HTTP/JSON)
 //! rtlcl snapshot info <file> [--json] # inspect a sweep checkpoint file
 //! rtlcl verify   <file|name> <labeling-file> [options]
 //!                                     # validate a labeling file on a generated tree
@@ -63,6 +64,10 @@
 //! --delta <d>      children per internal node (default 2)
 //! --labels <k>     labels of the universe (default 2; the universe must fit
 //!                  63 configurations, so δ=2 caps at 4 labels, δ=1 at 7)
+//! --max-orbits <n> stop the campaign after ~n more orbit decisions (requires
+//!                  --checkpoint; the leg stops at the next commit boundary,
+//!                  writes the snapshot, and exits 0 — rerun with --resume to
+//!                  continue the campaign where it left off)
 //! --shards <n>     shard count for the parallel driver (default: available
 //!                  cores; clamped to the orbit-bearing mask ranges, so tiny
 //!                  families never spawn empty shards)
@@ -74,29 +79,44 @@
 //! --checkpoint-every <n>   orbits between snapshot writes (default 4096)
 //! --resume                 continue the campaign stored in --checkpoint; the
 //!                          snapshot's δ/labels/engine/shard split are
-//!                          authoritative, conflicting flags are rejected
+//!                          authoritative, conflicting flags are rejected; a
+//!                          checkpoint whose digest no longer verifies is
+//!                          quarantined to `<file>.corrupt` and the campaign
+//!                          restarts fresh (with a loud warning)
 //! --json           emit the histograms as JSON
 //! ```
 //!
 //! `rtlcl snapshot info <file> [--json]` prints a checkpoint's header and
 //! progress (format version, family, engine, watermarks, histograms so far,
 //! memo size) without touching the classifier.
-
-mod json;
+//!
+//! `serve` options (the daemon itself — endpoints, JSON shapes, and the
+//! overload/timeout/shutdown contract — is documented in the `lcl-serve`
+//! crate and the README):
+//!
+//! ```text
+//! --addr <host:port>   bind address (default 127.0.0.1:7421; port 0 picks one)
+//! --workers <n>        worker threads (default 4)
+//! --queue <n>          accept-queue depth before shedding 503s (default 64)
+//! --deadline-ms <n>    per-request compute budget (default 10000)
+//! --read-timeout-ms <n>  budget for reading one request (default 5000)
+//! --snapshot <file>    warm-boot from / flush the engine memo to this file
+//! --debug-endpoints    enable /debug/panic (fault-injection testing)
+//! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use json::Json;
 use lcl_algorithms::solve;
 use lcl_core::{
-    classify, ClassificationEngine, Complexity, EngineKind, LclProblem, MaskRange, SweepCheckpoint,
-    SweepOutcome, SweepSnapshot,
+    classify, ClassificationEngine, EngineKind, LclProblem, LoadOutcome, MaskRange,
+    SweepCheckpoint, SweepOutcome, SweepSnapshot,
 };
 use lcl_problems::canonical::CanonicalFamily;
 use lcl_problems::catalog;
 use lcl_problems::random::{enumerate_problems, random_family, RandomProblemSpec};
+use lcl_serve::{histogram_json, report_to_json, Json, ServeConfig, Server};
 use lcl_sim::IdAssignment;
 use lcl_trees::{generators, FlatTree};
 use lcl_verify::{fuzz_classifier_vs_solvers, LabelingValidator};
@@ -121,95 +141,6 @@ fn cmd_catalog() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
-}
-
-/// Renders a classification report as JSON (labels by name, ascending order).
-fn report_to_json(report: &lcl_core::ClassificationReport) -> Json {
-    let problem = &report.problem;
-    let alphabet = problem.alphabet();
-    let names = |set: lcl_core::LabelSet| {
-        Json::Arr(set.iter().map(|l| Json::str(alphabet.name(l))).collect())
-    };
-    let mut obj = vec![
-        (
-            "complexity".into(),
-            Json::str(report.complexity.to_string()),
-        ),
-        (
-            "complexity_short".into(),
-            Json::str(report.complexity.short_name()),
-        ),
-        ("delta".into(), Json::int(problem.delta())),
-        ("num_labels".into(), Json::int(problem.num_labels())),
-        (
-            "num_configurations".into(),
-            Json::int(problem.num_configurations()),
-        ),
-        ("problem".into(), Json::str(problem.to_text())),
-        ("solvable_labels".into(), names(report.solvable_labels)),
-        (
-            "pruned_sets".into(),
-            Json::Arr(
-                report
-                    .log_analysis
-                    .pruned_sets
-                    .iter()
-                    .map(|&s| names(s))
-                    .collect(),
-            ),
-        ),
-    ];
-    if let Complexity::Polynomial { exponent } = report.complexity {
-        obj.push(("exponent".into(), Json::int(exponent)));
-        obj.push((
-            "pruning_iterations".into(),
-            Json::int(report.log_analysis.iterations().max(1)),
-        ));
-        if let Some(cert) = report.poly_certificate() {
-            obj.push((
-                "poly_certificate".into(),
-                Json::Arr(
-                    cert.levels
-                        .iter()
-                        .map(|level| {
-                            let mut entry = vec![
-                                ("labels".into(), names(level.labels)),
-                                ("scc".into(), names(level.scc)),
-                            ];
-                            if !level.scc.is_empty() {
-                                entry.push(("flexibility".into(), Json::int(level.flexibility)));
-                                entry.push((
-                                    "chain_threshold".into(),
-                                    Json::int(level.chain_threshold),
-                                ));
-                            }
-                            Json::Obj(entry)
-                        })
-                        .collect(),
-                ),
-            ));
-        }
-    }
-    if let Some(cert) = report.log_certificate() {
-        obj.push((
-            "log_certificate_labels".into(),
-            names(cert.problem_pf.labels()),
-        ));
-        obj.push(("max_flexibility".into(), Json::int(cert.max_flexibility)));
-    }
-    if let Some(r) = &report.log_star {
-        obj.push((
-            "log_star_certificate_labels".into(),
-            names(r.certificate_labels),
-        ));
-    }
-    if let Some(r) = &report.constant {
-        obj.push((
-            "special_configuration".into(),
-            Json::str(r.special.display(alphabet)),
-        ));
-    }
-    Json::Obj(obj)
 }
 
 fn cmd_classify(spec: &str, json: bool) -> ExitCode {
@@ -306,6 +237,10 @@ fn cmd_solve(opts: &SolveOptions) -> ExitCode {
             if let Some(path) = emit_labeling {
                 let mut out = String::with_capacity(tree.len() * 2);
                 for v in tree.nodes() {
+                    // Invariant: `verify` above walked every node of this
+                    // exact tree and errored out on any missing label, so a
+                    // hole here is impossible — it would mean the validator
+                    // accepted a partial labeling, a bug worth crashing on.
                     let label = outcome
                         .labeling
                         .get(v)
@@ -764,6 +699,10 @@ fn cmd_classify_batch(args: &[String]) -> ExitCode {
         ("unsolvable", 0),
     ];
     for c in &results {
+        // Invariant: the rows above are exactly the short names
+        // `Complexity::short_name` can return (exact poly exponents pool
+        // into "poly"); a miss means a class was added to the enum without
+        // extending this histogram — a compile-time-adjacent bug, not input.
         let slot = histogram
             .iter_mut()
             .find(|(name, _)| *name == c.short_name())
@@ -859,6 +798,7 @@ struct SweepOptions {
     engine: Option<EngineKind>,
     checkpoint: Option<String>,
     checkpoint_every: Option<u64>,
+    max_orbits: Option<u64>,
     resume: bool,
     json: bool,
 }
@@ -886,6 +826,7 @@ fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
             "--checkpoint-every" => {
                 opts.checkpoint_every = Some(cur.parse_value("--checkpoint-every")?)
             }
+            "--max-orbits" => opts.max_orbits = Some(cur.parse_value("--max-orbits")?),
             "--resume" => opts.resume = true,
             "--json" => opts.json = true,
             other => return Err(format!("unknown sweep option `{other}`")),
@@ -899,6 +840,14 @@ fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
     }
     if opts.checkpoint_every.is_some() && opts.checkpoint.is_none() {
         return Err("--checkpoint-every requires --checkpoint".into());
+    }
+    if opts.max_orbits == Some(0) {
+        return Err("--max-orbits must be positive".into());
+    }
+    if opts.max_orbits.is_some() && opts.checkpoint.is_none() {
+        // A budgeted leg without a checkpoint would throw its progress away
+        // on exit — there would be nothing to resume from.
+        return Err("--max-orbits requires --checkpoint to store the partial campaign".into());
     }
     if opts.resume && opts.checkpoint.is_none() {
         return Err("--resume requires --checkpoint <file> to resume from".into());
@@ -950,23 +899,6 @@ fn sweep_universe_size(delta: usize, labels: usize) -> u128 {
     multisets.saturating_mul(labels as u128)
 }
 
-/// The histogram as JSON: the five pooled classes plus one `poly_k` bucket
-/// per non-empty exact exponent (pooled `poly` stays for compatibility and
-/// equals the sum of the `poly_k` buckets).
-fn histogram_json(histogram: &lcl_core::ComplexityHistogram) -> Json {
-    let mut entries: Vec<(String, Json)> = histogram
-        .entries()
-        .iter()
-        .map(|&(name, n)| (name.to_string(), Json::int(n as usize)))
-        .collect();
-    for &(name, n) in histogram.poly_exponent_entries().iter() {
-        if n > 0 {
-            entries.push((name.to_string(), Json::int(n as usize)));
-        }
-    }
-    Json::Obj(entries)
-}
-
 fn cmd_sweep(args: &[String]) -> ExitCode {
     let opts = match parse_sweep_options(args) {
         Ok(o) => o,
@@ -1004,29 +936,50 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
     // inherit the stored values.
     let mut loaded: Option<SweepSnapshot> = None;
     if opts.resume {
-        let path = ckpt_path.expect("parse_sweep_options guarantees --checkpoint");
-        let snap = SweepSnapshot::load(path)
-            .map_err(|e| format!("cannot resume from `{}`: {e}", path.display()))?;
-        check_resume_conflict("--delta", opts.delta, snap.cursor.delta as usize)?;
-        check_resume_conflict("--labels", opts.labels, snap.cursor.num_labels as usize)?;
-        if let Some(engine) = opts.engine {
-            if engine != snap.cursor.engine {
-                return Err(format!(
-                    "--engine {} conflicts with the checkpoint's `{}` engine; \
-                     drop the flag or start a fresh campaign",
-                    engine.name(),
-                    snap.cursor.engine.name()
-                ));
+        // parse_sweep_options rejects --resume without --checkpoint, but a
+        // structured error beats an expect() here: new call sites of
+        // run_sweep are not bound by that parser.
+        let Some(path) = ckpt_path else {
+            return Err("--resume requires --checkpoint <file> to resume from".into());
+        };
+        // A snapshot damaged on disk (torn write, bit rot) is quarantined and
+        // the campaign restarts fresh; only a file that was never a snapshot
+        // of ours (wrong magic/version) stays a hard error — renaming or
+        // overwriting it could destroy unrelated data.
+        match lcl_core::load_or_quarantine(path)
+            .map_err(|e| format!("cannot resume from `{}`: {e}", path.display()))?
+        {
+            LoadOutcome::Loaded(snap) => {
+                check_resume_conflict("--delta", opts.delta, snap.cursor.delta as usize)?;
+                check_resume_conflict("--labels", opts.labels, snap.cursor.num_labels as usize)?;
+                if let Some(engine) = opts.engine {
+                    if engine != snap.cursor.engine {
+                        return Err(format!(
+                            "--engine {} conflicts with the checkpoint's `{}` engine; \
+                             drop the flag or start a fresh campaign",
+                            engine.name(),
+                            snap.cursor.engine.name()
+                        ));
+                    }
+                }
+                if opts.shards.is_some() {
+                    return Err(
+                        "--shards conflicts with --resume: the checkpoint's shard split is \
+                         authoritative"
+                            .into(),
+                    );
+                }
+                loaded = Some(*snap);
+            }
+            LoadOutcome::Quarantined { to, error } => {
+                eprintln!(
+                    "warning: checkpoint `{}` is damaged ({error}); quarantined it to `{}` \
+                     and starting the campaign fresh",
+                    path.display(),
+                    to.display()
+                );
             }
         }
-        if opts.shards.is_some() {
-            return Err(
-                "--shards conflicts with --resume: the checkpoint's shard split is \
-                 authoritative"
-                    .into(),
-            );
-        }
-        loaded = Some(snap);
     }
     let delta = loaded
         .as_ref()
@@ -1065,54 +1018,58 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
 
     let resumed = loaded.is_some();
     let start = Instant::now();
-    let outcome: SweepOutcome = if let Some(path) = ckpt_path {
-        let state = loaded.unwrap_or_else(|| {
-            SweepSnapshot::fresh(delta as u16, labels as u16, engine_kind, ranges.clone())
-        });
-        let ckpt = SweepCheckpoint {
-            path: Some(path),
-            every_orbits: opts.checkpoint_every.unwrap_or(4096),
-            orbit_limit: None,
+    // `completed` is false only for a budgeted (--max-orbits) leg that ran
+    // out; `masks_remaining` then counts the universe still unswept.
+    let (outcome, completed, masks_remaining): (SweepOutcome, bool, u64) =
+        if let Some(path) = ckpt_path {
+            let state = loaded.unwrap_or_else(|| {
+                SweepSnapshot::fresh(delta as u16, labels as u16, engine_kind, ranges.clone())
+            });
+            let ckpt = SweepCheckpoint {
+                path: Some(path),
+                every_orbits: opts.checkpoint_every.unwrap_or(4096),
+                orbit_limit: opts.max_orbits,
+            };
+            let (snap, completed) = match engine_kind {
+                EngineKind::Scalar => engine.sweep_resumable(state, |r| family.orbits_in(r), &ckpt),
+                EngineKind::Bitsliced => {
+                    let universe = family.sliced_universe();
+                    engine.sweep_resumable_bitsliced(
+                        &universe,
+                        state,
+                        |r| family.blocks_in(r),
+                        |mask| family.problem_at(mask),
+                        |mask| family.canonical_key_of(mask),
+                        &ckpt,
+                    )
+                }
+            }
+            .map_err(|e| format!("sweep checkpointing failed: {e}"))?;
+            let remaining = snap.cursor.remaining_masks();
+            (snap.outcome, completed, remaining)
+        } else {
+            let outcome = match engine_kind {
+                EngineKind::Scalar => {
+                    engine.sweep_sharded(effective_shards, |s| family.orbits_in(ranges[s]))
+                }
+                EngineKind::Bitsliced => {
+                    let universe = family.sliced_universe();
+                    engine.sweep_sharded_bitsliced(
+                        &universe,
+                        effective_shards,
+                        |s| family.blocks_in(ranges[s]),
+                        |mask| family.problem_at(mask),
+                        |mask| family.canonical_key_of(mask),
+                    )
+                }
+            };
+            (outcome, true, 0)
         };
-        let (snap, completed) = match engine_kind {
-            EngineKind::Scalar => engine.sweep_resumable(state, |r| family.orbits_in(r), &ckpt),
-            EngineKind::Bitsliced => {
-                let universe = family.sliced_universe();
-                engine.sweep_resumable_bitsliced(
-                    &universe,
-                    state,
-                    |r| family.blocks_in(r),
-                    |mask| family.problem_at(mask),
-                    |mask| family.canonical_key_of(mask),
-                    &ckpt,
-                )
-            }
-        }
-        .map_err(|e| format!("sweep checkpointing failed: {e}"))?;
-        debug_assert!(completed, "an unlimited sweep always runs to completion");
-        snap.outcome
-    } else {
-        match engine_kind {
-            EngineKind::Scalar => {
-                engine.sweep_sharded(effective_shards, |s| family.orbits_in(ranges[s]))
-            }
-            EngineKind::Bitsliced => {
-                let universe = family.sliced_universe();
-                engine.sweep_sharded_bitsliced(
-                    &universe,
-                    effective_shards,
-                    |s| family.blocks_in(ranges[s]),
-                    |mask| family.problem_at(mask),
-                    |mask| family.canonical_key_of(mask),
-                )
-            }
-        }
-    };
     let elapsed = start.elapsed();
 
     let orbit_count = outcome.orbits.total();
     let family_size = family.family_size();
-    debug_assert_eq!(outcome.problems.total(), family_size);
+    debug_assert!(!completed || outcome.problems.total() == family_size);
 
     if opts.json {
         let mut entries = vec![
@@ -1131,6 +1088,13 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
                 Json::uint(opts.checkpoint_every.unwrap_or(4096)),
             ));
             entries.push(("resumed".into(), Json::Bool(resumed)));
+            // `checkpoint_`-prefixed on purpose: CI's golden diff strips the
+            // checkpoint-dependent keys by that prefix.
+            entries.push(("checkpoint_complete".into(), Json::Bool(completed)));
+            entries.push((
+                "checkpoint_masks_remaining".into(),
+                Json::uint(masks_remaining),
+            ));
         }
         entries.extend([
             (
@@ -1159,23 +1123,41 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
         entries.push(("problems".into(), histogram_json(&outcome.problems)));
         println!("{}", Json::Obj(entries).to_pretty());
     } else {
-        println!(
-            "swept the complete (δ={}, {}-label) universe: {} problems in {} orbits, \
-             {} decisions in {:.1} ms ({} shards{}, {} engine)",
-            delta,
-            labels,
-            family_size,
-            orbit_count,
-            engine.stats().cache_misses,
-            elapsed.as_secs_f64() * 1e3,
-            effective_shards,
-            if clamped {
-                format!(" — clamped from {requested_shards}")
-            } else {
-                String::new()
-            },
-            engine_kind.name()
-        );
+        if completed {
+            println!(
+                "swept the complete (δ={}, {}-label) universe: {} problems in {} orbits, \
+                 {} decisions in {:.1} ms ({} shards{}, {} engine)",
+                delta,
+                labels,
+                family_size,
+                orbit_count,
+                engine.stats().cache_misses,
+                elapsed.as_secs_f64() * 1e3,
+                effective_shards,
+                if clamped {
+                    format!(" — clamped from {requested_shards}")
+                } else {
+                    String::new()
+                },
+                engine_kind.name()
+            );
+        } else {
+            println!(
+                "sweep leg of the (δ={}, {}-label) universe stopped at the --max-orbits \
+                 budget: {} of {} problems accounted in {} orbits so far, {} masks \
+                 remaining ({:.1} ms, {} shards, {} engine)",
+                delta,
+                labels,
+                outcome.problems.total(),
+                family_size,
+                orbit_count,
+                masks_remaining,
+                elapsed.as_secs_f64() * 1e3,
+                effective_shards,
+                engine_kind.name()
+            );
+            println!("resume the campaign with: rtlcl sweep --checkpoint <file> --resume");
+        }
         if let Some(path) = &opts.checkpoint {
             println!(
                 "checkpoint: {path} (every {} orbits{})",
@@ -1215,6 +1197,114 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut cur = FlagCursor::new(args);
+    while let Some(arg) = cur.next_arg() {
+        match arg.as_str() {
+            "--addr" => config.addr = cur.value("--addr")?.clone(),
+            "--workers" => config.workers = cur.parse_value("--workers")?,
+            "--queue" => config.queue_capacity = cur.parse_value("--queue")?,
+            "--deadline-ms" => {
+                config.deadline =
+                    std::time::Duration::from_millis(cur.parse_value::<u64>("--deadline-ms")?)
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout =
+                    std::time::Duration::from_millis(cur.parse_value::<u64>("--read-timeout-ms")?)
+            }
+            "--snapshot" => {
+                config.snapshot_path = Some(std::path::PathBuf::from(cur.value("--snapshot")?))
+            }
+            "--debug-endpoints" => config.debug_endpoints = true,
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    if config.workers == 0 || config.queue_capacity == 0 {
+        return Err("--workers and --queue must be positive".into());
+    }
+    if config.deadline.is_zero() || config.read_timeout.is_zero() {
+        return Err("--deadline-ms and --read-timeout-ms must be positive".into());
+    }
+    Ok(config)
+}
+
+/// Blocks until the process should shut down: SIGTERM/SIGINT on Unix; off
+/// Unix there is no signal plumbing, so serve until the process is killed.
+fn wait_for_shutdown() {
+    #[cfg(unix)]
+    {
+        let shutdown = lcl_serve::signal::install_shutdown_handler();
+        while !shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+    #[cfg(not(unix))]
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `rtlcl serve`: run the resident daemon until SIGTERM/SIGINT, then drain
+/// in-flight requests and flush the engine memo to the snapshot path.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let config = match parse_serve_options(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let snapshot_path = config.snapshot_path.clone();
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some((to, error)) = &server.boot.quarantined {
+        eprintln!(
+            "warning: the snapshot file is damaged ({error}); quarantined it to `{}` \
+             and booting cold",
+            to.display()
+        );
+    }
+    println!("rtlcl serve: listening on http://{}", server.addr());
+    match &snapshot_path {
+        Some(path) => println!(
+            "snapshot: {} ({} memo entries warm at boot)",
+            path.display(),
+            server.boot.warm_memo_entries
+        ),
+        None => println!("snapshot: none (the memo dies with the process)"),
+    }
+
+    wait_for_shutdown();
+    println!("shutdown requested; draining in-flight requests");
+    let requests = server
+        .state()
+        .metrics
+        .requests
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let report = server.join();
+    println!("served {requests} requests");
+    if let Some(e) = report.flush_error {
+        eprintln!("snapshot flush failed: {e} (earlier snapshot, if any, is intact)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(n) = report.flushed_entries {
+        println!(
+            "flushed {n} memo entries to {}",
+            snapshot_path
+                .as_deref()
+                .unwrap_or_else(|| Path::new("?"))
+                .display()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// `rtlcl snapshot info <file> [--json]`: header and progress of a checkpoint
@@ -1288,6 +1378,14 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
             ("problems".into(), histogram_json(&snap.outcome.problems)),
         ]);
         println!("{}", out.to_pretty());
+    } else if snap.cursor.ranges.is_empty() {
+        // A memo-only flush (the serve daemon's snapshot): no campaign cursor,
+        // just the canonical-form cache.
+        println!(
+            "memo snapshot v{}: {} canonical forms, no sweep campaign state",
+            lcl_core::snapshot::SNAPSHOT_VERSION,
+            snap.memo.len()
+        );
     } else {
         println!(
             "sweep snapshot v{}: (δ={delta}, {labels}-label) universe, {} engine",
@@ -1376,7 +1474,7 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--checkpoint file] [--checkpoint-every n] [--resume] [--json]\n  rtlcl snapshot info <file> [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--checkpoint file] [--checkpoint-every n] [--max-orbits n] [--resume] [--json]\n  rtlcl serve [--addr host:port] [--workers n] [--queue n] [--deadline-ms n] [--read-timeout-ms n] [--snapshot file] [--debug-endpoints]\n  rtlcl snapshot info <file> [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -1402,6 +1500,7 @@ fn main() -> ExitCode {
         },
         Some("classify-batch") => cmd_classify_batch(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),

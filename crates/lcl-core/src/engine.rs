@@ -565,6 +565,44 @@ impl ClassificationEngine {
         self.cache.lock().expect("engine cache poisoned").len()
     }
 
+    /// The engine's memo as a memo-only [`SweepSnapshot`]: an empty, complete
+    /// cursor (no sweep campaign attached) carrying every cached verdict.
+    /// This is the daemon's persistence format — the same file format, digest,
+    /// and atomic-write path as sweep checkpoints, readable by
+    /// `rtlcl snapshot info` and [`Self::warm_boot`].
+    pub fn memo_snapshot(&self) -> SweepSnapshot {
+        SweepSnapshot {
+            cursor: SweepCursor {
+                delta: 0,
+                num_labels: 0,
+                engine: crate::snapshot::EngineKind::Scalar,
+                ranges: Vec::new(),
+            },
+            outcome: SweepOutcome::default(),
+            memo: self.export_memo(),
+        }
+    }
+
+    /// Atomically writes [`Self::memo_snapshot`] to `path` (temp file +
+    /// rename, like every snapshot write). Returns the number of memo entries
+    /// flushed.
+    pub fn save_memo(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let snapshot = self.memo_snapshot();
+        snapshot.save(path)?;
+        Ok(snapshot.memo.len())
+    }
+
+    /// Loads a snapshot from `path` and merges its memo into the cache — the
+    /// restart path of a long-lived engine. Any snapshot works (a daemon memo
+    /// flush or a sweep checkpoint; only the memo is taken). Returns the
+    /// number of entries imported.
+    pub fn warm_boot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let snapshot = SweepSnapshot::load(path)?;
+        let count = snapshot.memo.len();
+        self.import_memo(snapshot.memo);
+        Ok(count)
+    }
+
     /// Resumable, checkpointing variant of [`Self::sweep_sharded`].
     ///
     /// `state` is where the campaign stands — [`SweepSnapshot::fresh`] for a
@@ -1282,6 +1320,38 @@ mod tests {
     fn empty_batch() {
         let engine = ClassificationEngine::new();
         assert!(engine.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn memo_snapshot_round_trips_through_warm_boot() {
+        let dir = std::env::temp_dir().join(format!("rtlcl-memo-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("memo.rtlcl");
+
+        let engine = ClassificationEngine::new();
+        engine.classify(&problem("1:22\n2:11\n"));
+        engine.classify(&problem("1:aa\n1:ab\n1:bb\na:bb\nb:b1\nb:11\n"));
+        assert_eq!(engine.save_memo(&path).unwrap(), 2);
+
+        // The memo-only snapshot has a complete, empty cursor: `snapshot info`
+        // and `load` treat it like any finished campaign.
+        let snap = engine.memo_snapshot();
+        assert!(snap.cursor.is_complete());
+        assert_eq!(snap.cursor.remaining_masks(), 0);
+        assert_eq!(snap.memo.len(), 2);
+
+        // A fresh engine warm-boots from it and answers renamed copies from
+        // the cache without reclassifying.
+        let fresh = ClassificationEngine::new();
+        assert_eq!(fresh.warm_boot(&path).unwrap(), 2);
+        assert_eq!(fresh.memo_len(), 2);
+        assert_eq!(
+            fresh.classify(&problem("a:bb\nb:aa\n")),
+            Complexity::Polynomial { exponent: 1 }
+        );
+        assert_eq!(fresh.stats().cache_hits, 1);
+        assert_eq!(fresh.stats().cache_misses, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

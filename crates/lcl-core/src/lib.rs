@@ -121,7 +121,10 @@ pub use parser::ParseError;
 pub use poly::{find_poly_certificate, PolyCertificate, PolyLevel};
 pub use problem::LclProblem;
 pub use scratch::ClassifyScratch;
-pub use snapshot::{EngineKind, MaskRange, SnapshotError, SweepCursor, SweepSnapshot};
+pub use snapshot::{
+    load_or_quarantine, EngineKind, LoadOutcome, MaskRange, SnapshotError, SweepCursor,
+    SweepSnapshot,
+};
 pub use solvability::solvable_labels;
 
 /// Problem texts shared by the unit tests of several modules (the integration

@@ -495,6 +495,47 @@ pub(crate) fn save_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// What [`load_or_quarantine`] found at a checkpoint path.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// The file parsed and validated; here is the snapshot.
+    Loaded(Box<SweepSnapshot>),
+    /// The file was damaged (digest mismatch or truncation) and has been
+    /// renamed out of the way so a fresh campaign can take its place.
+    Quarantined {
+        /// Where the damaged file now lives (`<path>.corrupt`).
+        to: std::path::PathBuf,
+        /// What was wrong with it.
+        error: SnapshotError,
+    },
+}
+
+/// Loads a snapshot, quarantining damaged files instead of hard-failing.
+///
+/// Damage — [`SnapshotError::ChecksumMismatch`] or [`SnapshotError::Truncated`]
+/// — means the bytes *were* a snapshot but didn't survive intact (a torn disk,
+/// a partial copy); the file is renamed to `<path>.corrupt` (clobbering any
+/// previous quarantine of the same path) and reported as
+/// [`LoadOutcome::Quarantined`] so the caller can continue with a fresh
+/// campaign. Everything else stays a hard error: [`SnapshotError::BadMagic`]
+/// says the file was never a snapshot (renaming it could destroy an unrelated
+/// file the user pointed at by mistake), an unsupported version or malformed
+/// field is a software mismatch worth stopping for, and I/O errors (including
+/// a missing file) are the caller's policy to decide.
+pub fn load_or_quarantine(path: &Path) -> Result<LoadOutcome, SnapshotError> {
+    match SweepSnapshot::load(path) {
+        Ok(snap) => Ok(LoadOutcome::Loaded(Box::new(snap))),
+        Err(error @ (SnapshotError::ChecksumMismatch | SnapshotError::Truncated)) => {
+            let mut to = path.as_os_str().to_owned();
+            to.push(".corrupt");
+            let to = std::path::PathBuf::from(to);
+            std::fs::rename(path, &to)?;
+            Ok(LoadOutcome::Quarantined { to, error })
+        }
+        Err(e) => Err(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +703,63 @@ mod tests {
         let fresh = SweepSnapshot::fresh(2, 3, EngineKind::Bitsliced, vec![]);
         fresh.save(&path).unwrap();
         assert!(SweepSnapshot::load(&path).unwrap().memo.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_renames_damaged_files_and_spares_foreign_ones() {
+        let dir =
+            std::env::temp_dir().join(format!("rtlcl-quarantine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.rtlcl");
+
+        // A digest-damaged snapshot is renamed to `<path>.corrupt`.
+        let mut bytes = sample().to_bytes();
+        let len = bytes.len();
+        bytes[len / 2] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_or_quarantine(&path).unwrap() {
+            LoadOutcome::Quarantined { to, error } => {
+                assert!(matches!(error, SnapshotError::ChecksumMismatch));
+                assert_eq!(to, dir.join("state.rtlcl.corrupt"));
+                assert!(to.exists());
+                assert!(!path.exists());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+
+        // A truncated snapshot (too short for even magic + digest) likewise.
+        std::fs::write(&path, &sample().to_bytes()[..10]).unwrap();
+        assert!(matches!(
+            load_or_quarantine(&path).unwrap(),
+            LoadOutcome::Quarantined {
+                error: SnapshotError::Truncated,
+                ..
+            }
+        ));
+
+        // A file that was never a snapshot is NOT renamed: BadMagic stays a
+        // hard error and the file stays put.
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        assert!(matches!(
+            load_or_quarantine(&path),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(path.exists());
+
+        // A valid file loads.
+        sample().save(&path).unwrap();
+        assert!(matches!(
+            load_or_quarantine(&path).unwrap(),
+            LoadOutcome::Loaded(_)
+        ));
+
+        // A missing file is an Io error, the caller's policy to handle.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            load_or_quarantine(&path),
+            Err(SnapshotError::Io(_))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

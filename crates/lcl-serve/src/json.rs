@@ -1,0 +1,651 @@
+//! The workspace's shared hand-rolled JSON: a value type with deterministic
+//! emission (moved here from the CLI, which re-uses it) plus a strict parser
+//! for request bodies.
+//!
+//! The workspace builds without external crates, so instead of serde both the
+//! CLI's reports and the daemon's request/response bodies go through this tiny
+//! value type. Output is deterministic: object keys keep insertion order,
+//! label sets are in ascending label order. Parsing is hardened for hostile
+//! input — depth-limited recursion, every malformed byte a structured
+//! [`JsonParseError`], never a panic.
+
+use std::fmt;
+
+/// Maximum nesting depth [`parse`] accepts. Deeper input is an error, not a
+/// stack overflow — request bodies are attacker-controlled.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number rendered without a fractional part when integral.
+    Num(f64),
+    /// An unsigned integer, rendered exactly. `Num` goes through `f64` and
+    /// loses integers above 2^53 — counters, ids, and seeds use this variant
+    /// so a `u64::MAX` seed survives the round trip digit for digit.
+    Uint(u64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for an integer value (exact: routed through [`Json::Uint`]).
+    pub fn int(n: usize) -> Json {
+        Json::Uint(n as u64)
+    }
+
+    /// Shorthand for an exact unsigned 64-bit value (seeds, counters).
+    pub fn uint(n: u64) -> Json {
+        Json::Uint(n)
+    }
+
+    /// Looks a key up in an object (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer (exact `Uint`,
+    /// or an integral `Num` within `u64` range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Uint(n) => Some(n),
+            Json::Num(n) if (0.0..=9e15).contains(&n) && n.fract() == 0.0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with 2-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Uint(n) => out.push_str(&format!("{n}")),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                Self::write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1)
+                })
+            }
+            Json::Obj(entries) => {
+                Self::write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    Json::Str(entries[i].0.clone()).write(out, None, 0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    entries[i].1.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+
+    fn write_seq(
+        out: &mut String,
+        indent: Option<usize>,
+        depth: usize,
+        open: char,
+        close: char,
+        len: usize,
+        mut item: impl FnMut(&mut String, usize),
+    ) {
+        out.push(open);
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * (depth + 1)));
+            }
+            item(out, i);
+        }
+        if len > 0 {
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * depth));
+            }
+        }
+        out.push(close);
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+/// Why a request body failed to parse as JSON: byte offset and a static
+/// message. Rendered into the daemon's structured `400` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What was wrong there.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses one JSON document. Strict: the whole input must be a single value
+/// (plus surrounding whitespace), nesting is capped at [`MAX_PARSE_DEPTH`],
+/// and non-negative integers come back as exact [`Json::Uint`] values.
+pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonParseError {
+        JsonParseError {
+            at: self.at,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting depth limit exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.at += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.at += 1; // consume '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.at += 1; // consume '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            self.at += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate escape"));
+                                }
+                                self.at += 1;
+                                self.expect(b'u', "unpaired surrogate escape")?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code).ok_or(self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or(self.err("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                            // hex4 advanced past the digits; undo the loop's
+                            // unconditional advance below.
+                            self.at -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.at += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Input is a &str, so multi-byte sequences are valid UTF-8;
+                    // copy the whole scalar value.
+                    let rest = &self.bytes[self.at..];
+                    let s = std::str::from_utf8(rest).expect("input slice came from a &str");
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("invalid unicode escape digits")),
+            };
+            v = (v << 4) | d;
+            self.at += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let int_start = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if self.at == int_start {
+            return Err(self.err("invalid number"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.at += 1;
+            let frac_start = self.at;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+            if self.at == frac_start {
+                return Err(self.err("invalid number"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            let exp_start = self.at;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+            if self.at == exp_start {
+                return Err(self.err("invalid number"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.at]).expect("number characters are ASCII");
+        // Non-negative integers parse exactly; everything else goes through
+        // f64 (the same precision contract as emission).
+        if integral && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Uint(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonParseError {
+                at: start,
+                message: "number out of range",
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::int(1)),
+            ("b".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("c".into(), Json::str("x\"y\n")),
+        ]);
+        assert_eq!(v.to_compact(), r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_valid_and_indented() {
+        let v = Json::Obj(vec![("k".into(), Json::Arr(vec![Json::int(7)]))]);
+        let pretty = v.to_pretty();
+        assert!(pretty.contains("\n  \"k\": [\n    7\n  ]\n"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).to_pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).to_compact(), "{}");
+    }
+
+    #[test]
+    fn float_rendering() {
+        assert_eq!(Json::Num(1.5).to_compact(), "1.5");
+        assert_eq!(Json::Num(3.0).to_compact(), "3");
+    }
+
+    #[test]
+    fn uints_render_exactly_beyond_the_f64_integer_range() {
+        // u64::MAX: the seed-corruption regression. Through Num this would
+        // come out as 18446744073709552000 (or float notation); Uint is exact.
+        assert_eq!(Json::uint(u64::MAX).to_compact(), "18446744073709551615");
+        // First integer f64 cannot represent: 2^53 + 1.
+        assert_eq!(Json::uint((1 << 53) + 1).to_compact(), "9007199254740993");
+        assert_ne!(
+            Json::Num(((1u64 << 53) + 1) as f64).to_compact(),
+            "9007199254740993"
+        );
+        // int() routes through Uint, so large usizes are exact too.
+        assert_eq!(Json::int(usize::MAX).to_compact(), u64::MAX.to_string());
+        // Small values render identically to the old Num path.
+        assert_eq!(Json::int(0).to_compact(), "0");
+        assert_eq!(Json::int(42).to_compact(), "42");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Uint(42));
+        assert_eq!(parse("-3").unwrap(), Json::Num(-3.0));
+        assert_eq!(parse("1.5").unwrap(), Json::Num(1.5));
+        assert_eq!(parse("2e3").unwrap(), Json::Num(2000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_exact_u64() {
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::Uint(u64::MAX));
+        assert_eq!(
+            parse("9007199254740993").unwrap(),
+            Json::Uint((1 << 53) + 1)
+        );
+    }
+
+    #[test]
+    fn parses_containers_and_accessors() {
+        let v = parse(
+            r#"{"problem": "1:22\n", "nodes": 101, "flags": [true, null], "deep": {"k": 1}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("problem").and_then(Json::as_str), Some("1:22\n"));
+        assert_eq!(v.get("nodes").and_then(Json::as_u64), Some(101));
+        assert_eq!(
+            v.get("flags").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("deep")
+                .and_then(|d| d.get("k"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("anything"), None);
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\\u0041\u00e9""#).unwrap(),
+            Json::Str("a\n\t\"\\Aé".into())
+        );
+        // Surrogate pair: 😀 U+1F600.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(parse("\"λ δ\"").unwrap(), Json::Str("λ δ".into()));
+    }
+
+    #[test]
+    fn round_trips_through_emission() {
+        let texts = [
+            r#"{"a":1,"b":[true,null,"x\"y"],"c":{"d":1.5}}"#,
+            r#"[1,2,3]"#,
+            r#""plain""#,
+        ];
+        for text in texts {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.to_compact()).unwrap(), v, "{text}");
+            assert_eq!(parse(&v.to_pretty()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input_cleanly() {
+        let bad = [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "\"\\u12g4\"",
+            "\"\\ud83d\"",        // lone high surrogate
+            "\"\\ud83d\\u0041\"", // high surrogate + non-surrogate
+            "nul",
+            "truex",
+            "01x",
+            "-",
+            "1.",
+            "1e",
+            "[1]]",
+            "{\"a\":1} extra",
+            "\u{1}",
+        ];
+        for text in bad {
+            let got = parse(text);
+            assert!(
+                got.is_err(),
+                "`{}` parsed as {:?}",
+                text.escape_debug(),
+                got
+            );
+        }
+        // `truex`: the literal itself is fine, trailing junk is the error.
+        assert!(parse("true x").is_err());
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let mut deep = String::new();
+        for _ in 0..(MAX_PARSE_DEPTH + 2) {
+            deep.push('[');
+        }
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.message, "nesting depth limit exceeded");
+        // At the limit itself, parsing proceeds (and then fails on truncation,
+        // not depth).
+        let mut ok_depth = String::new();
+        for _ in 0..MAX_PARSE_DEPTH {
+            ok_depth.push('[');
+        }
+        for _ in 0..MAX_PARSE_DEPTH {
+            ok_depth.push(']');
+        }
+        assert!(parse(&ok_depth).is_ok());
+    }
+}

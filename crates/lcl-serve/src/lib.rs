@@ -1,0 +1,44 @@
+//! `lcl-serve` — the fault-tolerant classification daemon behind
+//! `rtlcl serve`.
+//!
+//! The PODC 2021 classifier and its memoizing [`ClassificationEngine`] are
+//! fast; what every previous entry point shared was a one-shot process whose
+//! warm cache died on exit. This crate is the first *resident* subsystem: one
+//! warm engine behind a hand-rolled HTTP/1.1 JSON interface (the workspace
+//! stays dependency-free — no tokio, no hyper, no serde), with the failure
+//! behavior engineered rather than incidental:
+//!
+//! * **Backpressure, not collapse** — a bounded accept queue; arrivals beyond
+//!   it are shed with `503` + `Retry-After` at O(1) memory ([`server`]).
+//! * **Deadlines everywhere** — absolute read deadlines defeat slowloris
+//!   peers ([`http`]), per-request compute deadlines shed work that would
+//!   monopolize a worker ([`state`]).
+//! * **Hostile input is a status code** — size caps, strict parsing, and a
+//!   depth-limited JSON parser ([`json`]) turn every malformed byte into a
+//!   structured `400`-class response, never a panic.
+//! * **Panics burn one request** — each request runs under `catch_unwind`;
+//!   a poisoned request answers `500` and the engine keeps serving.
+//! * **Crash-safe persistence** — graceful shutdown drains in-flight work and
+//!   flushes the engine memo through `lcl-core`'s atomic snapshot writer; a
+//!   damaged file found at boot is quarantined to `<path>.corrupt`, and a
+//!   restart warm-boots from the last good flush.
+//!
+//! [`ClassificationEngine`]: lcl_core::ClassificationEngine
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod render;
+pub mod server;
+#[cfg(unix)]
+pub mod signal;
+pub mod state;
+
+pub use http::{Request, Response};
+pub use json::{Json, JsonParseError};
+pub use render::{histogram_json, report_to_json};
+pub use server::{BootReport, Server, ShutdownReport, StartError};
+pub use state::{Metrics, ServeConfig, ServeState};

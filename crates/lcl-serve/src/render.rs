@@ -1,0 +1,144 @@
+//! Shared JSON rendering of classifier results — used verbatim by the CLI's
+//! `classify --json` / `sweep --json` output and the daemon's response bodies,
+//! so a problem queried over HTTP answers with the same document the CLI
+//! prints.
+
+use crate::json::Json;
+use lcl_core::{ClassificationReport, Complexity, ComplexityHistogram, LabelSet};
+
+/// Renders a classification report as JSON (labels by name, ascending order).
+pub fn report_to_json(report: &ClassificationReport) -> Json {
+    let problem = &report.problem;
+    let alphabet = problem.alphabet();
+    let names =
+        |set: LabelSet| Json::Arr(set.iter().map(|l| Json::str(alphabet.name(l))).collect());
+    let mut obj = vec![
+        (
+            "complexity".into(),
+            Json::str(report.complexity.to_string()),
+        ),
+        (
+            "complexity_short".into(),
+            Json::str(report.complexity.short_name()),
+        ),
+        ("delta".into(), Json::int(problem.delta())),
+        ("num_labels".into(), Json::int(problem.num_labels())),
+        (
+            "num_configurations".into(),
+            Json::int(problem.num_configurations()),
+        ),
+        ("problem".into(), Json::str(problem.to_text())),
+        ("solvable_labels".into(), names(report.solvable_labels)),
+        (
+            "pruned_sets".into(),
+            Json::Arr(
+                report
+                    .log_analysis
+                    .pruned_sets
+                    .iter()
+                    .map(|&s| names(s))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Complexity::Polynomial { exponent } = report.complexity {
+        obj.push(("exponent".into(), Json::int(exponent)));
+        obj.push((
+            "pruning_iterations".into(),
+            Json::int(report.log_analysis.iterations().max(1)),
+        ));
+        if let Some(cert) = report.poly_certificate() {
+            obj.push((
+                "poly_certificate".into(),
+                Json::Arr(
+                    cert.levels
+                        .iter()
+                        .map(|level| {
+                            let mut entry = vec![
+                                ("labels".into(), names(level.labels)),
+                                ("scc".into(), names(level.scc)),
+                            ];
+                            if !level.scc.is_empty() {
+                                entry.push(("flexibility".into(), Json::int(level.flexibility)));
+                                entry.push((
+                                    "chain_threshold".into(),
+                                    Json::int(level.chain_threshold),
+                                ));
+                            }
+                            Json::Obj(entry)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    if let Some(cert) = report.log_certificate() {
+        obj.push((
+            "log_certificate_labels".into(),
+            names(cert.problem_pf.labels()),
+        ));
+        obj.push(("max_flexibility".into(), Json::int(cert.max_flexibility)));
+    }
+    if let Some(r) = &report.log_star {
+        obj.push((
+            "log_star_certificate_labels".into(),
+            names(r.certificate_labels),
+        ));
+    }
+    if let Some(r) = &report.constant {
+        obj.push((
+            "special_configuration".into(),
+            Json::str(r.special.display(alphabet)),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+/// The histogram as JSON: the five pooled classes plus one `poly_k` bucket
+/// per non-empty exact exponent (pooled `poly` stays for compatibility and
+/// equals the sum of the `poly_k` buckets).
+pub fn histogram_json(histogram: &ComplexityHistogram) -> Json {
+    let mut entries: Vec<(String, Json)> = histogram
+        .entries()
+        .iter()
+        .map(|&(name, n)| (name.to_string(), Json::int(n as usize)))
+        .collect();
+    for &(name, n) in histogram.poly_exponent_entries().iter() {
+        if n > 0 {
+            entries.push((name.to_string(), Json::int(n as usize)));
+        }
+    }
+    Json::Obj(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::classify;
+
+    #[test]
+    fn report_json_has_the_contract_fields() {
+        let problem = "1:22\n2:11\n".parse().unwrap();
+        let report = classify(&problem);
+        let json = report_to_json(&report);
+        assert_eq!(
+            json.get("complexity_short").and_then(Json::as_str),
+            Some("poly")
+        );
+        assert_eq!(json.get("delta").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("exponent").and_then(Json::as_u64), Some(1));
+        assert!(json.get("problem").is_some());
+    }
+
+    #[test]
+    fn histogram_json_includes_poly_buckets() {
+        let mut h = ComplexityHistogram::default();
+        h.add(Complexity::Constant, 2);
+        h.add(Complexity::Polynomial { exponent: 2 }, 3);
+        let json = histogram_json(&h);
+        assert_eq!(json.get("O(1)").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("poly").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("poly_2").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("poly_1"), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! SIGTERM/SIGINT → one `AtomicBool`, dependency-free.
+//!
+//! The workspace links no `libc` crate, but `std` already links the platform
+//! libc on Unix, so `signal(2)` is one `extern "C"` declaration away. The
+//! handler does the only async-signal-safe thing worth doing: a relaxed
+//! atomic store. The daemon's main loop polls the flag and runs the graceful
+//! shutdown path (drain, flush, exit 0) from normal code.
+//!
+//! This is the crate's only unsafe code (`#![deny(unsafe_code)]` holds
+//! everywhere else): two FFI calls installing a handler that touches nothing
+//! but a static atomic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once a shutdown signal (SIGTERM or SIGINT) arrives.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGTERM/SIGINT handler (idempotent) and returns the flag it
+/// sets. Poll it from the main loop; when it flips, shut the server down.
+#[allow(unsafe_code)]
+pub fn install_shutdown_handler() -> &'static AtomicBool {
+    // SAFETY: `signal` is async-signal-safe to install, and `on_signal` is a
+    // valid `extern "C"` handler that only stores to a static atomic.
+    unsafe {
+        ffi::signal(SIGINT, on_signal as *const () as usize);
+        ffi::signal(SIGTERM, on_signal as *const () as usize);
+    }
+    &SHUTDOWN
+}

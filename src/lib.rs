@@ -12,7 +12,10 @@
 //! * [`sim`] (`lcl-sim`) — the synchronous LOCAL/CONGEST simulator;
 //! * [`algorithms`] (`lcl-algorithms`) — the certificate-driven solvers;
 //! * [`verify`] (`lcl-verify`) — the parallel labeling validator and the
-//!   classifier-vs-solver differential fuzzing oracle.
+//!   classifier-vs-solver differential fuzzing oracle;
+//! * [`serve`] (`lcl-serve`) — the fault-tolerant `rtlcl serve` HTTP/JSON
+//!   daemon: one warm engine, bounded queues, deadlines, crash-safe snapshot
+//!   flush.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 pub use lcl_algorithms as algorithms;
 pub use lcl_core as core;
 pub use lcl_problems as problems;
+pub use lcl_serve as serve;
 pub use lcl_sim as sim;
 pub use lcl_trees as trees;
 pub use lcl_verify as verify;

@@ -10,8 +10,8 @@
 //! entry per orbit regardless of where the campaign was cut).
 
 use rooted_tree_lcl::core::{
-    CanonicalKey, ClassificationEngine, Complexity, EngineKind, SnapshotError, SweepCheckpoint,
-    SweepSnapshot,
+    load_or_quarantine, CanonicalKey, ClassificationEngine, Complexity, EngineKind, LoadOutcome,
+    SnapshotError, SweepCheckpoint, SweepSnapshot,
 };
 use rooted_tree_lcl::problems::canonical::CanonicalFamily;
 
@@ -270,6 +270,102 @@ fn warm_boot_reproduces_the_histogram_with_zero_new_decisions() {
         reference.outcome.orbits.total()
     );
     assert_eq!(sorted_memo(&warm), sorted_memo(&reference));
+}
+
+/// Satellite of the daemon's crash-safety story: a snapshot cut off at ANY
+/// byte boundary — the disk state a SIGKILL mid-write could leave behind if
+/// the atomic rename ever regressed — must come back as a clean
+/// [`SnapshotError`], never a panic and never a misparsed `Ok`.
+#[test]
+fn loading_a_snapshot_truncated_at_every_byte_is_a_clean_error() {
+    let dir = std::env::temp_dir().join(format!("rtlcl-truncate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("truncated.bin");
+
+    // A real mid-campaign snapshot with a non-trivial memo and histograms.
+    let family = CanonicalFamily::new(2, 2);
+    let (snap, _) = step(&family, fresh(&family, EngineKind::Bitsliced, 2), None);
+    assert!(!snap.memo.is_empty());
+    snap.save(&path).expect("snapshot saved");
+    let bytes = std::fs::read(&path).expect("snapshot read");
+    assert!(SweepSnapshot::load(&path).is_ok(), "untruncated file loads");
+
+    for len in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..len]).expect("truncated snapshot written");
+        // A panic inside load() fails the test through the unwind itself; the
+        // match nails the contract that no prefix parses as a valid snapshot.
+        match SweepSnapshot::load(&path) {
+            Ok(_) => panic!(
+                "a {len}-byte prefix of a {}-byte snapshot parsed as valid",
+                bytes.len()
+            ),
+            Err(
+                SnapshotError::Truncated
+                | SnapshotError::ChecksumMismatch
+                | SnapshotError::BadMagic
+                | SnapshotError::Malformed(_),
+            ) => {}
+            Err(other) => panic!("truncation at byte {len} surfaced as {other:?}"),
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `--resume` / daemon-boot quarantine contract: damage that the digest
+/// catches moves the file to `<path>.corrupt` and reports it; a file that was
+/// never one of our snapshots is left exactly where it is.
+#[test]
+fn quarantine_moves_damaged_snapshots_and_refuses_foreign_files() {
+    let dir = std::env::temp_dir().join(format!("rtlcl-quarantine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("ck.bin");
+    let quarantined_path = dir.join("ck.bin.corrupt");
+
+    let family = CanonicalFamily::new(2, 2);
+    let (snap, _) = step(&family, fresh(&family, EngineKind::Scalar, 2), None);
+    snap.save(&path).expect("snapshot saved");
+    let good = std::fs::read(&path).expect("snapshot read");
+
+    // Flip a byte past the header: digest mismatch → quarantined.
+    let mut damaged = good.clone();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0x01;
+    std::fs::write(&path, &damaged).expect("damaged snapshot written");
+    match load_or_quarantine(&path).expect("quarantine path succeeds") {
+        LoadOutcome::Quarantined { to, error } => {
+            assert_eq!(to, quarantined_path);
+            assert!(matches!(error, SnapshotError::ChecksumMismatch));
+        }
+        LoadOutcome::Loaded(_) => panic!("damaged snapshot must not load"),
+    }
+    assert!(
+        !path.exists(),
+        "the damaged file must have been moved aside"
+    );
+    assert_eq!(
+        std::fs::read(&quarantined_path).expect("quarantined bytes readable"),
+        damaged,
+        "quarantine preserves the damaged bytes for post-mortem"
+    );
+
+    // A foreign file at the path: hard error, file untouched.
+    std::fs::write(&path, b"this was never a snapshot").expect("foreign file written");
+    assert!(matches!(
+        load_or_quarantine(&path),
+        Err(SnapshotError::BadMagic)
+    ));
+    assert!(path.exists(), "a foreign file must not be renamed");
+
+    // An intact snapshot at the path: loads, nothing moves.
+    std::fs::write(&path, &good).expect("good snapshot restored");
+    match load_or_quarantine(&path).expect("good snapshot loads") {
+        LoadOutcome::Loaded(loaded) => assert_eq!(loaded.outcome, snap.outcome),
+        LoadOutcome::Quarantined { .. } => panic!("an intact snapshot must not be quarantined"),
+    }
+    assert!(path.exists());
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
