@@ -71,9 +71,15 @@
 //! --shards <n>     shard count for the parallel driver (default: available
 //!                  cores; clamped to the orbit-bearing mask ranges, so tiny
 //!                  families never spawn empty shards)
-//! --engine <e>     `bitsliced` (default: classify 64 orbit representatives per
-//!                  block in bit-parallel lockstep) or `scalar` (one decision
-//!                  at a time); histograms are identical either way
+//! --engine <e>     `bitsliced` (default: classify a block of orbit
+//!                  representatives per kernel pass in bit-parallel lockstep)
+//!                  or `scalar` (one decision at a time); histograms are
+//!                  identical either way
+//! --lane-width <w> `64` (default), `128`, `256`, `512`, or `auto`: lanes per
+//!                  bit-sliced block (wider words autovectorize to the
+//!                  machine's SIMD width; `auto` runs a timing micro-probe at
+//!                  startup and prints its pick). Bitsliced engine only;
+//!                  histograms are identical at every width
 //! --checkpoint <file>      write resumable snapshots of the campaign here
 //!                          (atomic temp-file + rename, plus a final write)
 //! --checkpoint-every <n>   orbits between snapshot writes (default 4096)
@@ -110,8 +116,8 @@ use std::time::Instant;
 
 use lcl_algorithms::solve;
 use lcl_core::{
-    classify, ClassificationEngine, EngineKind, LclProblem, LoadOutcome, MaskRange,
-    SweepCheckpoint, SweepOutcome, SweepSnapshot,
+    calibrate_lane_width, classify, ClassificationEngine, EngineKind, LaneWidth, LclProblem,
+    LoadOutcome, MaskRange, SweepCheckpoint, SweepOutcome, SweepSnapshot,
 };
 use lcl_problems::canonical::CanonicalFamily;
 use lcl_problems::catalog;
@@ -796,11 +802,20 @@ struct SweepOptions {
     labels: Option<usize>,
     shards: Option<usize>,
     engine: Option<EngineKind>,
+    lane_width: Option<LaneWidthChoice>,
     checkpoint: Option<String>,
     checkpoint_every: Option<u64>,
     max_orbits: Option<u64>,
     resume: bool,
     json: bool,
+}
+
+/// `--lane-width` argument: a fixed bit-sliced lane width, or `auto` (a
+/// calibrating micro-probe at startup picks the fastest on this machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneWidthChoice {
+    Auto,
+    Fixed(LaneWidth),
 }
 
 fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
@@ -821,6 +836,18 @@ fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
                         ))
                     }
                 })
+            }
+            "--lane-width" => {
+                let value = cur.value("--lane-width")?;
+                opts.lane_width = Some(match value.as_str() {
+                    "auto" => LaneWidthChoice::Auto,
+                    other => LaneWidth::parse(other)
+                        .map(LaneWidthChoice::Fixed)
+                        .ok_or(format!(
+                            "unknown lane width `{other}` (expected `auto`, `64`, `128`, \
+                             `256`, or `512`)"
+                        ))?,
+                });
             }
             "--checkpoint" => opts.checkpoint = Some(cur.value("--checkpoint")?.clone()),
             "--checkpoint-every" => {
@@ -852,6 +879,9 @@ fn parse_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
     if opts.resume && opts.checkpoint.is_none() {
         return Err("--resume requires --checkpoint <file> to resume from".into());
     }
+    if opts.lane_width.is_some() && opts.engine == Some(EngineKind::Scalar) {
+        return Err("--lane-width applies to the bitsliced engine, not --engine scalar".into());
+    }
     Ok(opts)
 }
 
@@ -881,6 +911,29 @@ fn validate_sweep_family(delta: usize, labels: usize) -> Result<(), String> {
         lcl_problems::random::universe_size(delta, labels)
     );
     Ok(())
+}
+
+/// A wall-time estimate in the largest sensible unit, for the sweep ETA line.
+fn format_eta(secs: f64) -> String {
+    if secs < 120.0 {
+        format!("{secs:.1} s")
+    } else if secs < 7200.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else if secs < 48.0 * 3600.0 {
+        format!("{:.1} h", secs / 3600.0)
+    } else {
+        format!("{:.1} days", secs / 86400.0)
+    }
+}
+
+/// One step of the SplitMix64 generator — deterministic mask samples for the
+/// `--lane-width auto` calibration probe (no RNG dependency in this crate).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// `labels · C(labels + delta − 1, delta)` with saturation — the number of
@@ -997,9 +1050,29 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
         .or(opts.engine)
         .unwrap_or(EngineKind::Bitsliced);
     validate_sweep_family(delta, labels)?;
+    if opts.lane_width.is_some() && engine_kind == EngineKind::Scalar {
+        return Err("--lane-width applies to the bitsliced engine, not a scalar campaign".into());
+    }
 
     let family = CanonicalFamily::new(delta, labels);
     let engine = ClassificationEngine::new();
+
+    // Lane width of the bit-sliced kernels; `auto` probes each width on a
+    // pseudo-random mask sample of this universe before the sweep starts.
+    let width = match opts.lane_width {
+        None | Some(LaneWidthChoice::Fixed(LaneWidth::W64)) => LaneWidth::W64,
+        Some(LaneWidthChoice::Fixed(w)) => w,
+        Some(LaneWidthChoice::Auto) => {
+            let universe = family.sliced_universe();
+            let mut state = 0x5EED_CA11_B4A7_E001u64;
+            let samples: Vec<u64> = (0..512)
+                .map(|_| splitmix64(&mut state) & (family.family_size() - 1))
+                .collect();
+            let picked = calibrate_lane_width(&universe, &samples);
+            eprintln!("lane-width auto: calibrated to {picked} lanes");
+            picked
+        }
+    };
 
     // Empty shards are clamped away up front: the family only has
     // `family_size` masks, so more shards than mask ranges would leave
@@ -1036,8 +1109,9 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
                     let universe = family.sliced_universe();
                     engine.sweep_resumable_bitsliced(
                         &universe,
+                        width,
                         state,
-                        |r| family.blocks_in(r),
+                        |r| family.blocks_in(r, width.lanes()),
                         |mask| family.problem_at(mask),
                         |mask| family.canonical_key_of(mask),
                         &ckpt,
@@ -1056,8 +1130,9 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
                     let universe = family.sliced_universe();
                     engine.sweep_sharded_bitsliced(
                         &universe,
+                        width,
                         effective_shards,
-                        |s| family.blocks_in(ranges[s]),
+                        |s| family.blocks_in(ranges[s], width.lanes()),
                         |mask| family.problem_at(mask),
                         |mask| family.canonical_key_of(mask),
                     )
@@ -1106,6 +1181,9 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
             ("elapsed_ms".into(), Json::Num(elapsed.as_secs_f64() * 1e3)),
         ]);
         if engine_kind == EngineKind::Bitsliced {
+            // `lane_`-prefixed on purpose: CI's golden diffs strip the
+            // engine/width-dependent keys by that prefix.
+            entries.push(("lane_width".into(), Json::int(width.lanes())));
             entries.push((
                 "lane_blocks".into(),
                 Json::int(outcome.lanes.blocks as usize),
@@ -1157,6 +1235,26 @@ fn run_sweep(opts: &SweepOptions) -> Result<ExitCode, String> {
                 engine_kind.name()
             );
             println!("resume the campaign with: rtlcl sweep --checkpoint <file> --resume");
+        }
+        // Throughput of this leg (a resumed campaign's histograms span every
+        // leg, but the engine stats count only this process's decisions).
+        let leg_orbits = engine.stats().total() as u64;
+        let orbits_per_sec = leg_orbits as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!("throughput: {orbits_per_sec:.0} orbits/s this leg ({leg_orbits} orbits)");
+        if !completed {
+            let masks_done = family_size - masks_remaining;
+            if masks_done > 0 && leg_orbits > 0 {
+                // Orbit density so far extrapolates the orbits hiding in the
+                // unswept masks; the leg's rate turns that into wall time.
+                let est_remaining_orbits =
+                    masks_remaining as f64 * orbit_count as f64 / masks_done as f64;
+                println!(
+                    "ETA at this rate: {} (~{:.3e} orbits estimated in the {} masks remaining)",
+                    format_eta(est_remaining_orbits / orbits_per_sec),
+                    est_remaining_orbits,
+                    masks_remaining
+                );
+            }
         }
         if let Some(path) = &opts.checkpoint {
             println!(
@@ -1474,7 +1572,7 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--checkpoint file] [--checkpoint-every n] [--max-orbits n] [--resume] [--json]\n  rtlcl serve [--addr host:port] [--workers n] [--queue n] [--deadline-ms n] [--read-timeout-ms n] [--snapshot file] [--debug-endpoints]\n  rtlcl snapshot info <file> [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--lane-width auto|64|128|256|512] [--checkpoint file] [--checkpoint-every n] [--max-orbits n] [--resume] [--json]\n  rtlcl serve [--addr host:port] [--workers n] [--queue n] [--deadline-ms n] [--read-timeout-ms n] [--snapshot file] [--debug-endpoints]\n  rtlcl snapshot info <file> [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }

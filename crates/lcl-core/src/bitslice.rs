@@ -1,21 +1,27 @@
-//! Bit-sliced classification: 64 problems of one (δ, Σ) universe in lockstep.
+//! Bit-sliced classification: 64–512 problems of one (δ, Σ) universe in
+//! lockstep.
 //!
 //! Every problem of a complete (δ, Σ) family is a subset of one shared
 //! configuration universe — a `u64` mask over at most 63 possible
 //! configurations (see `lcl_problems::canonical::CanonicalFamily`). The masked
 //! kernels in [`crate::scratch`] classify one such mask at a time; this module
-//! transposes a **block of up to 64 masks** so that the same fixed-point
+//! transposes a **block of up to `W::LANES` masks** (64 per `u64` of the
+//! [`LaneWord`] `W` — up to 512 for `[u64; 8]`) so that the same fixed-point
 //! iterations run on all of them simultaneously, one bit lane per problem:
 //!
-//! * per universe configuration `i`, a `u64` whose bit `j` says "problem `j`
-//!   contains configuration `i`" (the transposed successor table
+//! * per universe configuration `i`, a lane word whose bit `j` says "problem
+//!   `j` contains configuration `i`" (the transposed successor table
 //!   [`BitSliceScratch`] builds from a block),
-//! * per label `l`, a `u64` whose bit `j` says "label `l` is still allowed in
-//!   problem `j`" — the same trick [`crate::label_set::LabelSet`] plays per
+//! * per label `l`, a lane word whose bit `j` says "label `l` is still allowed
+//!   in problem `j`" — the same trick [`crate::label_set::LabelSet`] plays per
 //!   label, lifted one axis.
 //!
 //! Every stage of the decision procedure is then a short loop over word-wide
-//! AND/OR operations shared by all 64 lanes:
+//! AND/OR operations shared by all lanes of the block. Wide lane words are
+//! plain `[u64; N]` arrays whose per-word method loops autovectorize to the
+//! machine's native SIMD width — no intrinsics, no unsafe; pick a width at
+//! runtime with [`LaneWidth`] or let [`calibrate_lane_width`] probe for the
+//! fastest one. The stages:
 //!
 //! * [`prune_fixpoint_sliced`] — Algorithm 2's pruning loop (trim +
 //!   flexibility), lane-parallel, with a per-lane iteration counter;
@@ -56,8 +62,248 @@
 
 use crate::classifier::Complexity;
 
-/// Number of problems classified per block: the lane width of a `u64`.
+/// Number of problems classified per block by the base `u64` lane word — the
+/// narrowest (and default) width. Wider words ([`LaneWord`]) are multiples of
+/// this, up to [`LaneWidth::W512`].
 pub const LANES: usize = 64;
+
+/// A machine word (or small fixed array of words) holding one bit lane per
+/// problem — the element type every bit-sliced kernel operates on.
+///
+/// `u64` is the scalar baseline (64 lanes). The `[u64; 2]`, `[u64; 4]` and
+/// `[u64; 8]` impls widen a kernel pass to 128/256/512 lanes: each method is a
+/// short fixed-length loop over the words, which the compiler autovectorizes
+/// into SIMD-width AND/OR/ANDN instructions (no intrinsics, no unsafe). All
+/// methods are branch-free except the queries (`is_zero`, `test_bit`,
+/// `for_each_lane`).
+pub trait LaneWord: Copy + Eq + Send + Sync + std::fmt::Debug + 'static {
+    /// Number of bit lanes (problems per block) this word carries.
+    const LANES: usize;
+    /// The word with every lane clear.
+    const ZERO: Self;
+
+    /// The word with the low `n` lanes set (`n == LANES` gives all ones).
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) when `n > LANES`.
+    fn lanes_mask(n: usize) -> Self;
+    /// Lane-wise AND.
+    fn and(self, other: Self) -> Self;
+    /// Lane-wise OR.
+    fn or(self, other: Self) -> Self;
+    /// Lane-wise AND-NOT: the lanes of `self` not set in `other`.
+    fn andnot(self, other: Self) -> Self;
+    /// `true` iff no lane is set.
+    fn is_zero(self) -> bool;
+    /// Number of set lanes.
+    fn count_lanes(self) -> u32;
+    /// Sets lane `j`.
+    fn set_bit(&mut self, j: usize);
+    /// `true` iff lane `j` is set.
+    fn test_bit(self, j: usize) -> bool;
+    /// Calls `f(j)` for every set lane index `j`, in ascending order.
+    fn for_each_lane(self, f: impl FnMut(usize));
+}
+
+impl LaneWord for u64 {
+    const LANES: usize = 64;
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn lanes_mask(n: usize) -> Self {
+        debug_assert!(n <= 64);
+        if n >= 64 {
+            !0
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+
+    #[inline]
+    fn andnot(self, other: Self) -> Self {
+        self & !other
+    }
+
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+
+    #[inline]
+    fn count_lanes(self) -> u32 {
+        self.count_ones()
+    }
+
+    #[inline]
+    fn set_bit(&mut self, j: usize) {
+        *self |= 1u64 << j;
+    }
+
+    #[inline]
+    fn test_bit(self, j: usize) -> bool {
+        self >> j & 1 != 0
+    }
+
+    #[inline]
+    fn for_each_lane(self, mut f: impl FnMut(usize)) {
+        let mut bits = self;
+        while bits != 0 {
+            f(bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+macro_rules! lane_word_array {
+    ($n:literal) => {
+        impl LaneWord for [u64; $n] {
+            const LANES: usize = 64 * $n;
+            const ZERO: Self = [0; $n];
+
+            #[inline]
+            fn lanes_mask(n: usize) -> Self {
+                debug_assert!(n <= Self::LANES);
+                let mut out = [0u64; $n];
+                let full = (n / 64).min($n);
+                for word in out.iter_mut().take(full) {
+                    *word = !0;
+                }
+                if full < $n && n % 64 != 0 {
+                    out[full] = (1u64 << (n % 64)) - 1;
+                }
+                out
+            }
+
+            #[inline]
+            fn and(mut self, other: Self) -> Self {
+                for i in 0..$n {
+                    self[i] &= other[i];
+                }
+                self
+            }
+
+            #[inline]
+            fn or(mut self, other: Self) -> Self {
+                for i in 0..$n {
+                    self[i] |= other[i];
+                }
+                self
+            }
+
+            #[inline]
+            fn andnot(mut self, other: Self) -> Self {
+                for i in 0..$n {
+                    self[i] &= !other[i];
+                }
+                self
+            }
+
+            #[inline]
+            fn is_zero(self) -> bool {
+                self.iter().all(|&w| w == 0)
+            }
+
+            #[inline]
+            fn count_lanes(self) -> u32 {
+                self.iter().map(|w| w.count_ones()).sum()
+            }
+
+            #[inline]
+            fn set_bit(&mut self, j: usize) {
+                self[j >> 6] |= 1u64 << (j & 63);
+            }
+
+            #[inline]
+            fn test_bit(self, j: usize) -> bool {
+                self[j >> 6] >> (j & 63) & 1 != 0
+            }
+
+            #[inline]
+            fn for_each_lane(self, mut f: impl FnMut(usize)) {
+                for (w, &word) in self.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        f(w * 64 + bits.trailing_zeros() as usize);
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+    };
+}
+
+lane_word_array!(2);
+lane_word_array!(4);
+lane_word_array!(8);
+
+/// The runtime-selectable lane widths of the bit-sliced sweep engine, one per
+/// [`LaneWord`] impl. `rtlcl sweep --lane-width` picks one (or calibrates with
+/// [`calibrate_lane_width`]); the engine dispatches to the matching generic
+/// kernel instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneWidth {
+    /// 64 lanes (`u64`) — the baseline word.
+    #[default]
+    W64,
+    /// 128 lanes (`[u64; 2]`).
+    W128,
+    /// 256 lanes (`[u64; 4]`).
+    W256,
+    /// 512 lanes (`[u64; 8]`).
+    W512,
+}
+
+impl LaneWidth {
+    /// Every width, narrowest first.
+    pub const ALL: [LaneWidth; 4] = [
+        LaneWidth::W64,
+        LaneWidth::W128,
+        LaneWidth::W256,
+        LaneWidth::W512,
+    ];
+
+    /// Number of lanes (problems per block) at this width.
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::W64 => 64,
+            LaneWidth::W128 => 128,
+            LaneWidth::W256 => 256,
+            LaneWidth::W512 => 512,
+        }
+    }
+
+    /// The width's display name — its lane count in decimal.
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneWidth::W64 => "64",
+            LaneWidth::W128 => "128",
+            LaneWidth::W256 => "256",
+            LaneWidth::W512 => "512",
+        }
+    }
+
+    /// Parses a lane count (`"64"`, `"128"`, `"256"`, `"512"`).
+    pub fn parse(s: &str) -> Option<LaneWidth> {
+        LaneWidth::ALL.into_iter().find(|w| w.name() == s)
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Maximum number of labels a sliced universe supports. The 63-configuration
 /// mask limit keeps realistic families far below this (δ = 2 caps at 4 labels,
@@ -200,38 +446,40 @@ pub struct BlockStats {
 
 /// Reusable per-worker buffers for the bit-sliced kernels: the transposed
 /// configuration table of the current block plus every lane-word the stages
-/// iterate on. All buffers grow to the universe's size on first use and are
-/// reused; a warmed scratch serves every further block without touching the
-/// allocator (pinned by `crates/lcl-core/tests/zero_alloc.rs`).
+/// iterate on, generic over the [`LaneWord`] `W` (64–512 lanes per block). All
+/// buffers grow to the universe's size on first use and are reused; a warmed
+/// scratch serves every further block without touching the allocator (pinned
+/// by `crates/lcl-core/tests/zero_alloc.rs` for both the `u64` and a wide
+/// width).
 #[derive(Debug)]
-pub struct BitSliceScratch {
+pub struct BitSliceScratch<W: LaneWord = u64> {
     /// Transposed block: per configuration, the lanes containing it.
-    config_lanes: Vec<u64>,
+    config_lanes: Vec<W>,
     /// `config_lanes` restricted to the current allowed-label sets.
-    config_active: Vec<u64>,
+    config_active: Vec<W>,
     /// Per label, the lanes in which it is currently allowed.
-    allowed: [u64; MAX_SLICE_LABELS],
+    allowed: [W; MAX_SLICE_LABELS],
     /// Per label, the lanes in which it survived the solvability trim.
-    sustaining: [u64; MAX_SLICE_LABELS],
+    sustaining: [W; MAX_SLICE_LABELS],
     /// Per label, the lanes in which it is flexible (Algorithm 1 output).
-    flex: [u64; MAX_SLICE_LABELS],
+    flex: [W; MAX_SLICE_LABELS],
     /// Lane-parallel adjacency of the masked path automaton.
-    succ: [[u64; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
+    succ: [[W; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
     /// Current boolean matrix power of `succ`.
-    pow: [[u64; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
+    pow: [[W; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
     /// Next power (double buffer).
-    pow_next: [[u64; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
+    pow_next: [[W; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
     /// Diagonal of the previous power.
-    diag_prev: [u64; MAX_SLICE_LABELS],
-    /// Per-lane pruning iteration count (Algorithm 2's `k`).
-    iterations: [u32; LANES],
+    diag_prev: [W; MAX_SLICE_LABELS],
+    /// Per-lane pruning iteration count (Algorithm 2's `k`), `W::LANES` long.
+    iterations: Vec<u32>,
     /// Algorithm 3 entries without the special-leaf flag: per root-label set
     /// `T` (indexed by label bitmask), the lanes that derived `(T, false)`.
-    present: Vec<u64>,
+    present: Vec<W>,
     /// Entries with the special-leaf flag set: lanes that derived `(T, true)`.
-    present_flagged: Vec<u64>,
+    present_flagged: Vec<W>,
     /// Per label, the lanes producing it from the current δ-tuple.
-    produced: [u64; MAX_SLICE_LABELS],
+    produced: [W; MAX_SLICE_LABELS],
     /// Configurations lying inside the current subset.
     subset_configs: Vec<u32>,
     /// Non-empty subsets of the current subset (odometer symbols).
@@ -240,29 +488,29 @@ pub struct BitSliceScratch {
     tuple: [u32; MAX_SLICE_LABELS],
 }
 
-impl Default for BitSliceScratch {
+impl<W: LaneWord> Default for BitSliceScratch<W> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl BitSliceScratch {
+impl<W: LaneWord> BitSliceScratch<W> {
     /// Creates an empty scratch. Buffers grow on first use and are reused.
     pub fn new() -> Self {
         BitSliceScratch {
             config_lanes: Vec::new(),
             config_active: Vec::new(),
-            allowed: [0; MAX_SLICE_LABELS],
-            sustaining: [0; MAX_SLICE_LABELS],
-            flex: [0; MAX_SLICE_LABELS],
-            succ: [[0; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
-            pow: [[0; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
-            pow_next: [[0; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
-            diag_prev: [0; MAX_SLICE_LABELS],
-            iterations: [0; LANES],
+            allowed: [W::ZERO; MAX_SLICE_LABELS],
+            sustaining: [W::ZERO; MAX_SLICE_LABELS],
+            flex: [W::ZERO; MAX_SLICE_LABELS],
+            succ: [[W::ZERO; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
+            pow: [[W::ZERO; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
+            pow_next: [[W::ZERO; MAX_SLICE_LABELS]; MAX_SLICE_LABELS],
+            diag_prev: [W::ZERO; MAX_SLICE_LABELS],
+            iterations: Vec::new(),
             present: Vec::new(),
             present_flagged: Vec::new(),
-            produced: [0; MAX_SLICE_LABELS],
+            produced: [W::ZERO; MAX_SLICE_LABELS],
             subset_configs: Vec::new(),
             sub_list: Vec::new(),
             tuple: [0; MAX_SLICE_LABELS],
@@ -272,13 +520,16 @@ impl BitSliceScratch {
     /// Sizes every universe-dependent buffer (allocation-free once warm).
     fn prepare(&mut self, universe: &SlicedUniverse) {
         self.config_lanes.clear();
-        self.config_lanes.resize(universe.len(), 0);
+        self.config_lanes.resize(universe.len(), W::ZERO);
         self.config_active.clear();
-        self.config_active.resize(universe.len(), 0);
+        self.config_active.resize(universe.len(), W::ZERO);
+        if self.iterations.len() < W::LANES {
+            self.iterations.resize(W::LANES, 0);
+        }
         let entry_space = 1usize << universe.num_labels;
         if self.present.len() < entry_space {
-            self.present.resize(entry_space, 0);
-            self.present_flagged.resize(entry_space, 0);
+            self.present.resize(entry_space, W::ZERO);
+            self.present_flagged.resize(entry_space, W::ZERO);
         }
     }
 
@@ -286,7 +537,7 @@ impl BitSliceScratch {
     /// says "lane `j`'s mask contains configuration `i`".
     fn transpose(&mut self, universe: &SlicedUniverse, masks: &[u64]) {
         for lanes in &mut self.config_lanes {
-            *lanes = 0;
+            *lanes = W::ZERO;
         }
         for (j, &mask) in masks.iter().enumerate() {
             debug_assert_eq!(
@@ -297,7 +548,7 @@ impl BitSliceScratch {
             let mut bits = mask;
             while bits != 0 {
                 let i = bits.trailing_zeros() as usize;
-                self.config_lanes[i] |= 1u64 << j;
+                self.config_lanes[i].set_bit(j);
                 bits &= bits - 1;
             }
         }
@@ -311,7 +562,7 @@ impl BitSliceScratch {
             let mut labels = universe.label_bits[i];
             while labels != 0 {
                 let l = labels.trailing_zeros() as usize;
-                lanes &= self.allowed[l];
+                lanes = lanes.and(self.allowed[l]);
                 labels &= labels - 1;
             }
             *active = lanes;
@@ -329,49 +580,53 @@ impl BitSliceScratch {
 /// conversely a primitive SCC of m ≤ k states has all-positive diagonal from
 /// Wielandt's exponent `(m−1)² + 1` on). Checking walk lengths `1 ..= (k−1)²+1`
 /// therefore decides every lane exactly, as k×k boolean matrix powers whose
-/// entries are 64-lane words.
-pub fn flexible_states_sliced(universe: &SlicedUniverse, scratch: &mut BitSliceScratch) {
+/// entries are `W::LANES`-lane words.
+pub fn flexible_states_sliced<W: LaneWord>(
+    universe: &SlicedUniverse,
+    scratch: &mut BitSliceScratch<W>,
+) {
     let k = universe.num_labels;
     let delta = universe.delta;
     scratch.refresh_active(universe);
     for row in scratch.succ.iter_mut().take(k) {
-        row[..k].fill(0);
+        row[..k].fill(W::ZERO);
     }
     for (i, &active) in scratch.config_active.iter().enumerate() {
-        if active == 0 {
+        if active.is_zero() {
             continue;
         }
         let from = universe.parents[i] as usize;
         for &child in &universe.children[i * delta..(i + 1) * delta] {
-            scratch.succ[from][child as usize] |= active;
+            let slot = &mut scratch.succ[from][child as usize];
+            *slot = slot.or(active);
         }
     }
     for a in 0..k {
         scratch.pow[a][..k].copy_from_slice(&scratch.succ[a][..k]);
         scratch.diag_prev[a] = scratch.succ[a][a];
-        scratch.flex[a] = 0;
+        scratch.flex[a] = W::ZERO;
     }
     // Wielandt bound for the largest possible SCC (all k labels).
     let max_walk = (k - 1) * (k - 1) + 1;
     for _ in 1..=max_walk {
         for a in 0..k {
             for b in 0..k {
-                let mut lanes = 0u64;
+                let mut lanes = W::ZERO;
                 for m in 0..k {
-                    lanes |= scratch.pow[a][m] & scratch.succ[m][b];
+                    lanes = lanes.or(scratch.pow[a][m].and(scratch.succ[m][b]));
                 }
                 scratch.pow_next[a][b] = lanes;
             }
         }
         for a in 0..k {
             let diag = scratch.pow_next[a][a];
-            scratch.flex[a] |= scratch.diag_prev[a] & diag;
+            scratch.flex[a] = scratch.flex[a].or(scratch.diag_prev[a].and(diag));
             scratch.diag_prev[a] = diag;
         }
         std::mem::swap(&mut scratch.pow, &mut scratch.pow_next);
     }
     for a in 0..k {
-        scratch.flex[a] &= scratch.allowed[a];
+        scratch.flex[a] = scratch.flex[a].and(scratch.allowed[a]);
     }
 }
 
@@ -379,10 +634,10 @@ pub fn flexible_states_sliced(universe: &SlicedUniverse, scratch: &mut BitSliceS
 /// starting from the full Σ in every live lane, repeatedly drops labels with
 /// no continuation inside the surviving set. Writes the per-label fixpoint
 /// lanes to `scratch.sustaining`; a lane is solvable iff some label survives.
-fn trim_sliced(
+fn trim_sliced<W: LaneWord>(
     universe: &SlicedUniverse,
-    scratch: &mut BitSliceScratch,
-    live: u64,
+    scratch: &mut BitSliceScratch<W>,
+    live: W,
     stats: &mut BlockStats,
 ) {
     let k = universe.num_labels;
@@ -390,23 +645,23 @@ fn trim_sliced(
         scratch.allowed[l] = live;
     }
     let mut working = live;
-    while working != 0 {
+    while !working.is_zero() {
         stats.fixpoint_rounds += 1;
-        stats.live_lane_rounds += u64::from(working.count_ones());
+        stats.live_lane_rounds += u64::from(working.count_lanes());
         scratch.refresh_active(universe);
-        let mut changed = 0u64;
+        let mut changed = W::ZERO;
         for l in 0..k {
-            let mut continued = 0u64;
+            let mut continued = W::ZERO;
             for &i in &universe.by_parent[l] {
-                continued |= scratch.config_active[i as usize];
+                continued = continued.or(scratch.config_active[i as usize]);
             }
-            let next = scratch.allowed[l] & continued;
-            changed |= scratch.allowed[l] & !next;
+            let next = scratch.allowed[l].and(continued);
+            changed = changed.or(scratch.allowed[l].andnot(next));
             scratch.allowed[l] = next;
         }
         // A lane with no change is at its fixpoint for good (the trim step is
         // a deterministic monotone function of the lane's allowed sets).
-        working &= changed;
+        working = working.and(changed);
     }
     scratch.sustaining[..k].copy_from_slice(&scratch.allowed[..k]);
 }
@@ -416,34 +671,33 @@ fn trim_sliced(
 /// iterations in `scratch.iterations` (the fixpoint label lanes stay in
 /// `scratch.allowed`). Mirrors [`crate::scratch::prune_fixpoint_masked`]
 /// per lane.
-pub fn prune_fixpoint_sliced(
+pub fn prune_fixpoint_sliced<W: LaneWord>(
     universe: &SlicedUniverse,
-    scratch: &mut BitSliceScratch,
-    live: u64,
+    scratch: &mut BitSliceScratch<W>,
+    live: W,
     stats: &mut BlockStats,
 ) {
     let k = universe.num_labels;
     for l in 0..k {
         scratch.allowed[l] = live;
     }
+    if scratch.iterations.len() < W::LANES {
+        scratch.iterations.resize(W::LANES, 0);
+    }
     scratch.iterations.fill(0);
     let mut working = live;
-    while working != 0 {
+    while !working.is_zero() {
         stats.fixpoint_rounds += 1;
-        stats.live_lane_rounds += u64::from(working.count_ones());
+        stats.live_lane_rounds += u64::from(working.count_lanes());
         flexible_states_sliced(universe, scratch);
-        let mut removed = 0u64;
+        let mut removed = W::ZERO;
         for l in 0..k {
-            removed |= scratch.allowed[l] & !scratch.flex[l];
+            removed = removed.or(scratch.allowed[l].andnot(scratch.flex[l]));
             scratch.allowed[l] = scratch.flex[l];
         }
-        removed &= working;
-        let mut lanes = removed;
-        while lanes != 0 {
-            let j = lanes.trailing_zeros() as usize;
-            scratch.iterations[j] += 1;
-            lanes &= lanes - 1;
-        }
+        removed = removed.and(working);
+        let iterations = &mut scratch.iterations;
+        removed.for_each_lane(|j| iterations[j] += 1);
         working = removed;
     }
 }
@@ -487,13 +741,13 @@ fn fit_backtrack(children: &[u8], slots: &[u16], at: usize, used: u32) -> bool {
 /// whole block per δ-tuple.
 ///
 /// `target`, when given, must be a member of `subset`.
-pub fn exists_builder_sliced(
+pub fn exists_builder_sliced<W: LaneWord>(
     universe: &SlicedUniverse,
-    scratch: &mut BitSliceScratch,
+    scratch: &mut BitSliceScratch<W>,
     subset: u16,
     target: Option<usize>,
-    active: u64,
-) -> u64 {
+    active: W,
+) -> W {
     debug_assert_ne!(subset, 0);
     debug_assert!(target.is_none_or(|t| subset & (1 << t) != 0));
     let delta = universe.delta;
@@ -502,16 +756,16 @@ pub fn exists_builder_sliced(
     // empty configuration set finds nothing), and only configurations inside
     // the subset participate at all.
     scratch.subset_configs.clear();
-    let mut has_config = 0u64;
+    let mut has_config = W::ZERO;
     for (i, &bits) in universe.label_bits.iter().enumerate() {
         if bits & !subset == 0 {
             scratch.subset_configs.push(i as u32);
-            has_config |= scratch.config_lanes[i];
+            has_config = has_config.or(scratch.config_lanes[i]);
         }
     }
-    let active = active & has_config;
-    if active == 0 {
-        return 0;
+    let active = active.and(has_config);
+    if active.is_zero() {
+        return W::ZERO;
     }
 
     // Seed entries: one singleton per subset label, flagged iff it is the
@@ -525,8 +779,8 @@ pub fn exists_builder_sliced(
     while sub != 0 {
         scratch.sub_list.push(sub);
         let lanes_slot = sub as usize;
-        scratch.present[lanes_slot] = 0;
-        scratch.present_flagged[lanes_slot] = 0;
+        scratch.present[lanes_slot] = W::ZERO;
+        scratch.present_flagged[lanes_slot] = W::ZERO;
         sub = (sub - 1) & subset;
     }
     let mut labels = subset;
@@ -541,7 +795,7 @@ pub fn exists_builder_sliced(
     }
 
     let symbols = scratch.sub_list.len();
-    let mut success = 0u64;
+    let mut success = W::ZERO;
     let mut remaining = active;
     loop {
         let mut added = false;
@@ -551,26 +805,27 @@ pub fn exists_builder_sliced(
             // present unflagged, and some slot present flagged.
             let mut all_any = remaining;
             let mut all_unflagged = remaining;
-            let mut some_flagged = 0u64;
+            let mut some_flagged = W::ZERO;
             let mut slots = [0u16; MAX_SLICE_LABELS];
             for (slot, &digit) in slots.iter_mut().zip(&scratch.tuple[..delta]) {
                 let t = scratch.sub_list[digit as usize];
                 *slot = t;
                 let plain = scratch.present[t as usize];
                 let flagged = scratch.present_flagged[t as usize];
-                all_any &= plain | flagged;
-                all_unflagged &= plain;
-                some_flagged |= flagged;
+                all_any = all_any.and(plain.or(flagged));
+                all_unflagged = all_unflagged.and(plain);
+                some_flagged = some_flagged.or(flagged);
             }
-            let all_flagged = all_any & some_flagged;
-            if all_any != 0 {
+            let all_flagged = all_any.and(some_flagged);
+            if !all_any.is_zero() {
                 // Lanes producing each parent from this tuple.
                 let k = universe.num_labels;
-                scratch.produced[..k].fill(0);
+                scratch.produced[..k].fill(W::ZERO);
                 for &ci in &scratch.subset_configs {
                     let i = ci as usize;
                     if children_fit_slots(universe.children_of(i), &slots[..delta]) {
-                        scratch.produced[universe.parents[i] as usize] |= scratch.config_lanes[i];
+                        let slot = &mut scratch.produced[universe.parents[i] as usize];
+                        *slot = slot.or(scratch.config_lanes[i]);
                     }
                 }
                 // Group lanes by their exact produced set and insert entries.
@@ -583,22 +838,23 @@ pub fn exists_builder_sliced(
                         let l = bits.trailing_zeros() as usize;
                         let produced = scratch.produced[l];
                         if t & (1 << l) != 0 {
-                            exact_unflagged &= produced;
-                            exact_flagged &= produced;
+                            exact_unflagged = exact_unflagged.and(produced);
+                            exact_flagged = exact_flagged.and(produced);
                         } else {
-                            exact_unflagged &= !produced;
-                            exact_flagged &= !produced;
+                            exact_unflagged = exact_unflagged.andnot(produced);
+                            exact_flagged = exact_flagged.andnot(produced);
                         }
                         bits &= bits - 1;
                     }
-                    let new_unflagged = exact_unflagged & !scratch.present[t as usize];
-                    if new_unflagged != 0 {
-                        scratch.present[t as usize] |= new_unflagged;
+                    let new_unflagged = exact_unflagged.andnot(scratch.present[t as usize]);
+                    if !new_unflagged.is_zero() {
+                        scratch.present[t as usize] = scratch.present[t as usize].or(new_unflagged);
                         added = true;
                     }
-                    let new_flagged = exact_flagged & !scratch.present_flagged[t as usize];
-                    if new_flagged != 0 {
-                        scratch.present_flagged[t as usize] |= new_flagged;
+                    let new_flagged = exact_flagged.andnot(scratch.present_flagged[t as usize]);
+                    if !new_flagged.is_zero() {
+                        scratch.present_flagged[t as usize] =
+                            scratch.present_flagged[t as usize].or(new_flagged);
                         added = true;
                     }
                 }
@@ -623,10 +879,10 @@ pub fn exists_builder_sliced(
         } else {
             scratch.present[subset as usize]
         };
-        let won = wanted & remaining;
-        success |= won;
-        remaining &= !won;
-        if !added || remaining == 0 {
+        let won = wanted.and(remaining);
+        success = success.or(won);
+        remaining = remaining.andnot(won);
+        if !added || remaining.is_zero() {
             return success;
         }
     }
@@ -635,57 +891,57 @@ pub fn exists_builder_sliced(
 /// Lanes (within `eligible`) in which `subset` is self-sustaining: every
 /// subset label heads some configuration of the lane lying fully inside the
 /// subset.
-fn self_sustaining_lanes(
+fn self_sustaining_lanes<W: LaneWord>(
     universe: &SlicedUniverse,
-    scratch: &BitSliceScratch,
+    scratch: &BitSliceScratch<W>,
     subset: u16,
-    eligible: u64,
-) -> u64 {
+    eligible: W,
+) -> W {
     let mut lanes = eligible;
     let mut labels = subset;
-    while labels != 0 && lanes != 0 {
+    while labels != 0 && !lanes.is_zero() {
         let l = labels.trailing_zeros() as usize;
-        let mut continued = 0u64;
+        let mut continued = W::ZERO;
         for &i in &universe.by_parent[l] {
             if universe.label_bits[i as usize] & !subset == 0 {
-                continued |= scratch.config_lanes[i as usize];
+                continued = continued.or(scratch.config_lanes[i as usize]);
             }
         }
-        lanes &= continued;
+        lanes = lanes.and(continued);
         labels &= labels - 1;
     }
     lanes
 }
 
-/// Classifies a block of up to 64 configuration masks in lockstep, mirroring
-/// [`crate::classifier::classify_complexity_with`] on every lane (same
-/// decision order: solvability, pruning fixpoint, Algorithm 4, Algorithm 5).
-/// `verdicts` is resized to `masks.len()`; every lane is either fully decided
-/// or flagged [`LaneVerdict::NeedsPolyExponent`] for the scalar exponent
-/// descent (see the module docs on fallback). Returns the block's fixed-point
-/// statistics.
+/// Classifies a block of up to `W::LANES` configuration masks in lockstep,
+/// mirroring [`crate::classifier::classify_complexity_with`] on every lane
+/// (same decision order: solvability, pruning fixpoint, Algorithm 4,
+/// Algorithm 5). `verdicts` is resized to `masks.len()`; every lane is either
+/// fully decided or flagged [`LaneVerdict::NeedsPolyExponent`] for the scalar
+/// exponent descent (see the module docs on fallback). Returns the block's
+/// fixed-point statistics.
 ///
 /// # Panics
 ///
-/// Panics if `masks` has more than [`LANES`] entries.
-pub fn classify_block_sliced(
+/// Panics if `masks` has more than `W::LANES` entries.
+pub fn classify_block_sliced<W: LaneWord>(
     universe: &SlicedUniverse,
     masks: &[u64],
-    scratch: &mut BitSliceScratch,
+    scratch: &mut BitSliceScratch<W>,
     verdicts: &mut Vec<LaneVerdict>,
 ) -> BlockStats {
-    assert!(masks.len() <= LANES, "a block holds at most {LANES} masks");
+    assert!(
+        masks.len() <= W::LANES,
+        "a block holds at most {} masks at this lane width",
+        W::LANES
+    );
     let mut stats = BlockStats::default();
     verdicts.clear();
     verdicts.resize(masks.len(), LaneVerdict::Decided(Complexity::Unsolvable));
     if masks.is_empty() {
         return stats;
     }
-    let all = if masks.len() == LANES {
-        !0u64
-    } else {
-        (1u64 << masks.len()) - 1
-    };
+    let all = W::lanes_mask(masks.len());
     let k = universe.num_labels;
     scratch.prepare(universe);
     scratch.transpose(universe, masks);
@@ -693,79 +949,74 @@ pub fn classify_block_sliced(
     // Stage 1: solvability trim. Lanes with no sustaining label are
     // unsolvable and retire.
     trim_sliced(universe, scratch, all, &mut stats);
-    let mut sustain_any = 0u64;
+    let mut sustain_any = W::ZERO;
     for l in 0..k {
-        sustain_any |= scratch.sustaining[l];
+        sustain_any = sustain_any.or(scratch.sustaining[l]);
     }
-    let mut live = all & sustain_any;
+    let mut live = all.and(sustain_any);
 
     // Stage 2: pruning fixpoint. Lanes whose fixpoint is empty are polynomial
     // and retire (exponent 1 when pruning took at most one iteration, scalar
     // descent otherwise).
     prune_fixpoint_sliced(universe, scratch, live, &mut stats);
-    let mut fix_any = 0u64;
+    let mut fix_any = W::ZERO;
     for l in 0..k {
-        fix_any |= scratch.allowed[l];
+        fix_any = fix_any.or(scratch.allowed[l]);
     }
-    let poly = live & !fix_any;
-    let mut lanes = poly;
-    while lanes != 0 {
-        let j = lanes.trailing_zeros() as usize;
-        verdicts[j] = if scratch.iterations[j] <= 1 {
-            LaneVerdict::Decided(Complexity::Polynomial { exponent: 1 })
-        } else {
-            LaneVerdict::NeedsPolyExponent
-        };
-        lanes &= lanes - 1;
+    let poly = live.andnot(fix_any);
+    {
+        let iterations = &scratch.iterations;
+        poly.for_each_lane(|j| {
+            verdicts[j] = if iterations[j] <= 1 {
+                LaneVerdict::Decided(Complexity::Polynomial { exponent: 1 })
+            } else {
+                LaneVerdict::NeedsPolyExponent
+            };
+        });
     }
-    live &= !poly;
+    live = live.andnot(poly);
 
     // Stage 3: Algorithm 4 as a lane-peeled existence sweep — a lane is
     // O(log* n)-solvable iff *some* subset of Σ is self-sustaining in it and
     // admits a builder. Self-sustaining subsets are automatically subsets of
     // the lane's greatest self-sustaining set, so no per-lane subset spaces
     // are needed; decided lanes retire their bit.
-    let mut log_star_found = 0u64;
+    let mut log_star_found = W::ZERO;
     let mut undecided = live;
     for si in 0..universe.subsets_by_size.len() {
-        if undecided == 0 {
+        if undecided.is_zero() {
             break;
         }
         let subset = universe.subsets_by_size[si];
         let eligible = self_sustaining_lanes(universe, scratch, subset, undecided);
-        if eligible == 0 {
+        if eligible.is_zero() {
             continue;
         }
         let won = exists_builder_sliced(universe, scratch, subset, None, eligible);
-        log_star_found |= won;
-        undecided &= !won;
+        log_star_found = log_star_found.or(won);
+        undecided = undecided.andnot(won);
     }
-    let log_lanes = live & !log_star_found;
-    lanes = log_lanes;
-    while lanes != 0 {
-        let j = lanes.trailing_zeros() as usize;
-        verdicts[j] = LaneVerdict::Decided(Complexity::Log);
-        lanes &= lanes - 1;
-    }
+    live.andnot(log_star_found)
+        .for_each_lane(|j| verdicts[j] = LaneVerdict::Decided(Complexity::Log));
 
     // Stage 4: Algorithm 5, same sweep shape, only over lanes already known
     // O(log* n) that contain a special configuration at all; per subset, one
     // builder run per distinct special parent.
-    let mut special_any = 0u64;
+    let mut special_any = W::ZERO;
     for (i, &is_special) in universe.special.iter().enumerate() {
         if is_special {
-            special_any |= scratch.config_lanes[i];
+            special_any = special_any.or(scratch.config_lanes[i]);
         }
     }
-    let mut constant_found = 0u64;
-    let mut undecided = log_star_found & special_any;
+    let mut constant_found = W::ZERO;
+    let mut undecided = log_star_found.and(special_any);
     for si in 0..universe.subsets_by_size.len() {
-        if undecided == 0 {
+        if undecided.is_zero() {
             break;
         }
         let subset = universe.subsets_by_size[si];
         let eligible = self_sustaining_lanes(universe, scratch, subset, undecided);
-        if eligible == 0 {
+        if eligible.is_zero() {
             continue;
         }
         // Lanes holding a special configuration with parent `p` inside the
@@ -774,33 +1025,73 @@ pub fn classify_block_sliced(
         while parents != 0 {
             let p = parents.trailing_zeros() as usize;
             parents &= parents - 1;
-            let mut special_p = 0u64;
+            let mut special_p = W::ZERO;
             for &i in &universe.by_parent[p] {
                 let i = i as usize;
                 if universe.special[i] && universe.label_bits[i] & !subset == 0 {
-                    special_p |= scratch.config_lanes[i];
+                    special_p = special_p.or(scratch.config_lanes[i]);
                 }
             }
-            let candidates = eligible & special_p & undecided;
-            if candidates == 0 {
+            let candidates = eligible.and(special_p).and(undecided);
+            if candidates.is_zero() {
                 continue;
             }
             let won = exists_builder_sliced(universe, scratch, subset, Some(p), candidates);
-            constant_found |= won;
-            undecided &= !won;
+            constant_found = constant_found.or(won);
+            undecided = undecided.andnot(won);
         }
     }
-    lanes = log_star_found;
-    while lanes != 0 {
-        let j = lanes.trailing_zeros() as usize;
-        verdicts[j] = if constant_found & (1u64 << j) != 0 {
+    log_star_found.for_each_lane(|j| {
+        verdicts[j] = if constant_found.test_bit(j) {
             LaneVerdict::Decided(Complexity::Constant)
         } else {
             LaneVerdict::Decided(Complexity::LogStar)
         };
-        lanes &= lanes - 1;
-    }
+    });
     stats
+}
+
+/// Picks the fastest [`LaneWidth`] for `universe` on the current machine by a
+/// timing micro-probe: classifies `samples` (chunked to each width's block
+/// size) once to warm the buffers and once timed, and returns the width with
+/// the lowest per-mask time. The probe is what `rtlcl sweep
+/// --lane-width auto` runs at startup; a few hundred sample masks take well
+/// under a millisecond per width on the families the sweeps enumerate.
+///
+/// Wider is not always better: past the machine's native SIMD width the extra
+/// words only add register pressure, and on blocks where one slow lane
+/// dominates the fixed points, a wider block keeps more lanes spinning.
+/// Returns [`LaneWidth::W64`] when `samples` is empty.
+pub fn calibrate_lane_width(universe: &SlicedUniverse, samples: &[u64]) -> LaneWidth {
+    fn probe<W: LaneWord>(universe: &SlicedUniverse, samples: &[u64]) -> f64 {
+        let mut scratch = BitSliceScratch::<W>::new();
+        let mut verdicts = Vec::new();
+        for chunk in samples.chunks(W::LANES) {
+            classify_block_sliced(universe, chunk, &mut scratch, &mut verdicts);
+        }
+        let start = std::time::Instant::now();
+        for chunk in samples.chunks(W::LANES) {
+            classify_block_sliced(universe, chunk, &mut scratch, &mut verdicts);
+        }
+        start.elapsed().as_secs_f64() / samples.len() as f64
+    }
+
+    if samples.is_empty() {
+        return LaneWidth::W64;
+    }
+    let mut best = (LaneWidth::W64, f64::INFINITY);
+    for width in LaneWidth::ALL {
+        let per_mask = match width {
+            LaneWidth::W64 => probe::<u64>(universe, samples),
+            LaneWidth::W128 => probe::<[u64; 2]>(universe, samples),
+            LaneWidth::W256 => probe::<[u64; 4]>(universe, samples),
+            LaneWidth::W512 => probe::<[u64; 8]>(universe, samples),
+        };
+        if per_mask < best.1 {
+            best = (width, per_mask);
+        }
+    }
+    best.0
 }
 
 #[cfg(test)]
@@ -862,7 +1153,7 @@ mod tests {
     fn sliced_flexible_states_match_masked_kernel_exhaustively() {
         let universe = two_label_sliced();
         let masks: Vec<u64> = (0..64).collect();
-        let mut sliced = BitSliceScratch::new();
+        let mut sliced = BitSliceScratch::<u64>::new();
         sliced.prepare(&universe);
         sliced.transpose(&universe, &masks);
         let mut scalar = ClassifyScratch::new();
@@ -889,7 +1180,7 @@ mod tests {
     fn sliced_prune_fixpoint_matches_masked_kernel_exhaustively() {
         let universe = two_label_sliced();
         let masks: Vec<u64> = (0..64).collect();
-        let mut sliced = BitSliceScratch::new();
+        let mut sliced = BitSliceScratch::<u64>::new();
         sliced.prepare(&universe);
         sliced.transpose(&universe, &masks);
         let mut stats = BlockStats::default();
@@ -916,7 +1207,7 @@ mod tests {
     fn sliced_builder_matches_masked_kernel_exhaustively() {
         let universe = two_label_sliced();
         let masks: Vec<u64> = (0..64).collect();
-        let mut sliced = BitSliceScratch::new();
+        let mut sliced = BitSliceScratch::<u64>::new();
         sliced.prepare(&universe);
         sliced.transpose(&universe, &masks);
         let mut scalar = ClassifyScratch::new();
@@ -947,7 +1238,7 @@ mod tests {
     fn block_classification_matches_scalar_exhaustively() {
         let universe = two_label_sliced();
         let masks: Vec<u64> = (0..64).collect();
-        let mut sliced = BitSliceScratch::new();
+        let mut sliced = BitSliceScratch::<u64>::new();
         let mut verdicts = Vec::new();
         let stats = classify_block_sliced(&universe, &masks, &mut sliced, &mut verdicts);
         assert!(stats.fixpoint_rounds > 0);
@@ -976,7 +1267,7 @@ mod tests {
     #[test]
     fn partial_and_duplicate_blocks_agree_with_full_blocks() {
         let universe = two_label_sliced();
-        let mut sliced = BitSliceScratch::new();
+        let mut sliced = BitSliceScratch::<u64>::new();
         let mut verdicts = Vec::new();
         // A short block with duplicate lanes: verdicts are per-lane, so
         // duplicates must agree, and lane count < 64 must work.
@@ -993,5 +1284,96 @@ mod tests {
         let stats = classify_block_sliced(&universe, &[], &mut sliced, &mut verdicts);
         assert_eq!(verdicts.len(), 0);
         assert_eq!(stats, BlockStats::default());
+    }
+
+    #[test]
+    fn lane_word_bit_operations_agree_across_widths() {
+        fn check<W: LaneWord>() {
+            assert!(W::ZERO.is_zero());
+            assert_eq!(W::ZERO.count_lanes(), 0);
+            assert_eq!(W::lanes_mask(0), W::ZERO);
+            let full = W::lanes_mask(W::LANES);
+            assert_eq!(full.count_lanes() as usize, W::LANES);
+            for &n in &[1usize, W::LANES / 2, W::LANES - 1, W::LANES] {
+                let mask = W::lanes_mask(n);
+                assert_eq!(mask.count_lanes() as usize, n, "lanes_mask({n})");
+                let mut seen = Vec::new();
+                mask.for_each_lane(|j| seen.push(j));
+                assert_eq!(seen, (0..n).collect::<Vec<_>>(), "lanes_mask({n})");
+                for j in 0..W::LANES {
+                    assert_eq!(mask.test_bit(j), j < n, "lanes_mask({n}) bit {j}");
+                }
+            }
+            let mut word = W::ZERO;
+            for j in [0, W::LANES / 2, W::LANES - 1] {
+                word.set_bit(j);
+                assert!(word.test_bit(j));
+            }
+            assert_eq!(word.count_lanes(), 3.min(W::LANES as u32));
+            assert_eq!(word.or(full), full);
+            assert_eq!(word.and(full), word);
+            assert_eq!(word.andnot(word), W::ZERO);
+            assert_eq!(full.andnot(word).count_lanes() as usize, W::LANES - 3);
+        }
+        check::<u64>();
+        check::<[u64; 2]>();
+        check::<[u64; 4]>();
+        check::<[u64; 8]>();
+    }
+
+    /// Every wide width classifies the exhaustive (δ=2, 2-label) universe
+    /// lane-for-lane identically to the `u64` kernels and the scalar
+    /// classifier — including partial final blocks.
+    #[test]
+    fn wide_blocks_match_u64_blocks_exhaustively() {
+        fn verdicts_at<W: LaneWord>(universe: &SlicedUniverse, masks: &[u64]) -> Vec<LaneVerdict> {
+            let mut scratch = BitSliceScratch::<W>::new();
+            let mut verdicts = Vec::new();
+            let mut all = Vec::new();
+            for chunk in masks.chunks(W::LANES) {
+                classify_block_sliced(universe, chunk, &mut scratch, &mut verdicts);
+                all.extend_from_slice(&verdicts);
+            }
+            all
+        }
+        let universe = two_label_sliced();
+        let masks: Vec<u64> = (0..64).collect();
+        let baseline = verdicts_at::<u64>(&universe, &masks);
+        assert_eq!(baseline, verdicts_at::<[u64; 2]>(&universe, &masks));
+        assert_eq!(baseline, verdicts_at::<[u64; 4]>(&universe, &masks));
+        assert_eq!(baseline, verdicts_at::<[u64; 8]>(&universe, &masks));
+        // Partial block: 5 lanes in a 512-wide word.
+        let partial = [5u64, 63, 5, 0, 42];
+        assert_eq!(
+            verdicts_at::<u64>(&universe, &partial),
+            verdicts_at::<[u64; 8]>(&universe, &partial)
+        );
+        let mut scalar = ClassifyScratch::new();
+        for (j, &mask) in masks.iter().enumerate() {
+            let expected = classify_complexity_with(&problem_at(mask), &mut scalar);
+            match baseline[j] {
+                LaneVerdict::Decided(c) => assert_eq!(c, expected, "mask {mask}"),
+                LaneVerdict::NeedsPolyExponent => {
+                    assert!(
+                        matches!(expected, Complexity::Polynomial { .. }),
+                        "mask {mask}"
+                    )
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_width_parse_round_trips_and_calibration_picks_a_width() {
+        for width in LaneWidth::ALL {
+            assert_eq!(LaneWidth::parse(width.name()), Some(width));
+            assert_eq!(width.lanes() % 64, 0);
+        }
+        assert_eq!(LaneWidth::parse("96"), None);
+        let universe = two_label_sliced();
+        assert_eq!(calibrate_lane_width(&universe, &[]), LaneWidth::W64);
+        let samples: Vec<u64> = (0..64).collect();
+        // Any width is a valid answer; the probe must simply terminate.
+        let _ = calibrate_lane_width(&universe, &samples);
     }
 }

@@ -25,7 +25,9 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::bitslice::{classify_block_sliced, BitSliceScratch, LaneVerdict, SlicedUniverse};
+use crate::bitslice::{
+    classify_block_sliced, BitSliceScratch, LaneVerdict, LaneWidth, LaneWord, SlicedUniverse,
+};
 use crate::classifier::{
     classify_complexity_with, classify_with_config, ClassifierConfig, Complexity,
 };
@@ -186,6 +188,97 @@ fn permute(items: &mut [u16], at: usize, visit: &mut impl FnMut(&[u16])) {
     }
 }
 
+/// Number of independent shards of the engine's canonical-form memo. A power
+/// of two (the shard index is a hash masked with `MEMO_SHARDS − 1`), sized so
+/// that end-of-sweep merges from `available_parallelism` workers and the
+/// daemon's concurrent `/classify` traffic rarely collide on one lock.
+const MEMO_SHARDS: usize = 16;
+
+/// The engine's memo cache, split into [`MEMO_SHARDS`] independently locked
+/// maps keyed by a hash of the canonical key. Point lookups and inserts take
+/// exactly one shard lock; bulk merges bucket their entries first and take
+/// each destination lock once — so concurrent workers draining private memos
+/// stall each other only on the (rare) shard they both touch, not on one
+/// global mutex.
+#[derive(Debug)]
+struct ShardedMemo {
+    shards: Vec<Mutex<HashMap<CanonicalKey, Complexity>>>,
+}
+
+impl ShardedMemo {
+    fn new() -> Self {
+        ShardedMemo {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// FNV-1a over the key's raw words — cheap, stable across processes, and
+    /// independent of `HashMap`'s seeded hasher, so shard assignment is
+    /// deterministic.
+    fn shard_of(key: &CanonicalKey) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in key.as_words() {
+            h ^= u64::from(w);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h as usize) & (MEMO_SHARDS - 1)
+    }
+
+    fn get(&self, key: &CanonicalKey) -> Option<Complexity> {
+        self.shards[Self::shard_of(key)]
+            .lock()
+            .expect("engine cache poisoned")
+            .get(key)
+            .copied()
+    }
+
+    fn insert(&self, key: CanonicalKey, value: Complexity) -> Option<Complexity> {
+        self.shards[Self::shard_of(&key)]
+            .lock()
+            .expect("engine cache poisoned")
+            .insert(key, value)
+    }
+
+    /// Bulk merge: buckets `entries` by shard, then takes each destination
+    /// lock exactly once.
+    fn extend<E>(&self, entries: E)
+    where
+        E: IntoIterator<Item = (CanonicalKey, Complexity)>,
+    {
+        let mut buckets: Vec<Vec<(CanonicalKey, Complexity)>> =
+            (0..MEMO_SHARDS).map(|_| Vec::new()).collect();
+        for (key, value) in entries {
+            buckets[Self::shard_of(&key)].push((key, value));
+        }
+        for (shard, bucket) in self.shards.iter().zip(buckets) {
+            if !bucket.is_empty() {
+                shard.lock().expect("engine cache poisoned").extend(bucket);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("engine cache poisoned").len())
+            .sum()
+    }
+
+    /// Every entry, sorted by key — deterministic regardless of shard count
+    /// and hash-map iteration order.
+    fn export_sorted(&self) -> Vec<(CanonicalKey, Complexity)> {
+        let mut entries: Vec<(CanonicalKey, Complexity)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("engine cache poisoned");
+            entries.extend(shard.iter().map(|(k, &c)| (k.clone(), c)));
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+}
+
 /// Statistics of an engine's lifetime, taken with [`ClassificationEngine::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
@@ -221,7 +314,7 @@ impl EngineStats {
 pub struct ClassificationEngine {
     config: ClassifierConfig,
     canonicalize: bool,
-    cache: Mutex<HashMap<CanonicalKey, Complexity>>,
+    cache: ShardedMemo,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -244,7 +337,7 @@ impl ClassificationEngine {
         ClassificationEngine {
             config,
             canonicalize: true,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedMemo::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -286,16 +379,13 @@ impl ClassificationEngine {
             return classify_complexity_with(problem, scratch);
         }
         let key = canonical_form(problem);
-        if let Some(&hit) = self.cache.lock().expect("engine cache poisoned").get(&key) {
+        if let Some(hit) = self.cache.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         let complexity = classify_complexity_with(problem, scratch);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("engine cache poisoned")
-            .insert(key, complexity);
+        self.cache.insert(key, complexity);
         complexity
     }
 
@@ -307,8 +397,7 @@ impl ClassificationEngine {
         let report = classify_with_config(problem, &self.config);
         if self.canonicalize {
             let key = canonical_form(problem);
-            let mut cache = self.cache.lock().expect("engine cache poisoned");
-            if cache.insert(key, report.complexity).is_some() {
+            if self.cache.insert(key, report.complexity).is_some() {
                 self.hits.fetch_add(1, Ordering::Relaxed);
             } else {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -416,10 +505,7 @@ impl ClassificationEngine {
                     }
                     self.misses.fetch_add(classified, Ordering::Relaxed);
                     if !local_memo.is_empty() {
-                        self.cache
-                            .lock()
-                            .expect("engine cache poisoned")
-                            .extend(local_memo);
+                        self.cache.extend(local_memo);
                     }
                     merged
                         .lock()
@@ -432,10 +518,13 @@ impl ClassificationEngine {
     }
 
     /// Bit-sliced variant of [`Self::sweep_sharded`]: the canonical stream
-    /// arrives as [`MaskBlock`]s of ≤ 64 configuration masks over one shared
-    /// [`SlicedUniverse`], and every block runs
+    /// arrives as [`MaskBlock`]s of ≤ `width.lanes()` configuration masks over
+    /// one shared [`SlicedUniverse`], and every block runs
     /// [`crate::bitslice::classify_block_sliced`] — all lanes in lockstep —
-    /// instead of 64 scalar decisions.
+    /// instead of that many scalar decisions. `width` picks the lane word at
+    /// runtime ([`crate::bitslice::calibrate_lane_width`] probes for the
+    /// fastest); the caller's block stream must pack at most `width.lanes()`
+    /// masks per block.
     ///
     /// `blocks(s)` yields the `s`-th shard's blocks (`CanonicalFamily::blocks`
     /// produces them). `problem_of(mask)` materializes one lane's problem —
@@ -448,6 +537,38 @@ impl ClassificationEngine {
     /// and memo per worker, one merge at the end, cache warm for the whole
     /// family afterwards.
     pub fn sweep_sharded_bitsliced<I, F, P, K>(
+        &self,
+        universe: &SlicedUniverse,
+        width: LaneWidth,
+        shards: usize,
+        blocks: F,
+        problem_of: P,
+        key_of: K,
+    ) -> SweepOutcome
+    where
+        I: Iterator<Item = MaskBlock>,
+        F: Fn(usize) -> I + Sync,
+        P: Fn(u64) -> LclProblem + Sync,
+        K: Fn(u64) -> CanonicalKey + Sync,
+    {
+        match width {
+            LaneWidth::W64 => self.sweep_sharded_bitsliced_w::<u64, _, _, _, _>(
+                universe, shards, blocks, problem_of, key_of,
+            ),
+            LaneWidth::W128 => self.sweep_sharded_bitsliced_w::<[u64; 2], _, _, _, _>(
+                universe, shards, blocks, problem_of, key_of,
+            ),
+            LaneWidth::W256 => self.sweep_sharded_bitsliced_w::<[u64; 4], _, _, _, _>(
+                universe, shards, blocks, problem_of, key_of,
+            ),
+            LaneWidth::W512 => self.sweep_sharded_bitsliced_w::<[u64; 8], _, _, _, _>(
+                universe, shards, blocks, problem_of, key_of,
+            ),
+        }
+    }
+
+    /// [`Self::sweep_sharded_bitsliced`] monomorphized over the lane word.
+    fn sweep_sharded_bitsliced_w<W: LaneWord, I, F, P, K>(
         &self,
         universe: &SlicedUniverse,
         shards: usize,
@@ -472,7 +593,7 @@ impl ClassificationEngine {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut scratch = ClassifyScratch::new();
-                    let mut sliced = BitSliceScratch::new();
+                    let mut sliced = BitSliceScratch::<W>::new();
                     let mut verdicts = Vec::new();
                     let mut local_memo: HashMap<CanonicalKey, Complexity> = HashMap::new();
                     let mut outcome = SweepOutcome::default();
@@ -521,10 +642,7 @@ impl ClassificationEngine {
                     }
                     self.misses.fetch_add(classified, Ordering::Relaxed);
                     if !local_memo.is_empty() {
-                        self.cache
-                            .lock()
-                            .expect("engine cache poisoned")
-                            .extend(local_memo);
+                        self.cache.extend(local_memo);
                     }
                     merged
                         .lock()
@@ -540,11 +658,7 @@ impl ClassificationEngine {
     /// `key → Complexity`, sorted by key so exports are deterministic
     /// regardless of hash-map iteration order.
     pub fn export_memo(&self) -> Vec<(CanonicalKey, Complexity)> {
-        let cache = self.cache.lock().expect("engine cache poisoned");
-        let mut entries: Vec<(CanonicalKey, Complexity)> =
-            cache.iter().map(|(k, &c)| (k.clone(), c)).collect();
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        entries
+        self.cache.export_sorted()
     }
 
     /// Merges memo entries (e.g. a loaded [`SweepSnapshot`]'s memo) into the
@@ -554,15 +668,12 @@ impl ClassificationEngine {
     where
         E: IntoIterator<Item = (CanonicalKey, Complexity)>,
     {
-        self.cache
-            .lock()
-            .expect("engine cache poisoned")
-            .extend(entries);
+        self.cache.extend(entries);
     }
 
     /// Number of canonical forms currently memoized.
     pub fn memo_len(&self) -> usize {
-        self.cache.lock().expect("engine cache poisoned").len()
+        self.cache.len()
     }
 
     /// The engine's memo as a memo-only [`SweepSnapshot`]: an empty, complete
@@ -736,12 +847,50 @@ impl ClassificationEngine {
     /// the [`MaskBlock`]s of `range.next..range.hi`
     /// (`CanonicalFamily::blocks_in`); commits happen at block boundaries
     /// using each block's [`MaskBlock::next_mask`] watermark. Block formation
-    /// depends only on the starting mask, so an interrupted-and-resumed
-    /// campaign classifies the exact same block sequence as an uninterrupted
-    /// one — lane statistics included. Blocks whose lanes are all covered by
+    /// depends only on the starting mask and the lane width, so an
+    /// interrupted-and-resumed campaign *at the same width* classifies the
+    /// exact same block sequence as an uninterrupted one — lane statistics
+    /// included. Resuming at a *different* width repacks the remaining masks
+    /// into differently sized blocks: histograms and memo still converge to
+    /// the identical final state (verdicts are per-lane and width-invariant),
+    /// only the lane statistics differ. Blocks whose lanes are all covered by
     /// `state.memo` are answered from it without classification (such blocks
     /// add nothing to the lane statistics).
+    #[allow(clippy::too_many_arguments)]
     pub fn sweep_resumable_bitsliced<I, F, P, K>(
+        &self,
+        universe: &SlicedUniverse,
+        width: LaneWidth,
+        state: SweepSnapshot,
+        blocks_of: F,
+        problem_of: P,
+        key_of: K,
+        ckpt: &SweepCheckpoint<'_>,
+    ) -> Result<(SweepSnapshot, bool), SnapshotError>
+    where
+        I: Iterator<Item = MaskBlock>,
+        F: Fn(MaskRange) -> I + Sync,
+        P: Fn(u64) -> LclProblem + Sync,
+        K: Fn(u64) -> CanonicalKey + Sync,
+    {
+        match width {
+            LaneWidth::W64 => self.sweep_resumable_bitsliced_w::<u64, _, _, _, _>(
+                universe, state, blocks_of, problem_of, key_of, ckpt,
+            ),
+            LaneWidth::W128 => self.sweep_resumable_bitsliced_w::<[u64; 2], _, _, _, _>(
+                universe, state, blocks_of, problem_of, key_of, ckpt,
+            ),
+            LaneWidth::W256 => self.sweep_resumable_bitsliced_w::<[u64; 4], _, _, _, _>(
+                universe, state, blocks_of, problem_of, key_of, ckpt,
+            ),
+            LaneWidth::W512 => self.sweep_resumable_bitsliced_w::<[u64; 8], _, _, _, _>(
+                universe, state, blocks_of, problem_of, key_of, ckpt,
+            ),
+        }
+    }
+
+    /// [`Self::sweep_resumable_bitsliced`] monomorphized over the lane word.
+    fn sweep_resumable_bitsliced_w<W: LaneWord, I, F, P, K>(
         &self,
         universe: &SlicedUniverse,
         state: SweepSnapshot,
@@ -772,7 +921,7 @@ impl ClassificationEngine {
                 for _ in 0..workers {
                     scope.spawn(|| {
                         let mut scratch = ClassifyScratch::new();
-                        let mut sliced = BitSliceScratch::new();
+                        let mut sliced = BitSliceScratch::<W>::new();
                         let mut verdicts = Vec::new();
                         let mut keys: Vec<CanonicalKey> = Vec::new();
                         let mut hits = 0usize;
@@ -899,9 +1048,13 @@ impl ClassificationEngine {
             return Err(SnapshotError::Io(e));
         }
         if self.canonicalize {
-            let mut cache = self.cache.lock().expect("engine cache poisoned");
-            cache.extend(committed.baseline.iter().cloned());
-            cache.extend(committed.new_memo.iter().cloned());
+            self.cache.extend(
+                committed
+                    .baseline
+                    .iter()
+                    .chain(committed.new_memo.iter())
+                    .cloned(),
+            );
         }
         let ResumeCommitted {
             cursor,
@@ -1039,9 +1192,10 @@ impl ResumeShared {
     }
 }
 
-/// One unit of a bit-sliced sweep: up to 64 canonical configuration masks over
-/// one shared [`SlicedUniverse`], with the orbit size of each mask's
-/// representative (parallel arrays, one lane per mask).
+/// One unit of a bit-sliced sweep: up to `width.lanes()` canonical
+/// configuration masks (64–512, depending on the [`LaneWidth`] the sweep
+/// runs at) over one shared [`SlicedUniverse`], with the orbit size of each
+/// mask's representative (parallel arrays, one lane per mask).
 #[derive(Debug, Clone, Default)]
 pub struct MaskBlock {
     /// The configuration masks, one lane each.
@@ -1166,7 +1320,7 @@ impl ComplexityHistogram {
 /// fallbacks) show up in `rtlcl sweep` output instead of only in wall time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepLaneStats {
-    /// Number of ≤64-lane blocks classified.
+    /// Number of blocks classified (each ≤ the sweep's lane width).
     pub blocks: u64,
     /// Total fixed-point rounds (trim + pruning) across all blocks.
     pub fixpoint_rounds: u64,

@@ -95,7 +95,8 @@ pub mod solvability;
 
 pub use automaton::Automaton;
 pub use bitslice::{
-    classify_block_sliced, BitSliceScratch, BlockStats, LaneVerdict, SlicedUniverse, LANES,
+    calibrate_lane_width, classify_block_sliced, BitSliceScratch, BlockStats, LaneVerdict,
+    LaneWidth, LaneWord, SlicedUniverse, LANES,
 };
 pub use builder::{find_unrestricted_certificate, CertificateBuilder};
 pub use certificate::{CertificateTree, ConstantCertificate, LogStarCertificate};

@@ -55,6 +55,13 @@ pub struct CanonicalFamily {
     /// For every non-identity label permutation, the induced permutation of
     /// universe indices: `table[i]` is the image of configuration `i`.
     perm_tables: Vec<Vec<u32>>,
+    /// Per permutation table, the images of the 64 low-offset masks
+    /// `0..64`: `low_images[t][j] = apply(table, j)` (zero where `j` is not a
+    /// valid mask of the universe). [`Self::apply`] distributes over disjoint
+    /// bits, so for a 64-aligned base `b` the image of `b + j` is
+    /// `apply(table, b) | low_images[t][j]` — one table walk per base serves a
+    /// whole 64-mask window in [`Self::canonical_survivors`].
+    low_images: Vec<[u64; 64]>,
     /// Per configuration, the set of labels it mentions (bit per label).
     config_label_bits: Vec<u16>,
     /// Per configuration, its identity-relabeling packed row — parent in the
@@ -115,6 +122,18 @@ impl CanonicalFamily {
                 .collect();
             perm_tables.push(table);
         });
+        let low_images: Vec<[u64; 64]> = perm_tables
+            .iter()
+            .map(|table| {
+                let mut low = [0u64; 64];
+                for (j, slot) in low.iter_mut().enumerate() {
+                    if j >> universe.len().min(63) == 0 {
+                        *slot = Self::apply(table, j as u64);
+                    }
+                }
+                low
+            })
+            .collect();
 
         let config_label_bits: Vec<u16> = universe
             .iter()
@@ -154,6 +173,7 @@ impl CanonicalFamily {
             num_labels,
             universe,
             perm_tables,
+            low_images,
             config_label_bits,
             packed_id,
             packed_order,
@@ -200,6 +220,48 @@ impl CanonicalFamily {
         self.perm_tables
             .iter()
             .all(|table| Self::apply(table, mask) >= mask)
+    }
+
+    /// Batched canonicity test: the bitmap of offsets `j` (bit `j` set) such
+    /// that `base + j` is canonical, over the 64-mask window starting at the
+    /// 64-aligned `base`. Offsets past the family's end are clear.
+    ///
+    /// This is the enumeration front of the wide-lane sweeps: instead of up
+    /// to `|Σ|! − 1` table walks per candidate mask, each permutation walks
+    /// the table once for the shared high bits (`apply(table, base)`) and
+    /// tests the surviving offsets with one precomputed-OR and one compare
+    /// each, retiring a permutation early once every lane of the window is
+    /// dead. Equivalent to 64 [`Self::is_canonical`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if `base` is not 64-aligned.
+    pub fn canonical_survivors(&self, base: u64) -> u64 {
+        debug_assert_eq!(base & 63, 0, "window base must be 64-aligned");
+        if base >= self.family_size() {
+            return 0;
+        }
+        let window = (self.family_size() - base).min(64);
+        let mut surviving = if window == 64 {
+            !0u64
+        } else {
+            (1u64 << window) - 1
+        };
+        for (table, low_images) in self.perm_tables.iter().zip(&self.low_images) {
+            let hi_image = Self::apply(table, base);
+            let mut lanes = surviving;
+            while lanes != 0 {
+                let j = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                if hi_image | low_images[j] < base + j as u64 {
+                    surviving &= !(1u64 << j);
+                }
+            }
+            if surviving == 0 {
+                break;
+            }
+        }
+        surviving
     }
 
     /// The number of distinct problems in the orbit of `mask`, via
@@ -298,25 +360,46 @@ impl CanonicalFamily {
         sliced
     }
 
-    /// [`Self::shard`]'s stream as [`MaskBlock`]s of up to 64 canonical masks —
-    /// the input of `ClassificationEngine::sweep_sharded_bitsliced`. No problem
-    /// is materialized; lanes carry only the mask and its orbit size.
-    pub fn blocks(&self, shard: usize, shards: usize) -> impl Iterator<Item = MaskBlock> + '_ {
+    /// [`Self::shard`]'s stream as [`MaskBlock`]s of up to `lanes` canonical
+    /// masks — the input of `ClassificationEngine::sweep_sharded_bitsliced`.
+    /// `lanes` must match the sweep's lane width (`LaneWidth::lanes()`:
+    /// 64–512). No problem is materialized; lanes carry only the mask and its
+    /// orbit size, and candidate masks are canonicity-filtered in 64-mask
+    /// windows through [`Self::canonical_survivors`].
+    pub fn blocks(
+        &self,
+        shard: usize,
+        shards: usize,
+        lanes: usize,
+    ) -> impl Iterator<Item = MaskBlock> + '_ {
         let (lo, hi) = self.shard_range(shard, shards);
-        self.blocks_in(MaskRange { next: lo, hi })
+        self.blocks_in(MaskRange { next: lo, hi }, lanes)
     }
 
     /// [`Self::orbits_in`]'s stream as [`MaskBlock`]s — the resumable input
     /// of `ClassificationEngine::sweep_resumable_bitsliced`. Block formation
-    /// is a function of the starting mask alone (≤ 64 canonical masks are
-    /// taken in ascending order), so resuming from a committed block's
-    /// [`MaskBlock::next_mask`] reproduces the remaining block sequence of an
-    /// uninterrupted run exactly — lane statistics included.
-    pub fn blocks_in(&self, range: MaskRange) -> impl Iterator<Item = MaskBlock> + '_ {
+    /// is a function of the starting mask and `lanes` alone (≤ `lanes`
+    /// canonical masks are taken in ascending order), so resuming from a
+    /// committed block's [`MaskBlock::next_mask`] at the same lane count
+    /// reproduces the remaining block sequence of an uninterrupted run
+    /// exactly — lane statistics included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn blocks_in(
+        &self,
+        range: MaskRange,
+        lanes: usize,
+    ) -> impl Iterator<Item = MaskBlock> + '_ {
+        assert!(lanes > 0, "a block must hold at least one lane");
         BlockIter {
             family: self,
             next: range.next,
             hi: range.hi,
+            lanes,
+            window_base: u64::MAX,
+            window_bits: 0,
         }
     }
 
@@ -384,11 +467,19 @@ impl CanonicalFamily {
 }
 
 /// Iterator of [`MaskBlock`]s over one shard's canonical masks; see
-/// [`CanonicalFamily::blocks`].
+/// [`CanonicalFamily::blocks`]. Candidates are filtered through the batched
+/// [`CanonicalFamily::canonical_survivors`] window (cached across blocks, so
+/// a window split by a block boundary is not re-filtered).
 struct BlockIter<'a> {
     family: &'a CanonicalFamily,
     next: u64,
     hi: u64,
+    /// Maximum number of masks per block (the sweep's lane count).
+    lanes: usize,
+    /// 64-aligned base of the cached survivor window (`u64::MAX` = none).
+    window_base: u64,
+    /// Survivor bitmap of the cached window.
+    window_bits: u64,
 }
 
 impl Iterator for BlockIter<'_> {
@@ -396,13 +487,27 @@ impl Iterator for BlockIter<'_> {
 
     fn next(&mut self) -> Option<MaskBlock> {
         let mut block = MaskBlock::default();
-        while self.next < self.hi && block.masks.len() < lcl_core::bitslice::LANES {
-            let mask = self.next;
-            self.next += 1;
-            if self.family.is_canonical(mask) {
-                block.masks.push(mask);
-                block.orbit_sizes.push(self.family.orbit_size(mask));
+        while self.next < self.hi && block.masks.len() < self.lanes {
+            let base = self.next & !63;
+            if base != self.window_base {
+                self.window_base = base;
+                self.window_bits = self.family.canonical_survivors(base);
             }
+            let off = (self.next - base) as u32;
+            let remaining = self.window_bits >> off;
+            if remaining == 0 {
+                // Window exhausted: skip to the next one in a single step.
+                self.next = (base + 64).min(self.hi);
+                continue;
+            }
+            let candidate = base + u64::from(remaining.trailing_zeros() + off);
+            if candidate >= self.hi {
+                self.next = self.hi;
+                break;
+            }
+            block.masks.push(candidate);
+            block.orbit_sizes.push(self.family.orbit_size(candidate));
+            self.next = candidate + 1;
         }
         block.next_mask = self.next;
         if block.masks.is_empty() {
@@ -529,19 +634,44 @@ mod tests {
             .canonical_masks()
             .map(|m| (m, family.orbit_size(m)))
             .collect();
-        for shards in [1usize, 2, 3, 7] {
-            let mut blocked: Vec<(u64, u64)> = Vec::new();
-            for s in 0..shards {
-                for block in family.blocks(s, shards) {
-                    assert!(!block.masks.is_empty());
-                    assert!(block.masks.len() <= lcl_core::bitslice::LANES);
-                    assert_eq!(block.masks.len(), block.orbit_sizes.len());
-                    blocked.extend(block.masks.iter().copied().zip(block.orbit_sizes));
+        for lanes in [1usize, 64, 128, 256, 512] {
+            for shards in [1usize, 2, 3, 7] {
+                let mut blocked: Vec<(u64, u64)> = Vec::new();
+                for s in 0..shards {
+                    for block in family.blocks(s, shards, lanes) {
+                        assert!(!block.masks.is_empty());
+                        assert!(block.masks.len() <= lanes);
+                        assert_eq!(block.masks.len(), block.orbit_sizes.len());
+                        blocked.extend(block.masks.iter().copied().zip(block.orbit_sizes));
+                    }
                 }
+                assert_eq!(blocked, all, "{shards} shards, {lanes} lanes");
             }
-            assert_eq!(blocked, all, "{shards} shards");
         }
-        assert_eq!(family.blocks(7, 7).count(), 0);
+        assert_eq!(family.blocks(7, 7, 64).count(), 0);
+    }
+
+    #[test]
+    fn canonical_survivors_match_is_canonical_windows() {
+        for (delta, labels) in [(2, 1), (1, 2), (2, 2), (1, 3), (2, 3)] {
+            let family = CanonicalFamily::new(delta, labels);
+            let mut base = 0u64;
+            while base < family.family_size() {
+                let batched = family.canonical_survivors(base);
+                for j in 0..64u64 {
+                    let expected = base + j < family.family_size() && family.is_canonical(base + j);
+                    assert_eq!(
+                        batched & (1 << j) != 0,
+                        expected,
+                        "(δ={delta}, k={labels}) base {base} offset {j}"
+                    );
+                }
+                base += 64;
+            }
+            // Past the family's end the window is empty.
+            let past = family.family_size().div_ceil(64) * 64;
+            assert_eq!(family.canonical_survivors(past), 0);
+        }
     }
 
     #[test]
@@ -590,22 +720,27 @@ mod tests {
             next: 0,
             hi: family.family_size(),
         };
-        let blocks: Vec<MaskBlock> = family.blocks_in(whole).collect();
-        assert!(blocks.len() > 2);
-        assert_eq!(blocks.last().unwrap().next_mask, whole.hi);
-        // Resuming from a committed block's watermark must reproduce the next
-        // block exactly (blocks_in is lazy, so taking one block is cheap).
-        for pair in blocks.windows(2) {
-            let mut resumed = family.blocks_in(MaskRange {
-                next: pair[0].next_mask,
-                hi: whole.hi,
-            });
-            assert_eq!(
-                resumed.next().map(|b| (b.masks, b.next_mask)),
-                Some((pair[1].masks.clone(), pair[1].next_mask)),
-                "resumed at watermark {}",
-                pair[0].next_mask
-            );
+        for lanes in [64usize, 256] {
+            let blocks: Vec<MaskBlock> = family.blocks_in(whole, lanes).collect();
+            assert!(blocks.len() > 2);
+            assert_eq!(blocks.last().unwrap().next_mask, whole.hi);
+            // Resuming from a committed block's watermark must reproduce the
+            // next block exactly (blocks_in is lazy, so one block is cheap).
+            for pair in blocks.windows(2) {
+                let mut resumed = family.blocks_in(
+                    MaskRange {
+                        next: pair[0].next_mask,
+                        hi: whole.hi,
+                    },
+                    lanes,
+                );
+                assert_eq!(
+                    resumed.next().map(|b| (b.masks, b.next_mask)),
+                    Some((pair[1].masks.clone(), pair[1].next_mask)),
+                    "resumed at watermark {} with {lanes} lanes",
+                    pair[0].next_mask
+                );
+            }
         }
     }
 

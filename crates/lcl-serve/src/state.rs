@@ -18,7 +18,9 @@ use std::time::{Duration, Instant};
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::render::{histogram_json, report_to_json};
-use lcl_core::{ClassificationEngine, EngineKind, LclProblem, SweepCheckpoint, SweepSnapshot};
+use lcl_core::{
+    ClassificationEngine, EngineKind, LaneWidth, LclProblem, SweepCheckpoint, SweepSnapshot,
+};
 use lcl_problems::canonical::{CanonicalFamily, MAX_CANONICAL_ENUM_LABELS};
 use lcl_problems::catalog;
 use lcl_sim::IdAssignment;
@@ -509,10 +511,12 @@ impl ServeState {
             every_orbits: u64::MAX,
             orbit_limit: Some(max_orbits),
         };
+        let width = LaneWidth::default();
         let result = self.engine.sweep_resumable_bitsliced(
             &universe,
+            width,
             snapshot,
-            |r| family.blocks_in(r),
+            |r| family.blocks_in(r, width.lanes()),
             |mask| family.problem_at(mask),
             |mask| family.canonical_key_of(mask),
             &ckpt,
