@@ -46,7 +46,7 @@ use crate::primitives::ceil_nth_root;
 use crate::solve::{RoundReport, SolveError};
 
 /// Sentinel for "no label assigned yet" in flat label arrays.
-const NO_LABEL: Label = Label(u16::MAX);
+pub(crate) const NO_LABEL: Label = Label(u16::MAX);
 
 /// Minimum number of parents in a level before sharding it pays off.
 const MIN_SHARD: usize = 4096;

@@ -34,9 +34,13 @@ pub mod log_star_solver;
 pub mod mis_four_rounds;
 pub mod poly_solver;
 pub mod primitives;
+pub mod repair;
 pub mod solve;
 
 pub use flat::{solve_flat, FlatOutcome, SolveScratch};
 pub use poly_solver::{poly_partition, solve_poly, PolyPart, PolyPartition};
 pub use primitives::ceil_nth_root;
+pub use repair::{
+    repair_labeling, resolve_full, LabelPerturbation, RepairOutcome, RepairPlan, RepairScratch,
+};
 pub use solve::{solve, solve_baseline, RoundReport, SolveError, SolverOutcome};

@@ -1,0 +1,884 @@
+//! Incremental labeling repair for dynamic trees: O(affected) re-solve.
+//!
+//! The verdict of an LCL is a local object — the validator checks one
+//! parent/children configuration per node — so a valid labeling broken by a
+//! small batch of edits ([`DynamicTree`] attaches, detaches, and label
+//! perturbations) can be repaired inside a bounded region around each edit
+//! instead of recomputed globally. [`repair_labeling`] does exactly that,
+//! with a per-complexity-class strategy:
+//!
+//! * **Constant / log\***: the certificate fill of
+//!   [`certificate_fill_pass`](crate::flat::certificate_fill_pass) makes every
+//!   node's label a *pure function* of its block anchor's label and the ports
+//!   on the anchor-to-node path (a walk of ≤ `cert.depth` steps). Repair is
+//!   exact replay: climb to the anchor, walk the certificate tree back down.
+//!   Fresh subtrees are filled by the same walk carried top-down, and a
+//!   perturbed label is restored to the value a from-scratch fill would
+//!   produce — the repaired labeling is *identical* to a full re-solve.
+//!
+//! * **Log / polynomial**: the layered solvers are not pointwise replayable,
+//!   so repair uses a *witness table*: `S_h` = the labels that can root a
+//!   valid labeling of any full-δ-ary subtree of height `h` (computed once
+//!   per plan by fixpoint iteration, `S_0` = all active labels since leaves
+//!   are unconstrained, `S_{h+1}` = labels with a configuration entirely
+//!   inside `S_h`). A dirty node keeps its label when its configuration still
+//!   holds, is relabeled in place when some `S`-member fits both its parent
+//!   and its existing children, and otherwise has its subtree refilled
+//!   top-down from the witness configurations — pruning the descent wherever
+//!   the existing labels already satisfy the chosen configuration. Dead ends
+//!   climb to the parent; a root-level dead end escalates to a full
+//!   [`solve_flat`] (always correct, counted in the outcome).
+//!
+//! The repaired region is tracked as a set of coalesced node-id ranges
+//! ([`RepairScratch::dirty_ranges`]) so the caller can *prove* the repair with
+//! `LabelingValidator::validate_range` (in `lcl-verify`, which sits above
+//! this crate) instead of paying for the whole tree. All hot-path state lives
+//! in a [`RepairScratch`]; once warm, a repair performs zero heap allocations
+//! (pinned by `tests/zero_alloc_repair.rs`).
+
+use lcl_core::{ClassificationReport, Complexity, Label, LabelSet, LclProblem, LogStarCertificate};
+use lcl_sim::IdAssignment;
+use lcl_trees::DynamicTree;
+
+use crate::flat::{solve_flat, SolveScratch, NO_LABEL};
+use crate::solve::SolveError;
+
+/// A single label overwrite to repair (from a `TreeEdit::Relabel`): the node
+/// id is in *post-batch* id space (`DynamicTree::relabel_sites`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelPerturbation {
+    /// The perturbed node (current id).
+    pub node: u32,
+    /// The label written over the node.
+    pub label: Label,
+}
+
+/// Per-class repair strategy, built once per `(problem, report)` pair.
+#[derive(Debug, Clone)]
+enum PlanKind {
+    /// Exact certificate replay (constant and log* classes).
+    Cert(LogStarCertificate),
+    /// Height-indexed witness sets and configurations (log and poly classes).
+    Witness {
+        /// `sets[h]` = labels that can root a valid full-δ-ary subtree of
+        /// height `h`; decreasing in `h`, with the last entry stabilized
+        /// (`sets[len-1] == sets[len-2]`), so heights clamp to `len − 1`.
+        sets: Vec<LabelSet>,
+        /// `wit[h][label]` = index into `problem.configurations()` of a
+        /// configuration with this parent and children in `sets[h − 1]`
+        /// (`u32::MAX` = none); defined for `1 ≤ h < sets.len()`.
+        wit: Vec<Vec<u32>>,
+    },
+}
+
+/// The reusable repair strategy for one classified problem.
+#[derive(Debug, Clone)]
+pub struct RepairPlan {
+    kind: PlanKind,
+}
+
+impl RepairPlan {
+    /// Builds the plan for `problem` under its classification.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Unsolvable`] for unsolvable problems,
+    /// [`SolveError::CertificateTooLarge`] when the constant/log* certificate
+    /// exceeds the materialization budget.
+    pub fn new(problem: &LclProblem, report: &ClassificationReport) -> Result<Self, SolveError> {
+        let kind = match report.complexity {
+            Complexity::Unsolvable => return Err(SolveError::Unsolvable),
+            Complexity::Constant => {
+                let cert = report
+                    .constant_certificate()
+                    .expect("constant class implies a certificate")
+                    .map_err(|e| SolveError::CertificateTooLarge(e.to_string()))?;
+                PlanKind::Cert(cert.base)
+            }
+            Complexity::LogStar => {
+                let cert = report
+                    .log_star_certificate()
+                    .expect("log* class implies a certificate")
+                    .map_err(|e| SolveError::CertificateTooLarge(e.to_string()))?;
+                PlanKind::Cert(cert)
+            }
+            Complexity::Log | Complexity::Polynomial { .. } => {
+                let mut sets = vec![problem.labels()];
+                loop {
+                    let prev = *sets.last().expect("seeded with S_0");
+                    let mut next = LabelSet::EMPTY;
+                    for l in prev.iter() {
+                        let ok = problem
+                            .configurations_with_parent(l)
+                            .any(|c| c.children().iter().all(|&x| prev.contains(x)));
+                        if ok {
+                            next.insert(l);
+                        }
+                    }
+                    let stabilized = next == prev;
+                    sets.push(next);
+                    if stabilized {
+                        break;
+                    }
+                }
+                let num_alphabet = problem.alphabet().len();
+                let mut wit = vec![Vec::new(); sets.len()];
+                for h in 1..sets.len() {
+                    let mut row = vec![u32::MAX; num_alphabet];
+                    for l in sets[h].iter() {
+                        for (i, c) in problem.configurations().iter().enumerate() {
+                            if c.parent() == l
+                                && c.children().iter().all(|&x| sets[h - 1].contains(x))
+                            {
+                                row[l.index()] = i as u32;
+                                break;
+                            }
+                        }
+                    }
+                    wit[h] = row;
+                }
+                PlanKind::Witness { sets, wit }
+            }
+        };
+        Ok(RepairPlan { kind })
+    }
+}
+
+/// Counters describing what one [`repair_labeling`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Edit sites processed (fills + perturbations + detach checks).
+    pub sites: usize,
+    /// Nodes whose label was written during repair.
+    pub relabeled: usize,
+    /// Witness-class dead ends that climbed to a parent site.
+    pub climbs: usize,
+    /// `true` when repair fell back to a full re-solve (still correct; the
+    /// dirty range then covers the whole tree).
+    pub escalated: bool,
+}
+
+/// Reusable buffers for [`repair_labeling`]. High-water retained: a warmed
+/// scratch makes the whole repair path allocation-free.
+#[derive(Debug)]
+pub struct RepairScratch {
+    solve: SolveScratch,
+    /// `(depth << 2 | kind, node)` sort keys; kind: 0 perturb, 1 fill, 2 check.
+    sites: Vec<(u32, u32)>,
+    touched: Vec<u32>,
+    ranges: Vec<(u32, u32)>,
+    path: Vec<u32>,
+    fill_stack: Vec<(u32, Label, u32)>,
+    refill_stack: Vec<(u32, Label)>,
+    kids: Vec<Label>,
+    siblings: Vec<Label>,
+    remaining: Vec<Label>,
+    keep: Vec<bool>,
+    pending: Vec<u32>,
+}
+
+/// Coalesce validation ranges when the gap between touched nodes is below
+/// this many ids (checking a few extra nodes beats another range).
+const RANGE_GAP: u32 = 64;
+
+impl RepairScratch {
+    /// A scratch whose escalation solves shard over the available cores.
+    pub fn new() -> Self {
+        Self::with_workers(
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// A scratch with an explicit worker bound for escalation solves.
+    pub fn with_workers(workers: usize) -> Self {
+        RepairScratch {
+            solve: SolveScratch::with_workers(workers),
+            sites: Vec::new(),
+            touched: Vec::new(),
+            ranges: Vec::new(),
+            path: Vec::new(),
+            fill_stack: Vec::new(),
+            refill_stack: Vec::new(),
+            kids: Vec::new(),
+            siblings: Vec::new(),
+            remaining: Vec::new(),
+            keep: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The solver scratch used by escalation re-solves (and available to
+    /// callers for their own full solves).
+    pub fn solve_mut(&mut self) -> &mut SolveScratch {
+        &mut self.solve
+    }
+
+    /// The coalesced node-id ranges the last repair touched — the regions a
+    /// caller must `validate_range` to prove the repair. Covers the whole
+    /// tree after an escalation.
+    pub fn dirty_ranges(&self) -> impl Iterator<Item = std::ops::Range<u32>> + '_ {
+        self.ranges.iter().map(|&(a, b)| a..b)
+    }
+}
+
+impl Default for RepairScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Replaces `labels` with a full from-scratch flat solve of the (synced)
+/// dynamic tree — the unconditional fallback and the benchmark baseline.
+pub fn resolve_full(
+    problem: &LclProblem,
+    report: &ClassificationReport,
+    tree: &mut DynamicTree,
+    labels: &mut Vec<Label>,
+    scratch: &mut RepairScratch,
+) -> Result<(), SolveError> {
+    tree.sync();
+    let ids = IdAssignment::sequential_len(tree.len());
+    let out = solve_flat(
+        problem,
+        report,
+        tree.tree(),
+        tree.index(),
+        &ids,
+        &mut scratch.solve,
+    )?;
+    *labels = out.labels;
+    Ok(())
+}
+
+/// Repairs `labels` after a batch of [`DynamicTree`] edits plus label
+/// `perturbations`, touching only the affected regions. On return the
+/// journal and dirty-site lists of `tree` are consumed
+/// ([`DynamicTree::clear_journal`]) and [`RepairScratch::dirty_ranges`]
+/// holds the regions whose validation proves the repair.
+///
+/// The call syncs the tree, replays the edit journal onto `labels` (grow /
+/// remap / truncate), applies the perturbation writes, then repairs every
+/// dirty site in ascending depth order so ancestors are final before
+/// descendants read them. Witness-class dead ends escalate to
+/// [`resolve_full`].
+pub fn repair_labeling(
+    problem: &LclProblem,
+    report: &ClassificationReport,
+    plan: &RepairPlan,
+    tree: &mut DynamicTree,
+    labels: &mut Vec<Label>,
+    perturbations: &[LabelPerturbation],
+    scratch: &mut RepairScratch,
+) -> Result<RepairOutcome, SolveError> {
+    // Repair reads only the packed CSR (never the BFS-positional arrays), so
+    // the expensive half of a full sync is deferred: `resolve_full` performs
+    // it on escalation, and batch-steady state never pays it.
+    tree.sync_csr();
+
+    // 1. Journal replay: keep the label array aligned with the id space.
+    for &op in tree.journal() {
+        match op {
+            lcl_trees::JournalOp::Grown { first, count } => {
+                labels.resize((first + count) as usize, NO_LABEL);
+            }
+            lcl_trees::JournalOp::Remapped { from, to } => {
+                labels[to as usize] = labels[from as usize];
+            }
+            lcl_trees::JournalOp::Truncated { new_len } => labels.truncate(new_len as usize),
+        }
+    }
+    debug_assert_eq!(labels.len(), tree.len());
+
+    // 2. Perturbation writes (their repair happens site by site below).
+    for p in perturbations {
+        labels[p.node as usize] = p.label;
+    }
+
+    // 3. Collect sites, ascending (depth, kind): perturbations first at equal
+    // depth so exact values are restored before a sibling fill reads them.
+    scratch.sites.clear();
+    for p in perturbations {
+        scratch.sites.push((tree.depth(p.node) << 2, p.node));
+    }
+    for &v in tree.attach_sites() {
+        scratch.sites.push(((tree.depth(v) << 2) | 1, v));
+    }
+    for &v in tree.detach_sites() {
+        scratch.sites.push(((tree.depth(v) << 2) | 2, v));
+    }
+    scratch.sites.sort_unstable();
+
+    let mut outcome = RepairOutcome {
+        sites: scratch.sites.len(),
+        ..RepairOutcome::default()
+    };
+    scratch.touched.clear();
+
+    // 4. Per-site repair. Split the scratch so the site list can be iterated
+    // while the work buffers are borrowed mutably.
+    let mut sites = std::mem::take(&mut scratch.sites);
+    let mut failed = false;
+    let mut checks = 0usize;
+    'sites: for &(key, v) in &sites {
+        let kind = key & 3;
+        let ok = match (&plan.kind, kind) {
+            // Detach sites: the node became a leaf (unconstrained) and its
+            // parent's multiset is unchanged — only validation is owed.
+            (_, 2) => {
+                scratch.touched.push(v);
+                checks += 1;
+                true
+            }
+            (PlanKind::Cert(cert), 0) => cert_restore(cert, tree, labels, v, scratch),
+            (PlanKind::Cert(cert), 1) => cert_fill(cert, tree, labels, v, scratch),
+            (PlanKind::Witness { sets, wit }, _) => {
+                witness_repair(problem, sets, wit, tree, labels, v, scratch, &mut outcome)
+            }
+            _ => unreachable!("kind is two bits"),
+        };
+        if !ok {
+            failed = true;
+            break 'sites;
+        }
+    }
+    sites.clear();
+    scratch.sites = sites;
+
+    if failed {
+        // Unconditional fallback: re-solve everything, flag the whole tree.
+        resolve_full(problem, report, tree, labels, scratch)?;
+        outcome.escalated = true;
+        scratch.ranges.clear();
+        scratch.ranges.push((0, tree.len() as u32));
+        tree.clear_journal();
+        return Ok(outcome);
+    }
+    // Check sites enter `touched` only to be validated, not because a label
+    // was written.
+    outcome.relabeled = scratch.touched.len() - checks;
+
+    // 5. Validation ranges: every touched node plus its parent, coalesced.
+    let written = scratch.touched.len();
+    for i in 0..written {
+        if let Some(p) = tree.parent(scratch.touched[i]) {
+            scratch.touched.push(p);
+        }
+    }
+    scratch.touched.sort_unstable();
+    scratch.touched.dedup();
+    scratch.ranges.clear();
+    for &t in &scratch.touched {
+        match scratch.ranges.last_mut() {
+            Some(last) if t - last.1 <= RANGE_GAP => last.1 = t + 1,
+            _ => scratch.ranges.push((t, t + 1)),
+        }
+    }
+
+    tree.clear_journal();
+    Ok(outcome)
+}
+
+/// The certificate-walk state of `v`: the label of its block root and its
+/// level-order index inside that root's certificate tree. `None` when the
+/// walk leaves the certificate (escalate).
+fn cert_state(
+    cert: &LogStarCertificate,
+    tree: &DynamicTree,
+    labels: &[Label],
+    v: u32,
+    path: &mut Vec<u32>,
+) -> Option<(Label, u32)> {
+    let d = cert.depth as u32;
+    if tree.depth(v).is_multiple_of(d) {
+        if labels[v as usize] == NO_LABEL {
+            return None;
+        }
+        return Some((labels[v as usize], 0));
+    }
+    // Climb to the nearest proper anchor, recording ports bottom-up.
+    path.clear();
+    let mut u = v;
+    loop {
+        let p = tree.parent(u).expect("non-anchor nodes are not the root");
+        path.push(tree.port_of(p, u).expect("child of its parent") as u32);
+        u = p;
+        if tree.depth(u).is_multiple_of(d) {
+            break;
+        }
+    }
+    let root = labels[u as usize];
+    let cert_tree = cert.tree_for(root)?;
+    let mut ci = 0usize;
+    for &port in path.iter().rev() {
+        let kids = cert_tree.children_of(ci);
+        let cc = kids.start + port as usize;
+        if cc >= kids.end {
+            return None;
+        }
+        ci = cc;
+    }
+    Some((root, ci as u32))
+}
+
+/// Restores the exact fill label of `v` (perturbation repair, cert classes),
+/// then re-fills any fresh descendants: a perturbation write can land on a
+/// not-yet-filled fresh node and stop an earlier fill DFS from descending,
+/// so the restore owns whatever `NO_LABEL` region it shadowed.
+fn cert_restore(
+    cert: &LogStarCertificate,
+    tree: &DynamicTree,
+    labels: &mut [Label],
+    v: u32,
+    scratch: &mut RepairScratch,
+) -> bool {
+    let exact = if v == 0 {
+        cert.labels.first().expect("certificates are non-empty")
+    } else {
+        let p = tree.parent(v).expect("non-root");
+        let Some((root, ci)) = cert_state(cert, tree, labels, p, &mut scratch.path) else {
+            return false;
+        };
+        let Some(cert_tree) = cert.tree_for(root) else {
+            return false;
+        };
+        let kids = cert_tree.children_of(ci as usize);
+        let cc = kids.start + tree.port_of(p, v).expect("child of its parent");
+        if cc >= kids.end {
+            return false;
+        }
+        cert_tree.label_at(cc)
+    };
+    labels[v as usize] = exact;
+    scratch.touched.push(v);
+    tree.is_leaf(v) || cert_fill_below(cert, tree, labels, v, scratch)
+}
+
+/// Fills every fresh (`NO_LABEL`) descendant of the attach site `v` by
+/// carrying the certificate walk top-down (cert classes). Exact: produces
+/// the labels a from-scratch fill would.
+fn cert_fill(
+    cert: &LogStarCertificate,
+    tree: &DynamicTree,
+    labels: &mut [Label],
+    v: u32,
+    scratch: &mut RepairScratch,
+) -> bool {
+    if labels[v as usize] == NO_LABEL {
+        // Covered by a shallower fill site; nothing fresh can remain here.
+        return false;
+    }
+    cert_fill_below(cert, tree, labels, v, scratch)
+}
+
+/// The fill DFS under an already-labeled node `v`: every `NO_LABEL`
+/// descendant reachable through fresh nodes gets its exact certificate
+/// label. Labeled children are not descended into — any fresh region below
+/// one is owned by its own (deeper) fill or restore site.
+fn cert_fill_below(
+    cert: &LogStarCertificate,
+    tree: &DynamicTree,
+    labels: &mut [Label],
+    v: u32,
+    scratch: &mut RepairScratch,
+) -> bool {
+    let d = cert.depth as u32;
+    let Some((root, ci)) = cert_state(cert, tree, labels, v, &mut scratch.path) else {
+        return false;
+    };
+    scratch.fill_stack.clear();
+    scratch.fill_stack.push((v, root, ci));
+    while let Some((u, root, ci)) = scratch.fill_stack.pop() {
+        let Some(cert_tree) = cert.tree_for(root) else {
+            return false;
+        };
+        let kids = cert_tree.children_of(ci as usize);
+        for (port, &c) in tree.children(u).iter().enumerate() {
+            if labels[c as usize] != NO_LABEL {
+                continue;
+            }
+            let cc = kids.start + port;
+            if cc >= kids.end {
+                return false;
+            }
+            let lc = cert_tree.label_at(cc);
+            labels[c as usize] = lc;
+            scratch.touched.push(c);
+            if !tree.is_leaf(c) {
+                if tree.depth(c).is_multiple_of(d) {
+                    scratch.fill_stack.push((c, lc, 0));
+                } else {
+                    scratch.fill_stack.push((c, root, cc as u32));
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Repairs site `v` for the witness classes: keep, relabel in place, or
+/// refill the subtree. A node where no candidate label fits the parent's
+/// multiset climbs: the parent is repaired first, then the node is retried
+/// (its own configuration may still be broken after the parent changed).
+/// A depth-derived budget bounds pathological ping-pong; `false` = escalate.
+#[allow(clippy::too_many_arguments)]
+fn witness_repair(
+    problem: &LclProblem,
+    sets: &[LabelSet],
+    wit: &[Vec<u32>],
+    tree: &DynamicTree,
+    labels: &mut [Label],
+    site: u32,
+    scratch: &mut RepairScratch,
+    outcome: &mut RepairOutcome,
+) -> bool {
+    let clamp = |h: u32| (h as usize).min(sets.len() - 1);
+    scratch.pending.clear();
+    scratch.pending.push(site);
+    let mut budget = 4 * (tree.depth(site) as usize + 2);
+    while let Some(v) = scratch.pending.pop() {
+        if budget == 0 {
+            return false;
+        }
+        budget -= 1;
+        let current = labels[v as usize];
+        let h = tree.subtree_height(v);
+        let parent = tree.parent(v);
+
+        // A candidate root label must fit the parent's multiset…
+        let parent_ok = |l: Label, scratch: &mut RepairScratch| -> bool {
+            let Some(p) = parent else { return true };
+            if labels[p as usize] == NO_LABEL {
+                return false;
+            }
+            scratch.siblings.clear();
+            for &s in tree.children(p) {
+                let sl = if s == v { l } else { labels[s as usize] };
+                if sl == NO_LABEL {
+                    return false;
+                }
+                scratch.siblings.push(sl);
+            }
+            problem.allows_multiset(labels[p as usize], &scratch.siblings)
+        };
+        // …and either hold with the existing children or be refillable.
+        scratch.kids.clear();
+        let mut fresh_child = false;
+        for &c in tree.children(v) {
+            let cl = labels[c as usize];
+            fresh_child |= cl == NO_LABEL;
+            scratch.kids.push(cl);
+        }
+        let fits_children = |l: Label, scratch: &RepairScratch| -> bool {
+            !fresh_child && problem.allows_multiset(l, &scratch.kids)
+        };
+        let refillable = |l: Label| -> bool {
+            let hh = clamp(h);
+            hh >= 1 && sets[hh].contains(l) && wit[hh][l.index()] != u32::MAX
+        };
+
+        let mut chosen: Option<(Label, bool)> = None;
+        if current != NO_LABEL && parent_ok(current, scratch) {
+            if tree.is_leaf(v) || fits_children(current, scratch) {
+                chosen = Some((current, false));
+            } else if refillable(current) {
+                chosen = Some((current, true));
+            }
+        }
+        if chosen.is_none() {
+            let pool = sets[clamp(h).max(if tree.is_leaf(v) { 0 } else { 1 })];
+            for l in pool.iter() {
+                if l == current || !parent_ok(l, scratch) {
+                    continue;
+                }
+                if tree.is_leaf(v) || fits_children(l, scratch) {
+                    chosen = Some((l, false));
+                    break;
+                }
+                if refillable(l) {
+                    chosen = Some((l, true));
+                    break;
+                }
+            }
+        }
+        match chosen {
+            Some((l, false)) => {
+                labels[v as usize] = l;
+                scratch.touched.push(v);
+            }
+            Some((l, true)) => {
+                if !witness_refill(problem, sets, wit, tree, labels, v, l, scratch) {
+                    return false;
+                }
+            }
+            None => match parent {
+                // No label fits the parent: the obstruction is above. Repair
+                // the parent first, then come back — the parent's new label
+                // changes which candidates fit here.
+                Some(p) => {
+                    outcome.climbs += 1;
+                    scratch.pending.push(v);
+                    scratch.pending.push(p);
+                }
+                None => return false,
+            },
+        }
+    }
+    true
+}
+
+/// Refills the subtree of `v` with root label `l` from the witness tables,
+/// keeping existing child labels (and their untouched subtrees) wherever they
+/// match the chosen configuration. `false` = table miss (escalate).
+#[allow(clippy::too_many_arguments)]
+fn witness_refill(
+    problem: &LclProblem,
+    sets: &[LabelSet],
+    wit: &[Vec<u32>],
+    tree: &DynamicTree,
+    labels: &mut [Label],
+    v: u32,
+    l: Label,
+    scratch: &mut RepairScratch,
+) -> bool {
+    let clamp = |h: u32| (h as usize).min(sets.len() - 1);
+    scratch.refill_stack.clear();
+    scratch.refill_stack.push((v, l));
+    while let Some((u, lu)) = scratch.refill_stack.pop() {
+        labels[u as usize] = lu;
+        scratch.touched.push(u);
+        if tree.is_leaf(u) {
+            continue;
+        }
+        scratch.kids.clear();
+        let mut fresh = false;
+        for &c in tree.children(u) {
+            let cl = labels[c as usize];
+            fresh |= cl == NO_LABEL;
+            scratch.kids.push(cl);
+        }
+        if !fresh && problem.allows_multiset(lu, &scratch.kids) {
+            continue; // existing children already fit — prune the descent
+        }
+        let hh = clamp(tree.subtree_height(u));
+        let wi = if hh >= 1 {
+            wit[hh][lu.index()]
+        } else {
+            u32::MAX
+        };
+        if wi == u32::MAX {
+            return false;
+        }
+        let cfg = &problem.configurations()[wi as usize];
+        scratch.remaining.clear();
+        scratch.remaining.extend_from_slice(cfg.children());
+        scratch.keep.clear();
+        scratch.keep.resize(scratch.kids.len(), false);
+        for (i, &cl) in scratch.kids.iter().enumerate() {
+            if cl == NO_LABEL {
+                continue;
+            }
+            if let Some(pos) = scratch.remaining.iter().position(|&r| r == cl) {
+                scratch.remaining.swap_remove(pos);
+                scratch.keep[i] = true;
+            }
+        }
+        for (i, &c) in tree.children(u).iter().enumerate() {
+            if !scratch.keep[i] {
+                let lc = scratch
+                    .remaining
+                    .pop()
+                    .expect("configuration width matches δ");
+                scratch.refill_stack.push((c, lc));
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::classify;
+    use lcl_rand::SplitMix64;
+    use lcl_trees::{EditScriptGen, FlatTree, TreeEdit};
+
+    /// Straightforward reference check: every regular node's configuration is
+    /// allowed and every label is active (mirrors the CSR validator, which
+    /// lives above this crate).
+    fn assert_valid(problem: &LclProblem, tree: &DynamicTree, labels: &[Label]) {
+        assert_eq!(labels.len(), tree.len());
+        let active = problem.labels();
+        let mut kids = Vec::new();
+        for v in 0..tree.len() as u32 {
+            assert!(
+                active.contains(labels[v as usize]),
+                "node {v} carries inactive label {:?}",
+                labels[v as usize]
+            );
+            let children = tree.children(v);
+            if children.len() != problem.delta() {
+                continue;
+            }
+            kids.clear();
+            kids.extend(children.iter().map(|&c| labels[c as usize]));
+            assert!(
+                problem.allows_multiset(labels[v as usize], &kids),
+                "node {v} has a forbidden configuration after repair"
+            );
+        }
+    }
+
+    fn perturbations_for(
+        problem: &LclProblem,
+        tree: &DynamicTree,
+        rng: &mut SplitMix64,
+    ) -> Vec<LabelPerturbation> {
+        let active: Vec<Label> = problem.labels().iter().collect();
+        tree.relabel_sites()
+            .iter()
+            .map(|&node| LabelPerturbation {
+                node,
+                label: active[rng.gen_index(active.len())],
+            })
+            .collect()
+    }
+
+    fn drive(problem: &LclProblem, seed: u64, batches: usize, exact: bool) {
+        let report = classify(problem);
+        if report.complexity == Complexity::Unsolvable {
+            panic!("test problems must be solvable");
+        }
+        let plan = RepairPlan::new(problem, &report).unwrap();
+        let mut scratch = RepairScratch::with_workers(1);
+        let flat = FlatTree::random_full(problem.delta(), 501, seed);
+        let mut tree = DynamicTree::new(flat, problem.delta());
+        let mut labels = Vec::new();
+        resolve_full(problem, &report, &mut tree, &mut labels, &mut scratch).unwrap();
+        assert_valid(problem, &tree, &labels);
+
+        let mut gen = EditScriptGen::new(seed ^ 0x5eed, 501);
+        let mut prng = SplitMix64::seed_from_u64(seed ^ 0x9e37);
+        let mut edits = Vec::new();
+        for _ in 0..batches {
+            edits.clear();
+            gen.apply_batch(&mut tree, 24, &mut edits);
+            let perturbations = perturbations_for(problem, &tree, &mut prng);
+            repair_labeling(
+                problem,
+                &report,
+                &plan,
+                &mut tree,
+                &mut labels,
+                &perturbations,
+                &mut scratch,
+            )
+            .unwrap();
+            tree.validate().unwrap();
+            assert_valid(problem, &tree, &labels);
+            if exact {
+                // Cert classes: repair must reproduce the from-scratch fill.
+                let mut fresh = labels.clone();
+                resolve_full(problem, &report, &mut tree, &mut fresh, &mut scratch).unwrap();
+                assert_eq!(labels, fresh, "cert repair must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn cert_class_repair_is_exact_over_edit_scripts() {
+        let mis = lcl_problems::mis::mis_binary();
+        let report = classify(&mis);
+        assert!(matches!(
+            report.complexity,
+            Complexity::Constant | Complexity::LogStar
+        ));
+        for seed in 0..4 {
+            drive(&mis, seed, 6, true);
+        }
+    }
+
+    #[test]
+    fn witness_class_repair_keeps_labelings_valid() {
+        // A problem classified into the witness tier (log or polynomial).
+        for entry in lcl_problems::catalog::catalog() {
+            let problem = entry.problem;
+            let report = classify(&problem);
+            if matches!(
+                report.complexity,
+                Complexity::Log | Complexity::Polynomial { .. }
+            ) && problem.delta() <= 3
+            {
+                for seed in 0..3 {
+                    drive(&problem, seed, 5, false);
+                }
+                return;
+            }
+        }
+        panic!("catalog contains no witness-tier problem with small delta");
+    }
+
+    #[test]
+    fn detach_only_batches_need_no_relabeling() {
+        let mis = lcl_problems::mis::mis_binary();
+        let report = classify(&mis);
+        let plan = RepairPlan::new(&mis, &report).unwrap();
+        let mut scratch = RepairScratch::with_workers(1);
+        let mut tree = DynamicTree::new(FlatTree::random_full(2, 255, 3), 2);
+        let mut labels = Vec::new();
+        resolve_full(&mis, &report, &mut tree, &mut labels, &mut scratch).unwrap();
+        let v = (0..tree.len() as u32)
+            .find(|&v| !tree.is_leaf(v) && tree.subtree_size(v) <= 31)
+            .unwrap();
+        tree.detach_subtree(v);
+        let out = repair_labeling(
+            &mis,
+            &report,
+            &plan,
+            &mut tree,
+            &mut labels,
+            &[],
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(!out.escalated);
+        assert_eq!(out.relabeled, 0, "survivor labels must be untouched");
+        assert_valid(&mis, &tree, &labels);
+        assert!(scratch.dirty_ranges().count() >= 1);
+    }
+
+    #[test]
+    fn journal_replay_handles_interleaved_attach_detach() {
+        let mis = lcl_problems::mis::mis_binary();
+        let report = classify(&mis);
+        let plan = RepairPlan::new(&mis, &report).unwrap();
+        let mut scratch = RepairScratch::with_workers(1);
+        let mut tree = DynamicTree::new(FlatTree::random_full(2, 127, 5), 2);
+        let mut labels = Vec::new();
+        resolve_full(&mis, &report, &mut tree, &mut labels, &mut scratch).unwrap();
+        // Attach, then detach an ancestor of the fresh region, then attach
+        // again: exercises remapping of fresh ids and dropped fill sites.
+        let leaf = (0..tree.len() as u32).find(|&v| tree.is_leaf(v)).unwrap();
+        tree.apply_edit(TreeEdit::Attach { leaf, depth: 2 });
+        let anc = tree.parent(leaf).unwrap_or(leaf);
+        tree.apply_edit(TreeEdit::Detach { node: anc });
+        let leaf2 = (0..tree.len() as u32).find(|&v| tree.is_leaf(v)).unwrap();
+        tree.apply_edit(TreeEdit::Attach {
+            leaf: leaf2,
+            depth: 1,
+        });
+        repair_labeling(
+            &mis,
+            &report,
+            &plan,
+            &mut tree,
+            &mut labels,
+            &[],
+            &mut scratch,
+        )
+        .unwrap();
+        tree.validate().unwrap();
+        assert_valid(&mis, &tree, &labels);
+    }
+}

@@ -1,0 +1,93 @@
+//! Allocation-counter proof of the incremental-repair contract: once the
+//! [`RepairScratch`], the [`DynamicTree`] buffers, and the label array are
+//! warm, a steady-state edit batch — attach, perturb, repair, detach, repair
+//! — performs **zero** heap allocations end to end (journal replay,
+//! certificate replay, dirty-range coalescing included).
+//!
+//! The file contains exactly one test so no sibling test thread can allocate
+//! concurrently and pollute the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lcl_algorithms::repair::{
+    repair_labeling, resolve_full, LabelPerturbation, RepairPlan, RepairScratch,
+};
+use lcl_core::classify;
+use lcl_trees::{DynamicTree, FlatTree};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_repair_batches_perform_zero_allocations() {
+    let mis = lcl_problems::mis::mis_binary();
+    let report = classify(&mis);
+    let plan = RepairPlan::new(&mis, &report).unwrap();
+    // Sequential scratch: sharded escalation would spawn threads, and the
+    // repair path itself must never escalate here anyway.
+    let mut scratch = RepairScratch::with_workers(1);
+    let mut tree = DynamicTree::new(FlatTree::random_full(2, 2_001, 7), 2);
+    let mut labels = Vec::new();
+    resolve_full(&mis, &report, &mut tree, &mut labels, &mut scratch).unwrap();
+
+    let leaf = (0..tree.len() as u32).find(|&v| tree.is_leaf(v)).unwrap();
+    let probe = tree.len() as u32 / 2;
+    let probe_label = labels[probe as usize];
+    let mut perturbations: Vec<LabelPerturbation> = Vec::with_capacity(4);
+
+    // One full warm-up cycle grows every buffer to its high-water mark.
+    let cycle = |tree: &mut DynamicTree,
+                 labels: &mut Vec<lcl_core::Label>,
+                 scratch: &mut RepairScratch,
+                 perturbations: &mut Vec<LabelPerturbation>| {
+        tree.attach_subtree(leaf, 2);
+        perturbations.clear();
+        perturbations.push(LabelPerturbation {
+            node: probe,
+            label: probe_label,
+        });
+        let out =
+            repair_labeling(&mis, &report, &plan, tree, labels, perturbations, scratch).unwrap();
+        assert!(!out.escalated, "cert repair must not escalate");
+        tree.detach_subtree(leaf);
+        let out = repair_labeling(&mis, &report, &plan, tree, labels, &[], scratch).unwrap();
+        assert!(!out.escalated);
+    };
+    cycle(&mut tree, &mut labels, &mut scratch, &mut perturbations);
+    cycle(&mut tree, &mut labels, &mut scratch, &mut perturbations);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    cycle(&mut tree, &mut labels, &mut scratch, &mut perturbations);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "a warmed-up repair batch must not touch the allocator"
+    );
+}

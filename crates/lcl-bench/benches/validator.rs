@@ -27,8 +27,8 @@ fn main() {
     assert!(tree.len() >= MIN_NODES);
     let labels: Vec<Label> = tree
         .depths()
-        .into_iter()
-        .map(|d| if d % 2 == 0 { one } else { two })
+        .iter()
+        .map(|&d| if d % 2 == 0 { one } else { two })
         .collect();
 
     // The naive side: the same labeling as an arena-world `Labeling` on a

@@ -11,7 +11,11 @@
 //!                                     #  form and uses the flat level-synchronous
 //!                                     #  solver engine — the million-node path;
 //!                                     #  --baseline forces the greedy O(n) sweep
-//!                                     #  instead of the class-optimal solver)
+//!                                     #  instead of the class-optimal solver;
+//!                                     #  --edits BxE[@seed] drives B seeded batches of
+//!                                     #  E attach/detach/relabel edits through the
+//!                                     #  incremental repair engine after the solve,
+//!                                     #  validating every batch — requires --flat)
 //! rtlcl classify-batch [options]      # sweep a whole problem family through the engine
 //! rtlcl sweep    [options]            # canonical-first exhaustive sweep of a (δ, Σ) universe
 //! rtlcl serve    [options]            # run the resident classification daemon (HTTP/JSON)
@@ -27,6 +31,9 @@
 //! --tree <shape>   random | balanced | hairy (default random)
 //! --nodes <n>      minimum tree size (default 101)
 //! --seed <s>       tree seed (default 1)
+//! --edits BxE[@s]  replay the same seeded edit script a `solve --flat --edits`
+//!                  run applied (structure only) before validating, so labelings
+//!                  emitted after dynamic edits round-trip through verify
 //! --json           emit the verdict as JSON
 //! ```
 //!
@@ -122,10 +129,41 @@ use lcl_core::{
 use lcl_problems::canonical::CanonicalFamily;
 use lcl_problems::catalog;
 use lcl_problems::random::{enumerate_problems, random_family, RandomProblemSpec};
+use lcl_rand::SplitMix64;
 use lcl_serve::{histogram_json, report_to_json, Json, ServeConfig, Server};
 use lcl_sim::IdAssignment;
-use lcl_trees::{generators, FlatTree};
+use lcl_trees::{generators, DynamicTree, EditScriptGen, FlatTree};
 use lcl_verify::{fuzz_classifier_vs_solvers, LabelingValidator};
+
+/// `--edits BxE[@seed]`: B batches of E edits, script seed (default 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EditSpec {
+    batches: usize,
+    per_batch: usize,
+    seed: u64,
+}
+
+impl std::str::FromStr for EditSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let err = || format!("`{s}` is not of the form BxE[@seed], e.g. 10x64@7");
+        let (counts, seed) = match s.split_once('@') {
+            Some((counts, seed)) => (counts, seed.parse().map_err(|_| err())?),
+            None => (s, 1),
+        };
+        let (batches, per_batch) = counts.split_once('x').ok_or_else(err)?;
+        let spec = EditSpec {
+            batches: batches.parse().map_err(|_| err())?,
+            per_batch: per_batch.parse().map_err(|_| err())?,
+            seed,
+        };
+        if spec.batches == 0 || spec.per_batch == 0 {
+            return Err("--edits needs positive batch and edit counts".into());
+        }
+        Ok(spec)
+    }
+}
 
 fn load_problem(spec: &str) -> Result<LclProblem, String> {
     if let Some(entry) = catalog::by_name(spec) {
@@ -214,7 +252,14 @@ fn cmd_solve(opts: &SolveOptions) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if opts.flat {
-        return cmd_solve_flat(&problem, &report, n, opts.baseline, emit_labeling);
+        return cmd_solve_flat(
+            &problem,
+            &report,
+            n,
+            opts.baseline,
+            opts.edits,
+            emit_labeling,
+        );
     }
     let tree = generators::random_full(problem.delta(), n.max(1), 1);
     let solved = if opts.baseline {
@@ -279,6 +324,7 @@ fn cmd_solve_flat(
     report: &lcl_core::ClassificationReport,
     n: usize,
     baseline: bool,
+    edits: Option<EditSpec>,
     emit_labeling: Option<&str>,
 ) -> ExitCode {
     let tree = FlatTree::random_full(problem.delta(), n.max(1), 1);
@@ -291,40 +337,138 @@ fn cmd_solve_flat(
     } else {
         lcl_algorithms::solve_flat(problem, report, &tree, &idx, &ids, &mut scratch)
     };
-    match solved {
-        Ok(outcome) => {
-            if let Err(e) =
-                LabelingValidator::new(problem).validate_parallel(&tree, &outcome.labels)
-            {
-                eprintln!("internal error: produced an invalid solution: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "solved and verified on a {}-node random full {}-ary tree (flat engine)",
-                tree.len(),
-                problem.delta()
-            );
-            println!("algorithm: {}", outcome.algorithm);
-            println!("rounds: {}", outcome.rounds.summary());
-            if let Some(path) = emit_labeling {
-                let mut out = String::with_capacity(tree.len() * 2);
-                for &label in &outcome.labels {
-                    out.push_str(problem.label_name(label));
-                    out.push('\n');
-                }
-                if let Err(e) = std::fs::write(path, out) {
-                    eprintln!("cannot write labeling to `{path}`: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("labeling written to {path} (validate with `rtlcl verify`)");
-            }
-            ExitCode::SUCCESS
-        }
+    let validator = LabelingValidator::new(problem);
+    let mut outcome = match solved {
+        Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("solver error: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validator.validate_parallel(&tree, &outcome.labels) {
+        eprintln!("internal error: produced an invalid solution: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "solved and verified on a {}-node random full {}-ary tree (flat engine)",
+        tree.len(),
+        problem.delta()
+    );
+    println!("algorithm: {}", outcome.algorithm);
+    println!("rounds: {}", outcome.rounds.summary());
+
+    // The dynamic-tree path: drive seeded edit batches through the
+    // incremental repair engine, validating each batch's dirty ranges.
+    if let Some(spec) = edits {
+        let base_len = tree.len();
+        let mut dt = DynamicTree::new(tree, problem.delta());
+        if let Err(e) = drive_edit_batches(
+            problem,
+            report,
+            spec,
+            &mut dt,
+            &mut outcome.labels,
+            ids,
+            &validator,
+        ) {
+            eprintln!("edit replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "edits: {} batches x {} edits (seed {}), tree {} -> {} nodes, every batch validated",
+            spec.batches,
+            spec.per_batch,
+            spec.seed,
+            base_len,
+            dt.len()
+        );
+    }
+    if let Some(path) = emit_labeling {
+        let mut out = String::with_capacity(outcome.labels.len() * 2);
+        for &label in &outcome.labels {
+            out.push_str(problem.label_name(label));
+            out.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("cannot write labeling to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("labeling written to {path} (validate with `rtlcl verify`)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Applies `spec.batches` seeded edit batches to `dtree`, repairing the
+/// labeling incrementally after each and validating the dirty ranges the
+/// repair reports (plus a final full validation). The solve's identifier
+/// assignment rides along via [`IdAssignment::apply_journal`], so surviving
+/// nodes keep their identifiers across every batch.
+fn drive_edit_batches(
+    problem: &LclProblem,
+    report: &lcl_core::ClassificationReport,
+    spec: EditSpec,
+    dtree: &mut DynamicTree,
+    labels: &mut Vec<lcl_core::Label>,
+    mut ids: IdAssignment,
+    validator: &LabelingValidator,
+) -> Result<(), String> {
+    let plan = lcl_algorithms::RepairPlan::new(problem, report)
+        .map_err(|e| format!("cannot build a repair plan: {e}"))?;
+    let mut repair_scratch = lcl_algorithms::RepairScratch::new();
+    let mut gen = EditScriptGen::new(spec.seed, dtree.len());
+    let mut rng = SplitMix64::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let active: Vec<lcl_core::Label> = problem.labels().iter().collect();
+    let mut edits = Vec::new();
+    let (mut sites, mut relabeled, mut escalations) = (0usize, 0usize, 0usize);
+    for batch in 0..spec.batches {
+        edits.clear();
+        gen.apply_batch(dtree, spec.per_batch, &mut edits);
+        // Identifier maintenance must run before repair clears the journal.
+        ids.apply_journal(dtree.journal());
+        let perturbations: Vec<lcl_algorithms::LabelPerturbation> = dtree
+            .relabel_sites()
+            .iter()
+            .map(|&node| lcl_algorithms::LabelPerturbation {
+                node,
+                label: active[rng.gen_index(active.len())],
+            })
+            .collect();
+        let out = lcl_algorithms::repair_labeling(
+            problem,
+            report,
+            &plan,
+            dtree,
+            labels,
+            &perturbations,
+            &mut repair_scratch,
+        )
+        .map_err(|e| format!("batch {batch}: repair failed: {e}"))?;
+        sites += out.sites;
+        relabeled += out.relabeled;
+        escalations += usize::from(out.escalated);
+        for range in repair_scratch.dirty_ranges().collect::<Vec<_>>() {
+            validator
+                .validate_range(dtree.tree(), labels, range)
+                .map_err(|e| format!("batch {batch}: dirty-range validation failed: {e}"))?;
         }
     }
+    validator
+        .validate_parallel(dtree.tree(), labels)
+        .map_err(|e| format!("final full validation failed: {e}"))?;
+    if ids.len() != dtree.len() {
+        return Err(format!(
+            "identifier maintenance diverged: {} ids for {} nodes",
+            ids.len(),
+            dtree.len()
+        ));
+    }
+    println!("repair: {sites} sites, {relabeled} labels written, {escalations} escalations");
+    println!(
+        "identifiers: {} live ids in {} bits (survivors stable across every batch)",
+        ids.len(),
+        ids.id_bits()
+    );
+    Ok(())
 }
 
 /// Shared `--flag value` cursor for the subcommand option parsers: fetches the
@@ -384,6 +528,7 @@ struct VerifyOptions {
     shape: String,
     nodes: usize,
     seed: u64,
+    edits: Option<EditSpec>,
     json: bool,
     positional: Vec<String>,
 }
@@ -393,6 +538,7 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
         shape: "random".into(),
         nodes: 101,
         seed: 1,
+        edits: None,
         json: false,
         positional: Vec::new(),
     };
@@ -402,6 +548,7 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
             "--tree" => opts.shape = cur.value("--tree")?.clone(),
             "--nodes" => opts.nodes = cur.parse_value("--nodes")?,
             "--seed" => opts.seed = cur.parse_value("--seed")?,
+            "--edits" => opts.edits = Some(cur.parse_value("--edits")?),
             "--json" => opts.json = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown verify option `{other}`"))
@@ -424,6 +571,7 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         shape,
         nodes,
         seed,
+        edits,
         json,
         positional,
     } = opts;
@@ -458,13 +606,26 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             }
         }
     }
-    let tree = match build_tree(&shape, problem.delta(), nodes, seed) {
+    let mut tree = match build_tree(&shape, problem.delta(), nodes, seed) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(spec) = edits {
+        // Structure-only replay of the edit script a `solve --flat --edits`
+        // run applied: same seed, same deterministic generator, same ids.
+        let mut dt = DynamicTree::new(tree, problem.delta());
+        let mut gen = EditScriptGen::new(spec.seed, dt.len());
+        let mut buf = Vec::new();
+        for _ in 0..spec.batches {
+            buf.clear();
+            gen.apply_batch(&mut dt, spec.per_batch, &mut buf);
+            dt.sync();
+        }
+        tree = dt.tree().clone();
+    }
     let verdict = LabelingValidator::new(&problem).validate_parallel(&tree, &labels);
     if json {
         let mut obj = vec![
@@ -550,6 +711,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 "skipped_certificates".into(),
                 Json::int(report.skipped_certificates),
             ),
+            ("edit_scripts".into(), Json::int(report.edit_scripts)),
             ("clean".into(), Json::Bool(report.is_clean())),
             (
                 "discrepancies".into(),
@@ -585,6 +747,10 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         println!(
             "solver runs: {} ({} nodes validated, {} certificate skips)",
             report.solver_runs, report.validated_nodes, report.skipped_certificates
+        );
+        println!(
+            "edit scripts: {} repaired batches validated incrementally",
+            report.edit_scripts
         );
         if report.is_clean() {
             println!("no discrepancies: classifier, solvers, and validator agree");
@@ -1527,6 +1693,7 @@ struct SolveOptions {
     emit: Option<String>,
     flat: bool,
     baseline: bool,
+    edits: Option<EditSpec>,
 }
 
 fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
@@ -1534,6 +1701,7 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
     let mut emit = None;
     let mut flat = false;
     let mut baseline = false;
+    let mut edits = None;
     let mut nodes_flag: Option<usize> = None;
     let mut cur = FlagCursor::new(args);
     while let Some(arg) = cur.next_arg() {
@@ -1541,12 +1709,19 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
             "--emit-labeling" => emit = Some(cur.value("--emit-labeling")?.clone()),
             "--flat" => flat = true,
             "--baseline" => baseline = true,
+            "--edits" => edits = Some(cur.parse_value("--edits")?),
             "--nodes" => nodes_flag = Some(cur.parse_value("--nodes")?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown solve option `{other}`"))
             }
             _ => positional.push(arg),
         }
+    }
+    if edits.is_some() && !flat {
+        return Err("--edits requires --flat (the repair engine works on CSR trees)".into());
+    }
+    if edits.is_some() && baseline {
+        return Err("--edits needs the class-optimal solver, not --baseline".into());
     }
     let (spec, nodes) = match (positional.as_slice(), nodes_flag) {
         ([spec, n], None) => {
@@ -1567,12 +1742,13 @@ fn parse_solve_options(args: &[String]) -> Result<SolveOptions, String> {
         emit,
         flat,
         baseline,
+        edits,
     })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--lane-width auto|64|128|256|512] [--checkpoint file] [--checkpoint-every n] [--max-orbits n] [--resume] [--json]\n  rtlcl serve [--addr host:port] [--workers n] [--queue n] [--deadline-ms n] [--read-timeout-ms n] [--snapshot file] [--debug-endpoints]\n  rtlcl snapshot info <file> [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
+        "usage:\n  rtlcl catalog\n  rtlcl classify <file|name> [--json]\n  rtlcl explain <file|name>\n  rtlcl solve <file|name> <tree size | --nodes n> [--flat] [--baseline] [--edits BxE[@seed]] [--emit-labeling path]\n  rtlcl classify-batch [--count n] [--labels k] [--delta d] [--density p] [--seed s] [--enumerate] [--sequential] [--no-memo] [--json]\n  rtlcl sweep [--delta d] [--labels k] [--shards n] [--engine bitsliced|scalar] [--lane-width auto|64|128|256|512] [--checkpoint file] [--checkpoint-every n] [--max-orbits n] [--resume] [--json]\n  rtlcl serve [--addr host:port] [--workers n] [--queue n] [--deadline-ms n] [--read-timeout-ms n] [--snapshot file] [--debug-endpoints]\n  rtlcl snapshot info <file> [--json]\n  rtlcl verify <file|name> <labeling-file> [--tree random|balanced|hairy] [--nodes n] [--seed s] [--edits BxE[@seed]] [--json]\n  rtlcl fuzz [--iters n] [--seed s] [--json]"
     );
     ExitCode::FAILURE
 }

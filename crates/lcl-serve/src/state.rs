@@ -18,13 +18,15 @@ use std::time::{Duration, Instant};
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::render::{histogram_json, report_to_json};
+use lcl_algorithms::{repair_labeling, resolve_full, LabelPerturbation, RepairPlan, RepairScratch};
 use lcl_core::{
-    ClassificationEngine, EngineKind, LaneWidth, LclProblem, SweepCheckpoint, SweepSnapshot,
+    ClassificationEngine, EngineKind, Label, LaneWidth, LclProblem, SweepCheckpoint, SweepSnapshot,
 };
 use lcl_problems::canonical::{CanonicalFamily, MAX_CANONICAL_ENUM_LABELS};
 use lcl_problems::catalog;
+use lcl_rand::SplitMix64;
 use lcl_sim::IdAssignment;
-use lcl_trees::FlatTree;
+use lcl_trees::{DynamicTree, EditScriptGen, FlatTree};
 use lcl_verify::LabelingValidator;
 
 /// Everything the daemon's behavior is parameterized on. The defaults are
@@ -53,6 +55,8 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Maximum tree size one `solve` request may ask for.
     pub max_solve_nodes: usize,
+    /// Maximum edits in one `/edit` batch request.
+    pub max_edit_batch: usize,
     /// Default orbit budget of one `sweep` leg when the request names none.
     pub default_leg_orbits: u64,
     /// Hard cap on one `sweep` leg's orbit budget.
@@ -77,6 +81,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(10),
             max_batch: 4096,
             max_solve_nodes: 1_000_000,
+            max_edit_batch: 4096,
             default_leg_orbits: 65_536,
             max_leg_orbits: 1 << 20,
             snapshot_path: None,
@@ -122,6 +127,26 @@ impl Metrics {
     }
 }
 
+/// The resident dynamic-tree session behind `/edit`: one solved tree whose
+/// labeling is repaired incrementally as edit batches arrive. Initializing a
+/// new session replaces the old one.
+struct EditSession {
+    problem: LclProblem,
+    report: lcl_core::ClassificationReport,
+    plan: RepairPlan,
+    tree: DynamicTree,
+    labels: Vec<Label>,
+    /// The solve's identifier assignment, maintained across batches via
+    /// [`IdAssignment::apply_journal`] so survivors keep their identifiers.
+    ids: IdAssignment,
+    scratch: RepairScratch,
+    validator: LabelingValidator,
+    /// Growth target the edit generator steers the tree size toward.
+    target_nodes: usize,
+    batches: u64,
+    edits_applied: u64,
+}
+
 /// One family's sweep campaign, keyed by `(δ, |Σ|)` in [`ServeState::sweeps`].
 enum SweepSlot {
     /// Campaign state between legs.
@@ -141,6 +166,7 @@ pub struct ServeState {
     pub metrics: Metrics,
     started: Instant,
     sweeps: Mutex<HashMap<(u16, u16), SweepSlot>>,
+    edit_session: Mutex<Option<Box<EditSession>>>,
 }
 
 impl ServeState {
@@ -152,6 +178,7 @@ impl ServeState {
             metrics: Metrics::default(),
             started: Instant::now(),
             sweeps: Mutex::new(HashMap::new()),
+            edit_session: Mutex::new(None),
         }
     }
 
@@ -170,6 +197,7 @@ impl ServeState {
             ("POST", "/classify") => self.classify(req),
             ("POST", "/classify-batch") => self.classify_batch(req, deadline),
             ("POST", "/solve") => self.solve(req),
+            ("POST", "/edit") => self.edit(req, deadline),
             ("POST", "/sweep") => self.sweep(req),
             ("POST", "/flush") => self.flush(),
             ("POST", "/debug/panic") if self.config.debug_endpoints => {
@@ -178,7 +206,8 @@ impl ServeState {
             (_, "/healthz" | "/stats") => method_not_allowed("GET"),
             (
                 _,
-                "/classify" | "/classify-batch" | "/solve" | "/sweep" | "/flush" | "/debug/panic",
+                "/classify" | "/classify-batch" | "/solve" | "/edit" | "/sweep" | "/flush"
+                | "/debug/panic",
             ) => method_not_allowed("POST"),
             _ => Response::error(404, "not_found", format!("no route for `{}`", req.path)),
         }
@@ -434,6 +463,209 @@ impl ServeState {
             ));
         }
         Response::ok(Json::Obj(obj))
+    }
+
+    /// `/edit`: the dynamic-tree session. A body with `problem` initializes
+    /// (solve a fresh tree, build the repair plan, replace any old session); a
+    /// body with `edits` applies one seeded batch to the current session and
+    /// repairs the labeling incrementally, validating the dirty ranges. A
+    /// concurrent `/edit` gets `409`; an expired compute deadline `503`.
+    fn edit(&self, req: &Request, deadline: Instant) -> Response {
+        let body = match parse_body(req) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        // One session, one request at a time: try_lock so a long repair never
+        // queues a second worker behind the mutex past its own deadline.
+        let Ok(mut slot) = self.edit_session.try_lock() else {
+            return Response::error(409, "conflict", "another /edit request is running")
+                .with_retry_after(1);
+        };
+        if body.get("problem").is_some() {
+            return self.edit_init(&body, &mut slot);
+        }
+        if body.get("edits").is_some() {
+            return self.edit_batch(&body, &mut slot, deadline);
+        }
+        Response::error(
+            400,
+            "bad_request",
+            "an /edit body carries either `problem` (initialize a session) or `edits` (apply a batch)",
+        )
+    }
+
+    fn edit_init(&self, body: &Json, slot: &mut Option<Box<EditSession>>) -> Response {
+        let problem = match required_problem(body, "problem") {
+            Ok(p) => p,
+            Err(r) => return r,
+        };
+        let nodes = body.get("nodes").and_then(Json::as_u64).unwrap_or(4001) as usize;
+        if nodes == 0 || nodes > self.config.max_solve_nodes {
+            return Response::error(
+                400,
+                "bad_request",
+                format!(
+                    "`nodes` must be in 1..={}, got {nodes}",
+                    self.config.max_solve_nodes
+                ),
+            );
+        }
+        let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(1);
+        let report = self.engine.classify_full(&problem);
+        if !report.complexity.is_solvable() {
+            return Response::error(
+                400,
+                "bad_request",
+                "the problem is unsolvable; there is no labeling to maintain",
+            );
+        }
+        let plan = match RepairPlan::new(&problem, &report) {
+            Ok(p) => p,
+            Err(e) => {
+                return Response::error(
+                    400,
+                    "bad_request",
+                    format!("cannot build a repair plan: {e}"),
+                )
+            }
+        };
+        let mut tree = DynamicTree::new(
+            FlatTree::random_full(problem.delta(), nodes, seed),
+            problem.delta(),
+        );
+        let mut labels = Vec::new();
+        let mut scratch = RepairScratch::new();
+        if let Err(e) = resolve_full(&problem, &report, &mut tree, &mut labels, &mut scratch) {
+            return Response::error(500, "internal", format!("initial solve failed: {e}"));
+        }
+        let response = Json::Obj(vec![
+            ("problem".into(), Json::str(problem.to_text())),
+            (
+                "complexity".into(),
+                Json::str(report.complexity.to_string()),
+            ),
+            ("nodes".into(), Json::int(tree.len())),
+            ("seed".into(), Json::uint(seed)),
+            ("session".into(), Json::str("initialized")),
+        ]);
+        let validator = LabelingValidator::new(&problem);
+        let ids = IdAssignment::random_permutation_len(tree.len(), seed);
+        *slot = Some(Box::new(EditSession {
+            problem,
+            report,
+            plan,
+            tree,
+            labels,
+            ids,
+            scratch,
+            validator,
+            target_nodes: nodes,
+            batches: 0,
+            edits_applied: 0,
+        }));
+        Response::ok(response)
+    }
+
+    fn edit_batch(
+        &self,
+        body: &Json,
+        slot: &mut Option<Box<EditSession>>,
+        deadline: Instant,
+    ) -> Response {
+        let Some(session) = slot.as_deref_mut() else {
+            return Response::error(
+                409,
+                "conflict",
+                "no edit session; POST /edit with a `problem` first",
+            );
+        };
+        let edits = body.get("edits").and_then(Json::as_u64).unwrap_or(0) as usize;
+        if edits == 0 || edits > self.config.max_edit_batch {
+            return Response::error(
+                400,
+                "bad_request",
+                format!(
+                    "`edits` must be in 1..={}, got {edits}",
+                    self.config.max_edit_batch
+                ),
+            );
+        }
+        let seed = body
+            .get("seed")
+            .and_then(Json::as_u64)
+            .unwrap_or(session.batches + 1);
+        if Instant::now() >= deadline {
+            self.metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::error(503, "deadline_exceeded", "compute deadline expired")
+                .with_retry_after(1);
+        }
+
+        let mut gen = EditScriptGen::new(seed, session.target_nodes);
+        let mut buf = Vec::new();
+        gen.apply_batch(&mut session.tree, edits, &mut buf);
+        // Identifier maintenance must run before repair clears the journal.
+        session.ids.apply_journal(session.tree.journal());
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let active: Vec<Label> = session.problem.labels().iter().collect();
+        let perturbations: Vec<LabelPerturbation> = session
+            .tree
+            .relabel_sites()
+            .iter()
+            .map(|&node| LabelPerturbation {
+                node,
+                label: active[rng.gen_index(active.len())],
+            })
+            .collect();
+        let outcome = match repair_labeling(
+            &session.problem,
+            &session.report,
+            &session.plan,
+            &mut session.tree,
+            &mut session.labels,
+            &perturbations,
+            &mut session.scratch,
+        ) {
+            Ok(o) => o,
+            Err(e) => {
+                // The labeling may be stale now; drop the session rather than
+                // serve unrepaired state.
+                *slot = None;
+                return Response::error(500, "internal", format!("repair failed: {e}"));
+            }
+        };
+        let mut ranges_validated = 0usize;
+        for range in session.scratch.dirty_ranges().collect::<Vec<_>>() {
+            if let Err(e) =
+                session
+                    .validator
+                    .validate_range(session.tree.tree(), &session.labels, range)
+            {
+                *slot = None;
+                return Response::error(
+                    500,
+                    "internal",
+                    format!("repair produced an invalid labeling: {e}"),
+                );
+            }
+            ranges_validated += 1;
+        }
+        session.batches += 1;
+        session.edits_applied += edits as u64;
+        Response::ok(Json::Obj(vec![
+            ("nodes".into(), Json::int(session.tree.len())),
+            ("edits".into(), Json::int(edits)),
+            ("seed".into(), Json::uint(seed)),
+            ("sites".into(), Json::int(outcome.sites)),
+            ("relabeled".into(), Json::int(outcome.relabeled)),
+            ("climbs".into(), Json::int(outcome.climbs)),
+            ("escalated".into(), Json::Bool(outcome.escalated)),
+            ("ranges_validated".into(), Json::int(ranges_validated)),
+            ("id_bits".into(), Json::int(session.ids.id_bits())),
+            ("batches".into(), Json::uint(session.batches)),
+            ("edits_applied".into(), Json::uint(session.edits_applied)),
+        ]))
     }
 
     fn sweep(&self, req: &Request) -> Response {
@@ -827,6 +1059,66 @@ mod tests {
             ),
             far_deadline(),
         );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn edit_session_repairs_batches_incrementally() {
+        let s = state();
+        // A batch with no session is a conflict, not a panic.
+        let r = s.handle(&post("/edit", r#"{"edits": 32}"#), far_deadline());
+        assert_eq!(r.status, 409);
+        // Initialize a session on a catalog problem.
+        let r = s.handle(
+            &post("/edit", r#"{"problem": "mis", "nodes": 2001, "seed": 7}"#),
+            far_deadline(),
+        );
+        assert_eq!(r.status, 200, "{:?}", r.body);
+        assert_eq!(r.body.get("nodes").and_then(Json::as_u64), Some(2001));
+        // Seeded batches repair incrementally; every dirty range validates.
+        let mut nodes = 0;
+        for _ in 0..5 {
+            let r = s.handle(&post("/edit", r#"{"edits": 64}"#), far_deadline());
+            assert_eq!(r.status, 200, "{:?}", r.body);
+            assert!(
+                r.body
+                    .get("ranges_validated")
+                    .and_then(Json::as_u64)
+                    .unwrap()
+                    >= 1
+            );
+            // Identifier maintenance tracks the edited tree: enough bits for
+            // one distinct id per live node, even after growth.
+            nodes = r.body.get("nodes").and_then(Json::as_u64).unwrap();
+            let id_bits = r.body.get("id_bits").and_then(Json::as_u64).unwrap();
+            assert!(1u64 << id_bits >= nodes, "{id_bits} bits for {nodes} nodes");
+        }
+        assert!(nodes > 0);
+        assert_eq!(
+            s.handle(&post("/edit", r#"{"edits": 8}"#), far_deadline())
+                .body
+                .get("batches")
+                .and_then(Json::as_u64),
+            Some(6)
+        );
+        // An expired compute deadline sheds the batch with Retry-After.
+        let r = s.handle(
+            &post("/edit", r#"{"edits": 8}"#),
+            Instant::now() - Duration::from_millis(1),
+        );
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retry_after, Some(1));
+        // Unsolvable problems cannot start a session.
+        let r = s.handle(
+            &post("/edit", r#"{"problem": "unsolvable"}"#),
+            far_deadline(),
+        );
+        assert_eq!(r.status, 400);
+        // A body with neither `problem` nor `edits` is malformed.
+        let r = s.handle(&post("/edit", "{}"), far_deadline());
+        assert_eq!(r.status, 400);
+        // Batch size cap.
+        let r = s.handle(&post("/edit", r#"{"edits": 99999}"#), far_deadline());
         assert_eq!(r.status, 400);
     }
 

@@ -91,6 +91,42 @@ impl IdAssignment {
         let max = self.ids.iter().copied().max().unwrap_or(1);
         64 - max.leading_zeros() as usize
     }
+
+    /// Replays a [`lcl_trees::DynamicTree`] edit journal so identifiers follow
+    /// the edited id space: surviving nodes keep their identifiers across
+    /// detach swap-compaction (a moved child carries its id to its new slot,
+    /// just as the tree recomputes its port), nodes appended by an attach
+    /// receive fresh identifiers above everything assigned so far, and
+    /// truncation drops the identifiers of removed nodes. The result is again
+    /// a valid assignment: pairwise distinct, one id per live node.
+    ///
+    /// Call this *before* handing the journal to a consumer that clears it
+    /// (label repair does); the journal must start where this assignment ends.
+    pub fn apply_journal(&mut self, journal: &[lcl_trees::JournalOp]) {
+        let mut next = self.ids.iter().copied().max().unwrap_or(0) + 1;
+        for &op in journal {
+            match op {
+                lcl_trees::JournalOp::Grown { first, count } => {
+                    let end = (first + count) as usize;
+                    debug_assert_eq!(
+                        first as usize,
+                        self.ids.len(),
+                        "journal does not start where this assignment ends"
+                    );
+                    while self.ids.len() < end {
+                        self.ids.push(next);
+                        next += 1;
+                    }
+                }
+                lcl_trees::JournalOp::Remapped { from, to } => {
+                    self.ids[to as usize] = self.ids[from as usize];
+                }
+                lcl_trees::JournalOp::Truncated { new_len } => {
+                    self.ids.truncate(new_len as usize);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +171,60 @@ mod tests {
     #[should_panic(expected = "distinct")]
     fn from_vec_rejects_duplicates() {
         let _ = IdAssignment::from_vec(vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn apply_journal_tracks_random_edit_scripts() {
+        use lcl_trees::{DynamicTree, EditScriptGen, FlatTree};
+        for seed in 0..4u64 {
+            let flat = FlatTree::random_full(2, 151, seed);
+            let mut dt = DynamicTree::new(flat, 2);
+            let mut ids = IdAssignment::random_permutation_len(dt.len(), seed);
+            // Remember the identifier each live node carries before editing.
+            let before: Vec<u64> = ids.as_slice().to_vec();
+            let mut gen = EditScriptGen::new(seed ^ 0x5eed, 151);
+            let mut edits = Vec::new();
+            for _ in 0..3 {
+                edits.clear();
+                gen.apply_batch(&mut dt, 24, &mut edits);
+                ids.apply_journal(dt.journal());
+                dt.clear_journal();
+            }
+            dt.sync();
+            assert_eq!(ids.len(), dt.len(), "one identifier per live node");
+            // Pairwise distinct (a valid assignment after arbitrary batches).
+            let mut sorted = ids.as_slice().to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), ids.len(), "identifiers stay distinct");
+            // The root never moves, so it must keep its original identifier;
+            // every identifier is either an original survivor or fresh (above
+            // the original id space), never a reused original.
+            assert_eq!(ids.as_slice()[0], before[0], "root keeps its id");
+            let old_max = before.iter().copied().max().unwrap();
+            let originals: std::collections::BTreeSet<u64> = before.iter().copied().collect();
+            for &id in ids.as_slice() {
+                assert!(
+                    originals.contains(&id) || id > old_max,
+                    "id {id} is neither a survivor nor fresh"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_journal_moves_ids_with_compaction() {
+        use lcl_trees::JournalOp;
+        let mut ids = IdAssignment::from_vec(vec![10, 20, 30, 40]);
+        // Node 3 (id 40) moves into the hole at 1; the space shrinks to 3.
+        ids.apply_journal(&[
+            JournalOp::Remapped { from: 3, to: 1 },
+            JournalOp::Truncated { new_len: 3 },
+        ]);
+        assert_eq!(ids.as_slice(), &[10, 40, 30]);
+        // A subsequent attach appends fresh ids above the running maximum.
+        ids.apply_journal(&[JournalOp::Grown { first: 3, count: 2 }]);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids.as_slice()[3..], [41, 42]);
     }
 }

@@ -47,13 +47,30 @@ use lcl_rand::SplitMix64;
 use crate::tree::{NodeId, RootedTree};
 
 /// A rooted tree in compressed-sparse-row form. See the module documentation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The CSR arrays are `pub(crate)` so the [`crate::dynamic`] layer can edit
+/// them in place; everything outside this crate sees an immutable tree.
+#[derive(Debug, Clone)]
 pub struct FlatTree {
-    parent: Vec<u32>,
-    child_start: Vec<u32>,
-    children: Vec<u32>,
-    root: u32,
+    pub(crate) parent: Vec<u32>,
+    pub(crate) child_start: Vec<u32>,
+    pub(crate) children: Vec<u32>,
+    pub(crate) root: u32,
+    /// Lazily computed node-id-indexed depths ([`FlatTree::depths`]).
+    pub(crate) depth_cache: std::sync::OnceLock<Vec<u32>>,
 }
+
+impl PartialEq for FlatTree {
+    fn eq(&self, other: &Self) -> bool {
+        // The depth cache is derived state; equality is structural.
+        self.parent == other.parent
+            && self.child_start == other.child_start
+            && self.children == other.children
+            && self.root == other.root
+    }
+}
+
+impl Eq for FlatTree {}
 
 impl FlatTree {
     /// Sentinel stored in the parent array for the root node.
@@ -79,6 +96,7 @@ impl FlatTree {
             child_start,
             children,
             root: tree.root().0,
+            depth_cache: std::sync::OnceLock::new(),
         }
     }
 
@@ -86,7 +104,7 @@ impl FlatTree {
     /// marks the root). Children end up in ascending id order, which matches
     /// the port order of every generator in this crate (children are created
     /// with consecutive, increasing ids).
-    fn from_parent_array(parent: Vec<u32>) -> Self {
+    pub(crate) fn from_parent_array(parent: Vec<u32>) -> Self {
         let n = parent.len();
         assert!(n >= 1, "tree must have at least one node");
         assert!(n < Self::NO_PARENT as usize, "tree too large for u32 ids");
@@ -119,6 +137,7 @@ impl FlatTree {
             child_start,
             children,
             root,
+            depth_cache: std::sync::OnceLock::new(),
         }
     }
 
@@ -242,24 +261,29 @@ impl FlatTree {
         (0..self.len() as u32).all(|v| self.is_leaf(v) || self.num_children(v) == delta)
     }
 
-    /// The depth of every node, indexed by node id. One BFS pass over the CSR
-    /// arrays; O(n) time, no recursion.
-    pub fn depths(&self) -> Vec<usize> {
-        let mut depth = vec![0usize; self.len()];
-        let mut queue = std::collections::VecDeque::with_capacity(self.len());
-        queue.push_back(self.root);
-        while let Some(v) = queue.pop_front() {
-            for &c in self.children(v) {
-                depth[c as usize] = depth[v as usize] + 1;
-                queue.push_back(c);
+    /// The depth of every node, indexed by node id. Computed by one BFS pass
+    /// over the CSR arrays on first use and memoized for the lifetime of the
+    /// tree (a `FlatTree` is immutable outside this crate), so repeated calls
+    /// allocate nothing. Callers holding a [`LevelIndex`] should prefer
+    /// [`LevelIndex::depths`], which shares its arrays with the solvers.
+    pub fn depths(&self) -> &[u32] {
+        self.depth_cache.get_or_init(|| {
+            let mut depth = vec![0u32; self.len()];
+            let mut queue = std::collections::VecDeque::with_capacity(self.len());
+            queue.push_back(self.root);
+            while let Some(v) = queue.pop_front() {
+                for &c in self.children(v) {
+                    depth[c as usize] = depth[v as usize] + 1;
+                    queue.push_back(c);
+                }
             }
-        }
-        depth
+            depth
+        })
     }
 
     /// The height of the tree (maximum depth).
     pub fn height(&self) -> usize {
-        self.depths().into_iter().max().unwrap_or(0)
+        self.depths().iter().copied().max().unwrap_or(0) as usize
     }
 
     /// Expands the CSR view back into an arena [`RootedTree`]. Intended for
@@ -343,22 +367,22 @@ impl FlatTree {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LevelIndex {
     /// BFS positions → node ids.
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// `level_start[d] .. level_start[d + 1]` is the position range of depth
     /// `d`; `level_start.len() == height + 2`.
-    level_start: Vec<u32>,
+    pub(crate) level_start: Vec<u32>,
     /// Node id → depth.
-    depth: Vec<u32>,
+    pub(crate) depth: Vec<u32>,
     /// Node id → size of its subtree (1 for leaves).
-    subtree_size: Vec<u32>,
+    pub(crate) subtree_size: Vec<u32>,
     /// Node id → height of its subtree (0 for leaves).
-    subtree_height: Vec<u32>,
+    pub(crate) subtree_height: Vec<u32>,
     /// BFS position → BFS position of the parent (`NO_POS` at the root).
-    parent_pos: Vec<u32>,
+    pub(crate) parent_pos: Vec<u32>,
     /// BFS position → first BFS position of its children; monotone, with a
     /// trailing `n` entry, so children of position `i` are
     /// `first_child_pos[i] .. first_child_pos[i + 1]`.
-    first_child_pos: Vec<u32>,
+    pub(crate) first_child_pos: Vec<u32>,
 }
 
 impl LevelIndex {
@@ -570,8 +594,11 @@ mod tests {
     fn depths_and_height_match_arena() {
         let arena = generators::random_skewed(2, 101, 0.7, 2);
         let flat = FlatTree::from_tree(&arena);
-        assert_eq!(flat.depths(), arena.depths());
+        let expected: Vec<u32> = arena.depths().iter().map(|&d| d as u32).collect();
+        assert_eq!(flat.depths(), expected.as_slice());
         assert_eq!(flat.height(), arena.height());
+        // Memoized: the second call returns the same cached slice.
+        assert_eq!(flat.depths().as_ptr(), flat.depths().as_ptr());
     }
 
     #[test]

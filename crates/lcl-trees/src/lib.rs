@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod flat;
 pub mod generators;
 pub mod lower_bound;
@@ -37,6 +38,7 @@ pub mod rcp;
 pub mod traversal;
 pub mod tree;
 
+pub use dynamic::{DynamicTree, EditScriptGen, JournalOp, TreeEdit};
 pub use flat::{FlatTree, LevelIndex};
 pub use rcp::{rcp_partition, rcp_partition_flat, FlatRcp, RcpPartition};
 pub use tree::{NodeId, RootedTree, TreeBuilder};

@@ -1,0 +1,83 @@
+//! Allocation-counter pin for the memoized [`FlatTree::depths`]: the first
+//! call computes and caches the depth array; every later call must return the
+//! cached slice without touching the allocator. The same pin covers warmed
+//! [`DynamicTree`] edits: once the slack rows and scratch buffers reached
+//! their high-water capacity, steady-state attach/detach/sync cycles that
+//! shrink back below that mark allocate nothing.
+//!
+//! The file contains exactly one test so no sibling test thread can allocate
+//! concurrently and pollute the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lcl_trees::{DynamicTree, FlatTree};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn memoized_depths_and_warm_edits_perform_zero_allocations() {
+    let tree = FlatTree::random_full(2, 4_001, 9);
+    let first = tree.depths().as_ptr();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let depths = tree.depths();
+    let height = tree.height();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "a repeated FlatTree::depths()/height() call must hit the cache"
+    );
+    assert_eq!(depths.as_ptr(), first, "the cached slice must be stable");
+    assert_eq!(height, depths.iter().copied().max().unwrap() as usize);
+
+    // Warm a dynamic tree: one attach/detach/sync cycle grows every buffer
+    // (slack rows, DFS stack, removed list, journal) to its high-water mark.
+    let mut dt = DynamicTree::new(tree, 2);
+    let leaf = (0..dt.len() as u32).find(|&v| dt.is_leaf(v)).unwrap();
+    dt.attach_subtree(leaf, 2);
+    dt.sync();
+    dt.detach_subtree(leaf);
+    dt.sync();
+    dt.clear_journal();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    dt.attach_subtree(leaf, 2);
+    dt.sync();
+    dt.detach_subtree(leaf);
+    dt.sync();
+    dt.clear_journal();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "a warmed attach/detach/sync cycle must not touch the allocator"
+    );
+}

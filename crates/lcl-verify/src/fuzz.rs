@@ -19,6 +19,12 @@
 //!   must pass both checkers too, and its round accounting must be
 //!   byte-identical to the arena solver's (every phase is deterministic given
 //!   the tree and identifier assignment);
+//! * solvable verdicts must also survive **dynamic edits** — a fresh solved
+//!   tree is mutated by a seeded 32-edit script (attach/detach/relabel) plus
+//!   random label perturbations, repaired incrementally with
+//!   [`repair_labeling`], and the repaired labeling must pass both the dirty
+//!   ranges reported by the scratch and the full CSR validator, while the
+//!   edited instance must still flat-solve from scratch;
 //! * **polynomial** verdicts must carry a verifiable exact-exponent
 //!   certificate whose exponent never exceeds Algorithm 2's pruning iteration
 //!   count (Theorem 5.2's lower-bound side), the greedy O(n) baseline must
@@ -32,12 +38,15 @@
 //! fully deterministic per `(seed, iters)` pair.
 
 use lcl_algorithms::flat::{solve_flat, SolveScratch};
+use lcl_algorithms::repair::{
+    repair_labeling, resolve_full, LabelPerturbation, RepairPlan, RepairScratch,
+};
 use lcl_algorithms::solve::{solve, SolveError};
 use lcl_core::{greedy, ClassificationEngine, Complexity, Label};
 use lcl_problems::random::{random_problem, RandomProblemSpec};
 use lcl_rand::SplitMix64;
 use lcl_sim::IdAssignment;
-use lcl_trees::FlatTree;
+use lcl_trees::{DynamicTree, EditScriptGen, FlatTree};
 
 use crate::validator::LabelingValidator;
 
@@ -87,6 +96,9 @@ pub struct FuzzReport {
     /// Solver runs skipped because a certificate exceeded its size budget
     /// (a resource limit, not a correctness failure).
     pub skipped_certificates: usize,
+    /// Seeded edit-script batches repaired incrementally and validated
+    /// (the `edit_scripts` phase; solvable problems only).
+    pub edit_scripts: usize,
     /// Every disagreement found. Empty on a healthy repository.
     pub discrepancies: Vec<Discrepancy>,
 }
@@ -136,8 +148,10 @@ pub fn fuzz_classifier_vs_solvers(seed: u64, iters: usize) -> FuzzReport {
         solver_runs: 0,
         validated_nodes: 0,
         skipped_certificates: 0,
+        edit_scripts: 0,
         discrepancies: Vec::new(),
     };
+    let mut repair_scratch = RepairScratch::new();
 
     // Π_k ground truth (Theorem 8.3): the classified exponent must be exactly
     // k. Checked once per run — the problems are fixed, not fuzzed.
@@ -340,6 +354,139 @@ pub fn fuzz_classifier_vs_solvers(seed: u64, iters: usize) -> FuzzReport {
                 );
             }
         }
+
+        // `edit_scripts` phase: a solvable instance must survive dynamic
+        // edits. Solve a fresh tree, apply a seeded 32-edit script plus a few
+        // label perturbations, repair incrementally, and hold the repaired
+        // labeling to the same standard as a from-scratch solve: the dirty
+        // ranges and the full CSR validator must both accept it, and the
+        // edited instance must still flat-solve from scratch.
+        let plan = match RepairPlan::new(&problem, &full) {
+            Ok(plan) => Some(plan),
+            Err(SolveError::CertificateTooLarge(_)) => {
+                report.skipped_certificates += 1;
+                None
+            }
+            Err(e) => {
+                record("edit-script", format!("repair plan failed: {e}"));
+                None
+            }
+        };
+        if let Some(plan) = plan {
+            let flat =
+                FlatTree::random_full(problem.delta(), 80 + rng.gen_index(60), rng.next_u64());
+            let mut dtree = DynamicTree::new(flat, problem.delta());
+            let mut labels = Vec::new();
+            match resolve_full(
+                &problem,
+                &full,
+                &mut dtree,
+                &mut labels,
+                &mut repair_scratch,
+            ) {
+                Err(SolveError::CertificateTooLarge(_)) => report.skipped_certificates += 1,
+                Err(e) => record("edit-script", format!("initial solve failed: {e}")),
+                Ok(()) => {
+                    let mut ids = IdAssignment::sequential_len(dtree.len());
+                    let mut gen = EditScriptGen::new(rng.next_u64(), dtree.len());
+                    let mut edits = Vec::new();
+                    gen.apply_batch(&mut dtree, 32, &mut edits);
+                    // Identifier maintenance rides the journal (before repair
+                    // clears it) and must stay a valid assignment.
+                    ids.apply_journal(dtree.journal());
+                    let active: Vec<Label> = problem.labels().iter().collect();
+                    let perturbations: Vec<LabelPerturbation> = dtree
+                        .relabel_sites()
+                        .iter()
+                        .map(|&node| LabelPerturbation {
+                            node,
+                            label: active[rng.gen_index(active.len())],
+                        })
+                        .collect();
+                    match repair_labeling(
+                        &problem,
+                        &full,
+                        &plan,
+                        &mut dtree,
+                        &mut labels,
+                        &perturbations,
+                        &mut repair_scratch,
+                    ) {
+                        Err(e) => record("edit-script", format!("repair failed: {e}")),
+                        Ok(_) => {
+                            report.edit_scripts += 1;
+                            report.validated_nodes += dtree.len();
+                            for range in repair_scratch.dirty_ranges().collect::<Vec<_>>() {
+                                if let Err(e) =
+                                    validator.validate_range(dtree.tree(), &labels, range)
+                                {
+                                    record(
+                                        "edit-script",
+                                        format!("dirty-range validation rejected the repair: {e}"),
+                                    );
+                                }
+                            }
+                            if let Err(e) = validator.validate_parallel(dtree.tree(), &labels) {
+                                record(
+                                    "edit-script",
+                                    format!("repaired labeling fails full validation: {e}"),
+                                );
+                            }
+                            // The maintained identifier assignment must still
+                            // cover the edited tree with pairwise-distinct ids.
+                            let mut sorted = ids.as_slice().to_vec();
+                            sorted.sort_unstable();
+                            sorted.dedup();
+                            if ids.len() != dtree.len() || sorted.len() != ids.len() {
+                                record(
+                                    "edit-script",
+                                    format!(
+                                        "identifier maintenance diverged: {} ids \
+                                         ({} distinct) for {} nodes",
+                                        ids.len(),
+                                        sorted.len(),
+                                        dtree.len()
+                                    ),
+                                );
+                            }
+                            // From-scratch verdict agreement on the edited
+                            // tree (needs the full sync: the comparison solve
+                            // reads the lazily repaired level index).
+                            dtree.sync();
+                            let fresh_ids = IdAssignment::sequential_len(dtree.len());
+                            match solve_flat(
+                                &problem,
+                                &full,
+                                dtree.tree(),
+                                dtree.index(),
+                                &fresh_ids,
+                                &mut scratch,
+                            ) {
+                                Ok(fresh) => {
+                                    if let Err(e) =
+                                        validator.validate_parallel(dtree.tree(), &fresh.labels)
+                                    {
+                                        record(
+                                            "edit-script",
+                                            format!(
+                                                "from-scratch solve invalid on the edited tree: {e}"
+                                            ),
+                                        );
+                                    }
+                                }
+                                Err(SolveError::CertificateTooLarge(_)) => {
+                                    report.skipped_certificates += 1
+                                }
+                                Err(e) => record(
+                                    "edit-script",
+                                    format!("from-scratch solve failed on the edited tree: {e}"),
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
     report
 }
@@ -354,6 +501,7 @@ mod tests {
         assert!(a.is_clean(), "discrepancies: {:#?}", a.discrepancies);
         assert!(a.solver_runs > 0, "no solver run was exercised");
         assert!(a.validated_nodes > 0);
+        assert!(a.edit_scripts > 0, "no edit-script batch was exercised");
         let total: usize = a.histogram.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, a.iterations);
 
@@ -361,6 +509,7 @@ mod tests {
         assert_eq!(a.histogram, b.histogram);
         assert_eq!(a.solver_runs, b.solver_runs);
         assert_eq!(a.validated_nodes, b.validated_nodes);
+        assert_eq!(a.edit_scripts, b.edit_scripts);
     }
 
     #[test]

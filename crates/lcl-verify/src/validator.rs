@@ -211,6 +211,64 @@ impl LabelingValidator {
         Ok(())
     }
 
+    /// Validates `labels` on the node-id range `range` only — the restriction
+    /// the parallel validator applies per shard, exposed so incremental
+    /// repair can prove a dirty region correct without paying for the whole
+    /// tree. Checks each node of the range against its (full) child multiset,
+    /// so the caller must include the *parents* of relabeled nodes in the
+    /// range. Sequential and allocation-free below two shard widths; larger
+    /// ranges delegate to the sharded path over the restricted range.
+    ///
+    /// The verdict is range-local: nodes outside `range` are not checked
+    /// (except as children of ranged nodes). `WrongSize` still covers the
+    /// whole labeling.
+    pub fn validate_range(
+        &self,
+        tree: &FlatTree,
+        labels: &[Label],
+        range: std::ops::Range<u32>,
+    ) -> Result<(), ValidationError> {
+        if labels.len() != tree.len() {
+            return Err(ValidationError::WrongSize {
+                expected: tree.len(),
+                found: labels.len(),
+            });
+        }
+        let range = range.start..range.end.min(tree.len() as u32);
+        if range.len() < 2 * 4096 {
+            for v in range {
+                self.check_node(tree, labels, v)?;
+            }
+            return Ok(());
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+            .min(range.len().div_ceil(4096))
+            .max(1);
+        let chunk = range.len().div_ceil(workers);
+        let mut verdicts: Vec<Option<ValidationError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = range.start + (w * chunk) as u32;
+                    let hi = (lo.saturating_add(chunk as u32)).min(range.end);
+                    scope.spawn(move || {
+                        (lo..hi).find_map(|v| self.check_node(tree, labels, v).err())
+                    })
+                })
+                .collect();
+            verdicts = handles
+                .into_iter()
+                .map(|h| h.join().expect("validator worker panicked"))
+                .collect();
+        });
+        match verdicts.into_iter().flatten().next() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
     /// Validates `labels` against the problem on `tree`, sharding the node
     /// range over `std::thread::scope` workers (one per available core, capped
     /// by the shard count that keeps shards ≥ 4096 nodes). The verdict is the
@@ -299,8 +357,8 @@ mod tests {
 
     fn parity_labels(tree: &FlatTree, even: Label, odd: Label) -> Vec<Label> {
         tree.depths()
-            .into_iter()
-            .map(|d| if d % 2 == 0 { even } else { odd })
+            .iter()
+            .map(|&d| if d % 2 == 0 { even } else { odd })
             .collect()
     }
 
@@ -334,6 +392,62 @@ mod tests {
             seq,
             ValidationError::ForbiddenConfiguration { .. }
         ));
+    }
+
+    #[test]
+    fn validate_range_agrees_with_full_validate() {
+        use lcl_rand::SplitMix64;
+        let p = two_coloring();
+        let one = p.label_by_name("1").unwrap();
+        let two = p.label_by_name("2").unwrap();
+        let validator = LabelingValidator::new(&p);
+        let mut rng = SplitMix64::seed_from_u64(42);
+        for seed in 0..6u64 {
+            let tree = FlatTree::random_full(2, 801, seed);
+            let mut labels = parity_labels(&tree, one, two);
+            // Corrupt a random node half the time.
+            let corrupted = if seed % 2 == 0 {
+                let v = rng.gen_index(tree.len());
+                labels[v] = if labels[v] == one { two } else { one };
+                Some(v as u32)
+            } else {
+                None
+            };
+            let full = validator.validate(&tree, &labels);
+            let whole = validator.validate_range(&tree, &labels, 0..tree.len() as u32);
+            assert_eq!(full, whole, "whole-tree range must match validate");
+            if let Some(v) = corrupted {
+                // A range that covers the corrupted node and its parent must
+                // reject; a range strictly before both must accept.
+                let parent = tree.parent(v).unwrap_or(v);
+                let lo = parent.min(v);
+                assert!(validator
+                    .validate_range(&tree, &labels, lo..tree.len() as u32)
+                    .is_err());
+                if lo > 0 {
+                    validator.validate_range(&tree, &labels, 0..lo).unwrap();
+                }
+            }
+            // Ranges past the end clamp; empty ranges accept.
+            validator
+                .validate_range(&tree, &labels, tree.len() as u32..u32::MAX)
+                .unwrap();
+        }
+        // Large even tree exercises the sharded path of validate_range.
+        let tree = FlatTree::random_full(2, 40_001, 9);
+        let labels = parity_labels(&tree, one, two);
+        validator
+            .validate_range(&tree, &labels, 0..tree.len() as u32)
+            .unwrap();
+        let mut labels = labels;
+        labels[33_333] = if labels[33_333] == one { two } else { one };
+        assert_eq!(
+            validator
+                .validate_range(&tree, &labels, 0..tree.len() as u32)
+                .unwrap_err(),
+            validator.validate(&tree, &labels).unwrap_err(),
+            "sharded range verdict must match the sequential one"
+        );
     }
 
     #[test]
